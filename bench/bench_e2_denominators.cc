@@ -1,0 +1,67 @@
+// E2 — polynomial-time denominators (§3.2, [13]): |ORep(D,Sigma)| and
+// |CRS(D,Sigma)| as the database grows. The paper's plan of attack rests on
+// these being polynomial; the benchmark shows near-linear |ORep| and
+// low-polynomial |CRS| (BigInt interleaving convolutions) up to tens of
+// thousands of facts.
+
+#include <benchmark/benchmark.h>
+
+#include "db/blocks.h"
+#include "repairs/counting.h"
+#include "workload/generators.h"
+
+namespace uocqa {
+namespace {
+
+GeneratedInstance MakeDb(size_t blocks) {
+  Rng rng(blocks);
+  ConjunctiveQuery q = ChainQuery(2);
+  DbGenOptions gen;
+  gen.blocks_per_relation = blocks / 2;
+  gen.min_block_size = 1;
+  gen.max_block_size = 4;
+  gen.domain_size = 4 * blocks;  // distinct keys: blocks rarely merge
+  return GenerateDatabaseForQuery(rng, q, gen);
+}
+
+void BM_CountOperationalRepairs(benchmark::State& state) {
+  GeneratedInstance inst = MakeDb(static_cast<size_t>(state.range(0)));
+  BlockPartition blocks = BlockPartition::Compute(inst.db, inst.keys);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountOperationalRepairs(blocks));
+  }
+  state.counters["facts"] = static_cast<double>(inst.db.size());
+  state.counters["log2|ORep|"] = CountOperationalRepairs(blocks).IsZero()
+                                     ? 0
+                                     : CountOperationalRepairs(blocks).Log2();
+}
+BENCHMARK(BM_CountOperationalRepairs)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Arg(16384)->Unit(benchmark::kMicrosecond);
+
+void BM_CountCompleteSequences(benchmark::State& state) {
+  GeneratedInstance inst = MakeDb(static_cast<size_t>(state.range(0)));
+  BlockPartition blocks = BlockPartition::Compute(inst.db, inst.keys);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountCompleteSequencesExact(blocks));
+  }
+  state.counters["facts"] = static_cast<double>(inst.db.size());
+  BigInt crs = CountCompleteSequencesExact(blocks);
+  state.counters["log2|CRS|"] = crs.IsZero() ? 0 : crs.Log2();
+}
+BENCHMARK(BM_CountCompleteSequences)->Arg(64)->Arg(128)->Arg(256)->Arg(512)
+    ->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_BlockPartition(benchmark::State& state) {
+  GeneratedInstance inst = MakeDb(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BlockPartition::Compute(inst.db, inst.keys));
+  }
+  state.counters["facts"] = static_cast<double>(inst.db.size());
+}
+BENCHMARK(BM_BlockPartition)->Arg(1024)->Arg(8192)->Arg(32768)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace uocqa
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// E8 — the Appendix E normal form and the decomposition substrate:
+//  * ToNormalForm time and instance blow-up (|D̂|, |Q̂|, width + 1);
+//  * GYO join trees for acyclic queries;
+//  * width-k GHD search for cycles and cliques.
+
+#include <benchmark/benchmark.h>
+
+#include "hypertree/ghd_search.h"
+#include "hypertree/gyo.h"
+#include "hypertree/normal_form.h"
+#include "workload/generators.h"
+
+namespace uocqa {
+namespace {
+
+void BM_NormalForm(benchmark::State& state) {
+  size_t chain = static_cast<size_t>(state.range(0));
+  ConjunctiveQuery q = ChainQuery(chain);
+  Rng rng(chain);
+  DbGenOptions gen;
+  gen.blocks_per_relation = 8;
+  gen.domain_size = 40;
+  GeneratedInstance inst = GenerateDatabaseForQuery(rng, q, gen);
+  auto h = DecomposeQuery(q);
+  if (!h.ok()) {
+    state.SkipWithError("decomposition failed");
+    return;
+  }
+  size_t db_out = 0, q_out = 0, width_out = 0;
+  for (auto _ : state) {
+    auto nf = ToNormalForm(inst.db, q, *h);
+    if (!nf.ok()) state.SkipWithError("normal form failed");
+    else {
+      db_out = nf->db.size();
+      q_out = nf->query.atom_count();
+      width_out = nf->decomposition.Width();
+    }
+    benchmark::DoNotOptimize(nf);
+  }
+  state.counters["db_in"] = static_cast<double>(inst.db.size());
+  state.counters["db_out"] = static_cast<double>(db_out);
+  state.counters["q_in"] = static_cast<double>(q.atom_count());
+  state.counters["q_out"] = static_cast<double>(q_out);
+  state.counters["width_out"] = static_cast<double>(width_out);
+}
+BENCHMARK(BM_NormalForm)->DenseRange(2, 10, 2)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GyoJoinTree(benchmark::State& state) {
+  ConjunctiveQuery q = ChainQuery(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildJoinTree(q));
+  }
+}
+BENCHMARK(BM_GyoJoinTree)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GhdSearchCycle(benchmark::State& state) {
+  ConjunctiveQuery q = CycleQuery(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeGhw(q));
+  }
+}
+BENCHMARK(BM_GhdSearchCycle)->DenseRange(3, 9, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GhdSearchClique(benchmark::State& state) {
+  ConjunctiveQuery q = CliqueQuery(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeGhw(q));
+  }
+}
+BENCHMARK(BM_GhdSearchClique)->DenseRange(3, 6, 1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace uocqa
+
+BENCHMARK_MAIN();

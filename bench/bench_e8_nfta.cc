@@ -1,0 +1,97 @@
+// E9 — the SpanTL / ♯NFTA machinery (§4, Appendix D):
+//  * ATO -> NFTA compilation (Algorithms 3+4) and exact span, sweeping the
+//    input length of the bit-guessing machine (span = 2^n);
+//  * exact behaviour-set counting vs FPRAS estimation on ambiguous
+//    automata: the exact counter's behaviour count can grow exponentially
+//    with ambiguity width, the FPRAS stays polynomial.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "ato/ato.h"
+#include "ato/build_nfta.h"
+#include "automata/exact_count.h"
+#include "automata/fpras.h"
+
+namespace uocqa {
+namespace {
+
+Ato GuessBitsMachine() {
+  Ato m;
+  AtoState init = m.AddState("init", AtoQuantifier::kExistential, true);
+  AtoState emit = m.AddState("emit", AtoQuantifier::kExistential, true);
+  AtoState acc = m.AddState("accept");
+  AtoState rej = m.AddState("reject");
+  m.SetAccept(acc);
+  m.SetReject(rej);
+  m.SetInitial(init);
+  for (AtoState s : {init, emit}) {
+    m.AddBranch(s, 'a', kAtoBlank, {emit, +1, 0, kAtoBlank, "0"});
+    m.AddBranch(s, 'a', kAtoBlank, {emit, +1, 0, kAtoBlank, "1"});
+    m.AddBranch(s, kAtoBlank, kAtoBlank, {acc, 0, 0, kAtoBlank, ""});
+  }
+  return m;
+}
+
+void BM_AtoCompileAndSpan(benchmark::State& state) {
+  Ato m = GuessBitsMachine();
+  std::string input(static_cast<size_t>(state.range(0)), 'a');
+  double span = 0;
+  for (auto _ : state) {
+    auto s = SpanExact(m, input);
+    if (!s.ok()) state.SkipWithError("span failed");
+    else span = s->ToDouble();
+    benchmark::DoNotOptimize(s);
+  }
+  state.counters["span"] = span;
+}
+BENCHMARK(BM_AtoCompileAndSpan)->DenseRange(2, 12, 2)
+    ->Unit(benchmark::kMillisecond);
+
+/// Ambiguous width-w automaton over unary trees: w parallel state chains
+/// accept the same {0,1}-strings.
+Nfta AmbiguousStrings(size_t width) {
+  Nfta a;
+  NftaState q0 = a.AddState();
+  NftaSymbol zero = a.InternSymbol("0");
+  NftaSymbol one = a.InternSymbol("1");
+  for (size_t i = 0; i < width; ++i) {
+    NftaState qi = a.AddState();
+    for (NftaSymbol s : {zero, one}) {
+      a.AddTransition(q0, s, {qi});
+      a.AddTransition(qi, s, {qi});
+      a.AddTransition(qi, s, {});
+    }
+  }
+  a.SetInitial(q0);
+  return a;
+}
+
+void BM_ExactDistinctCount(benchmark::State& state) {
+  Nfta a = AmbiguousStrings(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    ExactTreeCounter counter(a);
+    benchmark::DoNotOptimize(counter.CountUpTo(10));
+  }
+}
+BENCHMARK(BM_ExactDistinctCount)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FprasCount(benchmark::State& state) {
+  Nfta a = AmbiguousStrings(static_cast<size_t>(state.range(0)));
+  FprasConfig cfg;
+  cfg.epsilon = 0.25;
+  cfg.seed = 5;
+  for (auto _ : state) {
+    NftaFpras fpras(a, cfg);
+    benchmark::DoNotOptimize(fpras.EstimateUpTo(10));
+  }
+}
+BENCHMARK(BM_FprasCount)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace uocqa
+
+BENCHMARK_MAIN();

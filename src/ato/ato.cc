@@ -1,0 +1,34 @@
+#include "ato/ato.h"
+
+#include <cassert>
+
+namespace uocqa {
+
+AtoState Ato::AddState(const std::string& name, AtoQuantifier quantifier,
+                       bool labeling) {
+  AtoState s = static_cast<AtoState>(names_.size());
+  names_.push_back(name);
+  quantifier_.push_back(quantifier);
+  labeling_.push_back(labeling);
+  return s;
+}
+
+void Ato::SetInitial(AtoState s) {
+  assert(labeling_[s] && "the initial state must be labeling (Def. 4.1)");
+  initial_ = s;
+}
+
+void Ato::AddBranch(AtoState state, char input, char work, AtoBranch branch) {
+  assert(state < names_.size());
+  assert(branch.next < names_.size());
+  delta_[Key(state, input, work)].push_back(std::move(branch));
+}
+
+const std::vector<AtoBranch>& Ato::Branches(AtoState state, char input,
+                                            char work) const {
+  auto it = delta_.find(Key(state, input, work));
+  if (it == delta_.end()) return empty_;
+  return it->second;
+}
+
+}  // namespace uocqa

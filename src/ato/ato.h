@@ -1,0 +1,128 @@
+// Alternating Turing machines with output (ATO) — paper §4, Definition 4.1.
+//
+// An ATO has a read-only input tape, a read-write working tape, and a
+// write-only labeling tape. Some states are *labeling* states: when the
+// machine enters one, it emits a node of the output tree labelled with the
+// labeling tape's content, which is then erased (formally: a transition out
+// of a labeling state replaces the labeling tape, any other transition
+// appends). Outputs of a computation are node-labelled rooted trees whose
+// nodes are the labeling configurations and whose edges are labelled-free
+// paths (Definition 4.2/4.3). span_M(w) counts the *distinct valid* outputs
+// (outputs of accepting computations); SpanTL collects span_M for
+// well-behaved ATOs (Definition 4.4).
+
+#ifndef UOCQA_ATO_ATO_H_
+#define UOCQA_ATO_ATO_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/hashing.h"
+#include "base/status.h"
+
+namespace uocqa {
+
+using AtoState = uint32_t;
+
+constexpr char kAtoBlank = '_';
+constexpr char kAtoMarker = '>';
+
+enum class AtoQuantifier : uint8_t { kExistential, kUniversal };
+
+/// One nondeterministic branch of delta(state, input char, work char).
+struct AtoBranch {
+  AtoState next = 0;
+  int input_move = 0;           ///< -1, 0, +1
+  int work_move = 0;            ///< -1, 0, +1
+  char work_write = kAtoBlank;  ///< written at the working head
+  std::string label_append;     ///< appended to (or starting) the label tape
+};
+
+class Ato {
+ public:
+  /// Adds a state. `labeling` marks membership in S_L.
+  AtoState AddState(const std::string& name,
+                    AtoQuantifier quantifier = AtoQuantifier::kExistential,
+                    bool labeling = false);
+
+  void SetInitial(AtoState s);
+  void SetAccept(AtoState s) { accept_ = s; }
+  void SetReject(AtoState s) { reject_ = s; }
+
+  AtoState initial() const { return initial_; }
+  AtoState accept() const { return accept_; }
+  AtoState reject() const { return reject_; }
+
+  bool IsLabeling(AtoState s) const { return labeling_[s]; }
+  bool IsUniversal(AtoState s) const {
+    return quantifier_[s] == AtoQuantifier::kUniversal;
+  }
+  bool IsTerminal(AtoState s) const { return s == accept_ || s == reject_; }
+  const std::string& StateName(AtoState s) const { return names_[s]; }
+  size_t state_count() const { return names_.size(); }
+
+  /// Registers delta(state, input, work) ∋ branch. The branch order is the
+  /// fixed successor order used by the computation DAG (and hence by
+  /// BuildNFTA's line-13 ordering).
+  void AddBranch(AtoState state, char input, char work, AtoBranch branch);
+
+  const std::vector<AtoBranch>& Branches(AtoState state, char input,
+                                         char work) const;
+
+ private:
+  AtoState initial_ = 0;
+  AtoState accept_ = 0;
+  AtoState reject_ = 0;
+  std::vector<std::string> names_;
+  std::vector<AtoQuantifier> quantifier_;
+  std::vector<bool> labeling_;
+  // delta keyed by (state, input char, work char).
+  std::unordered_map<uint64_t, std::vector<AtoBranch>> delta_;
+  std::vector<AtoBranch> empty_;
+
+  static uint64_t Key(AtoState s, char i, char w) {
+    return (static_cast<uint64_t>(s) << 16) |
+           (static_cast<uint64_t>(static_cast<uint8_t>(i)) << 8) |
+           static_cast<uint64_t>(static_cast<uint8_t>(w));
+  }
+};
+
+/// A configuration (s, x, y, z, hx, hy) of an ATO on a fixed input x.
+/// The input tape is stored once in the DAG, not per configuration.
+struct AtoConfig {
+  AtoState state = 0;
+  std::string work;   ///< starts with the left marker
+  std::string label;  ///< labeling tape content z
+  uint32_t input_head = 1;
+  uint32_t work_head = 1;
+
+  bool operator==(const AtoConfig& o) const {
+    return state == o.state && work == o.work && label == o.label &&
+           input_head == o.input_head && work_head == o.work_head;
+  }
+};
+
+struct AtoConfigHash {
+  size_t operator()(const AtoConfig& c) const {
+    size_t seed = std::hash<uint32_t>{}(c.state);
+    HashCombine(&seed, std::hash<std::string>{}(c.work));
+    HashCombine(&seed, std::hash<std::string>{}(c.label));
+    HashCombine(&seed, c.input_head);
+    HashCombine(&seed, c.work_head);
+    return seed;
+  }
+};
+
+/// Resource limits enforced while exploring configurations (the
+/// "well-behaved" envelope of Definition 4.4, made concrete).
+struct AtoLimits {
+  size_t max_configurations = 1u << 20;
+  size_t max_work_tape = 64;
+  size_t max_label_tape = 64;
+};
+
+}  // namespace uocqa
+
+#endif  // UOCQA_ATO_ATO_H_

@@ -1,0 +1,242 @@
+#include "ato/build_nfta.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <optional>
+#include <set>
+
+#include "automata/exact_count.h"
+
+namespace uocqa {
+
+namespace {
+
+constexpr size_t kMaxTupleSetSize = 1u << 18;
+
+using TupleSet = std::vector<std::vector<NftaState>>;
+
+void Dedup(TupleSet* set) {
+  std::sort(set->begin(), set->end());
+  set->erase(std::unique(set->begin(), set->end()), set->end());
+}
+
+/// Exact maximum output-tree size over all computations: labeling nodes
+/// count 1; existential nodes take the max over successors, universal nodes
+/// the sum.
+size_t MaxOutputSize(const ComputationDag& dag) {
+  std::vector<int64_t> memo(dag.size(), -1);
+  const Ato& ato = dag.ato();
+  std::function<int64_t(size_t)> rec = [&](size_t node) -> int64_t {
+    if (memo[node] >= 0) return memo[node];
+    const AtoConfig& cfg = dag.config(node);
+    int64_t below = 0;
+    if (!dag.successors(node).empty()) {
+      if (!ato.IsTerminal(cfg.state) && ato.IsUniversal(cfg.state)) {
+        for (size_t c : dag.successors(node)) below += rec(c);
+      } else {
+        for (size_t c : dag.successors(node)) {
+          below = std::max(below, rec(c));
+        }
+      }
+    }
+    memo[node] = below + (ato.IsLabeling(cfg.state) ? 1 : 0);
+    return memo[node];
+  };
+  return static_cast<size_t>(rec(dag.root()));
+}
+
+}  // namespace
+
+Result<AtoNfta> BuildNftaFromDag(const ComputationDag& dag) {
+  const Ato& ato = dag.ato();
+  AtoNfta out;
+  Nfta& nfta = out.nfta;
+
+  std::vector<std::optional<TupleSet>> memo(dag.size());
+  Status status = Status::OK();
+
+  // Algorithm 4 (Process), memoized over DAG nodes (the set Q).
+  std::function<TupleSet(size_t)> process = [&](size_t node) -> TupleSet {
+    if (memo[node].has_value()) return *memo[node];
+    if (!status.ok()) return {};
+    const AtoConfig& cfg = dag.config(node);
+    bool labeling = ato.IsLabeling(cfg.state);
+    TupleSet result;
+
+    if (dag.successors(node).empty()) {
+      // Leaf configuration (accepting or rejecting).
+      if (labeling) {
+        NftaState sc = nfta.AddState();
+        if (cfg.state == ato.accept()) {
+          nfta.AddTransition(sc, nfta.InternSymbol(cfg.label), {});
+        }
+        result = {{sc}};
+      } else if (cfg.state == ato.accept()) {
+        result = {{}};
+      } else {
+        result = {};
+      }
+      memo[node] = result;
+      return result;
+    }
+
+    // Children in the fixed order (line 13).
+    std::vector<TupleSet> parts;
+    for (size_t child : dag.successors(node)) {
+      parts.push_back(process(child));
+      if (!status.ok()) return {};
+    }
+    if (!ato.IsUniversal(cfg.state)) {
+      for (TupleSet& p : parts) {
+        result.insert(result.end(), p.begin(), p.end());
+      }
+      Dedup(&result);
+    } else {
+      // ⊗-merge: concatenated Cartesian product.
+      result = {{}};
+      for (TupleSet& p : parts) {
+        TupleSet next;
+        if (result.size() * std::max<size_t>(p.size(), 1) >
+            kMaxTupleSetSize) {
+          status = Status::OutOfRange(
+              "⊗-merge exceeded the tuple budget (machine not "
+              "well-behaved: too many universal configurations per "
+              "labelled-free path)");
+          return {};
+        }
+        for (const auto& a : result) {
+          for (const auto& b : p) {
+            std::vector<NftaState> merged = a;
+            merged.insert(merged.end(), b.begin(), b.end());
+            next.push_back(std::move(merged));
+          }
+        }
+        result = std::move(next);
+        if (result.empty()) break;
+      }
+      Dedup(&result);
+    }
+
+    if (labeling) {
+      NftaState sc = nfta.AddState();
+      NftaSymbol z = nfta.InternSymbol(cfg.label);
+      for (const auto& tuple : result) {
+        nfta.AddTransition(sc, z, tuple);
+      }
+      result = {{sc}};
+    }
+    memo[node] = result;
+    return result;
+  };
+
+  TupleSet root_set = process(dag.root());
+  UOCQA_RETURN_IF_ERROR(status);
+  // The initial state is labeling (Def. 4.1), so Process(root) = {(s)}.
+  if (root_set.size() != 1 || root_set[0].size() != 1) {
+    return Status::Internal("Process(root) did not return a single state");
+  }
+  nfta.SetInitial(root_set[0][0]);
+  out.max_tree_size = std::max<size_t>(1, MaxOutputSize(dag));
+  return out;
+}
+
+Result<AtoNfta> BuildNftaFromAto(const Ato& ato, const std::string& input,
+                                 const AtoLimits& limits) {
+  UOCQA_ASSIGN_OR_RETURN(ComputationDag dag,
+                         ComputationDag::Build(ato, input, limits));
+  return BuildNftaFromDag(dag);
+}
+
+Result<BigInt> SpanExact(const Ato& ato, const std::string& input,
+                         const AtoLimits& limits) {
+  UOCQA_ASSIGN_OR_RETURN(AtoNfta compiled,
+                         BuildNftaFromAto(ato, input, limits));
+  ExactTreeCounter counter(compiled.nfta);
+  return counter.CountUpTo(compiled.max_tree_size);
+}
+
+Result<std::vector<LabeledTree>> EnumerateValidOutputs(
+    const ComputationDag& dag, Nfta* nfta_for_symbols, size_t max_outputs) {
+  const Ato& ato = dag.ato();
+  Status status = Status::OK();
+  using Forest = std::vector<LabeledTree>;
+  std::vector<std::optional<std::vector<Forest>>> memo(dag.size());
+
+  // g(node): possible forests of output nodes emitted at-or-below `node`
+  // across *accepting* computations of the subtree.
+  std::function<std::vector<Forest>(size_t)> g =
+      [&](size_t node) -> std::vector<Forest> {
+    if (memo[node].has_value()) return *memo[node];
+    if (!status.ok()) return {};
+    const AtoConfig& cfg = dag.config(node);
+    bool labeling = ato.IsLabeling(cfg.state);
+    std::vector<Forest> below;
+
+    if (dag.successors(node).empty()) {
+      if (cfg.state == ato.accept()) {
+        below = {Forest{}};
+      } else {
+        below = {};
+      }
+    } else if (!ato.IsUniversal(cfg.state)) {
+      for (size_t child : dag.successors(node)) {
+        std::vector<Forest> sub = g(child);
+        below.insert(below.end(), sub.begin(), sub.end());
+      }
+    } else {
+      below = {Forest{}};
+      for (size_t child : dag.successors(node)) {
+        std::vector<Forest> sub = g(child);
+        std::vector<Forest> next;
+        if (below.size() * std::max<size_t>(sub.size(), 1) > max_outputs) {
+          status = Status::OutOfRange("too many outputs to enumerate");
+          return {};
+        }
+        for (const Forest& a : below) {
+          for (const Forest& b : sub) {
+            Forest merged = a;
+            merged.insert(merged.end(), b.begin(), b.end());
+            next.push_back(std::move(merged));
+          }
+        }
+        below = std::move(next);
+        if (below.empty()) break;
+      }
+    }
+
+    std::vector<Forest> result;
+    if (labeling) {
+      NftaSymbol z = nfta_for_symbols->InternSymbol(cfg.label);
+      for (Forest& f : below) {
+        result.push_back(Forest{LabeledTree(z, std::move(f))});
+      }
+    } else {
+      result = std::move(below);
+    }
+    // Deduplicate forests (distinct computations may emit equal outputs).
+    std::sort(result.begin(), result.end());
+    result.erase(std::unique(result.begin(), result.end()), result.end());
+    if (result.size() > max_outputs) {
+      status = Status::OutOfRange("too many outputs to enumerate");
+      return {};
+    }
+    memo[node] = result;
+    return result;
+  };
+
+  std::vector<Forest> roots = g(dag.root());
+  UOCQA_RETURN_IF_ERROR(status);
+  std::vector<LabeledTree> out;
+  for (Forest& f : roots) {
+    if (f.size() != 1) {
+      return Status::Internal("root forest is not a single tree");
+    }
+    out.push_back(std::move(f[0]));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace uocqa

@@ -1,0 +1,53 @@
+// BuildNFTA (paper Algorithms 3 and 4): compiles the computation DAG of an
+// ATO M on input w into an NFTA A with span_M(w) = |L(A)| (Lemma D.4), the
+// key step in proving that every SpanTL function admits an FPRAS
+// (Theorem 4.6 via Theorem D.1).
+//
+// Process(C) returns a set of state tuples:
+//  * labeling configurations contribute a fresh automaton state s_C with a
+//    transition (s_C, z, (s_1..s_l)) per tuple, and return {(s_C)};
+//  * existential configurations return the union of their successors' sets;
+//  * universal configurations return the ⊗-merge (concatenated Cartesian
+//    product) — bounded in size because well-behaved machines have O(1)
+//    universal configurations per labelled-free path.
+
+#ifndef UOCQA_ATO_BUILD_NFTA_H_
+#define UOCQA_ATO_BUILD_NFTA_H_
+
+#include <string>
+
+#include "ato/computation_dag.h"
+#include "automata/nfta.h"
+#include "base/bigint.h"
+#include "base/status.h"
+
+namespace uocqa {
+
+struct AtoNfta {
+  Nfta nfta;
+  /// Upper bound on accepted tree sizes (≤ number of labeling
+  /// configurations on any root-to-leaf path ≤ longest DAG path + 1).
+  size_t max_tree_size = 0;
+};
+
+/// Algorithm 3 over an already-built computation DAG.
+Result<AtoNfta> BuildNftaFromDag(const ComputationDag& dag);
+
+/// Convenience: build the DAG and compile.
+Result<AtoNfta> BuildNftaFromAto(const Ato& ato, const std::string& input,
+                                 const AtoLimits& limits = {});
+
+/// span_M(w) computed exactly: BuildNFTA + distinct-tree counting.
+Result<BigInt> SpanExact(const Ato& ato, const std::string& input,
+                         const AtoLimits& limits = {});
+
+/// Brute-force span for validation: enumerates accepting computations and
+/// collects distinct outputs (exponential; small machines only). Trees are
+/// returned with symbols interned in `nfta_for_symbols` so they can be
+/// cross-checked against the compiled automaton.
+Result<std::vector<LabeledTree>> EnumerateValidOutputs(
+    const ComputationDag& dag, Nfta* nfta_for_symbols, size_t max_outputs);
+
+}  // namespace uocqa
+
+#endif  // UOCQA_ATO_BUILD_NFTA_H_

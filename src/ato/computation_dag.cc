@@ -1,0 +1,144 @@
+#include "ato/computation_dag.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+namespace uocqa {
+
+namespace {
+
+/// Applies one branch to a configuration; returns false if a limit or the
+/// left marker is violated.
+bool Step(const Ato& ato, const std::string& tape, const AtoConfig& from,
+          const AtoBranch& branch, const AtoLimits& limits, AtoConfig* out) {
+  (void)ato;
+  out->state = branch.next;
+  out->work = from.work;
+  // Write at the working head.
+  assert(from.work_head < out->work.size() ||
+         from.work_head == out->work.size());
+  if (from.work_head >= out->work.size()) {
+    out->work.resize(from.work_head + 1, kAtoBlank);
+  }
+  out->work[from.work_head] = branch.work_write;
+  // Label tape: replace after a labeling state, append otherwise.
+  if (ato.IsLabeling(from.state)) {
+    out->label = branch.label_append;
+  } else {
+    out->label = from.label + branch.label_append;
+  }
+  // Head moves (cannot move left of the marker, cell 0).
+  int ih = static_cast<int>(from.input_head) + branch.input_move;
+  int wh = static_cast<int>(from.work_head) + branch.work_move;
+  if (ih < 0 || wh < 0) return false;
+  if (static_cast<size_t>(ih) > tape.size()) return false;  // beyond blanks
+  out->input_head = static_cast<uint32_t>(ih);
+  out->work_head = static_cast<uint32_t>(wh);
+  if (static_cast<size_t>(wh) >= out->work.size()) {
+    out->work.resize(wh + 1, kAtoBlank);
+  }
+  // Trim trailing blanks so configurations are canonical.
+  while (out->work.size() > out->work_head + 1 &&
+         out->work.size() > 1 && out->work.back() == kAtoBlank) {
+    out->work.pop_back();
+  }
+  if (out->work.size() > limits.max_work_tape ||
+      out->label.size() > limits.max_label_tape) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<ComputationDag> ComputationDag::Build(const Ato& ato,
+                                             const std::string& input,
+                                             const AtoLimits& limits) {
+  ComputationDag dag;
+  dag.ato_ = &ato;
+  const std::string tape = std::string(1, kAtoMarker) + input;
+
+  std::unordered_map<AtoConfig, size_t, AtoConfigHash> index;
+  AtoConfig init;
+  init.state = ato.initial();
+  init.work = std::string(1, kAtoMarker);
+  init.label.clear();
+  init.input_head = 1;  // cell 0 holds the left marker (Def. 4.1)
+  init.work_head = 1;
+  // Working tape always has the marker plus at least one blank cell.
+  init.work.push_back(kAtoBlank);
+
+  dag.configs_.push_back(init);
+  dag.successors_.emplace_back();
+  index.emplace(init, 0);
+
+  // Iterative DFS with colors for cycle detection.
+  enum Color : uint8_t { kWhite, kGray, kBlack };
+  std::vector<Color> color{kWhite};
+
+  Status status = Status::OK();
+  std::function<void(size_t)> dfs = [&](size_t node) {
+    if (!status.ok()) return;
+    color[node] = kGray;
+    const AtoConfig cfg = dag.configs_[node];  // copy: vector may grow
+    if (!ato.IsTerminal(cfg.state)) {
+      char ic = cfg.input_head < tape.size() ? tape[cfg.input_head]
+                                             : kAtoBlank;
+      char wc = cfg.work_head < cfg.work.size() ? cfg.work[cfg.work_head]
+                                                : kAtoBlank;
+      for (const AtoBranch& branch : ato.Branches(cfg.state, ic, wc)) {
+        AtoConfig next;
+        if (!Step(ato, tape, cfg, branch, limits, &next)) {
+          status = Status::OutOfRange(
+              "ATO exceeded tape limits or fell off the input");
+          return;
+        }
+        size_t child;
+        auto it = index.find(next);
+        if (it != index.end()) {
+          child = it->second;
+        } else {
+          if (dag.configs_.size() >= limits.max_configurations) {
+            status = Status::OutOfRange("too many ATO configurations");
+            return;
+          }
+          child = dag.configs_.size();
+          dag.configs_.push_back(next);
+          dag.successors_.emplace_back();
+          index.emplace(std::move(next), child);
+          color.push_back(kWhite);
+        }
+        dag.successors_[node].push_back(child);
+        if (color[child] == kGray) {
+          status = Status::FailedPrecondition(
+              "ATO computation graph has a cycle (machine not "
+              "well-behaved)");
+          return;
+        }
+        if (color[child] == kWhite) dfs(child);
+        if (!status.ok()) return;
+      }
+    }
+    color[node] = kBlack;
+  };
+  dfs(0);
+  UOCQA_RETURN_IF_ERROR(status);
+  return dag;
+}
+
+size_t ComputationDag::LongestPath() const {
+  std::vector<int64_t> memo(configs_.size(), -1);
+  std::function<int64_t(size_t)> rec = [&](size_t node) -> int64_t {
+    if (memo[node] >= 0) return memo[node];
+    int64_t best = 0;
+    for (size_t child : successors_[node]) {
+      best = std::max(best, 1 + rec(child));
+    }
+    memo[node] = best;
+    return best;
+  };
+  return static_cast<size_t>(rec(0));
+}
+
+}  // namespace uocqa

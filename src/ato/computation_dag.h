@@ -1,0 +1,49 @@
+// The computation DAG of an ATO on an input (paper Definition D.3): the DAG
+// over all configurations reachable from the initial configuration, with an
+// edge per successor. It compactly represents every computation of M on w;
+// BuildNFTA traverses it to compile the span function into an NFTA.
+
+#ifndef UOCQA_ATO_COMPUTATION_DAG_H_
+#define UOCQA_ATO_COMPUTATION_DAG_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ato/ato.h"
+#include "base/status.h"
+
+namespace uocqa {
+
+class ComputationDag {
+ public:
+  /// Explores all configurations of `ato` on `input` (input given without
+  /// the left marker). Fails if the machine loops (a cycle makes the
+  /// "computation DAG" ill-defined and the machine non-well-behaved), or if
+  /// a resource limit is exceeded.
+  static Result<ComputationDag> Build(const Ato& ato, const std::string& input,
+                                      const AtoLimits& limits = {});
+
+  size_t size() const { return configs_.size(); }
+  size_t root() const { return 0; }
+  const AtoConfig& config(size_t i) const { return configs_[i]; }
+  /// Successor node ids in the fixed branch order.
+  const std::vector<size_t>& successors(size_t i) const {
+    return successors_[i];
+  }
+
+  const Ato& ato() const { return *ato_; }
+
+  /// Longest path length (edges) from the root — bounds output tree sizes.
+  size_t LongestPath() const;
+
+ private:
+  const Ato* ato_ = nullptr;
+  std::vector<AtoConfig> configs_;
+  std::vector<std::vector<size_t>> successors_;
+};
+
+}  // namespace uocqa
+
+#endif  // UOCQA_ATO_COMPUTATION_DAG_H_

@@ -1,0 +1,121 @@
+#include "automata/exact_count.h"
+
+#include <algorithm>
+#include <functional>
+#include <cassert>
+
+namespace uocqa {
+
+ExactTreeCounter::ExactTreeCounter(const Nfta& nfta) : nfta_(nfta) {
+  for (NftaState q = 0; q < nfta.state_count(); ++q) {
+    for (const NftaTransition& t : nfta.TransitionsFrom(q)) {
+      auto key = std::make_pair(t.symbol,
+                                static_cast<uint32_t>(t.children.size()));
+      auto [it, inserted] = by_symbol_rank_.try_emplace(key);
+      if (inserted) symbol_ranks_.push_back({t.symbol, t.children.size()});
+      it->second.push_back(&t);
+    }
+  }
+  levels_.resize(1);  // index 0 unused (trees have >= 1 node)
+}
+
+ExactTreeCounter::BehaviorId ExactTreeCounter::InternBehavior(
+    std::vector<NftaState> states) {
+  auto it = behavior_index_.find(states);
+  if (it != behavior_index_.end()) return it->second;
+  BehaviorId id = static_cast<BehaviorId>(behaviors_.size());
+  behaviors_.push_back(states);
+  behavior_index_.emplace(std::move(states), id);
+  return id;
+}
+
+std::vector<NftaState> ExactTreeCounter::Combine(
+    NftaSymbol sym, const std::vector<BehaviorId>& children) const {
+  std::vector<NftaState> out;
+  auto it = by_symbol_rank_.find(
+      {sym, static_cast<uint32_t>(children.size())});
+  if (it == by_symbol_rank_.end()) return out;
+  for (const NftaTransition* t : it->second) {
+    bool ok = true;
+    for (size_t i = 0; i < children.size(); ++i) {
+      const std::vector<NftaState>& b = behaviors_[children[i]];
+      if (!std::binary_search(b.begin(), b.end(), t->children[i])) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out.push_back(t->from);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void ExactTreeCounter::ComputeUpTo(size_t size) {
+  while (levels_.size() <= size) {
+    size_t s = levels_.size();
+    std::unordered_map<BehaviorId, BigInt> level;
+    for (const auto& [sym, rank] : symbol_ranks_) {
+      if (rank == 0) {
+        if (s != 1) continue;
+        std::vector<NftaState> behavior = Combine(sym, {});
+        if (!behavior.empty()) {
+          level[InternBehavior(std::move(behavior))] += uint64_t{1};
+        }
+        continue;
+      }
+      if (s < rank + 1) continue;
+      // Enumerate compositions (s1..s_rank), si >= 1, sum = s-1, together
+      // with behaviour choices at each child size.
+      std::vector<BehaviorId> chosen(rank);
+      std::vector<size_t> sizes(rank);
+      std::function<void(size_t, size_t, BigInt)> rec =
+          [&](size_t pos, size_t remaining, BigInt count) {
+            if (pos == rank) {
+              if (remaining != 0) return;
+              std::vector<NftaState> behavior = Combine(sym, chosen);
+              if (!behavior.empty()) {
+                level[InternBehavior(std::move(behavior))] += count;
+              }
+              return;
+            }
+            size_t min_here = 1;
+            size_t max_here = remaining - (rank - pos - 1);
+            for (size_t si = min_here; si <= max_here; ++si) {
+              if (si >= levels_.size()) break;  // cannot happen: si < s
+              for (const auto& [bid, cnt] : levels_[si]) {
+                chosen[pos] = bid;
+                sizes[pos] = si;
+                rec(pos + 1, remaining - si, count * cnt);
+              }
+            }
+          };
+      rec(0, s - 1, BigInt(1));
+    }
+    levels_.push_back(std::move(level));
+  }
+}
+
+BigInt ExactTreeCounter::CountExactSizeFrom(NftaState q, size_t size) {
+  if (size == 0) return BigInt();
+  ComputeUpTo(size);
+  BigInt out;
+  for (const auto& [bid, cnt] : levels_[size]) {
+    const std::vector<NftaState>& b = behaviors_[bid];
+    if (std::binary_search(b.begin(), b.end(), q)) out += cnt;
+  }
+  return out;
+}
+
+BigInt ExactTreeCounter::CountExactSize(size_t size) {
+  if (nfta_.initial() == kNoNftaState) return BigInt();
+  return CountExactSizeFrom(nfta_.initial(), size);
+}
+
+BigInt ExactTreeCounter::CountUpTo(size_t max_size) {
+  BigInt out;
+  for (size_t s = 1; s <= max_size; ++s) out += CountExactSize(s);
+  return out;
+}
+
+}  // namespace uocqa

@@ -1,0 +1,77 @@
+// Exact counting of *distinct* trees accepted by an NFTA.
+//
+// Ambiguous automata (several runs per tree) make run counting useless for
+// ♯NFTA; this module counts distinct trees exactly via a behaviour-set DP:
+// group trees of each size by their behaviour (the set of states accepting
+// them). A parent tree's behaviour is a function of its root symbol and its
+// children's behaviours, so counts compose. Worst-case exponential in the
+// number of states (the DP implicitly determinizes) — which is exactly the
+// gap the FPRAS (fpras.h) closes; the benchmark suite exhibits the
+// crossover.
+
+#ifndef UOCQA_AUTOMATA_EXACT_COUNT_H_
+#define UOCQA_AUTOMATA_EXACT_COUNT_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "base/bigint.h"
+#include "base/hashing.h"
+#include "automata/nfta.h"
+
+namespace uocqa {
+
+class ExactTreeCounter {
+ public:
+  explicit ExactTreeCounter(const Nfta& nfta);
+
+  /// Number of distinct trees of exactly `size` nodes accepted from the
+  /// initial state.
+  BigInt CountExactSize(size_t size);
+
+  /// Number of distinct trees of exactly `size` nodes accepted from `q`.
+  BigInt CountExactSizeFrom(NftaState q, size_t size);
+
+  /// |⋃_{1 <= s <= max_size} L_s(A)| — the ♯NFTA quantity.
+  BigInt CountUpTo(size_t max_size);
+
+  /// Number of distinct behaviours materialized so far (diagnostics).
+  size_t BehaviorCount() const { return behaviors_.size(); }
+
+ private:
+  using BehaviorId = uint32_t;
+
+  BehaviorId InternBehavior(std::vector<NftaState> states);
+
+  /// Ensures levels_ is filled up to `size`.
+  void ComputeUpTo(size_t size);
+
+  /// Behaviour of a tree with root symbol `sym` whose children have the
+  /// given behaviours.
+  std::vector<NftaState> Combine(NftaSymbol sym,
+                                 const std::vector<BehaviorId>& children)
+      const;
+
+  const Nfta& nfta_;
+  // Transitions grouped by (symbol, rank).
+  std::unordered_map<std::pair<uint32_t, uint32_t>,
+                     std::vector<const NftaTransition*>,
+                     PairHash<uint32_t, uint32_t>>
+      by_symbol_rank_;
+  std::vector<std::pair<NftaSymbol, size_t>> symbol_ranks_;  // distinct keys
+
+  std::vector<std::vector<NftaState>> behaviors_;
+  std::unordered_map<std::vector<NftaState>, BehaviorId,
+                     VectorHash<NftaState>>
+      behavior_index_;
+
+  // levels_[s] maps behaviour -> number of distinct trees of size s with
+  // exactly that behaviour (behaviour-∅ trees are dropped: they can never
+  // participate in an accepted tree).
+  std::vector<std::unordered_map<BehaviorId, BigInt>> levels_;
+};
+
+}  // namespace uocqa
+
+#endif  // UOCQA_AUTOMATA_EXACT_COUNT_H_

@@ -1,0 +1,225 @@
+#include "automata/fpras.h"
+
+#include <algorithm>
+#include <functional>
+#include <cassert>
+#include <cmath>
+
+namespace uocqa {
+
+NftaFpras::NftaFpras(const Nfta& nfta, FprasConfig config)
+    : nfta_(nfta), config_(config), rng_(config.seed) {}
+
+NftaFpras::Cell& NftaFpras::GetCell(NftaState q, size_t size) {
+  auto key = std::make_pair(q, size);
+  auto it = cells_.find(key);
+  if (it != cells_.end() && it->second.computed) return it->second;
+  Cell& cell = cells_[key];
+  if (cell.computed) return cell;
+  // Mark first to guard against (impossible) cycles: child sizes are
+  // strictly smaller.
+  cell.computed = true;
+  if (size == 0) return cell;
+
+  // Build components, grouped by (symbol, child sizes).
+  std::map<std::pair<NftaSymbol, std::vector<size_t>>, size_t> group_index;
+  for (const NftaTransition& t : nfta_.TransitionsFrom(q)) {
+    size_t rank = t.children.size();
+    if (rank == 0) {
+      if (size != 1) continue;
+      Component c;
+      c.transition = &t;
+      c.size = 1.0;
+      auto key2 = config_.group_disjoint_components
+                      ? std::make_pair(t.symbol, std::vector<size_t>{})
+                      : std::make_pair(NftaSymbol{0}, std::vector<size_t>{});
+      auto [git, inserted] = group_index.try_emplace(key2, cell.groups.size());
+      if (inserted) cell.groups.emplace_back();
+      cell.groups[git->second].components.push_back(std::move(c));
+      continue;
+    }
+    if (size < rank + 1) continue;
+    // Enumerate compositions of size-1 into `rank` positive parts.
+    std::vector<size_t> sizes(rank, 1);
+    std::function<void(size_t, size_t)> rec = [&](size_t pos,
+                                                  size_t remaining) {
+      if (pos == rank) {
+        if (remaining != 0) return;
+        double prod = 1.0;
+        for (size_t i = 0; i < rank && prod > 0; ++i) {
+          prod *= GetCell(t.children[i], sizes[i]).estimate;
+        }
+        if (prod <= 0) return;
+        Component c;
+        c.transition = &t;
+        c.child_sizes = sizes;
+        c.size = prod;
+        auto key2 = config_.group_disjoint_components
+                        ? std::make_pair(t.symbol, sizes)
+                        : std::make_pair(NftaSymbol{0}, std::vector<size_t>{});
+        auto [git, inserted] =
+            group_index.try_emplace(key2, cell.groups.size());
+        if (inserted) cell.groups.emplace_back();
+        cell.groups[git->second].components.push_back(std::move(c));
+        return;
+      }
+      size_t max_here = remaining - (rank - pos - 1);
+      for (size_t si = 1; si <= max_here; ++si) {
+        sizes[pos] = si;
+        rec(pos + 1, remaining - si);
+      }
+    };
+    rec(0, size - 1);
+  }
+
+  double total = 0;
+  for (Group& g : cell.groups) {
+    g.estimate = EstimateGroup(&g);
+    total += g.estimate;
+  }
+  cell.estimate = total;
+  return cell;
+}
+
+int NftaFpras::MinIndex(const Group& group, const LabeledTree& tree) const {
+  // Compute each child's behaviour (and size) once; with grouping enabled
+  // all components share root symbol and child sizes, without it the
+  // per-component checks below filter mismatches.
+  std::vector<std::vector<NftaState>> behaviors;
+  std::vector<size_t> child_sizes;
+  behaviors.reserve(tree.children.size());
+  for (const LabeledTree& c : tree.children) {
+    behaviors.push_back(nfta_.AcceptingStates(c));
+    child_sizes.push_back(c.Size());
+  }
+  for (size_t j = 0; j < group.components.size(); ++j) {
+    const Component& comp = group.components[j];
+    const NftaTransition* t = comp.transition;
+    if (t->symbol != tree.symbol ||
+        t->children.size() != tree.children.size() ||
+        comp.child_sizes != child_sizes) {
+      continue;
+    }
+    bool ok = true;
+    for (size_t i = 0; i < t->children.size(); ++i) {
+      if (!std::binary_search(behaviors[i].begin(), behaviors[i].end(),
+                              t->children[i])) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return static_cast<int>(j);
+  }
+  return -1;
+}
+
+std::optional<LabeledTree> NftaFpras::SampleComponent(Rng& rng,
+                                                      const Component& c) {
+  LabeledTree out(c.transition->symbol);
+  for (size_t i = 0; i < c.child_sizes.size(); ++i) {
+    std::optional<LabeledTree> child =
+        Sample(rng, c.transition->children[i], c.child_sizes[i]);
+    if (!child.has_value()) return std::nullopt;
+    out.children.push_back(std::move(*child));
+  }
+  return out;
+}
+
+double NftaFpras::EstimateGroup(Group* group) {
+  std::vector<Component>& comps = group->components;
+  if (comps.empty()) return 0;
+  double sum = 0;
+  for (const Component& c : comps) sum += c.size;
+  if (comps.size() == 1 || sum <= 0) return sum;
+
+  // Karp–Luby–Madras: estimate = sum * Pr[sampled (j, t) has j minimal].
+  ++union_estimations_;
+  size_t m = comps.size();
+  double eps = std::max(1e-3, config_.epsilon * 0.5);
+  size_t samples = static_cast<size_t>(
+      std::ceil(4.0 * static_cast<double>(m) *
+                std::log(4.0 / config_.delta) / (eps * eps)));
+  samples = std::clamp(samples, config_.min_samples, config_.max_samples);
+
+  size_t hits = 0;
+  size_t performed = 0;
+  for (size_t i = 0; i < samples; ++i) {
+    // Pick a component proportionally to its estimated size.
+    double r = rng_.UniformDouble() * sum;
+    size_t j = 0;
+    double acc = 0;
+    for (; j + 1 < m; ++j) {
+      acc += comps[j].size;
+      if (r < acc) break;
+    }
+    std::optional<LabeledTree> t = SampleComponent(rng_, comps[j]);
+    if (!t.has_value()) continue;
+    ++performed;
+    int min_idx = MinIndex(*group, *t);
+    assert(min_idx >= 0);
+    if (static_cast<size_t>(min_idx) == j) ++hits;
+  }
+  if (performed == 0) return 0;
+  return sum * static_cast<double>(hits) / static_cast<double>(performed);
+}
+
+std::optional<LabeledTree> NftaFpras::Sample(Rng& rng, NftaState q,
+                                             size_t size) {
+  Cell& cell = GetCell(q, size);
+  if (cell.estimate <= 0 || cell.groups.empty()) return std::nullopt;
+  for (size_t attempt = 0; attempt < config_.max_rejection_attempts;
+       ++attempt) {
+    // Pick a group proportionally to its (union) estimate, then a component
+    // proportionally to its size, then apply minimal-index rejection.
+    double r = rng.UniformDouble() * cell.estimate;
+    size_t gi = 0;
+    double acc = 0;
+    for (; gi + 1 < cell.groups.size(); ++gi) {
+      acc += cell.groups[gi].estimate;
+      if (r < acc) break;
+    }
+    Group& g = cell.groups[gi];
+    if (g.components.empty()) continue;
+    double csum = 0;
+    for (const Component& c : g.components) csum += c.size;
+    if (csum <= 0) continue;
+    double rc = rng.UniformDouble() * csum;
+    size_t j = 0;
+    double cacc = 0;
+    for (; j + 1 < g.components.size(); ++j) {
+      cacc += g.components[j].size;
+      if (rc < cacc) break;
+    }
+    std::optional<LabeledTree> t = SampleComponent(rng, g.components[j]);
+    if (!t.has_value()) continue;
+    int min_idx = MinIndex(g, *t);
+    if (min_idx >= 0 && static_cast<size_t>(min_idx) == j) return t;
+    // Rejected: t belongs to an earlier component; retry.
+  }
+  // Rejection budget exhausted: return any sample (slight bias) so callers
+  // always make progress on non-empty languages.
+  for (Group& g : cell.groups) {
+    for (const Component& c : g.components) {
+      std::optional<LabeledTree> t = SampleComponent(rng, c);
+      if (t.has_value()) return t;
+    }
+  }
+  return std::nullopt;
+}
+
+double NftaFpras::EstimateFrom(NftaState q, size_t size) {
+  return GetCell(q, size).estimate;
+}
+
+double NftaFpras::EstimateExactSize(size_t size) {
+  if (nfta_.initial() == kNoNftaState) return 0;
+  return EstimateFrom(nfta_.initial(), size);
+}
+
+double NftaFpras::EstimateUpTo(size_t max_size) {
+  double total = 0;
+  for (size_t s = 1; s <= max_size; ++s) total += EstimateExactSize(s);
+  return total;
+}
+
+}  // namespace uocqa

@@ -1,0 +1,124 @@
+#include "automata/nfa.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace uocqa {
+
+NfaState Nfa::AddState() {
+  accepting_.push_back(false);
+  transitions_.emplace_back();
+  return static_cast<NfaState>(states_++);
+}
+
+NftaSymbol Nfa::InternSymbol(const std::string& name) {
+  auto it = symbol_index_.find(name);
+  if (it != symbol_index_.end()) return it->second;
+  NftaSymbol s = static_cast<NftaSymbol>(symbols_.size());
+  symbols_.push_back(name);
+  symbol_index_.emplace(name, s);
+  for (auto& per_state : transitions_) {
+    per_state.resize(symbols_.size());
+  }
+  return s;
+}
+
+void Nfa::AddTransition(NfaState from, NftaSymbol symbol, NfaState to) {
+  assert(from < states_ && to < states_);
+  auto& per_state = transitions_[from];
+  if (per_state.size() <= symbol) per_state.resize(symbols_.size());
+  auto& bucket = per_state[symbol];
+  if (std::find(bucket.begin(), bucket.end(), to) == bucket.end()) {
+    bucket.push_back(to);
+    std::sort(bucket.begin(), bucket.end());
+    ++transition_count_;
+  }
+}
+
+void Nfa::AddAccepting(NfaState s) {
+  assert(s < states_);
+  accepting_[s] = true;
+}
+
+bool Nfa::Accepts(const std::vector<NftaSymbol>& word) const {
+  std::vector<NfaState> current{initial_};
+  for (NftaSymbol a : word) {
+    std::vector<NfaState> next;
+    for (NfaState q : current) {
+      if (a < transitions_[q].size()) {
+        for (NfaState t : transitions_[q][a]) next.push_back(t);
+      }
+    }
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    if (next.empty()) return false;
+    current = std::move(next);
+  }
+  for (NfaState q : current) {
+    if (accepting_[q]) return true;
+  }
+  return false;
+}
+
+BigInt Nfa::CountWordsOfLength(size_t n) const {
+  if (states_ == 0) return BigInt();
+  // The subset construction is deterministic, so distinct words of length n
+  // correspond one-to-one to length-n paths from {initial}.
+  std::map<std::vector<NfaState>, BigInt> level;
+  level[{initial_}] = BigInt(1);
+  for (size_t step = 0; step < n; ++step) {
+    std::map<std::vector<NfaState>, BigInt> next_level;
+    for (const auto& [subset, count] : level) {
+      for (NftaSymbol a = 0; a < symbols_.size(); ++a) {
+        std::vector<NfaState> next;
+        for (NfaState q : subset) {
+          if (a < transitions_[q].size()) {
+            for (NfaState t : transitions_[q][a]) next.push_back(t);
+          }
+        }
+        std::sort(next.begin(), next.end());
+        next.erase(std::unique(next.begin(), next.end()), next.end());
+        if (next.empty()) continue;
+        next_level[next] += count;
+      }
+    }
+    level = std::move(next_level);
+  }
+  BigInt total;
+  for (const auto& [subset, count] : level) {
+    for (NfaState q : subset) {
+      if (accepting_[q]) {
+        total += count;
+        break;
+      }
+    }
+  }
+  return total;
+}
+
+BigInt Nfa::CountWordsUpTo(size_t n) const {
+  BigInt total;
+  for (size_t i = 1; i <= n; ++i) total += CountWordsOfLength(i);
+  return total;
+}
+
+Nfta Nfa::ToUnaryNfta() const {
+  Nfta out;
+  for (size_t i = 0; i < states_; ++i) out.AddState();
+  for (size_t s = 0; s < symbols_.size(); ++s) {
+    out.InternSymbol(symbols_[s]);
+  }
+  for (NfaState q = 0; q < states_; ++q) {
+    for (NftaSymbol a = 0; a < transitions_[q].size(); ++a) {
+      for (NfaState t : transitions_[q][a]) {
+        out.AddTransition(q, a, {t});
+        if (accepting_[t]) out.AddTransition(q, a, {});
+      }
+    }
+  }
+  out.SetInitial(initial_);
+  return out;
+}
+
+}  // namespace uocqa

@@ -1,0 +1,72 @@
+// Word NFAs and ♯NFA, the SpanL connection (paper §1).
+//
+// SpanL = span functions of NL-transducers; [5] showed ♯NFA admits an
+// FPRAS, and the paper generalizes along SpanL ⊆ SpanTL: a word is a unary
+// tree, so an NFA embeds into an NFTA with |L(A)| preserved, and both the
+// exact behaviour-set counter and the tree FPRAS apply verbatim. This
+// module provides the embedding plus direct NFA utilities (membership,
+// exact distinct-word counting via the subset construction) used to
+// cross-validate the embedding.
+
+#ifndef UOCQA_AUTOMATA_NFA_H_
+#define UOCQA_AUTOMATA_NFA_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <string>
+#include <vector>
+
+#include "base/bigint.h"
+#include "automata/nfta.h"
+
+namespace uocqa {
+
+using NfaState = uint32_t;
+
+/// A nondeterministic finite automaton over an interned symbol alphabet.
+class Nfa {
+ public:
+  NfaState AddState();
+  size_t state_count() const { return states_; }
+
+  NftaSymbol InternSymbol(const std::string& name);
+  const std::string& SymbolName(NftaSymbol s) const { return symbols_[s]; }
+  size_t symbol_count() const { return symbols_.size(); }
+
+  void AddTransition(NfaState from, NftaSymbol symbol, NfaState to);
+  void SetInitial(NfaState s) { initial_ = s; }
+  void AddAccepting(NfaState s);
+
+  NfaState initial() const { return initial_; }
+  const std::vector<bool>& accepting() const { return accepting_; }
+
+  /// Does the automaton accept the word?
+  bool Accepts(const std::vector<NftaSymbol>& word) const;
+
+  /// |{w ∈ L(A) : |w| = n}| exactly, via the on-the-fly subset
+  /// construction (distinct words, immune to ambiguity). Worst-case
+  /// exponential in states; exact ground truth.
+  BigInt CountWordsOfLength(size_t n) const;
+
+  /// Σ_{i<=n} |L_i(A)| (the ♯NFA quantity; empty word excluded — unary
+  /// trees have at least one node).
+  BigInt CountWordsUpTo(size_t n) const;
+
+  /// Embeds into an NFTA over unary trees: a word a1 a2 ... an becomes the
+  /// tree a1(a2(...(an))); |L_i| is preserved for every i >= 1.
+  Nfta ToUnaryNfta() const;
+
+ private:
+  size_t states_ = 0;
+  NfaState initial_ = 0;
+  std::vector<bool> accepting_;
+  std::vector<std::string> symbols_;
+  std::unordered_map<std::string, NftaSymbol> symbol_index_;
+  // transitions_[from][symbol] = successor states (sorted unique)
+  std::vector<std::vector<std::vector<NfaState>>> transitions_;
+  size_t transition_count_ = 0;
+};
+
+}  // namespace uocqa
+
+#endif  // UOCQA_AUTOMATA_NFA_H_

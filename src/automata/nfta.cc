@@ -1,0 +1,165 @@
+#include "automata/nfta.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace uocqa {
+
+size_t LabeledTree::Size() const {
+  size_t n = 1;
+  for (const LabeledTree& c : children) n += c.Size();
+  return n;
+}
+
+bool LabeledTree::operator<(const LabeledTree& o) const {
+  if (symbol != o.symbol) return symbol < o.symbol;
+  return children < o.children;
+}
+
+size_t LabeledTreeHash::operator()(const LabeledTree& t) const {
+  size_t seed = std::hash<uint32_t>{}(t.symbol);
+  for (const LabeledTree& c : t.children) {
+    HashCombine(&seed, (*this)(c));
+  }
+  return seed;
+}
+
+NftaState Nfta::AddState() {
+  transitions_.emplace_back();
+  return static_cast<NftaState>(state_count_++);
+}
+
+NftaState Nfta::AddStates(size_t n) {
+  NftaState first = static_cast<NftaState>(state_count_);
+  for (size_t i = 0; i < n; ++i) AddState();
+  return first;
+}
+
+NftaSymbol Nfta::InternSymbol(const std::string& name) {
+  auto it = symbol_index_.find(name);
+  if (it != symbol_index_.end()) return it->second;
+  NftaSymbol s = static_cast<NftaSymbol>(symbol_names_.size());
+  symbol_names_.push_back(name);
+  symbol_index_.emplace(name, s);
+  return s;
+}
+
+void Nfta::AddTransition(NftaState from, NftaSymbol symbol,
+                         std::vector<NftaState> children) {
+  assert(from < state_count_);
+  for (NftaState c : children) {
+    assert(c < state_count_);
+    (void)c;
+  }
+  NftaTransition t{from, symbol, std::move(children)};
+  auto& bucket = transitions_[from];
+  if (std::find(bucket.begin(), bucket.end(), t) != bucket.end()) return;
+  max_rank_ = std::max(max_rank_, t.children.size());
+  bucket.push_back(std::move(t));
+  ++transition_count_;
+}
+
+const std::vector<NftaTransition>& Nfta::TransitionsFrom(NftaState s) const {
+  if (s >= transitions_.size()) return empty_;
+  return transitions_[s];
+}
+
+const std::vector<const NftaTransition*>& Nfta::TransitionsWithSymbol(
+    NftaSymbol s) const {
+  if (indexed_transition_count_ != transition_count_) {
+    by_symbol_.assign(symbol_names_.size(), {});
+    for (const auto& bucket : transitions_) {
+      for (const NftaTransition& t : bucket) {
+        by_symbol_[t.symbol].push_back(&t);
+      }
+    }
+    indexed_transition_count_ = transition_count_;
+  }
+  if (s >= by_symbol_.size()) return empty_ptrs_;
+  return by_symbol_[s];
+}
+
+std::vector<NftaState> Nfta::AcceptingStates(const LabeledTree& tree) const {
+  // Bottom-up: behaviour of each child, then match transitions (indexed by
+  // root symbol — this is the membership oracle on the FPRAS hot path).
+  std::vector<std::vector<NftaState>> child_behaviors;
+  child_behaviors.reserve(tree.children.size());
+  for (const LabeledTree& c : tree.children) {
+    child_behaviors.push_back(AcceptingStates(c));
+  }
+  std::vector<NftaState> out;
+  for (const NftaTransition* t : TransitionsWithSymbol(tree.symbol)) {
+    if (t->children.size() != tree.children.size()) continue;
+    bool ok = true;
+    for (size_t i = 0; i < t->children.size(); ++i) {
+      if (!std::binary_search(child_behaviors[i].begin(),
+                              child_behaviors[i].end(), t->children[i])) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out.push_back(t->from);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool Nfta::Accepts(const LabeledTree& tree) const {
+  return AcceptsFrom(initial_, tree);
+}
+
+bool Nfta::AcceptsFrom(NftaState q, const LabeledTree& tree) const {
+  if (q == kNoNftaState) return false;
+  std::vector<NftaState> behavior = AcceptingStates(tree);
+  return std::binary_search(behavior.begin(), behavior.end(), q);
+}
+
+namespace {
+
+uint64_t CountRunsFrom(const Nfta& nfta, NftaState q,
+                       const LabeledTree& tree) {
+  uint64_t total = 0;
+  for (const NftaTransition& t : nfta.TransitionsFrom(q)) {
+    if (t.symbol != tree.symbol || t.children.size() != tree.children.size()) {
+      continue;
+    }
+    uint64_t prod = 1;
+    for (size_t i = 0; i < t.children.size() && prod > 0; ++i) {
+      prod *= CountRunsFrom(nfta, t.children[i], tree.children[i]);
+    }
+    total += prod;
+  }
+  return total;
+}
+
+}  // namespace
+
+uint64_t Nfta::CountAcceptingRuns(const LabeledTree& tree) const {
+  if (initial_ == kNoNftaState) return 0;
+  return CountRunsFrom(*this, initial_, tree);
+}
+
+std::string Nfta::TreeToString(const LabeledTree& tree) const {
+  std::string out = tree.symbol < symbol_names_.size()
+                        ? symbol_names_[tree.symbol]
+                        : "?" + std::to_string(tree.symbol);
+  if (!tree.children.empty()) {
+    out += '(';
+    for (size_t i = 0; i < tree.children.size(); ++i) {
+      if (i > 0) out += ',';
+      out += TreeToString(tree.children[i]);
+    }
+    out += ')';
+  }
+  return out;
+}
+
+std::string Nfta::DebugStats() const {
+  return "states=" + std::to_string(state_count_) +
+         " symbols=" + std::to_string(symbol_names_.size()) +
+         " transitions=" + std::to_string(transition_count_) +
+         " max_rank=" + std::to_string(max_rank_);
+}
+
+}  // namespace uocqa

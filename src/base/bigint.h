@@ -1,0 +1,115 @@
+// Arbitrary-precision *non-negative* integers.
+//
+// Counting problems in this library (numbers of operational repairs,
+// repairing sequences, interleavings, accepted trees) produce values that
+// grow factorially with the database size; |CRS(D, Sigma)| overflows 64 bits
+// for databases with a couple dozen conflicting facts. All counting code
+// therefore uses BigInt.
+//
+// Design notes:
+//  * Magnitudes only. Every count in the paper is a natural number; the
+//    handful of subtractions that occur (inclusion-exclusion in tests)
+//    guarantee non-negative results, enforced by assertions.
+//  * Base 2^32 limbs, little-endian, always normalized (no leading zeros).
+//  * No general big/big division. Only what the library needs:
+//    - multiplication/addition/subtraction/comparison/shifts,
+//    - division by a 32-bit digit (decimal printing),
+//    - `RatioAsDouble` for converting count ratios (relative frequencies)
+//      to double without materializing huge quotients.
+
+#ifndef UOCQA_BASE_BIGINT_H_
+#define UOCQA_BASE_BIGINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace uocqa {
+
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+
+  /// Value-initializing constructor from an unsigned 64-bit integer.
+  explicit BigInt(uint64_t value);
+
+  /// Parses a decimal string of digits. Returns zero for an empty string.
+  static BigInt FromDecimalString(const std::string& digits);
+
+  bool IsZero() const { return limbs_.empty(); }
+  bool IsOne() const { return limbs_.size() == 1 && limbs_[0] == 1; }
+
+  /// Number of significant bits (0 for zero).
+  size_t BitLength() const;
+
+  /// Truncates to uint64 (asserts the value fits).
+  uint64_t ToUint64() const;
+
+  /// Nearest double (may be +inf for astronomically large values).
+  double ToDouble() const;
+
+  /// Decimal representation.
+  std::string ToString() const;
+
+  // -- comparison -----------------------------------------------------------
+  int Compare(const BigInt& other) const;
+  bool operator==(const BigInt& o) const { return Compare(o) == 0; }
+  bool operator!=(const BigInt& o) const { return Compare(o) != 0; }
+  bool operator<(const BigInt& o) const { return Compare(o) < 0; }
+  bool operator<=(const BigInt& o) const { return Compare(o) <= 0; }
+  bool operator>(const BigInt& o) const { return Compare(o) > 0; }
+  bool operator>=(const BigInt& o) const { return Compare(o) >= 0; }
+
+  // -- arithmetic -----------------------------------------------------------
+  BigInt& operator+=(const BigInt& o);
+  /// Asserts *this >= o (magnitude arithmetic only).
+  BigInt& operator-=(const BigInt& o);
+  BigInt& operator*=(const BigInt& o);
+  BigInt& operator+=(uint64_t v) { return *this += BigInt(v); }
+  BigInt& operator*=(uint64_t v);
+
+  friend BigInt operator+(BigInt a, const BigInt& b) { return a += b; }
+  friend BigInt operator-(BigInt a, const BigInt& b) { return a -= b; }
+  friend BigInt operator*(const BigInt& a, const BigInt& b);
+  friend BigInt operator*(BigInt a, uint64_t b) { return a *= b; }
+
+  /// Shifts left by `bits` bit positions.
+  BigInt& ShiftLeft(size_t bits);
+  /// Shifts right by `bits` bit positions (towards zero).
+  BigInt& ShiftRight(size_t bits);
+
+  /// Divides in place by a non-zero 32-bit divisor; returns the remainder.
+  uint32_t DivModU32(uint32_t divisor);
+
+  /// num/den as a double via top-bits extraction; den must be non-zero.
+  /// Relative error is about 2^-52 regardless of operand sizes.
+  static double RatioAsDouble(const BigInt& num, const BigInt& den);
+
+  /// log2(value) as a double; value must be non-zero.
+  double Log2() const;
+
+  const std::vector<uint32_t>& limbs() const { return limbs_; }
+
+ private:
+  void Normalize();
+  /// Top (up to) 64 significant bits, left-aligned so bit 63 is the MSB.
+  uint64_t TopBits64() const;
+
+  std::vector<uint32_t> limbs_;  // little-endian base 2^32, normalized
+};
+
+/// Binomial coefficient C(n, k) computed exactly (Pascal recurrence with an
+/// internal cache shared per-thread).
+BigInt Binomial(uint32_t n, uint32_t k);
+
+/// n! computed exactly.
+BigInt Factorial(uint32_t n);
+
+/// Multinomial coefficient (sum(parts))! / prod(parts!) computed as a product
+/// of binomials, so it stays in BigInt multiplication land.
+BigInt Multinomial(const std::vector<uint32_t>& parts);
+
+}  // namespace uocqa
+
+#endif  // UOCQA_BASE_BIGINT_H_

@@ -1,0 +1,48 @@
+// Small hashing helpers used by containers across the library.
+
+#ifndef UOCQA_BASE_HASHING_H_
+#define UOCQA_BASE_HASHING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace uocqa {
+
+/// Mixes `value` into `seed` (boost::hash_combine-style with a 64-bit mixer).
+inline void HashCombine(size_t* seed, size_t value) {
+  uint64_t x = static_cast<uint64_t>(*seed) + 0x9e3779b97f4a7c15ull +
+               (static_cast<uint64_t>(value) << 6) +
+               (static_cast<uint64_t>(value) >> 2);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  *seed = static_cast<size_t>(x ^ value);
+}
+
+/// Hash functor for std::vector of hashable elements.
+template <typename T>
+struct VectorHash {
+  size_t operator()(const std::vector<T>& v) const {
+    size_t seed = v.size();
+    std::hash<T> h;
+    for (const T& x : v) HashCombine(&seed, h(x));
+    return seed;
+  }
+};
+
+/// Hash functor for std::pair.
+template <typename A, typename B>
+struct PairHash {
+  size_t operator()(const std::pair<A, B>& p) const {
+    size_t seed = std::hash<A>{}(p.first);
+    HashCombine(&seed, std::hash<B>{}(p.second));
+    return seed;
+  }
+};
+
+}  // namespace uocqa
+
+#endif  // UOCQA_BASE_HASHING_H_

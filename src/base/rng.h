@@ -1,0 +1,85 @@
+// Deterministic, seedable pseudo-random number generation (xoshiro256**).
+//
+// All randomized algorithms in the library (FPRAS estimators, uniform repair
+// and sequence samplers, workload generators) take an explicit Rng so every
+// experiment is reproducible from its seed.
+
+#ifndef UOCQA_BASE_RNG_H_
+#define UOCQA_BASE_RNG_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace uocqa {
+
+class Rng {
+ public:
+  /// Seeds the generator deterministically via splitmix64 expansion.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      // splitmix64 step.
+      x += 0x9e3779b97f4a7c15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64 random bits (xoshiro256**).
+  uint64_t NextU64() {
+    uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0. Unbiased
+  /// (Lemire's nearly-divisionless rejection method).
+  uint64_t UniformU64(uint64_t bound) {
+    assert(bound > 0);
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(NextU64()) * bound;
+    uint64_t lo = static_cast<uint64_t>(m);
+    if (lo < bound) {
+      uint64_t threshold = (~bound + 1) % bound;  // == 2^64 mod bound
+      while (lo < threshold) {
+        m = static_cast<unsigned __int128>(NextU64()) * bound;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform size_t index in [0, n).
+  size_t UniformIndex(size_t n) { return static_cast<size_t>(UniformU64(n)); }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Derives an independent child generator (for parallel or nested use).
+  Rng Fork() { return Rng(NextU64()); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace uocqa
+
+#endif  // UOCQA_BASE_RNG_H_

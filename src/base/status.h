@@ -1,0 +1,134 @@
+// Lightweight Status / Result<T> error-handling primitives in the style used
+// by large C++ database systems (Arrow, RocksDB, LevelDB): fallible public
+// APIs return a Status (or a Result<T> carrying either a value or a Status)
+// instead of throwing exceptions across module boundaries.
+
+#ifndef UOCQA_BASE_STATUS_H_
+#define UOCQA_BASE_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace uocqa {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kFailedPrecondition = 3,
+  kOutOfRange = 4,
+  kUnimplemented = 5,
+  kInternal = 6,
+};
+
+/// Returns a short human-readable name for a status code.
+const char* StatusCodeName(StatusCode code);
+
+/// A Status is either OK or an error code plus message. Cheap to copy in the
+/// OK case (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> holds either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a (non-OK) error status.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok() && value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define UOCQA_RETURN_IF_ERROR(expr)          \
+  do {                                       \
+    ::uocqa::Status _st = (expr);            \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+/// Evaluates a Result<T> expression; on error returns its Status, otherwise
+/// assigns the value to `lhs`.
+#define UOCQA_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value();
+
+#define UOCQA_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define UOCQA_ASSIGN_OR_RETURN_NAME(a, b) UOCQA_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define UOCQA_ASSIGN_OR_RETURN(lhs, expr) \
+  UOCQA_ASSIGN_OR_RETURN_IMPL(            \
+      UOCQA_ASSIGN_OR_RETURN_NAME(_result_, __LINE__), lhs, expr)
+
+}  // namespace uocqa
+
+#endif  // UOCQA_BASE_STATUS_H_

@@ -1,0 +1,28 @@
+// Minimal string utilities (split/trim/join) used by the query parser and
+// pretty-printers.
+
+#ifndef UOCQA_BASE_STRINGS_H_
+#define UOCQA_BASE_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace uocqa {
+
+/// Splits on a single-character delimiter; keeps empty pieces.
+std::vector<std::string> StrSplit(std::string_view text, char delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view StrTrim(std::string_view text);
+
+/// Joins pieces with a separator.
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view sep);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace uocqa
+
+#endif  // UOCQA_BASE_STRINGS_H_

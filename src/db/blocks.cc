@@ -1,0 +1,63 @@
+#include "db/blocks.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace uocqa {
+
+BlockPartition BlockPartition::Compute(const Database& db,
+                                       const KeySet& keys) {
+  BlockPartition out;
+  // Group facts by (relation, key value); std::map gives the fixed
+  // lexicographic block order the paper assumes.
+  std::map<std::pair<RelationId, std::vector<Value>>, std::vector<FactId>>
+      groups;
+  for (FactId id = 0; id < db.size(); ++id) {
+    const Fact& f = db.fact(id);
+    groups[{f.relation, keys.KeyValueOf(f)}].push_back(id);
+  }
+  out.block_of_fact_.assign(db.size(), 0);
+  out.blocks_of_relation_.assign(db.schema().relation_count(), {});
+  for (auto& [sig, ids] : groups) {
+    Block b;
+    b.relation = sig.first;
+    b.key_value = sig.second;
+    std::sort(ids.begin(), ids.end());
+    b.facts = ids;
+    size_t idx = out.blocks_.size();
+    for (FactId id : ids) out.block_of_fact_[id] = idx;
+    out.blocks_of_relation_[sig.first].push_back(idx);
+    out.blocks_.push_back(std::move(b));
+  }
+  return out;
+}
+
+const std::vector<size_t>& BlockPartition::BlocksOfRelation(
+    RelationId rel) const {
+  if (rel >= blocks_of_relation_.size()) return empty_;
+  return blocks_of_relation_[rel];
+}
+
+size_t BlockPartition::ViolatingBlockCount() const {
+  size_t n = 0;
+  for (const Block& b : blocks_) {
+    if (b.size() >= 2) ++n;
+  }
+  return n;
+}
+
+std::string BlockPartition::ToString(const Database& db) const {
+  std::string out;
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    out += "block " + std::to_string(i) + ": {";
+    for (size_t j = 0; j < blocks_[i].facts.size(); ++j) {
+      if (j > 0) out += ", ";
+      out += FactToString(db.schema(), db.fact(blocks_[i].facts[j]));
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace uocqa

@@ -1,0 +1,60 @@
+// Conflict blocks (paper §5.1): block_{alpha,D}(Sigma) groups the facts of D
+// that share alpha's key value. Blocks are the unit of repair choice: an
+// operational repair keeps at most one fact per block (or none), and blocks
+// are mutually independent because all conflicts are intra-block under
+// primary keys.
+
+#ifndef UOCQA_DB_BLOCKS_H_
+#define UOCQA_DB_BLOCKS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "db/keys.h"
+
+namespace uocqa {
+
+/// One conflict block: all facts of a relation sharing a key value.
+struct Block {
+  RelationId relation = kInvalidRelation;
+  std::vector<Value> key_value;
+  std::vector<FactId> facts;  // in fact-id order
+
+  size_t size() const { return facts.size(); }
+};
+
+/// The partition of a database's facts into blocks, with a fixed total order
+/// over blocks: blocks are ordered by (relation id, lexicographic key
+/// value), giving the "lexicographic order among the key values" the paper
+/// fixes in §5.1.
+class BlockPartition {
+ public:
+  static BlockPartition Compute(const Database& db, const KeySet& keys);
+
+  size_t block_count() const { return blocks_.size(); }
+  const Block& block(size_t i) const { return blocks_[i]; }
+  const std::vector<Block>& blocks() const { return blocks_; }
+
+  /// Index of the block containing `fact`.
+  size_t BlockOf(FactId fact) const { return block_of_fact_[fact]; }
+
+  /// Indices (into blocks()) of the blocks of a relation, in block order.
+  const std::vector<size_t>& BlocksOfRelation(RelationId rel) const;
+
+  /// Number of blocks with >= 2 facts (the inconsistent ones).
+  size_t ViolatingBlockCount() const;
+
+  std::string ToString(const Database& db) const;
+
+ private:
+  std::vector<Block> blocks_;
+  std::vector<size_t> block_of_fact_;
+  std::vector<std::vector<size_t>> blocks_of_relation_;
+  std::vector<size_t> empty_;
+};
+
+}  // namespace uocqa
+
+#endif  // UOCQA_DB_BLOCKS_H_

@@ -1,0 +1,25 @@
+#include "db/constraints.h"
+
+namespace uocqa {
+
+bool PairwiseConstraints::SatisfiedBy(const Database& db) const {
+  for (FactId i = 0; i < db.size(); ++i) {
+    for (FactId j = i + 1; j < db.size(); ++j) {
+      if (ViolatingPair(db.fact(i), db.fact(j))) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::pair<FactId, FactId>> PairwiseConstraints::ViolationsIn(
+    const Database& db) const {
+  std::vector<std::pair<FactId, FactId>> out;
+  for (FactId i = 0; i < db.size(); ++i) {
+    for (FactId j = i + 1; j < db.size(); ++j) {
+      if (ViolatingPair(db.fact(i), db.fact(j))) out.emplace_back(i, j);
+    }
+  }
+  return out;
+}
+
+}  // namespace uocqa

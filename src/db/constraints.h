@@ -1,0 +1,38 @@
+// Pairwise integrity constraints.
+//
+// The operational framework of [11] only needs one primitive from the
+// constraint language: which *pairs* of facts jointly violate the
+// constraints ({f,g} |≠ Sigma justifies the operations -{f}, -{g} and
+// -{f,g}). Primary keys (paper's focus) and functional dependencies (§6's
+// future work, implemented in db/fds.h) are both pairwise, so the
+// operations/sequences machinery is written against this interface; only
+// the *counting* results (block independence) are key-specific.
+
+#ifndef UOCQA_DB_CONSTRAINTS_H_
+#define UOCQA_DB_CONSTRAINTS_H_
+
+#include <vector>
+
+#include "db/database.h"
+#include "db/fact.h"
+
+namespace uocqa {
+
+class PairwiseConstraints {
+ public:
+  virtual ~PairwiseConstraints() = default;
+
+  /// {f, g} |≠ Sigma? (f and g distinct facts).
+  virtual bool ViolatingPair(const Fact& f, const Fact& g) const = 0;
+
+  /// D |= Sigma: no violating pair. Default: all-pairs scan.
+  virtual bool SatisfiedBy(const Database& db) const;
+
+  /// All violating pairs (i < j). Default: all-pairs scan.
+  virtual std::vector<std::pair<FactId, FactId>> ViolationsIn(
+      const Database& db) const;
+};
+
+}  // namespace uocqa
+
+#endif  // UOCQA_DB_CONSTRAINTS_H_

@@ -1,0 +1,68 @@
+#include "db/database.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace uocqa {
+
+FactId Database::AddFact(Fact fact) {
+  assert(fact.relation < schema_.relation_count());
+  assert(fact.args.size() == schema_.arity(fact.relation));
+  auto it = index_.find(fact);
+  if (it != index_.end()) return it->second;
+  FactId id = static_cast<FactId>(facts_.size());
+  facts_.push_back(fact);
+  index_.emplace(std::move(fact), id);
+  return id;
+}
+
+FactId Database::Find(const Fact& fact) const {
+  auto it = index_.find(fact);
+  return it == index_.end() ? kInvalidFact : it->second;
+}
+
+std::vector<Value> Database::ActiveDomain() const {
+  std::vector<Value> out;
+  std::unordered_set<Value> seen;
+  for (const Fact& f : facts_) {
+    for (Value v : f.args) {
+      if (seen.insert(v).second) out.push_back(v);
+    }
+  }
+  return out;
+}
+
+std::vector<FactId> Database::FactsOfRelation(RelationId rel) const {
+  std::vector<FactId> out;
+  for (FactId id = 0; id < facts_.size(); ++id) {
+    if (facts_[id].relation == rel) out.push_back(id);
+  }
+  return out;
+}
+
+Database Database::Subset(const std::vector<FactId>& keep) const {
+  Database out(schema_);
+  for (FactId id : keep) {
+    assert(id < facts_.size());
+    out.AddFact(facts_[id]);
+  }
+  return out;
+}
+
+std::vector<Fact> Database::SortedFacts() const {
+  std::vector<Fact> out = facts_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string Database::ToString() const {
+  std::string out;
+  for (const Fact& f : facts_) {
+    out += FactToString(schema_, f);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace uocqa

@@ -1,0 +1,78 @@
+// Databases: finite sets of facts over a schema (paper §2).
+
+#ifndef UOCQA_DB_DATABASE_H_
+#define UOCQA_DB_DATABASE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/fact.h"
+#include "db/schema.h"
+
+namespace uocqa {
+
+/// Dense index of a fact within a Database (insertion order, stable).
+using FactId = uint32_t;
+
+constexpr FactId kInvalidFact = static_cast<FactId>(-1);
+
+/// A finite set of facts. Facts are deduplicated; ids are assigned in
+/// insertion order and never change, which gives every instance the fixed
+/// fact/block orderings the paper's algorithms assume.
+class Database {
+ public:
+  Database() = default;
+  explicit Database(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  Schema& mutable_schema() { return schema_; }
+
+  /// Inserts a fact (no-op if present); returns its id.
+  FactId AddFact(Fact fact);
+
+  /// Convenience: interns constants and inserts.
+  FactId Add(std::string_view relation,
+             const std::vector<std::string>& constants) {
+    return AddFact(MakeFact(schema_, relation, constants));
+  }
+
+  bool Contains(const Fact& fact) const { return Find(fact) != kInvalidFact; }
+
+  /// Id of `fact` or kInvalidFact.
+  FactId Find(const Fact& fact) const;
+
+  size_t size() const { return facts_.size(); }
+  bool empty() const { return facts_.empty(); }
+  const Fact& fact(FactId id) const { return facts_[id]; }
+  const std::vector<Fact>& facts() const { return facts_; }
+
+  /// Distinct constants appearing in the database, in first-seen order
+  /// (dom(D), paper §2).
+  std::vector<Value> ActiveDomain() const;
+
+  /// All fact ids of a given relation, in id order.
+  std::vector<FactId> FactsOfRelation(RelationId rel) const;
+
+  /// The sub-database carrying over only the facts in `keep` (ids refer to
+  /// *this*; the result is a fresh Database sharing the schema).
+  Database Subset(const std::vector<FactId>& keep) const;
+
+  /// Multi-line rendering for debugging.
+  std::string ToString() const;
+
+  bool operator==(const Database& o) const { return SortedFacts() == o.SortedFacts(); }
+
+ private:
+  std::vector<Fact> SortedFacts() const;
+
+  Schema schema_;
+  std::vector<Fact> facts_;
+  std::unordered_map<Fact, FactId, FactHash> index_;
+};
+
+}  // namespace uocqa
+
+#endif  // UOCQA_DB_DATABASE_H_

@@ -1,0 +1,29 @@
+#include "db/fact.h"
+
+#include <cassert>
+
+namespace uocqa {
+
+std::string FactToString(const Schema& schema, const Fact& fact) {
+  std::string out = schema.name(fact.relation);
+  out += '(';
+  for (size_t i = 0; i < fact.args.size(); ++i) {
+    if (i > 0) out += ',';
+    out += ValuePool::Name(fact.args[i]);
+  }
+  out += ')';
+  return out;
+}
+
+Fact MakeFact(const Schema& schema, std::string_view relation,
+              const std::vector<std::string>& constants) {
+  RelationId rel = schema.Find(relation);
+  assert(rel != kInvalidRelation);
+  assert(schema.arity(rel) == constants.size());
+  std::vector<Value> args;
+  args.reserve(constants.size());
+  for (const std::string& c : constants) args.push_back(ValuePool::Intern(c));
+  return Fact(rel, std::move(args));
+}
+
+}  // namespace uocqa

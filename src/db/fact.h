@@ -1,0 +1,52 @@
+// Facts R(c1, ..., cn) over a schema (paper §2).
+
+#ifndef UOCQA_DB_FACT_H_
+#define UOCQA_DB_FACT_H_
+
+#include <string>
+#include <vector>
+
+#include "base/hashing.h"
+#include "db/schema.h"
+#include "db/value.h"
+
+namespace uocqa {
+
+/// A ground atom: relation id plus a tuple of interned constants.
+struct Fact {
+  RelationId relation = kInvalidRelation;
+  std::vector<Value> args;
+
+  Fact() = default;
+  Fact(RelationId rel, std::vector<Value> a)
+      : relation(rel), args(std::move(a)) {}
+
+  bool operator==(const Fact& o) const {
+    return relation == o.relation && args == o.args;
+  }
+  bool operator!=(const Fact& o) const { return !(*this == o); }
+  bool operator<(const Fact& o) const {
+    if (relation != o.relation) return relation < o.relation;
+    return args < o.args;
+  }
+};
+
+struct FactHash {
+  size_t operator()(const Fact& f) const {
+    size_t seed = std::hash<uint32_t>{}(f.relation);
+    for (Value v : f.args) HashCombine(&seed, std::hash<uint32_t>{}(v));
+    return seed;
+  }
+};
+
+/// Renders "R(a,b,c)" using the schema for the relation name and the
+/// ValuePool for constant names.
+std::string FactToString(const Schema& schema, const Fact& fact);
+
+/// Convenience constructor interning string constants.
+Fact MakeFact(const Schema& schema, std::string_view relation,
+              const std::vector<std::string>& constants);
+
+}  // namespace uocqa
+
+#endif  // UOCQA_DB_FACT_H_

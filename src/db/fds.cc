@@ -1,0 +1,69 @@
+#include "db/fds.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "db/keys.h"
+
+namespace uocqa {
+
+Status FdSet::AddFd(RelationId relation, std::vector<uint32_t> lhs,
+                    std::vector<uint32_t> rhs) {
+  if (relation == kInvalidRelation) {
+    return Status::InvalidArgument("FD over invalid relation");
+  }
+  std::sort(lhs.begin(), lhs.end());
+  lhs.erase(std::unique(lhs.begin(), lhs.end()), lhs.end());
+  std::sort(rhs.begin(), rhs.end());
+  rhs.erase(std::unique(rhs.begin(), rhs.end()), rhs.end());
+  // Drop trivial rhs positions (contained in lhs).
+  std::vector<uint32_t> effective;
+  for (uint32_t p : rhs) {
+    if (!std::binary_search(lhs.begin(), lhs.end(), p)) {
+      effective.push_back(p);
+    }
+  }
+  if (effective.empty()) {
+    return Status::InvalidArgument("trivial functional dependency");
+  }
+  fds_.push_back({relation, std::move(lhs), std::move(effective)});
+  return Status::OK();
+}
+
+void FdSet::AddFdOrDie(RelationId relation, std::vector<uint32_t> lhs,
+                       std::vector<uint32_t> rhs) {
+  Status st = AddFd(relation, std::move(lhs), std::move(rhs));
+  assert(st.ok());
+  (void)st;
+}
+
+bool FdSet::ViolatingPair(const Fact& f, const Fact& g) const {
+  if (f.relation != g.relation || f == g) return false;
+  for (const FunctionalDependency& fd : fds_) {
+    if (fd.relation != f.relation) continue;
+    bool lhs_agree = true;
+    for (uint32_t p : fd.lhs) {
+      if (f.args[p] != g.args[p]) {
+        lhs_agree = false;
+        break;
+      }
+    }
+    if (!lhs_agree) continue;
+    for (uint32_t p : fd.rhs) {
+      if (f.args[p] != g.args[p]) return true;
+    }
+  }
+  return false;
+}
+
+FdSet KeysAsFds(const Schema& schema, const KeySet& keys) {
+  FdSet out;
+  for (const auto& [rel, positions] : keys.Entries()) {
+    std::vector<uint32_t> all;
+    for (uint32_t p = 0; p < schema.arity(rel); ++p) all.push_back(p);
+    out.AddFdOrDie(rel, positions, all);
+  }
+  return out;
+}
+
+}  // namespace uocqa

@@ -1,0 +1,56 @@
+// Functional dependencies R : A -> B (paper §6 names FDs as the open
+// extension of the operational framework beyond primary keys).
+//
+// Two distinct facts of relation R violate A -> B if they agree on all
+// positions of A but differ somewhere on B. Unlike keys, FDs do not
+// partition conflicts into independent blocks (a fact can conflict with
+// different facts under different FDs), so the polynomial counting of
+// repairs/sequences does not carry over — exactly why the paper leaves the
+// FD case open. The operational semantics (justified operations, repairing
+// sequences) transfers verbatim through PairwiseConstraints, and this
+// module enables exact *enumeration-based* experimentation with it.
+
+#ifndef UOCQA_DB_FDS_H_
+#define UOCQA_DB_FDS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "db/constraints.h"
+#include "db/schema.h"
+
+namespace uocqa {
+
+struct FunctionalDependency {
+  RelationId relation = kInvalidRelation;
+  std::vector<uint32_t> lhs;  // A (0-based positions, sorted)
+  std::vector<uint32_t> rhs;  // B
+};
+
+class FdSet : public PairwiseConstraints {
+ public:
+  /// Adds R : lhs -> rhs. Positions are deduplicated and sorted; rhs
+  /// positions already in lhs are dropped (trivial).
+  Status AddFd(RelationId relation, std::vector<uint32_t> lhs,
+               std::vector<uint32_t> rhs);
+
+  void AddFdOrDie(RelationId relation, std::vector<uint32_t> lhs,
+                  std::vector<uint32_t> rhs);
+
+  const std::vector<FunctionalDependency>& fds() const { return fds_; }
+
+  bool ViolatingPair(const Fact& f, const Fact& g) const override;
+
+ private:
+  std::vector<FunctionalDependency> fds_;
+};
+
+/// A key constraint key(R) = A as the FD A -> (all attributes): helper for
+/// cross-checking the FD machinery against the KeySet machinery.
+FdSet KeysAsFds(const Schema& schema, const class KeySet& keys);
+
+}  // namespace uocqa
+
+#endif  // UOCQA_DB_FDS_H_

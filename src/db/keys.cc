@@ -1,0 +1,110 @@
+#include "db/keys.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "base/hashing.h"
+
+namespace uocqa {
+
+Status KeySet::SetKey(RelationId rel, std::vector<uint32_t> positions) {
+  std::sort(positions.begin(), positions.end());
+  positions.erase(std::unique(positions.begin(), positions.end()),
+                  positions.end());
+  auto it = keys_.find(rel);
+  if (it != keys_.end()) {
+    if (it->second != positions) {
+      return Status::InvalidArgument(
+          "relation already has a (different) primary key");
+    }
+    return Status::OK();
+  }
+  keys_.emplace(rel, std::move(positions));
+  return Status::OK();
+}
+
+void KeySet::SetKeyOrDie(RelationId rel, std::vector<uint32_t> positions) {
+  Status st = SetKey(rel, std::move(positions));
+  assert(st.ok());
+  (void)st;
+}
+
+const std::vector<uint32_t>& KeySet::Positions(RelationId rel) const {
+  auto it = keys_.find(rel);
+  assert(it != keys_.end());
+  return it->second;
+}
+
+std::vector<Value> KeySet::KeyValueOf(const Fact& fact) const {
+  auto it = keys_.find(fact.relation);
+  if (it == keys_.end()) return fact.args;
+  std::vector<Value> out;
+  out.reserve(it->second.size());
+  for (uint32_t pos : it->second) {
+    assert(pos < fact.args.size());
+    out.push_back(fact.args[pos]);
+  }
+  return out;
+}
+
+bool KeySet::ViolatingPair(const Fact& f, const Fact& g) const {
+  if (f.relation != g.relation || f == g) return false;
+  auto it = keys_.find(f.relation);
+  if (it == keys_.end()) return false;  // whole-tuple key: distinct facts ok
+  for (uint32_t pos : it->second) {
+    if (f.args[pos] != g.args[pos]) return false;
+  }
+  return true;
+}
+
+std::vector<std::pair<RelationId, std::vector<uint32_t>>> KeySet::Entries()
+    const {
+  std::vector<std::pair<RelationId, std::vector<uint32_t>>> out(keys_.begin(),
+                                                                keys_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool IsConsistent(const Database& db, const KeySet& keys) {
+  // Group facts by (relation, key value); consistent iff all groups are
+  // singletons.
+  std::unordered_map<std::vector<Value>, std::vector<FactId>,
+                     VectorHash<Value>>
+      groups;
+  for (FactId id = 0; id < db.size(); ++id) {
+    const Fact& f = db.fact(id);
+    std::vector<Value> sig;
+    sig.push_back(f.relation);
+    for (Value v : keys.KeyValueOf(f)) sig.push_back(v);
+    auto& bucket = groups[sig];
+    bucket.push_back(id);
+    if (bucket.size() > 1) return false;
+  }
+  return true;
+}
+
+std::vector<std::pair<FactId, FactId>> Violations(const Database& db,
+                                                  const KeySet& keys) {
+  std::vector<std::pair<FactId, FactId>> out;
+  std::unordered_map<std::vector<Value>, std::vector<FactId>,
+                     VectorHash<Value>>
+      groups;
+  for (FactId id = 0; id < db.size(); ++id) {
+    const Fact& f = db.fact(id);
+    std::vector<Value> sig;
+    sig.push_back(f.relation);
+    for (Value v : keys.KeyValueOf(f)) sig.push_back(v);
+    groups[sig].push_back(id);
+  }
+  for (const auto& [sig, ids] : groups) {
+    for (size_t i = 0; i < ids.size(); ++i) {
+      for (size_t j = i + 1; j < ids.size(); ++j) {
+        out.emplace_back(ids[i], ids[j]);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace uocqa

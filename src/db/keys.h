@@ -1,0 +1,68 @@
+// Primary key constraints key(R) = A (paper §2) and the key value of a fact
+// (paper §5.1): key_Sigma(R(c1..cn)) is the projection of the tuple onto the
+// key positions, or the whole tuple when R has no declared key.
+
+#ifndef UOCQA_DB_KEYS_H_
+#define UOCQA_DB_KEYS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "db/constraints.h"
+#include "db/database.h"
+#include "db/fact.h"
+#include "db/schema.h"
+
+namespace uocqa {
+
+/// A set of *primary* keys: at most one key per relation. Positions are
+/// 0-based attribute indices (the paper uses 1-based; the parser converts).
+/// Implements the PairwiseConstraints interface, so the operational
+/// machinery (operations.h) works uniformly over keys and FDs.
+class KeySet : public PairwiseConstraints {
+ public:
+  /// Declares key(R) = positions. Positions are deduplicated and sorted.
+  /// Redeclaring a relation's key with a different attribute set is an error
+  /// (primary keys are unique per relation).
+  Status SetKey(RelationId rel, std::vector<uint32_t> positions);
+
+  void SetKeyOrDie(RelationId rel, std::vector<uint32_t> positions);
+
+  bool HasKey(RelationId rel) const {
+    return keys_.find(rel) != keys_.end();
+  }
+
+  /// Key positions of `rel`; must have a key.
+  const std::vector<uint32_t>& Positions(RelationId rel) const;
+
+  size_t size() const { return keys_.size(); }
+
+  /// key_Sigma(fact): projection onto key positions, or the whole tuple if
+  /// the relation has no declared key.
+  std::vector<Value> KeyValueOf(const Fact& fact) const;
+
+  /// True if facts f and g jointly violate some key in this set, i.e.
+  /// {f, g} |/= Sigma: same relation, equal key value, different tuples.
+  bool ViolatingPair(const Fact& f, const Fact& g) const override;
+
+  /// All (relation, key positions) entries, sorted by relation id.
+  std::vector<std::pair<RelationId, std::vector<uint32_t>>> Entries() const;
+
+ private:
+  std::unordered_map<RelationId, std::vector<uint32_t>> keys_;
+};
+
+/// D |= Sigma: no two distinct facts agree on a key (paper §2).
+bool IsConsistent(const Database& db, const KeySet& keys);
+
+/// All unordered violating pairs {f, g} in `db` (fact ids, f < g).
+std::vector<std::pair<FactId, FactId>> Violations(const Database& db,
+                                                  const KeySet& keys);
+
+}  // namespace uocqa
+
+#endif  // UOCQA_DB_KEYS_H_

@@ -1,0 +1,40 @@
+#include "db/schema.h"
+
+#include <cassert>
+
+namespace uocqa {
+
+Result<RelationId> Schema::AddRelation(std::string_view name, uint32_t arity) {
+  if (arity == 0) {
+    return Status::InvalidArgument("relation arity must be positive: " +
+                                   std::string(name));
+  }
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) {
+    if (arities_[it->second] != arity) {
+      return Status::InvalidArgument(
+          "relation " + std::string(name) + " redeclared with arity " +
+          std::to_string(arity) + " (was " +
+          std::to_string(arities_[it->second]) + ")");
+    }
+    return it->second;
+  }
+  RelationId id = static_cast<RelationId>(names_.size());
+  names_.emplace_back(name);
+  arities_.push_back(arity);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+RelationId Schema::AddRelationOrDie(std::string_view name, uint32_t arity) {
+  Result<RelationId> r = AddRelation(name, arity);
+  assert(r.ok());
+  return r.value();
+}
+
+RelationId Schema::Find(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? kInvalidRelation : it->second;
+}
+
+}  // namespace uocqa

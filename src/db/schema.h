@@ -1,0 +1,51 @@
+// Relational schemas: a finite set of relation names with arities (paper §2).
+
+#ifndef UOCQA_DB_SCHEMA_H_
+#define UOCQA_DB_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+
+namespace uocqa {
+
+/// Dense id of a relation within a Schema.
+using RelationId = uint32_t;
+
+constexpr RelationId kInvalidRelation = static_cast<RelationId>(-1);
+
+/// A schema S: relation names R/n with associated arity n > 0.
+/// Value type; cheap to copy for the sizes used here.
+class Schema {
+ public:
+  /// Adds a relation; returns its id. Re-adding an existing name with the
+  /// same arity returns the existing id; a different arity is an error.
+  Result<RelationId> AddRelation(std::string_view name, uint32_t arity);
+
+  /// Adds a relation, asserting success (for programmatic construction).
+  RelationId AddRelationOrDie(std::string_view name, uint32_t arity);
+
+  /// Finds a relation id by name; kInvalidRelation if absent.
+  RelationId Find(std::string_view name) const;
+
+  bool Contains(std::string_view name) const {
+    return Find(name) != kInvalidRelation;
+  }
+
+  uint32_t arity(RelationId r) const { return arities_[r]; }
+  const std::string& name(RelationId r) const { return names_[r]; }
+  size_t relation_count() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<uint32_t> arities_;
+  std::unordered_map<std::string, RelationId> index_;
+};
+
+}  // namespace uocqa
+
+#endif  // UOCQA_DB_SCHEMA_H_

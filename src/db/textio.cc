@@ -1,0 +1,155 @@
+#include "db/textio.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "base/strings.h"
+
+namespace uocqa {
+
+namespace {
+
+/// Parses "R(a, b, 'c d')" into relation name + constant tokens.
+Status ParseFactLine(std::string_view line, std::string* relation,
+                     std::vector<std::string>* constants) {
+  size_t open = line.find('(');
+  if (open == std::string_view::npos || line.back() != ')') {
+    return Status::InvalidArgument("malformed fact: " + std::string(line));
+  }
+  *relation = std::string(StrTrim(line.substr(0, open)));
+  if (relation->empty()) {
+    return Status::InvalidArgument("missing relation name: " +
+                                   std::string(line));
+  }
+  std::string_view body = line.substr(open + 1, line.size() - open - 2);
+  size_t pos = 0;
+  while (pos <= body.size()) {
+    // Scan one argument (handles quoted constants containing commas).
+    std::string token;
+    bool in_quote = false;
+    bool saw_any = false;
+    while (pos < body.size() && (in_quote || body[pos] != ',')) {
+      char c = body[pos++];
+      if (c == '\'') {
+        in_quote = !in_quote;
+        saw_any = true;
+        continue;
+      }
+      token.push_back(c);
+      saw_any = true;
+    }
+    if (in_quote) {
+      return Status::InvalidArgument("unterminated quote: " +
+                                     std::string(line));
+    }
+    std::string trimmed(StrTrim(token));
+    if (trimmed.empty() && !saw_any) {
+      return Status::InvalidArgument("empty argument in: " +
+                                     std::string(line));
+    }
+    constants->push_back(trimmed);
+    if (pos >= body.size()) break;
+    ++pos;  // skip ','
+  }
+  if (constants->empty()) {
+    return Status::InvalidArgument("fact with no arguments: " +
+                                   std::string(line));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ParsedInstance> ParseInstanceText(std::string_view text) {
+  ParsedInstance out;
+  // Key declarations may precede the first fact of a relation; buffer them
+  // until arities are known.
+  std::vector<std::pair<std::string, std::vector<uint32_t>>> pending_keys;
+
+  size_t line_no = 0;
+  for (const std::string& raw : StrSplit(text, '\n')) {
+    ++line_no;
+    std::string_view line = StrTrim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    if (StartsWith(line, "key ")) {
+      size_t eq = line.find('=');
+      if (eq == std::string_view::npos) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": malformed key declaration");
+      }
+      std::string rel(StrTrim(line.substr(4, eq - 4)));
+      std::vector<uint32_t> positions;
+      std::istringstream nums{std::string(line.substr(eq + 1))};
+      int p = 0;
+      while (nums >> p) {
+        if (p < 1) {
+          return Status::InvalidArgument(
+              "line " + std::to_string(line_no) +
+              ": key positions are 1-based and positive");
+        }
+        positions.push_back(static_cast<uint32_t>(p - 1));
+      }
+      if (positions.empty()) {
+        return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                       ": key with no positions");
+      }
+      pending_keys.emplace_back(std::move(rel), std::move(positions));
+      continue;
+    }
+    std::string relation;
+    std::vector<std::string> constants;
+    Status st = ParseFactLine(line, &relation, &constants);
+    if (!st.ok()) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": " + st.message());
+    }
+    UOCQA_ASSIGN_OR_RETURN(
+        RelationId rel,
+        out.db.mutable_schema().AddRelation(
+            relation, static_cast<uint32_t>(constants.size())));
+    (void)rel;
+    out.db.Add(relation, constants);
+  }
+
+  for (auto& [rel_name, positions] : pending_keys) {
+    RelationId rel = out.db.schema().Find(rel_name);
+    if (rel == kInvalidRelation) {
+      return Status::InvalidArgument("key declared for unknown relation " +
+                                     rel_name);
+    }
+    for (uint32_t p : positions) {
+      if (p >= out.db.schema().arity(rel)) {
+        return Status::InvalidArgument("key position out of range for " +
+                                       rel_name);
+      }
+    }
+    UOCQA_RETURN_IF_ERROR(out.keys.SetKey(rel, std::move(positions)));
+  }
+  return out;
+}
+
+Result<ParsedInstance> LoadInstanceFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseInstanceText(buffer.str());
+}
+
+std::string InstanceToText(const Database& db, const KeySet& keys) {
+  std::string out;
+  for (const auto& [rel, positions] : keys.Entries()) {
+    out += "key " + db.schema().name(rel) + " =";
+    for (uint32_t p : positions) out += ' ' + std::to_string(p + 1);
+    out += '\n';
+  }
+  for (const Fact& f : db.facts()) {
+    out += FactToString(db.schema(), f);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace uocqa

@@ -1,0 +1,38 @@
+// Text serialization for databases and key sets.
+//
+// Format (one statement per line; '#' starts a comment):
+//   key Emp = 1            # primary key of Emp: attribute positions,
+//   key R = 1 2            # 1-based as in the paper
+//   Emp(1, Alice)          # a fact; constants are bare tokens or 'quoted'
+//   Emp(1, Tom)
+// Relations are declared implicitly by first use with the arity seen there.
+
+#ifndef UOCQA_DB_TEXTIO_H_
+#define UOCQA_DB_TEXTIO_H_
+
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+#include "db/database.h"
+#include "db/keys.h"
+
+namespace uocqa {
+
+struct ParsedInstance {
+  Database db;
+  KeySet keys;
+};
+
+/// Parses the textual format above.
+Result<ParsedInstance> ParseInstanceText(std::string_view text);
+
+/// Reads and parses a file.
+Result<ParsedInstance> LoadInstanceFile(const std::string& path);
+
+/// Serializes a database + keys back into the textual format.
+std::string InstanceToText(const Database& db, const KeySet& keys);
+
+}  // namespace uocqa
+
+#endif  // UOCQA_DB_TEXTIO_H_

@@ -1,0 +1,39 @@
+#include "db/value.h"
+
+#include <cassert>
+
+namespace uocqa {
+
+ValuePool& ValuePool::Instance() {
+  static ValuePool* pool = new ValuePool();  // never destroyed
+  return *pool;
+}
+
+Value ValuePool::Intern(std::string_view name) {
+  ValuePool& p = Instance();
+  std::lock_guard<std::mutex> lock(p.mutex_);
+  std::string key(name);
+  auto it = p.index_.find(key);
+  if (it != p.index_.end()) return it->second;
+  Value id = static_cast<Value>(p.names_.size());
+  p.names_.push_back(key);
+  p.index_.emplace(std::move(key), id);
+  return id;
+}
+
+Value ValuePool::InternInt(int64_t n) { return Intern(std::to_string(n)); }
+
+const std::string& ValuePool::Name(Value v) {
+  ValuePool& p = Instance();
+  std::lock_guard<std::mutex> lock(p.mutex_);
+  assert(v < p.names_.size());
+  return p.names_[v];
+}
+
+size_t ValuePool::Size() {
+  ValuePool& p = Instance();
+  std::lock_guard<std::mutex> lock(p.mutex_);
+  return p.names_.size();
+}
+
+}  // namespace uocqa

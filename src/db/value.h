@@ -1,0 +1,50 @@
+// Interned constant values.
+//
+// Databases, queries and repairs manipulate constants heavily (hashing,
+// equality, ordering). Constants are interned process-wide into dense
+// uint32 ids so facts are small PODs and comparisons are integer compares.
+
+#ifndef UOCQA_DB_VALUE_H_
+#define UOCQA_DB_VALUE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace uocqa {
+
+/// Dense id of an interned constant.
+using Value = uint32_t;
+
+/// Process-wide constant interner. Thread-safe. Ids are assigned in first-
+/// intern order and are stable for the lifetime of the process, which keeps
+/// experiments reproducible given a fixed construction order.
+class ValuePool {
+ public:
+  /// Interns `name`, returning its stable id.
+  static Value Intern(std::string_view name);
+
+  /// Interns the decimal representation of `n` (convenience for synthetic
+  /// workloads).
+  static Value InternInt(int64_t n);
+
+  /// Returns the name of an interned value.
+  static const std::string& Name(Value v);
+
+  /// Number of interned values so far.
+  static size_t Size();
+
+ private:
+  static ValuePool& Instance();
+
+  std::mutex mutex_;
+  std::unordered_map<std::string, Value> index_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace uocqa
+
+#endif  // UOCQA_DB_VALUE_H_

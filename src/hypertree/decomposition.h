@@ -1,0 +1,104 @@
+// (Generalized) hypertree decompositions of conjunctive queries (paper §2).
+//
+// A generalized hypertree decomposition (GHD) of Q is (T, chi, lambda):
+//   * (T, chi) is a tree decomposition: chi labels vertices with sets of
+//     non-answer variables such that (1) every atom's non-answer variables
+//     are contained in some bag and (2) each variable's bag set induces a
+//     connected subtree;
+//   * lambda labels each vertex with a set of query atoms covering its bag.
+// The width is max_v |lambda(v)|.
+//
+// §5's normal form adds: *complete* (every atom has a covering vertex),
+// *strongly complete* (every vertex is the ≺T-minimal covering vertex of
+// some atom) and *2-uniform* (every internal vertex has exactly 2 children).
+
+#ifndef UOCQA_HYPERTREE_DECOMPOSITION_H_
+#define UOCQA_HYPERTREE_DECOMPOSITION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "query/cq.h"
+
+namespace uocqa {
+
+/// Vertex index within a decomposition tree.
+using DecompVertex = uint32_t;
+
+constexpr DecompVertex kInvalidVertex = static_cast<DecompVertex>(-1);
+
+struct DecompositionNode {
+  std::vector<VarId> bag;       ///< chi(v), sorted, answer vars excluded
+  std::vector<size_t> lambda;   ///< indices into query.atoms(), sorted
+  std::vector<DecompVertex> children;
+  DecompVertex parent = kInvalidVertex;
+};
+
+class HypertreeDecomposition {
+ public:
+  /// Adds a node; parent == kInvalidVertex makes it the root (only once).
+  /// Children are appended in call order, which fixes the sibling order used
+  /// by the ≺T total order.
+  DecompVertex AddNode(std::vector<VarId> bag, std::vector<size_t> lambda,
+                       DecompVertex parent);
+
+  size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+  DecompVertex root() const { return root_; }
+  const DecompositionNode& node(DecompVertex v) const { return nodes_[v]; }
+  const std::vector<DecompositionNode>& nodes() const { return nodes_; }
+
+  /// max_v |lambda(v)| (0 for the empty decomposition).
+  size_t Width() const;
+
+  /// Depth of v (root = 0).
+  size_t Depth(DecompVertex v) const;
+
+  /// The total order ≺T of the paper: by depth, then left-to-right within a
+  /// level (sibling order = insertion order). Returns the rank of v.
+  size_t OrderRank(DecompVertex v) const;
+
+  /// Vertices sorted by ≺T.
+  std::vector<DecompVertex> VerticesInOrder() const;
+
+  /// Structural + semantic validation against `query`:
+  /// tree-shape well-formedness, bag coverage of every atom, connectedness,
+  /// and chi(v) ⊆ vars(lambda(v)).
+  Status Validate(const ConjunctiveQuery& query) const;
+
+  /// v is a covering vertex for atom a: non-answer vars of a ⊆ chi(v) and
+  /// a ∈ lambda(v) (paper §5, following [27]).
+  bool IsCoveringVertex(const ConjunctiveQuery& query, DecompVertex v,
+                        size_t atom_idx) const;
+
+  /// ≺T-minimal covering vertex of an atom; kInvalidVertex if none.
+  DecompVertex MinimalCoveringVertex(const ConjunctiveQuery& query,
+                                     size_t atom_idx) const;
+
+  /// Every atom has a covering vertex.
+  bool IsComplete(const ConjunctiveQuery& query) const;
+
+  /// Complete, and every vertex is the ≺T-minimal covering vertex of some
+  /// atom.
+  bool IsStronglyComplete(const ConjunctiveQuery& query) const;
+
+  /// Every non-leaf vertex has exactly `l` children.
+  bool IsUniform(size_t l) const;
+
+  std::string ToString(const ConjunctiveQuery& query) const;
+
+ private:
+  DecompVertex root_ = kInvalidVertex;
+  std::vector<DecompositionNode> nodes_;
+};
+
+/// True iff (D, Q, H) is in the paper's normal form: every relation of D
+/// occurs in Q, and H is strongly complete and 2-uniform.
+bool IsInNormalForm(const class Database& db, const ConjunctiveQuery& query,
+                    const HypertreeDecomposition& h);
+
+}  // namespace uocqa
+
+#endif  // UOCQA_HYPERTREE_DECOMPOSITION_H_

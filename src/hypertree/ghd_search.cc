@@ -1,0 +1,275 @@
+#include "hypertree/ghd_search.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "hypertree/gyo.h"
+
+namespace uocqa {
+
+namespace {
+
+using Mask = uint64_t;  // bitset over atoms or over (dense) variables
+
+/// A decomposition subtree produced by the search.
+struct SearchNode {
+  Mask chi = 0;     // variable mask
+  Mask lambda = 0;  // atom mask
+  std::vector<std::unique_ptr<SearchNode>> children;
+};
+
+class Searcher {
+ public:
+  Searcher(const ConjunctiveQuery& query, size_t k) : query_(query), k_(k) {
+    // Dense ids for non-answer variables.
+    std::unordered_set<VarId> answers(query.answer_vars().begin(),
+                                      query.answer_vars().end());
+    for (VarId v : query.AllVariables()) {
+      if (answers.find(v) == answers.end()) {
+        var_ids_.push_back(v);
+      }
+    }
+    atom_vars_.resize(query.atom_count(), 0);
+    for (size_t i = 0; i < query.atom_count(); ++i) {
+      for (VarId v : query.atoms()[i].Variables()) {
+        auto it = std::find(var_ids_.begin(), var_ids_.end(), v);
+        if (it != var_ids_.end()) {
+          atom_vars_[i] |= Mask{1} << (it - var_ids_.begin());
+        }
+      }
+    }
+    // Candidate lambda sets: all non-empty subsets of atoms of size <= k.
+    std::vector<size_t> current;
+    EnumerateLambdas(0, current);
+  }
+
+  bool TooManyVars() const { return var_ids_.size() > 64; }
+
+  /// Attempts the full search; nullptr on failure.
+  std::unique_ptr<SearchNode> Run() {
+    Mask all_atoms = 0;
+    for (size_t i = 0; i < query_.atom_count(); ++i) {
+      if (atom_vars_[i] != 0) all_atoms |= Mask{1} << i;
+    }
+    if (all_atoms == 0) {
+      // No atom has variables: a single node with empty bag covering one
+      // atom (lambda must be non-empty only if there are atoms; take atom 0
+      // if it exists).
+      auto node = std::make_unique<SearchNode>();
+      if (query_.atom_count() > 0) node->lambda = 1;
+      return node;
+    }
+    auto root = Decompose(all_atoms, 0);
+    if (root == nullptr) return nullptr;
+    AttachVarFreeAtoms(root.get());
+    return root;
+  }
+
+  /// Converts the search tree into a HypertreeDecomposition.
+  void Materialize(const SearchNode* node, DecompVertex parent,
+                   HypertreeDecomposition* out) const {
+    std::vector<VarId> bag;
+    for (size_t b = 0; b < var_ids_.size(); ++b) {
+      if (node->chi & (Mask{1} << b)) bag.push_back(var_ids_[b]);
+    }
+    std::vector<size_t> lambda;
+    for (size_t i = 0; i < query_.atom_count(); ++i) {
+      if (node->lambda & (Mask{1} << i)) lambda.push_back(i);
+    }
+    DecompVertex v = out->AddNode(std::move(bag), std::move(lambda), parent);
+    for (const auto& child : node->children) {
+      Materialize(child.get(), v, out);
+    }
+  }
+
+ private:
+  void EnumerateLambdas(size_t start, std::vector<size_t>& current) {
+    if (!current.empty()) {
+      Mask lambda = 0;
+      Mask vars = 0;
+      for (size_t i : current) {
+        lambda |= Mask{1} << i;
+        vars |= atom_vars_[i];
+      }
+      lambdas_.push_back({lambda, vars});
+    }
+    if (current.size() == k_) return;
+    for (size_t i = start; i < query_.atom_count(); ++i) {
+      current.push_back(i);
+      EnumerateLambdas(i + 1, current);
+      current.pop_back();
+    }
+  }
+
+  /// Splits `atoms` into connected components w.r.t. shared variables
+  /// outside `chi`.
+  std::vector<Mask> Components(Mask atoms, Mask chi) const {
+    std::vector<Mask> out;
+    Mask left = atoms;
+    while (left != 0) {
+      size_t seed = static_cast<size_t>(__builtin_ctzll(left));
+      Mask comp = Mask{1} << seed;
+      Mask comp_vars = atom_vars_[seed] & ~chi;
+      bool grew = true;
+      while (grew) {
+        grew = false;
+        Mask rest = left & ~comp;
+        for (Mask m = rest; m != 0; m &= m - 1) {
+          size_t i = static_cast<size_t>(__builtin_ctzll(m));
+          if (atom_vars_[i] & comp_vars) {
+            comp |= Mask{1} << i;
+            comp_vars |= atom_vars_[i] & ~chi;
+            grew = true;
+          }
+        }
+      }
+      out.push_back(comp);
+      left &= ~comp;
+    }
+    return out;
+  }
+
+  Mask VarsOf(Mask atoms) const {
+    Mask v = 0;
+    for (Mask m = atoms; m != 0; m &= m - 1) {
+      v |= atom_vars_[static_cast<size_t>(__builtin_ctzll(m))];
+    }
+    return v;
+  }
+
+  /// Recursive separator search: decomposes `comp` (atoms) whose interface
+  /// to the parent bag is `connector` (variables). Memoized.
+  std::unique_ptr<SearchNode> Decompose(Mask comp, Mask connector) {
+    auto key = std::make_pair(comp, connector);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) {
+      if (!it->second) return nullptr;        // known failure (or in progress)
+      return CloneTree(it->second.get());
+    }
+    memo_[key] = nullptr;  // mark in progress / failure by default
+    Mask comp_vars = VarsOf(comp);
+    for (const auto& [lambda, lambda_vars] : lambdas_) {
+      if ((connector & ~lambda_vars) != 0) continue;  // must cover connector
+      Mask chi = lambda_vars & (connector | comp_vars);
+      // Atoms of the component fully covered by this bag.
+      Mask covered = 0;
+      for (Mask m = comp; m != 0; m &= m - 1) {
+        size_t i = static_cast<size_t>(__builtin_ctzll(m));
+        if ((atom_vars_[i] & ~chi) == 0) covered |= Mask{1} << i;
+      }
+      Mask rest = comp & ~covered;
+      std::vector<Mask> comps = Components(rest, chi);
+      // Progress requirement: every child component must be strictly
+      // smaller than comp (prevents unbounded recursion).
+      bool ok = true;
+      for (Mask c : comps) {
+        if (c == comp) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      std::vector<std::unique_ptr<SearchNode>> children;
+      for (Mask c : comps) {
+        auto child = Decompose(c, VarsOf(c) & chi);
+        if (child == nullptr) {
+          ok = false;
+          break;
+        }
+        children.push_back(std::move(child));
+      }
+      if (!ok) continue;
+      auto node = std::make_unique<SearchNode>();
+      node->chi = chi;
+      node->lambda = lambda;
+      node->children = std::move(children);
+      memo_[key] = CloneTree(node.get());
+      return node;
+    }
+    return nullptr;
+  }
+
+  static std::unique_ptr<SearchNode> CloneTree(const SearchNode* node) {
+    auto out = std::make_unique<SearchNode>();
+    out->chi = node->chi;
+    out->lambda = node->lambda;
+    for (const auto& c : node->children) out->children.push_back(CloneTree(c.get()));
+    return out;
+  }
+
+  /// Atoms with no (non-answer) variables still need a covering vertex in a
+  /// complete decomposition; hang them under the root.
+  void AttachVarFreeAtoms(SearchNode* root) const {
+    for (size_t i = 0; i < query_.atom_count(); ++i) {
+      if (atom_vars_[i] == 0) {
+        auto node = std::make_unique<SearchNode>();
+        node->lambda = Mask{1} << i;
+        root->children.push_back(std::move(node));
+      }
+    }
+  }
+
+  const ConjunctiveQuery& query_;
+  size_t k_;
+  std::vector<VarId> var_ids_;
+  std::vector<Mask> atom_vars_;
+  std::vector<std::pair<Mask, Mask>> lambdas_;  // (atom mask, var mask)
+  std::map<std::pair<Mask, Mask>, std::unique_ptr<SearchNode>> memo_;
+};
+
+}  // namespace
+
+Result<HypertreeDecomposition> FindGhdOfWidth(const ConjunctiveQuery& query,
+                                              size_t k) {
+  if (query.atom_count() == 0) {
+    return Status::FailedPrecondition("query has no atoms");
+  }
+  if (query.atom_count() > 63) {
+    return Status::InvalidArgument("too many atoms for mask-based search");
+  }
+  if (k == 0) return Status::InvalidArgument("width must be positive");
+  Searcher searcher(query, k);
+  if (searcher.TooManyVars()) {
+    return Status::InvalidArgument("more than 64 non-answer variables");
+  }
+  std::unique_ptr<SearchNode> tree = searcher.Run();
+  if (tree == nullptr) {
+    return Status::NotFound("no GHD of width " + std::to_string(k) +
+                            " found");
+  }
+  HypertreeDecomposition h;
+  searcher.Materialize(tree.get(), kInvalidVertex, &h);
+  UOCQA_RETURN_IF_ERROR(h.Validate(query));
+  return h;
+}
+
+Result<GhwResult> ComputeGhw(const ConjunctiveQuery& query, size_t max_k) {
+  for (size_t k = 1; k <= max_k; ++k) {
+    Result<HypertreeDecomposition> h = FindGhdOfWidth(query, k);
+    if (h.ok()) {
+      GhwResult out;
+      out.width = k;
+      out.decomposition = std::move(h).value();
+      return out;
+    }
+    if (h.status().code() != StatusCode::kNotFound) return h.status();
+  }
+  return Status::NotFound("no GHD of width <= " + std::to_string(max_k));
+}
+
+Result<HypertreeDecomposition> DecomposeQuery(const ConjunctiveQuery& query,
+                                              size_t max_k) {
+  if (IsAcyclic(query)) {
+    Result<HypertreeDecomposition> jt = BuildJoinTree(query);
+    if (jt.ok()) return jt;
+  }
+  UOCQA_ASSIGN_OR_RETURN(GhwResult r, ComputeGhw(query, max_k));
+  return std::move(r.decomposition);
+}
+
+}  // namespace uocqa

@@ -1,0 +1,43 @@
+// Exhaustive search for generalized hypertree decompositions of width <= k.
+//
+// Deciding ghw(Q) <= k is NP-hard in general; this module implements a
+// det-k-decomp-style recursive separator search (memoized on
+// (component, connector) pairs) that is exact on the query families used in
+// this repository (chains, stars, cycles, cliques, the paper's reduction
+// queries) and always returns *valid* decompositions (checked by
+// HypertreeDecomposition::Validate). The paper's pipeline only needs *some*
+// width-l decomposition with k <= l <= 3k+1 (§3.2); an exact small-width
+// search more than suffices.
+
+#ifndef UOCQA_HYPERTREE_GHD_SEARCH_H_
+#define UOCQA_HYPERTREE_GHD_SEARCH_H_
+
+#include <cstddef>
+
+#include "base/status.h"
+#include "hypertree/decomposition.h"
+#include "query/cq.h"
+
+namespace uocqa {
+
+/// Finds a GHD of Q of width <= k; NotFound if the search cannot produce
+/// one. Supports up to 64 distinct non-answer variables.
+Result<HypertreeDecomposition> FindGhdOfWidth(const ConjunctiveQuery& query,
+                                              size_t k);
+
+/// Smallest k <= max_k for which FindGhdOfWidth succeeds, together with the
+/// witnessing decomposition.
+struct GhwResult {
+  size_t width = 0;
+  HypertreeDecomposition decomposition;
+};
+Result<GhwResult> ComputeGhw(const ConjunctiveQuery& query, size_t max_k = 8);
+
+/// Convenience used by the OCQA pipeline: a join tree when the query is
+/// acyclic, otherwise the smallest-width GHD found.
+Result<HypertreeDecomposition> DecomposeQuery(const ConjunctiveQuery& query,
+                                              size_t max_k = 8);
+
+}  // namespace uocqa
+
+#endif  // UOCQA_HYPERTREE_GHD_SEARCH_H_

@@ -1,0 +1,129 @@
+#include "hypertree/gyo.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace uocqa {
+
+namespace {
+
+/// Non-answer variables of each atom as sorted vectors.
+std::vector<std::vector<VarId>> AtomVarSets(const ConjunctiveQuery& query) {
+  std::unordered_set<VarId> answers(query.answer_vars().begin(),
+                                    query.answer_vars().end());
+  std::vector<std::vector<VarId>> out(query.atom_count());
+  for (size_t i = 0; i < query.atom_count(); ++i) {
+    for (VarId v : query.atoms()[i].Variables()) {
+      if (answers.find(v) == answers.end()) out[i].push_back(v);
+    }
+    std::sort(out[i].begin(), out[i].end());
+  }
+  return out;
+}
+
+struct GyoResult {
+  bool acyclic = false;
+  // For every atom (except the root), the witness atom it hangs under.
+  std::vector<size_t> parent;       // parent[i] == i for the root
+  std::vector<size_t> removal_order;
+};
+
+GyoResult RunGyo(const ConjunctiveQuery& query) {
+  GyoResult result;
+  size_t n = query.atom_count();
+  std::vector<std::vector<VarId>> vars = AtomVarSets(query);
+  std::vector<bool> removed(n, false);
+  result.parent.assign(n, static_cast<size_t>(-1));
+  size_t remaining = n;
+
+  auto occurs_elsewhere = [&](VarId v, size_t self) {
+    for (size_t j = 0; j < n; ++j) {
+      if (j == self || removed[j]) continue;
+      if (std::binary_search(vars[j].begin(), vars[j].end(), v)) return true;
+    }
+    return false;
+  };
+
+  bool progress = true;
+  while (remaining > 1 && progress) {
+    progress = false;
+    for (size_t i = 0; i < n && remaining > 1; ++i) {
+      if (removed[i]) continue;
+      // Shared variables of atom i with the rest.
+      std::vector<VarId> shared;
+      for (VarId v : vars[i]) {
+        if (occurs_elsewhere(v, i)) shared.push_back(v);
+      }
+      // Find a witness atom containing all shared variables.
+      for (size_t j = 0; j < n; ++j) {
+        if (j == i || removed[j]) continue;
+        bool contains_all = true;
+        for (VarId v : shared) {
+          if (!std::binary_search(vars[j].begin(), vars[j].end(), v)) {
+            contains_all = false;
+            break;
+          }
+        }
+        if (contains_all) {
+          removed[i] = true;
+          result.parent[i] = j;
+          result.removal_order.push_back(i);
+          --remaining;
+          progress = true;
+          break;
+        }
+      }
+    }
+  }
+  if (remaining != 1) {
+    result.acyclic = false;
+    return result;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (!removed[i]) {
+      result.parent[i] = i;  // root
+      result.removal_order.push_back(i);
+    }
+  }
+  result.acyclic = true;
+  return result;
+}
+
+}  // namespace
+
+bool IsAcyclic(const ConjunctiveQuery& query) {
+  if (query.atom_count() == 0) return true;
+  return RunGyo(query).acyclic;
+}
+
+Result<HypertreeDecomposition> BuildJoinTree(const ConjunctiveQuery& query) {
+  if (query.atom_count() == 0) {
+    return Status::FailedPrecondition("query has no atoms");
+  }
+  GyoResult gyo = RunGyo(query);
+  if (!gyo.acyclic) {
+    return Status::FailedPrecondition("query is cyclic (GYO stalled)");
+  }
+  std::vector<std::vector<VarId>> vars = AtomVarSets(query);
+  // Materialize in reverse removal order (root first) so parents exist.
+  HypertreeDecomposition h;
+  std::unordered_map<size_t, DecompVertex> atom_to_vertex;
+  for (size_t idx = gyo.removal_order.size(); idx-- > 0;) {
+    size_t atom = gyo.removal_order[idx];
+    DecompVertex parent = kInvalidVertex;
+    if (gyo.parent[atom] != atom) {
+      auto it = atom_to_vertex.find(gyo.parent[atom]);
+      assert(it != atom_to_vertex.end());
+      parent = it->second;
+    }
+    atom_to_vertex[atom] = h.AddNode(vars[atom], {atom}, parent);
+  }
+  Status st = h.Validate(query);
+  if (!st.ok()) return st;
+  return h;
+}
+
+}  // namespace uocqa

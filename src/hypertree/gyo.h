@@ -1,0 +1,23 @@
+// GYO ear-decomposition: builds a width-1 generalized hypertree decomposition
+// (a join tree) for acyclic conjunctive queries. GHW_1 coincides with the
+// class of acyclic CQs (paper §2).
+
+#ifndef UOCQA_HYPERTREE_GYO_H_
+#define UOCQA_HYPERTREE_GYO_H_
+
+#include "base/status.h"
+#include "hypertree/decomposition.h"
+#include "query/cq.h"
+
+namespace uocqa {
+
+/// True iff the query's hypergraph (over non-answer variables) is acyclic.
+bool IsAcyclic(const ConjunctiveQuery& query);
+
+/// Builds a join tree (one vertex per atom, width 1) via GYO ear removal.
+/// Fails with FailedPrecondition if the query is cyclic.
+Result<HypertreeDecomposition> BuildJoinTree(const ConjunctiveQuery& query);
+
+}  // namespace uocqa
+
+#endif  // UOCQA_HYPERTREE_GYO_H_

@@ -1,0 +1,53 @@
+// The normal form of (D, Q, H) (paper §5 and Appendix E).
+//
+// (D, Q, H) is in normal form iff (i) every relation name in D occurs in Q
+// and (ii) H is strongly complete and 2-uniform. Proposition E.1: every
+// instance can be converted (in logspace) into a normal-form instance
+// (D̂, Q̂, Ĥ) of width k+1 preserving both counts
+//   |{D' ∈ ORep(D,Σ) : c̄ ∈ Q(D')}|   and   |{s ∈ CRS(D,Σ) : c̄ ∈ Q(s(D))}|.
+//
+// The construction adds:
+//  * for each relation P_i of D missing from Q: an atom P_i(z̄_i) with fresh
+//    variables plus a fresh unary atom P'_i(z'_i), a fact P'_i(c), and a
+//    chain of decomposition vertices v_{P_i} → {v_{P'_i}, ...} on top of the
+//    old root;
+//  * for each vertex v of H with h children: h+1 fresh unary atoms
+//    S_v^{(j)}(w_v^{(j)}) with facts S_v^{(j)}(c), replacing v by the chain
+//    v^{(1)}, ..., v^{(h+1)} where v^{(i)} has children {v^{(i+1)}, u_i^{(1)}}.
+
+#ifndef UOCQA_HYPERTREE_NORMAL_FORM_H_
+#define UOCQA_HYPERTREE_NORMAL_FORM_H_
+
+#include "base/status.h"
+#include "db/database.h"
+#include "db/keys.h"
+#include "hypertree/decomposition.h"
+#include "query/cq.h"
+
+namespace uocqa {
+
+/// Completion step (Lemma E.2, following [1]): returns a *complete*
+/// decomposition of the same width: every atom lacking a covering vertex
+/// gets a fresh child vertex {bag = its non-answer vars, lambda = {atom}}
+/// under a vertex whose bag already contains those vars.
+Result<HypertreeDecomposition> CompleteDecomposition(
+    const ConjunctiveQuery& query, const HypertreeDecomposition& h);
+
+/// A normal-form instance. The key set is unchanged by the construction
+/// (fresh relations are keyless, and their facts are singleton blocks).
+struct NormalFormInstance {
+  Database db;
+  ConjunctiveQuery query;
+  HypertreeDecomposition decomposition;
+};
+
+/// Appendix E construction. `h` must validate against `query`; it is
+/// completed first if needed. The result satisfies IsInNormalForm and has
+/// width(Ĥ) = width(H) + 1.
+Result<NormalFormInstance> ToNormalForm(const Database& db,
+                                        const ConjunctiveQuery& query,
+                                        const HypertreeDecomposition& h);
+
+}  // namespace uocqa
+
+#endif  // UOCQA_HYPERTREE_NORMAL_FORM_H_

@@ -1,0 +1,194 @@
+#include "hypertree/yannakakis.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "base/hashing.h"
+#include "hypertree/gyo.h"
+#include "query/eval.h"
+
+namespace uocqa {
+
+namespace {
+
+/// Variables of an atom in first-occurrence order.
+std::vector<VarId> AtomVars(const QueryAtom& atom) { return atom.Variables(); }
+
+/// A match of one atom: values of its variables (aligned with AtomVars).
+using Match = std::vector<Value>;
+
+}  // namespace
+
+Result<YannakakisEvaluator> YannakakisEvaluator::Create(
+    const Database& db, const ConjunctiveQuery& query,
+    const HypertreeDecomposition& join_tree) {
+  UOCQA_RETURN_IF_ERROR(join_tree.Validate(query));
+  if (join_tree.size() != query.atom_count()) {
+    return Status::FailedPrecondition(
+        "join tree must have exactly one vertex per atom");
+  }
+  YannakakisEvaluator out;
+  out.db_ = &db;
+  out.query_ = &query;
+  out.root_ = join_tree.root();
+  out.topo_ = join_tree.VerticesInOrder();
+  out.nodes_.resize(join_tree.size());
+  std::vector<bool> atom_used(query.atom_count(), false);
+  for (DecompVertex v = 0; v < join_tree.size(); ++v) {
+    const DecompositionNode& n = join_tree.node(v);
+    if (n.lambda.size() != 1) {
+      return Status::FailedPrecondition("join tree width must be 1");
+    }
+    if (atom_used[n.lambda[0]]) {
+      return Status::FailedPrecondition("atom covered twice in join tree");
+    }
+    atom_used[n.lambda[0]] = true;
+    out.nodes_[v].atom_idx = n.lambda[0];
+    out.nodes_[v].children = n.children;
+  }
+  for (bool used : atom_used) {
+    if (!used) {
+      return Status::FailedPrecondition("join tree misses an atom");
+    }
+  }
+  // Join columns for each edge: shared variables between parent and child
+  // atoms, as positions into the respective variable lists.
+  for (DecompVertex v = 0; v < join_tree.size(); ++v) {
+    DecompVertex parent = join_tree.node(v).parent;
+    if (parent == kInvalidVertex) continue;
+    std::vector<VarId> mine = AtomVars(query.atoms()[out.nodes_[v].atom_idx]);
+    std::vector<VarId> theirs =
+        AtomVars(query.atoms()[out.nodes_[parent].atom_idx]);
+    for (size_t i = 0; i < mine.size(); ++i) {
+      auto it = std::find(theirs.begin(), theirs.end(), mine[i]);
+      if (it == theirs.end()) continue;
+      out.nodes_[v].own_join_cols.push_back(static_cast<uint32_t>(i));
+      out.nodes_[v].parent_join_cols.push_back(
+          static_cast<uint32_t>(it - theirs.begin()));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Enumerates an atom's matches against the database, honouring constants,
+/// repeated variables, and pinned answer variables.
+std::vector<Match> AtomMatches(const Database& db,
+                               const ConjunctiveQuery& query, size_t atom_idx,
+                               const std::vector<Value>& pinned) {
+  const QueryAtom& atom = query.atoms()[atom_idx];
+  std::vector<VarId> vars = atom.Variables();
+  std::vector<Match> out;
+  const std::string& rel_name = query.schema().name(atom.relation);
+  RelationId dr = db.schema().Find(rel_name);
+  if (dr == kInvalidRelation) return out;
+  for (FactId fid : db.FactsOfRelation(dr)) {
+    const Fact& fact = db.fact(fid);
+    Match m(vars.size(), kUnassignedValue);
+    bool ok = true;
+    for (size_t t = 0; t < atom.terms.size() && ok; ++t) {
+      const Term& term = atom.terms[t];
+      Value c = fact.args[t];
+      if (term.is_const()) {
+        ok = (term.id == c);
+        continue;
+      }
+      size_t pos = std::find(vars.begin(), vars.end(), term.id) -
+                   vars.begin();
+      if (m[pos] == kUnassignedValue) {
+        m[pos] = c;
+      } else {
+        ok = (m[pos] == c);
+      }
+      if (ok && pinned[term.id] != kUnassignedValue) {
+        ok = (pinned[term.id] == c);
+      }
+    }
+    if (ok) out.push_back(std::move(m));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<Value> Project(const Match& m, const std::vector<uint32_t>& cols) {
+  std::vector<Value> out;
+  out.reserve(cols.size());
+  for (uint32_t c : cols) out.push_back(m[c]);
+  return out;
+}
+
+}  // namespace
+
+BigInt YannakakisEvaluator::CountHomomorphisms(
+    const std::vector<Value>& answer_tuple) const {
+  const ConjunctiveQuery& query = *query_;
+  assert(answer_tuple.size() == query.answer_vars().size());
+  std::vector<Value> pinned(query.variable_count(), kUnassignedValue);
+  for (size_t i = 0; i < answer_tuple.size(); ++i) {
+    VarId v = query.answer_vars()[i];
+    if (pinned[v] != kUnassignedValue && pinned[v] != answer_tuple[i]) {
+      return BigInt();  // repeated answer variable bound inconsistently
+    }
+    pinned[v] = answer_tuple[i];
+  }
+
+  // child_maps[v]: projection onto the parent join columns -> sum of counts
+  // of v-subtree homomorphism extensions.
+  std::vector<std::unordered_map<std::vector<Value>, BigInt,
+                                 VectorHash<Value>>>
+      child_maps(nodes_.size());
+
+  for (size_t idx = topo_.size(); idx-- > 0;) {
+    DecompVertex v = topo_[idx];
+    const Node& node = nodes_[v];
+    std::vector<Match> matches =
+        AtomMatches(*db_, query, node.atom_idx, pinned);
+    std::unordered_map<std::vector<Value>, BigInt, VectorHash<Value>> map;
+    for (const Match& m : matches) {
+      BigInt count(1);
+      for (DecompVertex child : node.children) {
+        const Node& cn = nodes_[child];
+        auto it = child_maps[child].find(Project(m, cn.parent_join_cols));
+        if (it == child_maps[child].end()) {
+          count = BigInt();
+          break;
+        }
+        count *= it->second;
+      }
+      if (count.IsZero()) continue;
+      map[Project(m, node.own_join_cols)] += count;
+    }
+    child_maps[v] = std::move(map);
+  }
+
+  BigInt total;
+  for (const auto& [key, count] : child_maps[root_]) total += count;
+  return total;
+}
+
+bool YannakakisEvaluator::Entails(
+    const std::vector<Value>& answer_tuple) const {
+  return !CountHomomorphisms(answer_tuple).IsZero();
+}
+
+Result<bool> AcyclicEntails(const Database& db, const ConjunctiveQuery& query,
+                            const std::vector<Value>& answer_tuple) {
+  UOCQA_ASSIGN_OR_RETURN(HypertreeDecomposition jt, BuildJoinTree(query));
+  UOCQA_ASSIGN_OR_RETURN(YannakakisEvaluator eval,
+                         YannakakisEvaluator::Create(db, query, jt));
+  return eval.Entails(answer_tuple);
+}
+
+Result<BigInt> AcyclicCountHomomorphisms(
+    const Database& db, const ConjunctiveQuery& query,
+    const std::vector<Value>& answer_tuple) {
+  UOCQA_ASSIGN_OR_RETURN(HypertreeDecomposition jt, BuildJoinTree(query));
+  UOCQA_ASSIGN_OR_RETURN(YannakakisEvaluator eval,
+                         YannakakisEvaluator::Create(db, query, jt));
+  return eval.CountHomomorphisms(answer_tuple);
+}
+
+}  // namespace uocqa

@@ -1,0 +1,65 @@
+// Yannakakis-style evaluation of acyclic conjunctive queries over a join
+// tree: bottom-up semi-join reduction, then a top-down pass, answering
+// Boolean entailment and counting homomorphisms in polynomial time
+// (backtracking evaluation in eval.h is exponential in |Q| in the worst
+// case — this is the combined-complexity-friendly path for GHW_1).
+
+#ifndef UOCQA_HYPERTREE_YANNAKAKIS_H_
+#define UOCQA_HYPERTREE_YANNAKAKIS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/bigint.h"
+#include "base/status.h"
+#include "db/database.h"
+#include "hypertree/decomposition.h"
+#include "query/cq.h"
+
+namespace uocqa {
+
+/// Evaluator over a width-1 decomposition (join tree: |lambda(v)| == 1 for
+/// every vertex, one vertex per atom).
+class YannakakisEvaluator {
+ public:
+  /// `join_tree` must be a validated width-1, complete decomposition of
+  /// `query` covering every atom exactly once (BuildJoinTree produces
+  /// this).
+  static Result<YannakakisEvaluator> Create(
+      const Database& db, const ConjunctiveQuery& query,
+      const HypertreeDecomposition& join_tree);
+
+  /// c̄ ∈ Q(D)?
+  bool Entails(const std::vector<Value>& answer_tuple) const;
+
+  /// |{h : Q -> D, h(x̄) = c̄}| — number of homomorphisms, exact, in
+  /// polynomial time (BigInt; counts can be |D|^|vars|).
+  BigInt CountHomomorphisms(const std::vector<Value>& answer_tuple) const;
+
+ private:
+  struct Node {
+    size_t atom_idx = 0;
+    std::vector<uint32_t> parent_join_cols;  // positions in parent's tuples
+    std::vector<uint32_t> own_join_cols;     // matching positions here
+    std::vector<DecompVertex> children;
+  };
+
+  const Database* db_ = nullptr;
+  const ConjunctiveQuery* query_ = nullptr;
+  std::vector<Node> nodes_;                 // indexed by decomposition vertex
+  std::vector<DecompVertex> topo_;          // root first
+  DecompVertex root_ = kInvalidVertex;
+};
+
+/// Convenience: build the join tree (GYO) and evaluate once.
+Result<bool> AcyclicEntails(const Database& db, const ConjunctiveQuery& query,
+                            const std::vector<Value>& answer_tuple);
+
+/// Convenience: exact homomorphism count for an acyclic query.
+Result<BigInt> AcyclicCountHomomorphisms(
+    const Database& db, const ConjunctiveQuery& query,
+    const std::vector<Value>& answer_tuple);
+
+}  // namespace uocqa
+
+#endif  // UOCQA_HYPERTREE_YANNAKAKIS_H_

@@ -1,0 +1,134 @@
+#include "ocqa/assignments.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+namespace uocqa {
+
+Result<AssignmentIndex> AssignmentIndex::Build(
+    const Database& db, const ConjunctiveQuery& query,
+    const HypertreeDecomposition& h,
+    const std::vector<Value>& answer_tuple) {
+  if (answer_tuple.size() != query.answer_vars().size()) {
+    return Status::InvalidArgument("answer tuple arity mismatch");
+  }
+  // Forced bindings x̄ ↦ c̄ (repeated answer variables must agree).
+  std::vector<std::pair<VarId, Value>> answer_bindings;
+  for (size_t i = 0; i < answer_tuple.size(); ++i) {
+    VarId v = query.answer_vars()[i];
+    for (const auto& [bv, bc] : answer_bindings) {
+      if (bv == v && bc != answer_tuple[i]) {
+        return Status::InvalidArgument(
+            "answer tuple binds a repeated variable inconsistently");
+      }
+    }
+    answer_bindings.emplace_back(v, answer_tuple[i]);
+  }
+
+  // Candidate facts per query atom (resolved by relation name).
+  std::vector<std::vector<FactId>> candidates(query.atom_count());
+  for (size_t ai = 0; ai < query.atom_count(); ++ai) {
+    const std::string& name =
+        query.schema().name(query.atoms()[ai].relation);
+    RelationId dr = db.schema().Find(name);
+    if (dr == kInvalidRelation) continue;
+    candidates[ai] = db.FactsOfRelation(dr);
+  }
+
+  AssignmentIndex out;
+  out.h_ = &h;
+  out.per_vertex_.resize(h.size());
+
+  for (DecompVertex v = 0; v < h.size(); ++v) {
+    const std::vector<size_t>& lambda = h.node(v).lambda;
+    // Depth-first product over lambda atoms with incremental binding checks.
+    std::vector<FactId> chosen(lambda.size(), kInvalidFact);
+    std::vector<std::pair<VarId, Value>> bindings = answer_bindings;
+    std::function<void(size_t)> rec = [&](size_t pos) {
+      if (pos == lambda.size()) {
+        VertexAssignment a;
+        a.atom_facts = chosen;
+        // Keep only bindings of variables in this vertex's atoms, sorted
+        // and deduplicated (answer bindings are implied globally and kept
+        // for uniform compatibility checks).
+        a.bindings = bindings;
+        std::sort(a.bindings.begin(), a.bindings.end());
+        a.bindings.erase(std::unique(a.bindings.begin(), a.bindings.end()),
+                         a.bindings.end());
+        out.per_vertex_[v].push_back(std::move(a));
+        return;
+      }
+      const QueryAtom& atom = query.atoms()[lambda[pos]];
+      for (FactId fid : candidates[lambda[pos]]) {
+        const Fact& fact = db.fact(fid);
+        size_t added = 0;
+        bool ok = true;
+        for (size_t t = 0; t < atom.terms.size() && ok; ++t) {
+          const Term& term = atom.terms[t];
+          Value c = fact.args[t];
+          if (term.is_const()) {
+            ok = (term.id == c);
+            continue;
+          }
+          // Variable: check against existing bindings.
+          bool found = false;
+          for (const auto& [bv, bc] : bindings) {
+            if (bv == term.id) {
+              found = true;
+              ok = (bc == c);
+              break;
+            }
+          }
+          if (!found) {
+            bindings.emplace_back(term.id, c);
+            ++added;
+          }
+        }
+        if (ok) {
+          chosen[pos] = fid;
+          rec(pos + 1);
+        }
+        bindings.resize(bindings.size() - added);
+      }
+    };
+    rec(0);
+  }
+  return out;
+}
+
+bool AssignmentIndex::Compatible(const VertexAssignment& a,
+                                 const VertexAssignment& b) {
+  // Merge-join over sorted bindings.
+  size_t i = 0, j = 0;
+  while (i < a.bindings.size() && j < b.bindings.size()) {
+    if (a.bindings[i].first < b.bindings[j].first) {
+      ++i;
+    } else if (a.bindings[i].first > b.bindings[j].first) {
+      ++j;
+    } else {
+      if (a.bindings[i].second != b.bindings[j].second) return false;
+      ++i;
+      ++j;
+    }
+  }
+  return true;
+}
+
+FactId AssignmentIndex::AssignedFact(DecompVertex v,
+                                     const VertexAssignment& a,
+                                     size_t atom_idx) const {
+  const std::vector<size_t>& lambda = h_->node(v).lambda;
+  for (size_t i = 0; i < lambda.size(); ++i) {
+    if (lambda[i] == atom_idx) return a.atom_facts[i];
+  }
+  return kInvalidFact;
+}
+
+size_t AssignmentIndex::TotalAssignments() const {
+  size_t n = 0;
+  for (const auto& v : per_vertex_) n += v.size();
+  return n;
+}
+
+}  // namespace uocqa

@@ -1,0 +1,66 @@
+// Tuple-mapping enumeration shared by Rep[k] and Seq[k] (Algorithms 1, 2).
+//
+// At each decomposition vertex v with lambda(v) = {R_i1(ȳ_i1),...,R_il(ȳ_il)}
+// the procedures guess a *coherent* set A' = {ȳ_ij ↦ c̄_j} of tuple mappings
+// with R_ij(c̄_j) ∈ D, coherent with x̄ ↦ c̄ and with the parent's guess.
+// Coherence (paper §5): constants map to themselves and shared variables map
+// consistently. This module materializes, per vertex, all coherent
+// assignments and provides the parent/child compatibility predicate.
+
+#ifndef UOCQA_OCQA_ASSIGNMENTS_H_
+#define UOCQA_OCQA_ASSIGNMENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/status.h"
+#include "db/database.h"
+#include "hypertree/decomposition.h"
+#include "query/cq.h"
+
+namespace uocqa {
+
+/// One coherent guess at a vertex: a database fact per lambda atom plus the
+/// induced variable bindings.
+struct VertexAssignment {
+  /// Aligned with node(v).lambda: the fact assigned to each atom.
+  std::vector<FactId> atom_facts;
+  /// Induced bindings, sorted by variable id.
+  std::vector<std::pair<VarId, Value>> bindings;
+};
+
+class AssignmentIndex {
+ public:
+  /// Enumerates coherent assignments for every vertex of `h`. The query's
+  /// relations are resolved against `db` by name; atoms over relations with
+  /// no facts yield vertices with zero assignments (empty language).
+  /// `answer_tuple` must have one constant per answer variable.
+  static Result<AssignmentIndex> Build(const Database& db,
+                                       const ConjunctiveQuery& query,
+                                       const HypertreeDecomposition& h,
+                                       const std::vector<Value>& answer_tuple);
+
+  const std::vector<VertexAssignment>& ForVertex(DecompVertex v) const {
+    return per_vertex_[v];
+  }
+
+  /// Do two assignments agree on every shared variable?
+  static bool Compatible(const VertexAssignment& a, const VertexAssignment& b);
+
+  /// The fact assigned to atom `atom_idx` (a global query atom index) by
+  /// assignment `a` at vertex `v`; kInvalidFact if the atom is not in
+  /// lambda(v).
+  FactId AssignedFact(DecompVertex v, const VertexAssignment& a,
+                      size_t atom_idx) const;
+
+  /// Total number of assignments across vertices (diagnostics).
+  size_t TotalAssignments() const;
+
+ private:
+  const HypertreeDecomposition* h_ = nullptr;
+  std::vector<std::vector<VertexAssignment>> per_vertex_;
+};
+
+}  // namespace uocqa
+
+#endif  // UOCQA_OCQA_ASSIGNMENTS_H_

@@ -1,0 +1,231 @@
+#include "ocqa/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+
+#include "automata/exact_count.h"
+#include "db/blocks.h"
+#include "hypertree/ghd_search.h"
+#include "hypertree/normal_form.h"
+#include "ocqa/rep_builder.h"
+#include "ocqa/seq_builder.h"
+#include "query/eval.h"
+#include "repairs/sampling.h"
+
+namespace uocqa {
+
+struct OcqaEngine::Prepared {
+  NormalFormInstance nf;
+  KeySet keys;  // over nf.db's schema
+};
+
+Result<OcqaEngine::Prepared> OcqaEngine::Prepare(
+    const ConjunctiveQuery& query, const OcqaOptions& options) const {
+  if (!query.IsSelfJoinFree()) {
+    return Status::InvalidArgument(
+        "combined-complexity pipeline requires a self-join-free query");
+  }
+  if (!query.IsSafe()) return Status::InvalidArgument("unsafe query");
+  UOCQA_ASSIGN_OR_RETURN(HypertreeDecomposition h,
+                         DecomposeQuery(query, options.max_width));
+  Prepared out;
+  UOCQA_ASSIGN_OR_RETURN(out.nf, ToNormalForm(db_, query, h));
+  // Remap the key set onto the normal-form schema by relation name. Fresh
+  // pad relations stay keyless (their facts are singleton blocks).
+  for (const auto& [rel, positions] : keys_.Entries()) {
+    RelationId nr = out.nf.db.schema().Find(db_.schema().name(rel));
+    if (nr == kInvalidRelation) continue;  // relation had no facts
+    UOCQA_RETURN_IF_ERROR(out.keys.SetKey(nr, positions));
+  }
+  return out;
+}
+
+ExactRF OcqaEngine::ExactUr(const ConjunctiveQuery& query,
+                            const std::vector<Value>& answer_tuple) const {
+  return ExactRepairFrequency(db_, keys_, query, answer_tuple);
+}
+
+ExactRF OcqaEngine::ExactUs(const ConjunctiveQuery& query,
+                            const std::vector<Value>& answer_tuple) const {
+  return ExactSequenceFrequency(db_, keys_, query, answer_tuple);
+}
+
+Result<ApproxRF> OcqaEngine::ApproxUr(const ConjunctiveQuery& query,
+                                      const std::vector<Value>& answer_tuple,
+                                      const OcqaOptions& options) const {
+  UOCQA_ASSIGN_OR_RETURN(Prepared prep, Prepare(query, options));
+  UOCQA_ASSIGN_OR_RETURN(
+      RepAutomaton rep,
+      BuildRepAutomaton(prep.nf.db, prep.keys, prep.nf.query,
+                        prep.nf.decomposition, answer_tuple));
+  NftaFpras fpras(rep.nfta, options.fpras);
+  ApproxRF out;
+  out.numerator = fpras.EstimateExactSize(rep.tree_size);
+  out.denominator =
+      CountOperationalRepairs(BlockPartition::Compute(db_, keys_)).ToDouble();
+  out.value = out.denominator > 0 ? out.numerator / out.denominator : 0.0;
+  out.automaton_states = rep.nfta.state_count();
+  out.automaton_transitions = rep.nfta.transition_count();
+  return out;
+}
+
+Result<ApproxRF> OcqaEngine::ApproxUs(const ConjunctiveQuery& query,
+                                      const std::vector<Value>& answer_tuple,
+                                      const OcqaOptions& options) const {
+  UOCQA_ASSIGN_OR_RETURN(Prepared prep, Prepare(query, options));
+  UOCQA_ASSIGN_OR_RETURN(
+      SeqAutomaton seq,
+      BuildSeqAutomaton(prep.nf.db, prep.keys, prep.nf.query,
+                        prep.nf.decomposition, answer_tuple));
+  NftaFpras fpras(seq.nfta, options.fpras);
+  ApproxRF out;
+  out.numerator = fpras.EstimateUpTo(seq.max_tree_size);
+  out.denominator =
+      CountCompleteSequencesExact(BlockPartition::Compute(db_, keys_))
+          .ToDouble();
+  out.value = out.denominator > 0 ? out.numerator / out.denominator : 0.0;
+  out.automaton_states = seq.nfta.state_count();
+  out.automaton_transitions = seq.nfta.transition_count();
+  return out;
+}
+
+Result<BigInt> OcqaEngine::RepairsEntailingViaAutomaton(
+    const ConjunctiveQuery& query, const std::vector<Value>& answer_tuple,
+    const OcqaOptions& options) const {
+  UOCQA_ASSIGN_OR_RETURN(Prepared prep, Prepare(query, options));
+  UOCQA_ASSIGN_OR_RETURN(
+      RepAutomaton rep,
+      BuildRepAutomaton(prep.nf.db, prep.keys, prep.nf.query,
+                        prep.nf.decomposition, answer_tuple));
+  ExactTreeCounter counter(rep.nfta);
+  return counter.CountExactSize(rep.tree_size);
+}
+
+Result<BigInt> OcqaEngine::SequencesEntailingViaAutomaton(
+    const ConjunctiveQuery& query, const std::vector<Value>& answer_tuple,
+    const OcqaOptions& options) const {
+  UOCQA_ASSIGN_OR_RETURN(Prepared prep, Prepare(query, options));
+  UOCQA_ASSIGN_OR_RETURN(
+      SeqAutomaton seq,
+      BuildSeqAutomaton(prep.nf.db, prep.keys, prep.nf.query,
+                        prep.nf.decomposition, answer_tuple));
+  ExactTreeCounter counter(seq.nfta);
+  return counter.CountUpTo(seq.max_tree_size);
+}
+
+Result<BigInt> OcqaEngine::ClassicalRepairsEntailingViaAutomaton(
+    const ConjunctiveQuery& query, const std::vector<Value>& answer_tuple,
+    const OcqaOptions& options) const {
+  UOCQA_ASSIGN_OR_RETURN(Prepared prep, Prepare(query, options));
+  RepAutomatonOptions rep_options;
+  rep_options.classical_repairs = true;
+  UOCQA_ASSIGN_OR_RETURN(
+      RepAutomaton rep,
+      BuildRepAutomaton(prep.nf.db, prep.keys, prep.nf.query,
+                        prep.nf.decomposition, answer_tuple, rep_options));
+  ExactTreeCounter counter(rep.nfta);
+  return counter.CountExactSize(rep.tree_size);
+}
+
+BigInt OcqaEngine::CountClassicalRepairs() const {
+  BlockPartition blocks = BlockPartition::Compute(db_, keys_);
+  BigInt out(1);
+  for (const Block& b : blocks.blocks()) {
+    out *= static_cast<uint64_t>(b.size());
+  }
+  return out;
+}
+
+BigInt OcqaEngine::ClassicalRepairsEntailingBruteForce(
+    const ConjunctiveQuery& query,
+    const std::vector<Value>& answer_tuple) const {
+  BlockPartition blocks = BlockPartition::Compute(db_, keys_);
+  BigInt count;
+  ForEachRepair(blocks, [&](const std::vector<BlockOutcome>& outcomes,
+                            const std::vector<FactId>& kept) {
+    for (const BlockOutcome& o : outcomes) {
+      if (!o.has_value()) return true;  // not a classical subset repair
+    }
+    Database repair = db_.Subset(kept);
+    QueryEvaluator eval(repair, query);
+    if (eval.Entails(answer_tuple)) count += uint64_t{1};
+    return true;
+  });
+  return count;
+}
+
+Result<std::vector<std::vector<FactId>>> OcqaEngine::SampleEntailingRepairs(
+    const ConjunctiveQuery& query, const std::vector<Value>& answer_tuple,
+    size_t count, const OcqaOptions& options, uint64_t seed) const {
+  UOCQA_ASSIGN_OR_RETURN(Prepared prep, Prepare(query, options));
+  UOCQA_ASSIGN_OR_RETURN(
+      RepAutomaton rep,
+      BuildRepAutomaton(prep.nf.db, prep.keys, prep.nf.query,
+                        prep.nf.decomposition, answer_tuple));
+  NftaFpras fpras(rep.nfta, options.fpras);
+  Rng rng(seed);
+  std::vector<std::vector<FactId>> out;
+  for (size_t i = 0; i < count; ++i) {
+    std::optional<LabeledTree> tree =
+        fpras.Sample(rng, rep.nfta.initial(), rep.tree_size);
+    if (!tree.has_value()) {
+      if (out.empty()) {
+        return Status::NotFound("no operational repair entails the answer");
+      }
+      break;
+    }
+    UOCQA_ASSIGN_OR_RETURN(std::vector<FactId> kept,
+                           rep.DecodeRepair(*tree, prep.nf.decomposition));
+    // Map normal-form facts back to original fact ids; pad facts (fresh
+    // relations, or the P_i pad tuple absent from the original database)
+    // are dropped.
+    std::vector<FactId> original;
+    for (FactId f : kept) {
+      const Fact& fact = prep.nf.db.fact(f);
+      RelationId orig_rel =
+          db_.schema().Find(prep.nf.db.schema().name(fact.relation));
+      if (orig_rel == kInvalidRelation) continue;
+      FactId orig = db_.Find(Fact(orig_rel, fact.args));
+      if (orig != kInvalidFact) original.push_back(orig);
+    }
+    std::sort(original.begin(), original.end());
+    out.push_back(std::move(original));
+  }
+  return out;
+}
+
+double OcqaEngine::MonteCarloUr(const ConjunctiveQuery& query,
+                                const std::vector<Value>& answer_tuple,
+                                size_t samples, uint64_t seed) const {
+  UniformRepairSampler sampler(db_, keys_);
+  Rng rng(seed);
+  size_t hits = 0;
+  for (size_t i = 0; i < samples; ++i) {
+    Database repair = db_.Subset(sampler.Sample(rng));
+    QueryEvaluator eval(repair, query);
+    if (eval.Entails(answer_tuple)) ++hits;
+  }
+  return samples == 0 ? 0.0
+                      : static_cast<double>(hits) /
+                            static_cast<double>(samples);
+}
+
+double OcqaEngine::MonteCarloUs(const ConjunctiveQuery& query,
+                                const std::vector<Value>& answer_tuple,
+                                size_t samples, uint64_t seed) const {
+  UniformSequenceSampler sampler(db_, keys_);
+  Rng rng(seed);
+  size_t hits = 0;
+  for (size_t i = 0; i < samples; ++i) {
+    RepairingSequence seq = sampler.Sample(rng);
+    Database result = db_.Subset(ApplySequence(db_, seq));
+    QueryEvaluator eval(result, query);
+    if (eval.Entails(answer_tuple)) ++hits;
+  }
+  return samples == 0 ? 0.0
+                      : static_cast<double>(hits) /
+                            static_cast<double>(samples);
+}
+
+}  // namespace uocqa

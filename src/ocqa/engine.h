@@ -1,0 +1,122 @@
+// The OCQA engine: end-to-end solvers for OCQA_ur and OCQA_us (paper §3.1).
+//
+// Given (D, Sigma, Q, c̄) with Q self-join-free of bounded generalized
+// hypertreewidth, the FPRAS pipeline (Theorem 3.6) is:
+//   1. compute a GHD of Q (join tree if acyclic, width-k search otherwise —
+//      the paper's §3.2 only needs *some* width-O(k) decomposition);
+//   2. convert (D, Q, H) to normal form (Appendix E; width k+1);
+//   3. compile Rep[k] / Seq[k] into an NFTA (Lemmas 5.2, 5.3);
+//   4. approximate the numerator via the ♯NFTA FPRAS (Theorem 4.6 / D.1);
+//   5. divide by the polynomial-time exact denominator |ORep| / |CRS| [13].
+//
+// The engine also exposes: exact numerators through the same automata
+// (behaviour-set counting — validates the compilation against brute force),
+// brute-force exact RF (repairs/counting.h), Monte-Carlo baselines over the
+// exact-uniform samplers (the data-complexity regime of [13]), and the
+// ♯SRepairs variant for classical subset repairs (§5.1).
+
+#ifndef UOCQA_OCQA_ENGINE_H_
+#define UOCQA_OCQA_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "automata/fpras.h"
+#include "base/bigint.h"
+#include "base/status.h"
+#include "db/database.h"
+#include "db/keys.h"
+#include "query/cq.h"
+#include "repairs/counting.h"
+
+namespace uocqa {
+
+struct OcqaOptions {
+  FprasConfig fpras;
+  /// Maximum decomposition width to search for cyclic queries.
+  size_t max_width = 6;
+};
+
+/// Result of an approximate relative-frequency computation.
+struct ApproxRF {
+  double numerator = 0;   ///< estimated count
+  double denominator = 0; ///< exact count (as double)
+  double value = 0;       ///< numerator / denominator (0 if denominator 0)
+  size_t automaton_states = 0;
+  size_t automaton_transitions = 0;
+};
+
+class OcqaEngine {
+ public:
+  OcqaEngine(const Database& db, const KeySet& keys) : db_(db), keys_(keys) {}
+
+  // -- exact (exponential-time numerators; ground truth) --------------------
+  ExactRF ExactUr(const ConjunctiveQuery& query,
+                  const std::vector<Value>& answer_tuple) const;
+  ExactRF ExactUs(const ConjunctiveQuery& query,
+                  const std::vector<Value>& answer_tuple) const;
+
+  // -- combined-complexity FPRAS (Theorem 3.6) ------------------------------
+  Result<ApproxRF> ApproxUr(const ConjunctiveQuery& query,
+                            const std::vector<Value>& answer_tuple,
+                            const OcqaOptions& options = {}) const;
+  Result<ApproxRF> ApproxUs(const ConjunctiveQuery& query,
+                            const std::vector<Value>& answer_tuple,
+                            const OcqaOptions& options = {}) const;
+
+  // -- exact numerators through the compiled automata (validation path) -----
+  Result<BigInt> RepairsEntailingViaAutomaton(
+      const ConjunctiveQuery& query, const std::vector<Value>& answer_tuple,
+      const OcqaOptions& options = {}) const;
+  Result<BigInt> SequencesEntailingViaAutomaton(
+      const ConjunctiveQuery& query, const std::vector<Value>& answer_tuple,
+      const OcqaOptions& options = {}) const;
+
+  // -- classical subset repairs (♯SRepairs, §5.1 remark) ---------------------
+  /// |{D' subset repair : c̄ ∈ Q(D')}| exactly, via the ⊥-free automaton.
+  Result<BigInt> ClassicalRepairsEntailingViaAutomaton(
+      const ConjunctiveQuery& query, const std::vector<Value>& answer_tuple,
+      const OcqaOptions& options = {}) const;
+  /// Number of classical subset repairs (prod of block sizes).
+  BigInt CountClassicalRepairs() const;
+  /// Brute-force exact count of subset repairs entailing the query.
+  BigInt ClassicalRepairsEntailingBruteForce(
+      const ConjunctiveQuery& query,
+      const std::vector<Value>& answer_tuple) const;
+
+  // -- repair sampling conditioned on the answer ----------------------------
+  /// Draws `count` approximately-uniform samples from
+  /// {D' ∈ ORep(D,Sigma) : c̄ ∈ Q(D')} via the Rep[k] automaton's tree
+  /// sampler, decoded back to kept fact ids of the *original* database
+  /// (sorted). Useful for "show me plausible consistent worlds supporting
+  /// this answer" exploration.
+  Result<std::vector<std::vector<FactId>>> SampleEntailingRepairs(
+      const ConjunctiveQuery& query, const std::vector<Value>& answer_tuple,
+      size_t count, const OcqaOptions& options = {},
+      uint64_t seed = 1) const;
+
+  // -- Monte-Carlo baselines (data-complexity regime, [13]) -----------------
+  double MonteCarloUr(const ConjunctiveQuery& query,
+                      const std::vector<Value>& answer_tuple, size_t samples,
+                      uint64_t seed) const;
+  double MonteCarloUs(const ConjunctiveQuery& query,
+                      const std::vector<Value>& answer_tuple, size_t samples,
+                      uint64_t seed) const;
+
+  const Database& db() const { return db_; }
+  const KeySet& keys() const { return keys_; }
+
+ private:
+  /// Common pipeline prefix: decompose, normalize, remap keys. On success
+  /// fills the normal-form triple and the key set over its schema.
+  struct Prepared;
+  Result<Prepared> Prepare(const ConjunctiveQuery& query,
+                           const OcqaOptions& options) const;
+
+  const Database& db_;
+  const KeySet& keys_;
+};
+
+}  // namespace uocqa
+
+#endif  // UOCQA_OCQA_ENGINE_H_

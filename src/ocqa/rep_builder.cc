@@ -1,0 +1,203 @@
+#include "ocqa/rep_builder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <map>
+
+#include "ocqa/assignments.h"
+
+namespace uocqa {
+
+namespace {
+
+/// Blocks handled at each vertex: for every query atom whose ≺T-minimal
+/// covering vertex is v, the blocks of its database relation in block order.
+/// Atoms are visited in lambda order, matching Algorithm 1's loop.
+std::vector<std::vector<size_t>> ComputeVertexBlocks(
+    const Database& db, const ConjunctiveQuery& query,
+    const HypertreeDecomposition& h, const BlockPartition& blocks) {
+  std::vector<std::vector<size_t>> out(h.size());
+  for (DecompVertex v = 0; v < h.size(); ++v) {
+    for (size_t atom_idx : h.node(v).lambda) {
+      if (h.MinimalCoveringVertex(query, atom_idx) != v) continue;
+      const std::string& name =
+          query.schema().name(query.atoms()[atom_idx].relation);
+      RelationId dr = db.schema().Find(name);
+      if (dr == kInvalidRelation) continue;
+      for (size_t b : blocks.BlocksOfRelation(dr)) out[v].push_back(b);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<RepAutomaton> BuildRepAutomaton(
+    const Database& db, const KeySet& keys, const ConjunctiveQuery& query,
+    const HypertreeDecomposition& h, const std::vector<Value>& answer_tuple,
+    const RepAutomatonOptions& options) {
+  if (!query.IsSelfJoinFree()) {
+    return Status::FailedPrecondition("query must be self-join-free");
+  }
+  if (!IsInNormalForm(db, query, h)) {
+    return Status::FailedPrecondition("(D, Q, H) must be in normal form");
+  }
+  UOCQA_ASSIGN_OR_RETURN(AssignmentIndex assignments,
+                         AssignmentIndex::Build(db, query, h, answer_tuple));
+
+  RepAutomaton out;
+  out.blocks = BlockPartition::Compute(db, keys);
+  out.vertex_blocks = ComputeVertexBlocks(db, query, h, out.blocks);
+  out.tree_size = 1 + out.blocks.block_count();
+
+  Nfta& nfta = out.nfta;
+  out.epsilon_symbol = nfta.InternSymbol("_eps");
+  out.bottom_symbol = nfta.InternSymbol("_bot");
+  out.fact_symbols.resize(db.size());
+  for (FactId f = 0; f < db.size(); ++f) {
+    out.fact_symbols[f] = nfta.InternSymbol(FactToString(db.schema(),
+                                                         db.fact(f)));
+  }
+
+  // States: (vertex, assignment index, block position). Created eagerly —
+  // the space is |V| * |assignments| * |positions|, polynomial for fixed k.
+  std::map<std::tuple<DecompVertex, size_t, size_t>, NftaState> states;
+  auto state_of = [&](DecompVertex v, size_t a, size_t pos) {
+    auto key = std::make_tuple(v, a, pos);
+    auto it = states.find(key);
+    if (it != states.end()) return it->second;
+    NftaState s = nfta.AddState();
+    states.emplace(key, s);
+    return s;
+  };
+
+  NftaState init = nfta.AddState();
+  nfta.SetInitial(init);
+
+  // Root transitions: ε node with one child per root assignment.
+  for (size_t a = 0; a < assignments.ForVertex(h.root()).size(); ++a) {
+    nfta.AddTransition(init, out.epsilon_symbol,
+                       {state_of(h.root(), a, 0)});
+  }
+
+  // Allowed labels for block `b` under assignment `a` at vertex `v`:
+  //   singleton {β}        -> {β}                  (line 6)
+  //   assigned fact in B   -> {that fact}          (line 7)
+  //   otherwise            -> B ∪ {⊥}              (line 8)
+  auto allowed_labels = [&](DecompVertex v, const VertexAssignment& a,
+                            size_t block_idx) {
+    const Block& block = out.blocks.block(block_idx);
+    std::vector<NftaSymbol> labels;
+    if (block.size() == 1) {
+      labels.push_back(out.fact_symbols[block.facts[0]]);
+      return labels;
+    }
+    for (size_t i = 0; i < h.node(v).lambda.size(); ++i) {
+      FactId assigned = a.atom_facts[i];
+      if (assigned != kInvalidFact &&
+          out.blocks.BlockOf(assigned) == block_idx) {
+        labels.push_back(out.fact_symbols[assigned]);
+        return labels;
+      }
+    }
+    for (FactId f : block.facts) labels.push_back(out.fact_symbols[f]);
+    if (!options.classical_repairs) labels.push_back(out.bottom_symbol);
+    return labels;
+  };
+
+  for (DecompVertex v = 0; v < h.size(); ++v) {
+    const auto& vas = assignments.ForVertex(v);
+    const std::vector<size_t>& vblocks = out.vertex_blocks[v];
+    // Normal form guarantees at least one block per vertex (strong
+    // completeness + every query relation having been resolved). A vertex
+    // with zero blocks can only arise when an atom's relation has no facts,
+    // in which case there are no assignments either and the language is
+    // empty — skip.
+    if (vblocks.empty()) continue;
+    const std::vector<DecompVertex>& children = h.node(v).children;
+    for (size_t a = 0; a < vas.size(); ++a) {
+      for (size_t pos = 0; pos < vblocks.size(); ++pos) {
+        NftaState s = state_of(v, a, pos);
+        std::vector<NftaSymbol> labels = allowed_labels(v, vas[a], vblocks[pos]);
+        bool last = (pos + 1 == vblocks.size());
+        if (!last) {
+          NftaState next = state_of(v, a, pos + 1);
+          for (NftaSymbol sym : labels) nfta.AddTransition(s, sym, {next});
+          continue;
+        }
+        if (children.empty()) {
+          for (NftaSymbol sym : labels) nfta.AddTransition(s, sym, {});
+          continue;
+        }
+        assert(children.size() == 2);  // normal form: 2-uniform
+        const auto& a1s = assignments.ForVertex(children[0]);
+        const auto& a2s = assignments.ForVertex(children[1]);
+        for (size_t a1 = 0; a1 < a1s.size(); ++a1) {
+          if (!AssignmentIndex::Compatible(vas[a], a1s[a1])) continue;
+          NftaState c1 = state_of(children[0], a1, 0);
+          for (size_t a2 = 0; a2 < a2s.size(); ++a2) {
+            if (!AssignmentIndex::Compatible(vas[a], a2s[a2])) continue;
+            NftaState c2 = state_of(children[1], a2, 0);
+            for (NftaSymbol sym : labels) {
+              nfta.AddTransition(s, sym, {c1, c2});
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<FactId>> RepAutomaton::DecodeRepair(
+    const LabeledTree& tree, const HypertreeDecomposition& h) const {
+  if (tree.symbol != epsilon_symbol || tree.children.size() != 1) {
+    return Status::InvalidArgument("tree root is not the ε node");
+  }
+  std::vector<FactId> kept;
+  // Map symbols back to facts.
+  std::map<NftaSymbol, FactId> sym_to_fact;
+  for (FactId f = 0; f < fact_symbols.size(); ++f) {
+    sym_to_fact[fact_symbols[f]] = f;
+  }
+  Status status = Status::OK();
+  std::function<void(DecompVertex, const LabeledTree&)> walk =
+      [&](DecompVertex v, const LabeledTree& first) {
+        const LabeledTree* node = &first;
+        const std::vector<size_t>& vblocks = vertex_blocks[v];
+        for (size_t pos = 0; pos < vblocks.size(); ++pos) {
+          if (node->symbol != bottom_symbol) {
+            auto it = sym_to_fact.find(node->symbol);
+            if (it == sym_to_fact.end()) {
+              status = Status::InvalidArgument("unknown label in tree");
+              return;
+            }
+            kept.push_back(it->second);
+          }
+          bool last = (pos + 1 == vblocks.size());
+          if (!last) {
+            if (node->children.size() != 1) {
+              status = Status::InvalidArgument("malformed path node");
+              return;
+            }
+            node = &node->children[0];
+          } else {
+            const std::vector<DecompVertex>& children = h.node(v).children;
+            if (node->children.size() != children.size()) {
+              status = Status::InvalidArgument("malformed branch node");
+              return;
+            }
+            for (size_t i = 0; i < children.size(); ++i) {
+              walk(children[i], node->children[i]);
+            }
+          }
+        }
+      };
+  walk(h.root(), tree.children[0]);
+  UOCQA_RETURN_IF_ERROR(status);
+  std::sort(kept.begin(), kept.end());
+  return kept;
+}
+
+}  // namespace uocqa

@@ -1,0 +1,71 @@
+// Compilation of the alternating procedure Rep[k] (Algorithm 1) into an
+// NFTA whose distinct accepted trees are exactly the encodings of the
+// operational repairs D' ∈ ORep(D, Sigma) with c̄ ∈ Q(D') (Lemma 5.2).
+//
+// Tree shape (fixed for a given instance): a root labelled ε, then, for
+// each decomposition vertex v in ≺T order, a path of one node per conflict
+// block handled at v (v handles the blocks of the relations whose atom has
+// v as its ≺T-minimal covering vertex, in the fixed block order), branching
+// into two subtrees at the end of each internal vertex's path. Node labels
+// are the kept fact of the block or ⊥.
+//
+// States are (vertex, assignment, position); the assignment component makes
+// the automaton *ambiguous* — several homomorphism witnesses can accept the
+// same tree — which is precisely why ♯-counting needs distinct-tree
+// machinery (exact_count.h / fpras.h) rather than run counting.
+//
+// Setting `classical_repairs` drops the ⊥ label (line 8's "∪ {⊥}"),
+// producing the ♯SRepairs variant for classical subset repairs (§5.1).
+
+#ifndef UOCQA_OCQA_REP_BUILDER_H_
+#define UOCQA_OCQA_REP_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "automata/nfta.h"
+#include "base/status.h"
+#include "db/blocks.h"
+#include "db/database.h"
+#include "db/keys.h"
+#include "hypertree/decomposition.h"
+#include "query/cq.h"
+
+namespace uocqa {
+
+struct RepAutomatonOptions {
+  /// If true, compile the ♯SRepairs variant (classical subset repairs:
+  /// every block keeps exactly one fact; no ⊥ labels).
+  bool classical_repairs = false;
+};
+
+struct RepAutomaton {
+  Nfta nfta;
+  BlockPartition blocks;
+  /// For each vertex (in decomposition indexing), the block indices handled
+  /// there, in processing order.
+  std::vector<std::vector<size_t>> vertex_blocks;
+  /// Symbol of each fact, plus the ⊥ and ε symbols.
+  std::vector<NftaSymbol> fact_symbols;
+  NftaSymbol bottom_symbol = 0;
+  NftaSymbol epsilon_symbol = 0;
+  /// Every accepted tree has exactly this many nodes.
+  size_t tree_size = 0;
+
+  /// Decodes an accepted tree into the kept fact ids of the encoded repair
+  /// (sorted). The tree must be accepted by `nfta`.
+  Result<std::vector<FactId>> DecodeRepair(const LabeledTree& tree,
+                                           const HypertreeDecomposition& h)
+      const;
+};
+
+/// Compiles Rep[k]. Preconditions: query is self-join-free and safe,
+/// (db, query, h) is in normal form, |answer_tuple| = |answer vars|.
+Result<RepAutomaton> BuildRepAutomaton(
+    const Database& db, const KeySet& keys, const ConjunctiveQuery& query,
+    const HypertreeDecomposition& h, const std::vector<Value>& answer_tuple,
+    const RepAutomatonOptions& options = {});
+
+}  // namespace uocqa
+
+#endif  // UOCQA_OCQA_REP_BUILDER_H_

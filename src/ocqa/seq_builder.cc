@@ -1,0 +1,316 @@
+#include "ocqa/seq_builder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <map>
+#include <tuple>
+
+#include "base/bigint.h"
+#include "ocqa/assignments.h"
+
+namespace uocqa {
+
+namespace {
+
+/// MSB-first bits of C(n, k), width = max(1, bitlength).
+std::vector<bool> BinomialBits(uint32_t n, uint32_t k) {
+  BigInt m = Binomial(n, k);
+  assert(!m.IsZero());
+  size_t bits = std::max<size_t>(1, m.BitLength());
+  std::vector<bool> out(bits);
+  for (size_t i = 0; i < bits; ++i) {
+    BigInt shifted = m;
+    shifted.ShiftRight(bits - 1 - i);
+    out[i] = (shifted.DivModU32(2) == 1);
+  }
+  return out;
+}
+
+struct Builder {
+  const Database& db;
+  const ConjunctiveQuery& query;
+  const HypertreeDecomposition& h;
+  const AssignmentIndex& assignments;
+  SeqAutomaton& out;
+  Nfta& nfta;
+
+  // State keys. kind 0: removal node; kind 1: amplifier bit node.
+  // Fields: (kind, v, a, block_pos, alpha_idx, x, b_start, b_cur, n_budget,
+  // flags) where x = facts-left for removal nodes and bit position for bit
+  // nodes; flags = eq | (seen_one << 1) for bit nodes.
+  using Key = std::tuple<uint8_t, DecompVertex, uint32_t, uint32_t, uint32_t,
+                         uint32_t, uint32_t, uint32_t, uint32_t, uint8_t>;
+  std::map<Key, NftaState> states;
+  std::deque<std::pair<Key, NftaState>> worklist;
+
+  NftaState StateOf(const Key& key) {
+    auto it = states.find(key);
+    if (it != states.end()) return it->second;
+    NftaState s = nfta.AddState();
+    states.emplace(key, s);
+    worklist.push_back({key, s});
+    return s;
+  }
+
+  /// Symbol for an outcome: the kept fact's rendering or "_bot".
+  std::string AlphaName(size_t block_idx, uint32_t alpha_idx) const {
+    const Block& block = out.blocks.block(block_idx);
+    if (alpha_idx == block.size()) return "_bot";
+    return FactToString(db.schema(), db.fact(block.facts[alpha_idx]));
+  }
+
+  /// Allowed outcome indices for a block under an assignment (Algorithm 2
+  /// lines 7-9; same rule as Rep[k]).
+  std::vector<uint32_t> AllowedOutcomes(DecompVertex v,
+                                        const VertexAssignment& a,
+                                        size_t block_idx) const {
+    const Block& block = out.blocks.block(block_idx);
+    if (block.size() == 1) return {0};
+    for (FactId assigned : a.atom_facts) {
+      if (assigned == kInvalidFact) continue;
+      if (out.blocks.BlockOf(assigned) == block_idx) {
+        uint32_t idx = static_cast<uint32_t>(
+            std::find(block.facts.begin(), block.facts.end(), assigned) -
+            block.facts.begin());
+        return {idx};
+      }
+    }
+    std::vector<uint32_t> all;
+    for (uint32_t i = 0; i <= block.size(); ++i) all.push_back(i);
+    return all;
+  }
+
+  /// Entry states for block `block_pos` of vertex v under assignment a,
+  /// starting with `b_start` prior operations and budget `n_budget`:
+  /// one state per allowed outcome (the outcome is fixed nondeterministically
+  /// on block entry; its label appears in the amplifier path).
+  std::vector<NftaState> BlockEntries(DecompVertex v, uint32_t a,
+                                      uint32_t block_pos, uint32_t b_start,
+                                      uint32_t n_budget) {
+    std::vector<NftaState> entries;
+    size_t block_idx = out.vertex_blocks[v][block_pos];
+    const Block& block = out.blocks.block(block_idx);
+    for (uint32_t alpha :
+         AllowedOutcomes(v, assignments.ForVertex(v)[a], block_idx)) {
+      uint32_t to_remove = (alpha == block.size())
+                               ? static_cast<uint32_t>(block.size())
+                               : static_cast<uint32_t>(block.size()) - 1;
+      if (to_remove > 0) {
+        entries.push_back(StateOf({0, v, a, block_pos, alpha, to_remove,
+                                   b_start, b_start, n_budget, 0}));
+      } else {
+        // No removals: straight to the (trivial) amplifier C(b,b) = 1.
+        entries.push_back(StateOf({1, v, a, block_pos, alpha, 0, b_start,
+                                   b_start, n_budget, /*eq=*/1}));
+      }
+    }
+    return entries;
+  }
+
+  /// Continuation states after a block finishes with `b_cur` total prior
+  /// operations and remaining budget `n_budget`. For the last block of a
+  /// leaf vertex, `leaf_ok` reports whether a rank-0 transition is allowed
+  /// (budget exhausted).
+  std::vector<std::vector<NftaState>> Continuations(DecompVertex v,
+                                                    uint32_t a,
+                                                    uint32_t block_pos,
+                                                    uint32_t b_cur,
+                                                    uint32_t n_budget,
+                                                    bool* leaf_ok) {
+    *leaf_ok = false;
+    std::vector<std::vector<NftaState>> child_lists;
+    if (block_pos + 1 < out.vertex_blocks[v].size()) {
+      for (NftaState s :
+           BlockEntries(v, a, block_pos + 1, b_cur, n_budget)) {
+        child_lists.push_back({s});
+      }
+      return child_lists;
+    }
+    const std::vector<DecompVertex>& children = h.node(v).children;
+    if (children.empty()) {
+      *leaf_ok = (n_budget == 0);
+      return child_lists;
+    }
+    assert(children.size() == 2);
+    const auto& a1s = assignments.ForVertex(children[0]);
+    const auto& a2s = assignments.ForVertex(children[1]);
+    const VertexAssignment& mine = assignments.ForVertex(v)[a];
+    for (uint32_t p = 0; p <= n_budget; ++p) {
+      for (uint32_t a1 = 0; a1 < a1s.size(); ++a1) {
+        if (!AssignmentIndex::Compatible(mine, a1s[a1])) continue;
+        std::vector<NftaState> left =
+            BlockEntries(children[0], a1, 0, b_cur, p);
+        if (left.empty()) continue;
+        for (uint32_t a2 = 0; a2 < a2s.size(); ++a2) {
+          if (!AssignmentIndex::Compatible(mine, a2s[a2])) continue;
+          std::vector<NftaState> right = BlockEntries(
+              children[1], a2, 0, b_cur + p, n_budget - p);
+          for (NftaState l : left) {
+            for (NftaState r : right) child_lists.push_back({l, r});
+          }
+        }
+      }
+    }
+    return child_lists;
+  }
+
+  void EmitRemovalTransitions(const Key& key, NftaState s) {
+    auto [kind, v, a, block_pos, alpha, n, b_start, b_cur, budget, flags] =
+        key;
+    (void)kind;
+    (void)flags;
+    if (budget == 0) return;  // every removal consumes budget
+    size_t block_idx = out.vertex_blocks[v][block_pos];
+    const Block& block = out.blocks.block(block_idx);
+    bool keep_none = (alpha == block.size());
+    // shape(n, α): -1 allowed unless this would strand a lone unremovable
+    // fact ladder (n == 1 requires a kept fact as justification partner);
+    // -2 needs two facts.
+    std::vector<int> shapes;
+    if (n > 1 || (n == 1 && !keep_none)) shapes.push_back(1);
+    if (n > 1) shapes.push_back(2);
+    for (int g : shapes) {
+      uint32_t ops = (g == 1) ? n : n * (n - 1) / 2;
+      uint32_t n_next = n - static_cast<uint32_t>(g);
+      for (uint32_t p = 1; p <= ops; ++p) {
+        NftaSymbol sym = nfta.InternSymbol("-" + std::to_string(g) + ":" +
+                                           std::to_string(p));
+        NftaState child;
+        if (n_next > 0) {
+          child = StateOf({0, v, a, block_pos, alpha, n_next, b_start,
+                           b_cur + 1, budget - 1, 0});
+        } else {
+          child = StateOf({1, v, a, block_pos, alpha, 0, b_start, b_cur + 1,
+                           budget - 1, /*eq=*/1});
+        }
+        nfta.AddTransition(s, sym, {child});
+      }
+    }
+  }
+
+  void EmitBitTransitions(const Key& key, NftaState s) {
+    auto [kind, v, a, block_pos, alpha, bit_pos, b_start, b_end, budget,
+          flags] = key;
+    (void)kind;
+    bool eq = (flags & 1) != 0;
+    bool seen_one = (flags & 2) != 0;
+    size_t block_idx = out.vertex_blocks[v][block_pos];
+    std::vector<bool> mbits = BinomialBits(b_end, b_start);
+    assert(bit_pos < mbits.size());
+    std::string alpha_name = AlphaName(block_idx, alpha);
+    for (int d = 0; d <= 1; ++d) {
+      bool eq_next = eq;
+      if (eq) {
+        int mbit = mbits[bit_pos] ? 1 : 0;
+        if (d > mbit) continue;  // prefix would exceed C(b, b')
+        eq_next = (d == mbit);
+      }
+      bool seen_next = seen_one || (d == 1);
+      NftaSymbol sym = nfta.InternSymbol(alpha_name + ":" +
+                                         std::to_string(d));
+      bool last = (bit_pos + 1 == mbits.size());
+      if (!last) {
+        uint8_t f = static_cast<uint8_t>((eq_next ? 1 : 0) |
+                                         (seen_next ? 2 : 0));
+        NftaState child = StateOf({1, v, a, block_pos, alpha,
+                                   bit_pos + 1, b_start, b_end, budget, f});
+        nfta.AddTransition(s, sym, {child});
+        continue;
+      }
+      if (!seen_next) continue;  // p = 0 is not a valid identifier
+      bool leaf_ok = false;
+      std::vector<std::vector<NftaState>> conts =
+          Continuations(v, a, block_pos, b_end, budget, &leaf_ok);
+      if (leaf_ok) nfta.AddTransition(s, sym, {});
+      for (const auto& children : conts) {
+        nfta.AddTransition(s, sym, children);
+      }
+    }
+  }
+
+  void Run() {
+    NftaState init = nfta.AddState();
+    nfta.SetInitial(init);
+    NftaSymbol eps = nfta.InternSymbol("_eps");
+    // Maximum operation budget: all non-singleton blocks fully emptied.
+    uint32_t max_n = 0;
+    for (const Block& b : out.blocks.blocks()) {
+      if (b.size() >= 2) max_n += static_cast<uint32_t>(b.size());
+    }
+    out.max_operations = max_n;
+    if (!out.vertex_blocks.empty() && !out.vertex_blocks[h.root()].empty()) {
+      for (uint32_t a = 0; a < assignments.ForVertex(h.root()).size(); ++a) {
+        for (uint32_t n0 = 0; n0 <= max_n; ++n0) {
+          for (NftaState s : BlockEntries(h.root(), a, 0, 0, n0)) {
+            nfta.AddTransition(init, eps, {s});
+          }
+        }
+      }
+    }
+    while (!worklist.empty()) {
+      auto [key, s] = worklist.front();
+      worklist.pop_front();
+      if (std::get<0>(key) == 0) {
+        EmitRemovalTransitions(key, s);
+      } else {
+        EmitBitTransitions(key, s);
+      }
+    }
+    // Tree size bound: ε + one node per operation + per block the widest
+    // possible amplifier (bitlength of C(max_n, floor(max_n/2))).
+    size_t max_bits =
+        std::max<size_t>(1, Binomial(max_n, max_n / 2).BitLength());
+    out.max_tree_size =
+        1 + max_n + out.blocks.block_count() * max_bits;
+  }
+};
+
+}  // namespace
+
+Result<SeqAutomaton> BuildSeqAutomaton(const Database& db, const KeySet& keys,
+                                       const ConjunctiveQuery& query,
+                                       const HypertreeDecomposition& h,
+                                       const std::vector<Value>& answer_tuple) {
+  if (!query.IsSelfJoinFree()) {
+    return Status::FailedPrecondition("query must be self-join-free");
+  }
+  if (!IsInNormalForm(db, query, h)) {
+    return Status::FailedPrecondition("(D, Q, H) must be in normal form");
+  }
+  UOCQA_ASSIGN_OR_RETURN(AssignmentIndex assignments,
+                         AssignmentIndex::Build(db, query, h, answer_tuple));
+
+  SeqAutomaton out;
+  out.blocks = BlockPartition::Compute(db, keys);
+  // Vertex -> handled blocks, as in the Rep compilation.
+  out.vertex_blocks.assign(h.size(), {});
+  for (DecompVertex v = 0; v < h.size(); ++v) {
+    for (size_t atom_idx : h.node(v).lambda) {
+      if (h.MinimalCoveringVertex(query, atom_idx) != v) continue;
+      const std::string& name =
+          query.schema().name(query.atoms()[atom_idx].relation);
+      RelationId dr = db.schema().Find(name);
+      if (dr == kInvalidRelation) continue;
+      for (size_t b : out.blocks.BlocksOfRelation(dr)) {
+        out.vertex_blocks[v].push_back(b);
+      }
+    }
+  }
+  // Empty-language guard: a vertex with no blocks (its atom's relation has
+  // no facts) or no assignments yields an automaton accepting nothing.
+  for (DecompVertex v = 0; v < h.size(); ++v) {
+    if (out.vertex_blocks[v].empty() || assignments.ForVertex(v).empty()) {
+      out.nfta.SetInitial(out.nfta.AddState());
+      out.max_tree_size = 1;
+      return out;
+    }
+  }
+
+  Builder builder{db, query, h, assignments, out, out.nfta,
+                  {}, {}};
+  builder.Run();
+  return out;
+}
+
+}  // namespace uocqa

@@ -1,0 +1,61 @@
+// Compilation of the alternating procedure Seq[k] (Algorithm 2) into an
+// NFTA whose distinct accepted trees are in bijection with the complete
+// repairing sequences s ∈ CRS(D, Sigma) with c̄ ∈ Q(s(D)) (Lemma 5.3).
+//
+// A tree spells, per conflict block in the fixed global block order (≺T
+// vertex order, then atom order, then block order):
+//   * a path of removal-template nodes labelled (-g, p): the shape of each
+//     operation (-1 removes one fact, -2 a violating pair) plus the
+//     identifier p ∈ [#opsFor(n, g)] of the concrete operation among those
+//     applicable to the n facts still to delete (line 14-16);
+//   * an amplifier path labelled (α, bit): the binary encoding of
+//     p ∈ [C(b, b')], where b' and b are the numbers of operations applied
+//     before/after this block — the number of ways the block's operations
+//     interleave with everything earlier (lines 18-19). We use a canonical
+//     fixed-width encoding (width = bitlength of C(b,b')), verified by a
+//     binary comparison gadget in the state.
+// At the end of a vertex's blocks the tree branches into the two children,
+// nondeterministically splitting the remaining operation budget N (lines
+// 20-26); leaves accept iff N = 0 (line 27).
+//
+// States carry (vertex, assignment, block position, outcome choice, facts
+// left to delete, ops-before-block, ops-so-far, remaining budget N, bit
+// cursor + comparison flags) — all polynomially bounded, mirroring the
+// logspace counters of the well-behaved ATO M_S^k.
+
+#ifndef UOCQA_OCQA_SEQ_BUILDER_H_
+#define UOCQA_OCQA_SEQ_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "automata/nfta.h"
+#include "base/status.h"
+#include "db/blocks.h"
+#include "db/database.h"
+#include "db/keys.h"
+#include "hypertree/decomposition.h"
+#include "query/cq.h"
+
+namespace uocqa {
+
+struct SeqAutomaton {
+  Nfta nfta;
+  BlockPartition blocks;
+  std::vector<std::vector<size_t>> vertex_blocks;
+  /// Safe upper bound on the size of any accepted tree (for CountUpTo /
+  /// EstimateUpTo).
+  size_t max_tree_size = 0;
+  /// Maximum total number of operations of any complete sequence.
+  size_t max_operations = 0;
+};
+
+/// Compiles Seq[k]. Preconditions as for BuildRepAutomaton.
+Result<SeqAutomaton> BuildSeqAutomaton(const Database& db, const KeySet& keys,
+                                       const ConjunctiveQuery& query,
+                                       const HypertreeDecomposition& h,
+                                       const std::vector<Value>& answer_tuple);
+
+}  // namespace uocqa
+
+#endif  // UOCQA_OCQA_SEQ_BUILDER_H_

@@ -1,0 +1,118 @@
+#include "query/cq.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace uocqa {
+
+std::vector<VarId> QueryAtom::Variables() const {
+  std::vector<VarId> out;
+  for (const Term& t : terms) {
+    if (t.is_var() &&
+        std::find(out.begin(), out.end(), t.id) == out.end()) {
+      out.push_back(t.id);
+    }
+  }
+  return out;
+}
+
+VarId ConjunctiveQuery::AddVariable(const std::string& name) {
+  auto it = var_index_.find(name);
+  if (it != var_index_.end()) return it->second;
+  VarId id = static_cast<VarId>(var_names_.size());
+  var_names_.push_back(name);
+  var_index_.emplace(name, id);
+  return id;
+}
+
+VarId ConjunctiveQuery::AddFreshVariable(const std::string& hint) {
+  while (true) {
+    std::string name = "_" + hint + std::to_string(fresh_counter_++);
+    if (var_index_.find(name) == var_index_.end()) return AddVariable(name);
+  }
+}
+
+std::optional<VarId> ConjunctiveQuery::FindVariable(
+    const std::string& name) const {
+  auto it = var_index_.find(name);
+  if (it == var_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ConjunctiveQuery::AddAtom(QueryAtom atom) {
+  assert(atom.relation < schema_.relation_count());
+  assert(atom.terms.size() == schema_.arity(atom.relation));
+  atoms_.push_back(std::move(atom));
+}
+
+bool ConjunctiveQuery::IsSelfJoinFree() const {
+  std::unordered_set<RelationId> seen;
+  for (const QueryAtom& a : atoms_) {
+    if (!seen.insert(a.relation).second) return false;
+  }
+  return true;
+}
+
+bool ConjunctiveQuery::IsSafe() const {
+  std::unordered_set<VarId> used;
+  for (const QueryAtom& a : atoms_) {
+    for (const Term& t : a.terms) {
+      if (t.is_var()) used.insert(t.id);
+    }
+  }
+  for (VarId v : answer_vars_) {
+    if (used.find(v) == used.end()) return false;
+  }
+  return true;
+}
+
+std::vector<VarId> ConjunctiveQuery::AllVariables() const {
+  std::unordered_set<VarId> seen;
+  std::vector<VarId> out;
+  for (const QueryAtom& a : atoms_) {
+    for (const Term& t : a.terms) {
+      if (t.is_var() && seen.insert(t.id).second) out.push_back(t.id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<VarId> ConjunctiveQuery::ExistentialVariables() const {
+  std::unordered_set<VarId> answers(answer_vars_.begin(), answer_vars_.end());
+  std::vector<VarId> out;
+  for (VarId v : AllVariables()) {
+    if (answers.find(v) == answers.end()) out.push_back(v);
+  }
+  return out;
+}
+
+std::string ConjunctiveQuery::ToString() const {
+  std::string out = "Ans(";
+  for (size_t i = 0; i < answer_vars_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += var_names_[answer_vars_[i]];
+  }
+  out += ") :- ";
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema_.name(atoms_[i].relation);
+    out += '(';
+    for (size_t j = 0; j < atoms_[i].terms.size(); ++j) {
+      if (j > 0) out += ',';
+      const Term& t = atoms_[i].terms[j];
+      if (t.is_var()) {
+        out += var_names_[t.id];
+      } else {
+        out += '\'';
+        out += ValuePool::Name(t.id);
+        out += '\'';
+      }
+    }
+    out += ')';
+  }
+  return out;
+}
+
+}  // namespace uocqa

@@ -1,0 +1,108 @@
+// Conjunctive queries Ans(x̄) :- R1(ȳ1), ..., Rn(ȳn) (paper §2).
+
+#ifndef UOCQA_QUERY_CQ_H_
+#define UOCQA_QUERY_CQ_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/schema.h"
+#include "db/value.h"
+
+namespace uocqa {
+
+/// Dense id of a query variable within a ConjunctiveQuery.
+using VarId = uint32_t;
+
+/// A term is a variable or an interned constant.
+struct Term {
+  enum class Kind : uint8_t { kVariable, kConstant };
+  Kind kind = Kind::kVariable;
+  uint32_t id = 0;  // VarId or Value depending on kind
+
+  static Term Var(VarId v) { return Term{Kind::kVariable, v}; }
+  static Term Const(Value c) { return Term{Kind::kConstant, c}; }
+
+  bool is_var() const { return kind == Kind::kVariable; }
+  bool is_const() const { return kind == Kind::kConstant; }
+  bool operator==(const Term& o) const { return kind == o.kind && id == o.id; }
+  bool operator!=(const Term& o) const { return !(*this == o); }
+};
+
+/// A relational atom R(t1, ..., tn) with variables and constants.
+struct QueryAtom {
+  RelationId relation = kInvalidRelation;
+  std::vector<Term> terms;
+
+  /// Distinct variables of the atom, in first-occurrence order.
+  std::vector<VarId> Variables() const;
+};
+
+/// A conjunctive query over a schema. Owns its variable name table. The
+/// schema is held by value (schemas are small) so queries are self-contained
+/// value types.
+class ConjunctiveQuery {
+ public:
+  ConjunctiveQuery() = default;
+  explicit ConjunctiveQuery(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  Schema& mutable_schema() { return schema_; }
+
+  /// Interns a variable name, returning its id.
+  VarId AddVariable(const std::string& name);
+
+  /// Returns the id of a fresh variable with a generated unique name.
+  VarId AddFreshVariable(const std::string& hint = "v");
+
+  /// Id of an existing variable; nullopt if unknown.
+  std::optional<VarId> FindVariable(const std::string& name) const;
+
+  const std::string& VarName(VarId v) const { return var_names_[v]; }
+  size_t variable_count() const { return var_names_.size(); }
+
+  void AddAtom(QueryAtom atom);
+  void AddAtom(RelationId rel, std::vector<Term> terms) {
+    AddAtom(QueryAtom{rel, std::move(terms)});
+  }
+
+  const std::vector<QueryAtom>& atoms() const { return atoms_; }
+  size_t atom_count() const { return atoms_.size(); }
+
+  /// Sets the answer variables x̄ (each must be used in some atom — the
+  /// caller is responsible; ValidateSafety checks).
+  void SetAnswerVars(std::vector<VarId> vars) { answer_vars_ = std::move(vars); }
+  const std::vector<VarId>& answer_vars() const { return answer_vars_; }
+
+  bool IsBoolean() const { return answer_vars_.empty(); }
+
+  /// Self-join-free: every relation name appears in at most one atom.
+  bool IsSelfJoinFree() const;
+
+  /// Every answer variable occurs in some atom (range restriction).
+  bool IsSafe() const;
+
+  /// Distinct variables of the whole query, in id order.
+  std::vector<VarId> AllVariables() const;
+
+  /// Existential (non-answer) variables.
+  std::vector<VarId> ExistentialVariables() const;
+
+  /// "Ans(x) :- R(x,y), S(y,'c')".
+  std::string ToString() const;
+
+ private:
+  Schema schema_;
+  std::vector<QueryAtom> atoms_;
+  std::vector<VarId> answer_vars_;
+  std::vector<std::string> var_names_;
+  std::unordered_map<std::string, VarId> var_index_;
+  uint32_t fresh_counter_ = 0;
+};
+
+}  // namespace uocqa
+
+#endif  // UOCQA_QUERY_CQ_H_

@@ -1,0 +1,187 @@
+#include "query/eval.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "base/hashing.h"
+
+namespace uocqa {
+
+QueryEvaluator::QueryEvaluator(const Database& db,
+                               const ConjunctiveQuery& query)
+    : db_(db), query_(query) {
+  // Reconcile relations by name: for each query atom, the candidate facts in
+  // the database.
+  atom_candidates_.resize(query.atom_count());
+  for (size_t i = 0; i < query.atom_count(); ++i) {
+    const QueryAtom& atom = query.atoms()[i];
+    const std::string& name = query.schema().name(atom.relation);
+    RelationId db_rel = db.schema().Find(name);
+    if (db_rel == kInvalidRelation) continue;  // no facts: atom unsatisfiable
+    assert(db.schema().arity(db_rel) == atom.terms.size());
+    atom_candidates_[i] = db.FactsOfRelation(db_rel);
+  }
+
+  // Greedy atom order: repeatedly pick the atom with the fewest candidates
+  // among those connected to already-placed atoms (or overall, when starting
+  // a new connected component). Keeps the backtracking join selective.
+  std::vector<bool> placed(query.atom_count(), false);
+  std::unordered_set<VarId> bound;
+  for (VarId v : query.answer_vars()) bound.insert(v);
+  while (order_.size() < query.atom_count()) {
+    size_t best = query.atom_count();
+    bool best_connected = false;
+    size_t best_size = 0;
+    for (size_t i = 0; i < query.atom_count(); ++i) {
+      if (placed[i]) continue;
+      bool connected = false;
+      for (const Term& t : query.atoms()[i].terms) {
+        if (t.is_const() || bound.count(t.id) > 0) {
+          connected = true;
+          break;
+        }
+      }
+      size_t size = atom_candidates_[i].size();
+      if (best == query.atom_count() ||
+          (connected && !best_connected) ||
+          (connected == best_connected && size < best_size)) {
+        best = i;
+        best_connected = connected;
+        best_size = size;
+      }
+    }
+    placed[best] = true;
+    order_.push_back(best);
+    for (const Term& t : query.atoms()[best].terms) {
+      if (t.is_var()) bound.insert(t.id);
+    }
+  }
+}
+
+bool QueryEvaluator::SeedAssignment(const std::vector<Value>& answer_tuple,
+                                    Assignment* assignment) const {
+  assert(answer_tuple.size() == query_.answer_vars().size());
+  assignment->assign(query_.variable_count(), kUnassignedValue);
+  for (size_t i = 0; i < answer_tuple.size(); ++i) {
+    VarId v = query_.answer_vars()[i];
+    if ((*assignment)[v] != kUnassignedValue &&
+        (*assignment)[v] != answer_tuple[i]) {
+      return false;
+    }
+    (*assignment)[v] = answer_tuple[i];
+  }
+  return true;
+}
+
+bool QueryEvaluator::Search(
+    size_t depth, Assignment* assignment,
+    const std::function<bool(const Assignment&)>& fn) const {
+  if (depth == order_.size()) return fn(*assignment);
+  size_t atom_idx = order_[depth];
+  const QueryAtom& atom = query_.atoms()[atom_idx];
+  for (FactId fid : atom_candidates_[atom_idx]) {
+    const Fact& fact = db_.fact(fid);
+    // Try to unify atom terms with the fact, recording newly bound vars.
+    std::vector<VarId> newly_bound;
+    bool ok = true;
+    for (size_t j = 0; j < atom.terms.size(); ++j) {
+      const Term& t = atom.terms[j];
+      Value c = fact.args[j];
+      if (t.is_const()) {
+        if (t.id != c) {
+          ok = false;
+          break;
+        }
+      } else {
+        Value& slot = (*assignment)[t.id];
+        if (slot == kUnassignedValue) {
+          slot = c;
+          newly_bound.push_back(t.id);
+        } else if (slot != c) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) {
+      if (!Search(depth + 1, assignment, fn)) {
+        for (VarId v : newly_bound) (*assignment)[v] = kUnassignedValue;
+        return false;
+      }
+    }
+    for (VarId v : newly_bound) (*assignment)[v] = kUnassignedValue;
+  }
+  return true;
+}
+
+bool QueryEvaluator::Entails(const std::vector<Value>& answer_tuple) const {
+  Assignment assignment;
+  if (!SeedAssignment(answer_tuple, &assignment)) return false;
+  bool found = false;
+  Search(0, &assignment, [&found](const Assignment&) {
+    found = true;
+    return false;  // abort at first witness
+  });
+  return found;
+}
+
+std::optional<Assignment> QueryEvaluator::FindHomomorphism(
+    const std::vector<Value>& answer_tuple) const {
+  Assignment assignment;
+  if (!SeedAssignment(answer_tuple, &assignment)) return std::nullopt;
+  std::optional<Assignment> result;
+  Search(0, &assignment, [&result](const Assignment& a) {
+    result = a;
+    return false;
+  });
+  return result;
+}
+
+uint64_t QueryEvaluator::CountHomomorphisms(
+    const std::vector<Value>& answer_tuple) const {
+  // Count *total* variable assignments; homomorphisms that leave some
+  // variable untouched (a variable whose atoms are unsatisfied cannot occur
+  // because every atom must be matched) do not arise: every variable occurs
+  // in some atom, and Search matches all atoms. Variables appearing in no
+  // atom are impossible by construction of ConjunctiveQuery::AddVariable
+  // use; if present they'd be unconstrained and we treat them as an error.
+  Assignment assignment;
+  if (!SeedAssignment(answer_tuple, &assignment)) return 0;
+  uint64_t count = 0;
+  Search(0, &assignment, [&count](const Assignment&) {
+    ++count;
+    return true;
+  });
+  return count;
+}
+
+bool QueryEvaluator::ForEachHomomorphism(
+    const std::vector<Value>& answer_tuple,
+    const std::function<bool(const Assignment&)>& fn) const {
+  Assignment assignment;
+  if (!SeedAssignment(answer_tuple, &assignment)) return true;
+  return Search(0, &assignment, fn);
+}
+
+std::vector<std::vector<Value>> QueryEvaluator::Answers() const {
+  std::unordered_set<std::vector<Value>, VectorHash<Value>> seen;
+  std::vector<std::vector<Value>> out;
+  Assignment assignment(query_.variable_count(), kUnassignedValue);
+  Search(0, &assignment, [&](const Assignment& a) {
+    std::vector<Value> tuple;
+    tuple.reserve(query_.answer_vars().size());
+    for (VarId v : query_.answer_vars()) tuple.push_back(a[v]);
+    if (seen.insert(tuple).second) out.push_back(std::move(tuple));
+    return true;
+  });
+  return out;
+}
+
+bool Entails(const Database& db, const ConjunctiveQuery& query,
+             const std::vector<Value>& answer_tuple) {
+  QueryEvaluator eval(db, query);
+  return eval.Entails(answer_tuple);
+}
+
+}  // namespace uocqa

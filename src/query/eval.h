@@ -1,0 +1,78 @@
+// Homomorphism-based evaluation of conjunctive queries (paper §2).
+//
+// The evaluator matches query atoms against database facts by backtracking
+// search with a greedy connectivity-based atom order and per-relation fact
+// indices. Query and database may carry independently-built Schema objects;
+// relations are reconciled by name.
+
+#ifndef UOCQA_QUERY_EVAL_H_
+#define UOCQA_QUERY_EVAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "db/database.h"
+#include "query/cq.h"
+
+namespace uocqa {
+
+/// Sentinel for an unassigned variable in a (partial) homomorphism.
+constexpr Value kUnassignedValue = static_cast<Value>(-1);
+
+/// A total or partial assignment from VarId to constants.
+using Assignment = std::vector<Value>;
+
+class QueryEvaluator {
+ public:
+  /// Builds the per-relation indices. The database must outlive the
+  /// evaluator; the query is copied by reference as well.
+  QueryEvaluator(const Database& db, const ConjunctiveQuery& query);
+
+  /// c̄ ∈ Q(D)? `answer_tuple` must have one constant per answer variable
+  /// (empty for Boolean queries).
+  bool Entails(const std::vector<Value>& answer_tuple) const;
+
+  /// A witnessing homomorphism extending x̄ ↦ c̄, or nullopt.
+  std::optional<Assignment> FindHomomorphism(
+      const std::vector<Value>& answer_tuple) const;
+
+  /// Number of homomorphisms h : Q -> D with h(x̄) = c̄ (total assignments
+  /// of all query variables). Exponential in |Q| in the worst case; used by
+  /// tests and baselines on small inputs.
+  uint64_t CountHomomorphisms(const std::vector<Value>& answer_tuple) const;
+
+  /// Invokes `fn` for every homomorphism extending x̄ ↦ c̄ until it returns
+  /// false. Returns false iff enumeration was aborted.
+  bool ForEachHomomorphism(const std::vector<Value>& answer_tuple,
+                           const std::function<bool(const Assignment&)>& fn)
+      const;
+
+  /// Distinct answer tuples Q(D) (small-instance utility).
+  std::vector<std::vector<Value>> Answers() const;
+
+ private:
+  /// Seeds a partial assignment with the answer tuple; false on clash
+  /// (repeated answer variable bound to two constants).
+  bool SeedAssignment(const std::vector<Value>& answer_tuple,
+                      Assignment* assignment) const;
+
+  /// Depth-first matching over atoms in order_[depth...]; calls fn on every
+  /// completed assignment; returns false iff aborted by fn.
+  bool Search(size_t depth, Assignment* assignment,
+              const std::function<bool(const Assignment&)>& fn) const;
+
+  const Database& db_;
+  const ConjunctiveQuery& query_;
+  std::vector<std::vector<FactId>> atom_candidates_;  // per atom, db facts
+  std::vector<size_t> order_;                         // atom visit order
+};
+
+/// One-shot convenience: c̄ ∈ Q(D)?
+bool Entails(const Database& db, const ConjunctiveQuery& query,
+             const std::vector<Value>& answer_tuple = {});
+
+}  // namespace uocqa
+
+#endif  // UOCQA_QUERY_EVAL_H_

@@ -1,0 +1,175 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace uocqa {
+
+namespace {
+
+/// Minimal recursive-descent tokenizer/parser state.
+class Parser {
+ public:
+  Parser(std::string_view text, const Schema& schema,
+         const ParseOptions& options)
+      : text_(text), query_(schema), options_(options) {}
+
+  Result<ConjunctiveQuery> Run() {
+    SkipSpace();
+    UOCQA_RETURN_IF_ERROR(Expect("Ans"));
+    UOCQA_RETURN_IF_ERROR(Expect("("));
+    std::vector<VarId> answers;
+    SkipSpace();
+    if (!Peek(")")) {
+      while (true) {
+        std::string name;
+        UOCQA_RETURN_IF_ERROR(Identifier(&name));
+        answers.push_back(query_.AddVariable(name));
+        SkipSpace();
+        if (Peek(",")) {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+    }
+    UOCQA_RETURN_IF_ERROR(Expect(")"));
+    UOCQA_RETURN_IF_ERROR(Expect(":-"));
+    while (true) {
+      UOCQA_RETURN_IF_ERROR(ParseAtom());
+      SkipSpace();
+      if (Peek(",")) {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing input at offset " +
+                                     std::to_string(pos_));
+    }
+    query_.SetAnswerVars(std::move(answers));
+    if (!query_.IsSafe()) {
+      return Status::InvalidArgument(
+          "unsafe query: an answer variable does not occur in any atom");
+    }
+    return std::move(query_);
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(
+                                      text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Peek(std::string_view token) {
+    SkipSpace();
+    return text_.substr(pos_, token.size()) == token;
+  }
+
+  Status Expect(std::string_view token) {
+    if (!Peek(token)) {
+      return Status::InvalidArgument("expected '" + std::string(token) +
+                                     "' at offset " + std::to_string(pos_));
+    }
+    pos_ += token.size();
+    return Status::OK();
+  }
+
+  Status Identifier(std::string* out) {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument("expected identifier at offset " +
+                                     std::to_string(start));
+    }
+    *out = std::string(text_.substr(start, pos_ - start));
+    return Status::OK();
+  }
+
+  Status ParseAtom() {
+    std::string rel_name;
+    UOCQA_RETURN_IF_ERROR(Identifier(&rel_name));
+    UOCQA_RETURN_IF_ERROR(Expect("("));
+    std::vector<Term> terms;
+    while (true) {
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == '\'') {
+        ++pos_;
+        size_t start = pos_;
+        while (pos_ < text_.size() && text_[pos_] != '\'') ++pos_;
+        if (pos_ == text_.size()) {
+          return Status::InvalidArgument("unterminated constant literal");
+        }
+        terms.push_back(Term::Const(
+            ValuePool::Intern(text_.substr(start, pos_ - start))));
+        ++pos_;
+      } else if (pos_ < text_.size() &&
+                 std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        size_t start = pos_;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+          ++pos_;
+        }
+        terms.push_back(Term::Const(
+            ValuePool::Intern(text_.substr(start, pos_ - start))));
+      } else {
+        std::string var;
+        UOCQA_RETURN_IF_ERROR(Identifier(&var));
+        terms.push_back(Term::Var(query_.AddVariable(var)));
+      }
+      SkipSpace();
+      if (Peek(",")) {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    UOCQA_RETURN_IF_ERROR(Expect(")"));
+    RelationId rel = query_.schema().Find(rel_name);
+    if (rel == kInvalidRelation) {
+      if (!options_.extend_schema) {
+        return Status::NotFound("unknown relation: " + rel_name);
+      }
+      UOCQA_ASSIGN_OR_RETURN(
+          rel, query_.mutable_schema().AddRelation(
+                   rel_name, static_cast<uint32_t>(terms.size())));
+    } else if (query_.schema().arity(rel) != terms.size()) {
+      return Status::InvalidArgument(
+          "arity mismatch for relation " + rel_name + ": expected " +
+          std::to_string(query_.schema().arity(rel)) + ", got " +
+          std::to_string(terms.size()));
+    }
+    query_.AddAtom(rel, std::move(terms));
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  ConjunctiveQuery query_;
+  ParseOptions options_;
+};
+
+}  // namespace
+
+Result<ConjunctiveQuery> ParseQuery(std::string_view text,
+                                    const Schema& schema,
+                                    const ParseOptions& options) {
+  Parser parser(text, schema, options);
+  return parser.Run();
+}
+
+Result<ConjunctiveQuery> ParseQuery(std::string_view text) {
+  return ParseQuery(text, Schema(), ParseOptions{});
+}
+
+}  // namespace uocqa

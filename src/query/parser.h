@@ -1,0 +1,40 @@
+// Text parser for conjunctive queries.
+//
+// Grammar (whitespace-insensitive):
+//   query    := "Ans(" varlist? ")" ":-" atom ("," atom)*
+//   atom     := relname "(" term ("," term)* ")"
+//   term     := identifier            (a variable)
+//             | "'" chars "'"         (a constant)
+//             | integer               (a constant)
+//   relname  := identifier
+//
+// Relations are resolved against (and, if `extend_schema`, added to) the
+// given schema, inferring arity from first use.
+
+#ifndef UOCQA_QUERY_PARSER_H_
+#define UOCQA_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "base/status.h"
+#include "query/cq.h"
+
+namespace uocqa {
+
+struct ParseOptions {
+  /// If true, unknown relations are added to the query's schema with the
+  /// arity seen in the query text; if false they are an error.
+  bool extend_schema = true;
+};
+
+/// Parses a conjunctive query against `schema` (copied into the result).
+Result<ConjunctiveQuery> ParseQuery(std::string_view text,
+                                    const Schema& schema,
+                                    const ParseOptions& options = {});
+
+/// Parses with an empty initial schema (relations inferred).
+Result<ConjunctiveQuery> ParseQuery(std::string_view text);
+
+}  // namespace uocqa
+
+#endif  // UOCQA_QUERY_PARSER_H_

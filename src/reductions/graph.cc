@@ -1,0 +1,88 @@
+#include "reductions/graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <functional>
+
+namespace uocqa {
+
+void UGraph::AddEdge(size_t u, size_t v) {
+  assert(u < n_ && v < n_);
+  if (HasEdge(u, v)) return;
+  adj_[u].push_back(v);
+  if (u != v) adj_[v].push_back(u);
+  edges_.emplace_back(std::min(u, v), std::max(u, v));
+}
+
+bool UGraph::HasEdge(size_t u, size_t v) const {
+  return std::find(adj_[u].begin(), adj_[u].end(), v) != adj_[u].end();
+}
+
+bool UGraph::IsConnected() const {
+  if (n_ == 0) return true;
+  std::vector<bool> seen(n_, false);
+  std::deque<size_t> queue{0};
+  seen[0] = true;
+  size_t count = 1;
+  while (!queue.empty()) {
+    size_t u = queue.front();
+    queue.pop_front();
+    for (size_t v : adj_[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        ++count;
+        queue.push_back(v);
+      }
+    }
+  }
+  return count == n_;
+}
+
+std::optional<std::vector<int>> UGraph::BipartitionOrNull() const {
+  std::vector<int> side(n_, -1);
+  for (size_t start = 0; start < n_; ++start) {
+    if (side[start] != -1) continue;
+    side[start] = 0;
+    std::deque<size_t> queue{start};
+    while (!queue.empty()) {
+      size_t u = queue.front();
+      queue.pop_front();
+      for (size_t v : adj_[u]) {
+        if (side[v] == -1) {
+          side[v] = 1 - side[u];
+          queue.push_back(v);
+        } else if (side[v] == side[u]) {
+          return std::nullopt;
+        }
+      }
+    }
+  }
+  return side;
+}
+
+bool UGraph::IsThreeColorable() const {
+  std::vector<int> color(n_, -1);
+  std::function<bool(size_t)> rec = [&](size_t v) {
+    if (v == n_) return true;
+    for (int c = 0; c < 3; ++c) {
+      bool ok = true;
+      for (size_t u : adj_[v]) {
+        if (u < v && color[u] == c) {
+          ok = false;
+          break;
+        }
+        if (u == v) ok = false;  // self-loop: never colorable
+      }
+      if (ok) {
+        color[v] = c;
+        if (rec(v + 1)) return true;
+        color[v] = -1;
+      }
+    }
+    return false;
+  };
+  return rec(0);
+}
+
+}  // namespace uocqa

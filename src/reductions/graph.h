@@ -1,0 +1,44 @@
+// Small undirected-graph utilities backing the hardness reductions of
+// Appendices A and B (♯H-Coloring inputs, 3-colorability inputs).
+
+#ifndef UOCQA_REDUCTIONS_GRAPH_H_
+#define UOCQA_REDUCTIONS_GRAPH_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace uocqa {
+
+class UGraph {
+ public:
+  explicit UGraph(size_t n = 0) : n_(n), adj_(n) {}
+
+  size_t vertex_count() const { return n_; }
+  const std::vector<std::pair<size_t, size_t>>& edges() const {
+    return edges_;
+  }
+  const std::vector<size_t>& Neighbors(size_t v) const { return adj_[v]; }
+
+  /// Adds an undirected edge (deduplicated; self-loops allowed).
+  void AddEdge(size_t u, size_t v);
+
+  bool HasEdge(size_t u, size_t v) const;
+
+  bool IsConnected() const;
+
+  /// Returns a 0/1 side assignment if bipartite, nullopt otherwise.
+  std::optional<std::vector<int>> BipartitionOrNull() const;
+
+  /// Brute-force 3-colorability (exponential; small graphs only).
+  bool IsThreeColorable() const;
+
+ private:
+  size_t n_;
+  std::vector<std::vector<size_t>> adj_;
+  std::vector<std::pair<size_t, size_t>> edges_;
+};
+
+}  // namespace uocqa
+
+#endif  // UOCQA_REDUCTIONS_GRAPH_H_

@@ -1,0 +1,145 @@
+#include "reductions/hcoloring.h"
+
+#include <cassert>
+#include <cmath>
+#include <functional>
+#include <string>
+
+namespace uocqa {
+
+UGraph FigureOneGraphH() {
+  // 0:1L 1:0L 2:?L 3:1R 4:0R 5:?R — all L×R edges except {1L, 1R}.
+  UGraph h(6);
+  for (size_t l = 0; l < 3; ++l) {
+    for (size_t r = 3; r < 6; ++r) {
+      if (l == 0 && r == 3) continue;  // the missing (1L, 1R) edge
+      h.AddEdge(l, r);
+    }
+  }
+  return h;
+}
+
+BigInt CountHomomorphismsToH(const UGraph& g) {
+  UGraph h = FigureOneGraphH();
+  size_t n = g.vertex_count();
+  BigInt count;
+  std::vector<size_t> image(n, 0);
+  std::function<void(size_t)> rec = [&](size_t v) {
+    if (v == n) {
+      count += uint64_t{1};
+      return;
+    }
+    for (size_t target = 0; target < 6; ++target) {
+      bool ok = true;
+      for (size_t u : g.Neighbors(v)) {
+        if (u < v && !h.HasEdge(image[u], target)) {
+          ok = false;
+          break;
+        }
+        if (u == v) ok = false;  // self-loops have no H-image (H loop-free)
+      }
+      if (ok) {
+        image[v] = target;
+        rec(v + 1);
+      }
+    }
+  };
+  rec(0);
+  return count;
+}
+
+Result<HColoringInstance> BuildHColoringInstance(const UGraph& g,
+                                                 const std::vector<int>& side,
+                                                 size_t k) {
+  if (side.size() != g.vertex_count()) {
+    return Status::InvalidArgument("side assignment size mismatch");
+  }
+  HColoringInstance inst;
+  Schema s;
+  s.AddRelationOrDie("VL", 2);
+  s.AddRelationOrDie("VR", 2);
+  s.AddRelationOrDie("E", 2);
+  s.AddRelationOrDie("T", 1);
+  s.AddRelationOrDie("Tp", 1);
+  for (size_t i = 1; i <= k + 1; ++i) {
+    for (size_t j = i + 1; j <= k + 1; ++j) {
+      s.AddRelationOrDie("C" + std::to_string(i) + "_" + std::to_string(j),
+                         2);
+    }
+  }
+  inst.db = Database(s);
+  auto vname = [](size_t u) { return "v" + std::to_string(u); };
+  for (size_t u = 0; u < g.vertex_count(); ++u) {
+    const char* rel = side[u] == 0 ? "VL" : "VR";
+    inst.db.Add(rel, {vname(u), "0"});
+    inst.db.Add(rel, {vname(u), "1"});
+  }
+  for (const auto& [u, v] : g.edges()) {
+    // Orient edges left-to-right to match Q_k's E(x,y), VL(x,·), VR(y,·).
+    size_t l = side[u] == 0 ? u : v;
+    size_t r = side[u] == 0 ? v : u;
+    if (side[l] != 0 || side[r] != 1) {
+      return Status::InvalidArgument("side assignment is not a bipartition");
+    }
+    inst.db.Add("E", {vname(l), vname(r)});
+  }
+  inst.db.Add("T", {"1"});
+  inst.db.Add("Tp", {"1"});
+  for (size_t i = 1; i <= k + 1; ++i) {
+    for (size_t j = i + 1; j <= k + 1; ++j) {
+      inst.db.Add("C" + std::to_string(i) + "_" + std::to_string(j),
+                  {std::to_string(i), std::to_string(j)});
+    }
+  }
+  inst.keys.SetKeyOrDie(s.Find("VL"), {0});
+  inst.keys.SetKeyOrDie(s.Find("VR"), {0});
+
+  // Q_k: Ans() :- E(x,y), VL(x,z), VR(y,z'), T(z), Tp(z'), clique(C_ij).
+  inst.query = ConjunctiveQuery(s);
+  VarId x = inst.query.AddVariable("x");
+  VarId y = inst.query.AddVariable("y");
+  VarId z = inst.query.AddVariable("z");
+  VarId zp = inst.query.AddVariable("zp");
+  inst.query.AddAtom(s.Find("E"), {Term::Var(x), Term::Var(y)});
+  inst.query.AddAtom(s.Find("VL"), {Term::Var(x), Term::Var(z)});
+  inst.query.AddAtom(s.Find("VR"), {Term::Var(y), Term::Var(zp)});
+  inst.query.AddAtom(s.Find("T"), {Term::Var(z)});
+  inst.query.AddAtom(s.Find("Tp"), {Term::Var(zp)});
+  for (size_t i = 1; i <= k + 1; ++i) {
+    for (size_t j = i + 1; j <= k + 1; ++j) {
+      VarId wi = inst.query.AddVariable("w" + std::to_string(i));
+      VarId wj = inst.query.AddVariable("w" + std::to_string(j));
+      inst.query.AddAtom(
+          s.Find("C" + std::to_string(i) + "_" + std::to_string(j)),
+          {Term::Var(wi), Term::Var(wj)});
+    }
+  }
+  assert(inst.query.IsSelfJoinFree());
+  return inst;
+}
+
+Result<double> HomViaOcqa(const UGraph& g, size_t k, const RfOracle& oracle) {
+  if (!g.IsConnected()) {
+    return Status::InvalidArgument("HOM requires a connected graph");
+  }
+  // Step 1: a single isolated vertex has six homomorphisms.
+  if (g.vertex_count() == 1 && g.edges().empty()) return 6.0;
+  // Step 2: non-bipartite graphs have none.
+  std::optional<std::vector<int>> side = g.BipartitionOrNull();
+  if (!side.has_value()) return 0.0;
+  // Steps 3-4: one oracle call.
+  UOCQA_ASSIGN_OR_RETURN(HColoringInstance inst,
+                         BuildHColoringInstance(g, *side, k));
+  double r = oracle(inst.db, inst.keys, inst.query);
+  return 2.0 * std::pow(3.0, static_cast<double>(g.vertex_count())) *
+         (1.0 - r);
+}
+
+BigInt HomFromNumerator(size_t vertex_count, const BigInt& numerator) {
+  BigInt total(1);
+  for (size_t i = 0; i < vertex_count; ++i) total *= uint64_t{3};
+  assert(numerator <= total);
+  return (total - numerator) * uint64_t{2};
+}
+
+}  // namespace uocqa

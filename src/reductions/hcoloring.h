@@ -1,0 +1,58 @@
+// The ♯H-Coloring reduction of Appendix A (Theorem 3.4): OCQA_ur and
+// OCQA_us over SJF ∩ GHW_k are ♯P-hard.
+//
+// H (Figure 1) is the fixed bipartite graph on {1L,0L,?L} × {1R,0R,?R} with
+// all cross edges except {1L, 1R}. Dyer–Greenhill implies ♯H-Coloring is
+// ♯P-hard. For a connected bipartite input graph G the reduction builds
+// (D_G^k, Sigma, Q_k) such that
+//   |hom(G, H)| = 2 · 3^{|V_G|} · (1 − RF_ur(D_G^k, Sigma, Q_k, ())),
+// so an OCQA oracle counts H-colorings (algorithm HOM).
+
+#ifndef UOCQA_REDUCTIONS_HCOLORING_H_
+#define UOCQA_REDUCTIONS_HCOLORING_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "base/bigint.h"
+#include "base/status.h"
+#include "db/database.h"
+#include "db/keys.h"
+#include "query/cq.h"
+#include "reductions/graph.h"
+
+namespace uocqa {
+
+/// The fixed 6-vertex graph H of Figure 1. Vertices 0..5 are
+/// 1L, 0L, ?L, 1R, 0R, ?R.
+UGraph FigureOneGraphH();
+
+/// |hom(G, H)| by brute force (6^|V|; validation only).
+BigInt CountHomomorphismsToH(const UGraph& g);
+
+/// The OCQA instance (D_G^k, Sigma, Q_k) for a connected bipartite graph G
+/// with the given side assignment (0 = left, 1 = right).
+struct HColoringInstance {
+  Database db;
+  KeySet keys;
+  ConjunctiveQuery query;  // Boolean, self-join-free, clique-padded by k
+};
+Result<HColoringInstance> BuildHColoringInstance(const UGraph& g,
+                                                 const std::vector<int>& side,
+                                                 size_t k);
+
+/// An oracle for RF_ur(D, Sigma, Q, ()) — exact or approximate.
+using RfOracle = std::function<double(const Database&, const KeySet&,
+                                      const ConjunctiveQuery&)>;
+
+/// The algorithm HOM(G) of Appendix A.1: counts |hom(G, H)| with one oracle
+/// call. `k` pads the query's width. Requires a connected G.
+Result<double> HomViaOcqa(const UGraph& g, size_t k, const RfOracle& oracle);
+
+/// Exact BigInt variant using the identity 2 * (3^|V| - numerator), where
+/// `numerator` = |{D' ∈ ORep : D' |= Q_k}| computed by the caller.
+BigInt HomFromNumerator(size_t vertex_count, const BigInt& numerator);
+
+}  // namespace uocqa
+
+#endif  // UOCQA_REDUCTIONS_HCOLORING_H_

@@ -1,0 +1,86 @@
+#include "reductions/mon2sat.h"
+
+#include <string>
+
+namespace uocqa {
+
+BigInt CountSatisfyingAssignments(const Pos2Cnf& formula) {
+  BigInt count;
+  size_t n = formula.variable_count;
+  for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+    bool ok = true;
+    for (const auto& [a, b] : formula.clauses) {
+      if (((mask >> a) & 1) == 0 && ((mask >> b) & 1) == 0) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) count += uint64_t{1};
+  }
+  return count;
+}
+
+Result<Mon2SatInstance> BuildMon2SatInstance(const Pos2Cnf& formula,
+                                             size_t k) {
+  for (const auto& [a, b] : formula.clauses) {
+    if (a >= formula.variable_count || b >= formula.variable_count) {
+      return Status::InvalidArgument("clause variable out of range");
+    }
+  }
+  Mon2SatInstance inst;
+  Schema s;
+  for (size_t i = 0; i < formula.clauses.size(); ++i) {
+    s.AddRelationOrDie("C" + std::to_string(i), 2);
+  }
+  for (size_t v = 0; v < formula.variable_count; ++v) {
+    s.AddRelationOrDie("Var" + std::to_string(v), 1);
+  }
+  s.AddRelationOrDie("V", 2);
+  s.AddRelationOrDie("E", 2);
+
+  inst.db = Database(s);
+  auto vname = [](size_t v) { return "x" + std::to_string(v); };
+  for (size_t i = 0; i < formula.clauses.size(); ++i) {
+    inst.db.Add("C" + std::to_string(i),
+                {vname(formula.clauses[i].first), "1"});
+    inst.db.Add("C" + std::to_string(i),
+                {vname(formula.clauses[i].second), "1"});
+  }
+  for (size_t v = 0; v < formula.variable_count; ++v) {
+    inst.db.Add("Var" + std::to_string(v), {vname(v)});
+    inst.db.Add("V", {vname(v), "0"});
+    inst.db.Add("V", {vname(v), "1"});
+  }
+  for (size_t i = 1; i <= k + 1; ++i) {
+    for (size_t j = i + 1; j <= k + 1; ++j) {
+      inst.db.Add("E", {std::to_string(i), std::to_string(j)});
+    }
+  }
+  inst.keys.SetKeyOrDie(s.Find("V"), {0});
+
+  // Q_φ^k = ψ1 ∧ ψ2 ∧ ψ3 (Boolean; relation V repeats — self-joins).
+  inst.query = ConjunctiveQuery(s);
+  for (size_t i = 0; i < formula.clauses.size(); ++i) {
+    VarId xi = inst.query.AddVariable("cx" + std::to_string(i));
+    VarId yi = inst.query.AddVariable("cy" + std::to_string(i));
+    inst.query.AddAtom(s.Find("C" + std::to_string(i)),
+                       {Term::Var(xi), Term::Var(yi)});
+    inst.query.AddAtom(s.Find("V"), {Term::Var(xi), Term::Var(yi)});
+  }
+  for (size_t v = 0; v < formula.variable_count; ++v) {
+    VarId zv = inst.query.AddVariable("z" + std::to_string(v));
+    VarId wild = inst.query.AddFreshVariable("any");
+    inst.query.AddAtom(s.Find("Var" + std::to_string(v)), {Term::Var(zv)});
+    inst.query.AddAtom(s.Find("V"), {Term::Var(zv), Term::Var(wild)});
+  }
+  for (size_t i = 1; i <= k + 1; ++i) {
+    for (size_t j = i + 1; j <= k + 1; ++j) {
+      VarId wi = inst.query.AddVariable("w" + std::to_string(i));
+      VarId wj = inst.query.AddVariable("w" + std::to_string(j));
+      inst.query.AddAtom(s.Find("E"), {Term::Var(wi), Term::Var(wj)});
+    }
+  }
+  return inst;
+}
+
+}  // namespace uocqa

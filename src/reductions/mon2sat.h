@@ -1,0 +1,47 @@
+// The ♯MON2SAT reduction of Appendix B.2 (Theorem 3.5 item (2)): for every
+// k > 0, OCQA_ur[GHW_k] (self-joins allowed!) has no FPRAS unless RP = NP.
+//
+// For a Pos2CNF formula φ over n variables the instance (D_φ^k, Sigma,
+// Q_φ^k) satisfies
+//     RF_ur(D_φ^k, Sigma, Q_φ^k, ()) = ♯φ / 3^n = RF_us(...),
+// so an FPRAS for OCQA would approximately count monotone-2SAT models,
+// which is impossible unless NP = RP. The query keeps width k via a
+// (k+1)-clique sub-query over E and repeats the relation V across clauses —
+// the self-joins are what breaks Theorem 3.6's assumptions.
+
+#ifndef UOCQA_REDUCTIONS_MON2SAT_H_
+#define UOCQA_REDUCTIONS_MON2SAT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/bigint.h"
+#include "base/status.h"
+#include "db/database.h"
+#include "db/keys.h"
+#include "query/cq.h"
+
+namespace uocqa {
+
+/// A positive 2CNF formula: clauses (v1 ∨ v2) over variables 0..n-1.
+struct Pos2Cnf {
+  size_t variable_count = 0;
+  std::vector<std::pair<size_t, size_t>> clauses;
+};
+
+/// ♯φ by brute force over assignments (2^n; validation only).
+BigInt CountSatisfyingAssignments(const Pos2Cnf& formula);
+
+struct Mon2SatInstance {
+  Database db;
+  KeySet keys;
+  ConjunctiveQuery query;  // Boolean, generalized hypertreewidth k, self-joins
+};
+
+/// Builds (D_φ^k, Sigma, Q_φ^k).
+Result<Mon2SatInstance> BuildMon2SatInstance(const Pos2Cnf& formula,
+                                             size_t k);
+
+}  // namespace uocqa
+
+#endif  // UOCQA_REDUCTIONS_MON2SAT_H_

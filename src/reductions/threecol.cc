@@ -1,0 +1,51 @@
+#include "reductions/threecol.h"
+
+#include <string>
+
+#include "query/eval.h"
+
+namespace uocqa {
+
+Result<ThreeColInstance> BuildThreeColInstance(const UGraph& g) {
+  ThreeColInstance inst;
+  Schema s;
+  auto rel_name = [](size_t u, size_t v) {
+    return "C" + std::to_string(u) + "_" + std::to_string(v);
+  };
+  for (const auto& [u, v] : g.edges()) {
+    s.AddRelationOrDie(rel_name(u, v), 2);
+    s.AddRelationOrDie(rel_name(v, u), 2);
+  }
+  if (g.edges().empty()) {
+    return Status::InvalidArgument("graph must have at least one edge");
+  }
+  inst.db = Database(s);
+  for (const auto& [u, v] : g.edges()) {
+    for (int i = 1; i <= 3; ++i) {
+      for (int j = 1; j <= 3; ++j) {
+        if (i == j) continue;
+        inst.db.Add(rel_name(u, v), {std::to_string(i), std::to_string(j)});
+        inst.db.Add(rel_name(v, u), {std::to_string(i), std::to_string(j)});
+      }
+    }
+  }
+  // Sigma is empty: the database is trivially consistent.
+  inst.query = ConjunctiveQuery(s);
+  for (const auto& [u, v] : g.edges()) {
+    VarId xu = inst.query.AddVariable("x" + std::to_string(u));
+    VarId xv = inst.query.AddVariable("x" + std::to_string(v));
+    inst.query.AddAtom(s.Find(rel_name(u, v)),
+                       {Term::Var(xu), Term::Var(xv)});
+    inst.query.AddAtom(s.Find(rel_name(v, u)),
+                       {Term::Var(xv), Term::Var(xu)});
+  }
+  return inst;
+}
+
+bool PosOcqaThreeCol(const ThreeColInstance& inst) {
+  // The unique operational repair of a consistent database is itself, so
+  // RF_ur > 0 iff D |= Q_G.
+  return Entails(inst.db, inst.query);
+}
+
+}  // namespace uocqa

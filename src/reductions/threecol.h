@@ -1,0 +1,36 @@
+// The 3-Colorability reduction of Appendix B.1 (Theorem 3.5 item (1)):
+// PosOCQA_ur[SJF] is NP-hard, so OCQA_ur[SJF] has no FPRAS unless RP = NP.
+//
+// For a graph G the instance (D_G, Sigma = ∅, Q_G) satisfies
+// RF_ur(D_G, ∅, Q_G, ()) = 1 iff G is 3-colorable, 0 otherwise (the only
+// operational repair of a consistent database is the database itself). The
+// query Q_G is self-join-free but of unbounded generalized hypertreewidth —
+// exactly the restriction Theorem 3.6 needs to drop.
+
+#ifndef UOCQA_REDUCTIONS_THREECOL_H_
+#define UOCQA_REDUCTIONS_THREECOL_H_
+
+#include "base/status.h"
+#include "db/database.h"
+#include "db/keys.h"
+#include "query/cq.h"
+#include "reductions/graph.h"
+
+namespace uocqa {
+
+struct ThreeColInstance {
+  Database db;
+  KeySet keys;  // empty
+  ConjunctiveQuery query;
+};
+
+/// Builds (D_G, ∅, Q_G) for an undirected graph G.
+Result<ThreeColInstance> BuildThreeColInstance(const UGraph& g);
+
+/// PosOCQA_ur on the instance: RF_ur > 0, decided exactly (query
+/// evaluation on the unique repair).
+bool PosOcqaThreeCol(const ThreeColInstance& inst);
+
+}  // namespace uocqa
+
+#endif  // UOCQA_REDUCTIONS_THREECOL_H_

@@ -1,0 +1,75 @@
+// Operations, repairing sequences, and operational repairs (paper §3).
+//
+// A D-operation -F removes a non-empty set F of facts; it is (D', Sigma)-
+// justified if F ⊆ {f, g} ⊆ D' for some pair violating Sigma. A repairing
+// sequence applies justified operations until (when complete) the result is
+// consistent. Under primary keys every violating pair lies within one
+// conflict block, so justified operations remove one fact or a pair of facts
+// from a single block with >= 2 remaining facts.
+
+#ifndef UOCQA_REPAIRS_OPERATIONS_H_
+#define UOCQA_REPAIRS_OPERATIONS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "db/blocks.h"
+#include "db/constraints.h"
+#include "db/database.h"
+#include "db/keys.h"
+
+namespace uocqa {
+
+/// A fact-deletion operation -F with |F| ∈ {1, 2}.
+struct Operation {
+  std::vector<FactId> facts;  // sorted, size 1 or 2
+
+  static Operation Single(FactId f) { return Operation{{f}}; }
+  static Operation Pair(FactId f, FactId g) {
+    if (f > g) std::swap(f, g);
+    return Operation{{f, g}};
+  }
+
+  bool operator==(const Operation& o) const { return facts == o.facts; }
+  bool operator<(const Operation& o) const { return facts < o.facts; }
+};
+
+/// A sequence of operations (op_i); applied left to right.
+using RepairingSequence = std::vector<Operation>;
+
+/// The set of facts remaining after applying `seq` to the full database.
+/// Fact ids refer to `db`.
+std::vector<FactId> ApplySequence(const Database& db,
+                                  const RepairingSequence& seq);
+
+/// Is -F justified at the sub-database `present` (bitmap over db facts)?
+bool IsJustified(const Database& db, const PairwiseConstraints& keys,
+                 const std::vector<bool>& present, const Operation& op);
+
+/// Checks that every operation is justified at its step ((D,Sigma)-repairing,
+/// Def. 3.2) and reports whether the result is consistent (complete).
+struct SequenceCheck {
+  bool repairing = false;
+  bool complete = false;
+};
+SequenceCheck CheckSequence(const Database& db, const PairwiseConstraints& keys,
+                            const RepairingSequence& seq);
+
+/// All justified operations available at `present` (deduplicated, sorted).
+std::vector<Operation> JustifiedOperations(const Database& db,
+                                           const PairwiseConstraints& keys,
+                                           const std::vector<bool>& present);
+
+/// Exhaustively enumerates complete repairing sequences by DFS, stopping
+/// after `limit` sequences (0 = no limit). Exponential; small inputs only.
+std::vector<RepairingSequence> EnumerateCompleteSequences(
+    const Database& db, const PairwiseConstraints& keys, size_t limit = 0);
+
+/// Renders "-{P(a,b)} ; -{S(c,d), S(c,e)}".
+std::string SequenceToString(const Database& db, const RepairingSequence& seq);
+
+}  // namespace uocqa
+
+#endif  // UOCQA_REPAIRS_OPERATIONS_H_

@@ -1,0 +1,53 @@
+// Relative frequencies under *arbitrary pairwise constraints* (functional
+// dependencies, mixed constraint sets) via exhaustive sequence enumeration.
+//
+// The paper's polynomial denominators and automata exploit primary keys'
+// block independence; §6 leaves general FDs open. This module makes the
+// operational semantics itself executable for any PairwiseConstraints:
+// it enumerates the complete repairing sequences (exponential!), derives
+// ORep as the set of distinct results, and computes RF_ur / RF_us by
+// definition — a ground-truth oracle for small instances and a playground
+// for the open FD case.
+
+#ifndef UOCQA_REPAIRS_PAIRWISE_RF_H_
+#define UOCQA_REPAIRS_PAIRWISE_RF_H_
+
+#include <cstddef>
+
+#include "base/status.h"
+#include "db/constraints.h"
+#include "db/database.h"
+#include "query/cq.h"
+
+namespace uocqa {
+
+struct PairwiseRf {
+  size_t repairs = 0;              ///< |ORep(D, Sigma)|
+  size_t repairs_entailing = 0;    ///< numerator of RF_ur
+  size_t sequences = 0;            ///< |CRS(D, Sigma)|
+  size_t sequences_entailing = 0;  ///< numerator of RF_us
+
+  double ur() const {
+    return repairs == 0 ? 0.0
+                        : static_cast<double>(repairs_entailing) /
+                              static_cast<double>(repairs);
+  }
+  double us() const {
+    return sequences == 0 ? 0.0
+                          : static_cast<double>(sequences_entailing) /
+                                static_cast<double>(sequences);
+  }
+};
+
+/// Enumerates all complete repairing sequences of (db, constraints) and
+/// evaluates the query on each result. Fails with OutOfRange if more than
+/// `max_sequences` sequences exist (0 = unlimited).
+Result<PairwiseRf> ComputePairwiseRf(const Database& db,
+                                     const PairwiseConstraints& constraints,
+                                     const ConjunctiveQuery& query,
+                                     const std::vector<Value>& answer_tuple,
+                                     size_t max_sequences = 1000000);
+
+}  // namespace uocqa
+
+#endif  // UOCQA_REPAIRS_PAIRWISE_RF_H_

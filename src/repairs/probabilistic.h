@@ -1,0 +1,78 @@
+// The probabilistic operational repair model of Example 1.1 (from [11]).
+//
+// The uniform semantics (RF_ur / RF_us) is the special case of the general
+// operational framework where all choices are equally likely. Example 1.1
+// motivates the general case with *source trust*: each fact carries a trust
+// probability τ. Per conflict block B:
+//   Pr[keep none]  = ∏_{f ∈ B} (1 − τ_f)           (trust no source)
+//   Pr[keep f]     = (1 − Pr[keep none]) · τ_f / Σ_{g∈B} τ_g
+// With τ = 1/2 everywhere and |B| = 2 this reproduces the paper's numbers:
+// Pr[∅] = 1/4 and Pr[{Alice}] = Pr[{Tom}] = 3/8. Blocks are independent, so
+// answer probabilities are products/sums over block outcomes: exact by
+// outcome enumeration, or Monte-Carlo by per-block sampling.
+
+#ifndef UOCQA_REPAIRS_PROBABILISTIC_H_
+#define UOCQA_REPAIRS_PROBABILISTIC_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "base/rng.h"
+#include "db/blocks.h"
+#include "db/database.h"
+#include "db/keys.h"
+#include "query/cq.h"
+#include "repairs/counting.h"
+
+namespace uocqa {
+
+/// Per-fact trust probabilities (default applies to unlisted facts).
+struct TrustModel {
+  double default_trust = 0.5;
+  std::unordered_map<FactId, double> per_fact;
+
+  double TrustOf(FactId f) const {
+    auto it = per_fact.find(f);
+    return it == per_fact.end() ? default_trust : it->second;
+  }
+};
+
+class ProbabilisticRepairModel {
+ public:
+  ProbabilisticRepairModel(const Database& db, const KeySet& keys,
+                           TrustModel trust);
+
+  /// Pr[outcome] for one block: index i < |B| keeps facts[i]; index |B|
+  /// keeps nothing. Singleton blocks keep their fact with probability 1.
+  const std::vector<double>& BlockDistribution(size_t block_idx) const {
+    return block_dist_[block_idx];
+  }
+
+  /// Probability of one specific operational repair.
+  double RepairProbability(const std::vector<BlockOutcome>& outcomes) const;
+
+  /// Pr[c̄ ∈ Q(D')] with D' drawn from the trust-weighted repair
+  /// distribution; exact, by enumerating block outcomes (exponential).
+  double AnswerProbabilityExact(const ConjunctiveQuery& query,
+                                const std::vector<Value>& answer_tuple) const;
+
+  /// Monte-Carlo estimate of the same probability.
+  double AnswerProbabilityMc(const ConjunctiveQuery& query,
+                             const std::vector<Value>& answer_tuple,
+                             size_t samples, Rng& rng) const;
+
+  /// Samples a repair (kept fact ids, sorted).
+  std::vector<FactId> SampleRepair(Rng& rng) const;
+
+  const BlockPartition& blocks() const { return blocks_; }
+
+ private:
+  const Database& db_;
+  BlockPartition blocks_;
+  TrustModel trust_;
+  std::vector<std::vector<double>> block_dist_;
+};
+
+}  // namespace uocqa
+
+#endif  // UOCQA_REPAIRS_PROBABILISTIC_H_

@@ -1,0 +1,159 @@
+#include "workload/generators.h"
+
+#include <cassert>
+#include <set>
+#include <unordered_set>
+
+namespace uocqa {
+
+GeneratedInstance GenerateDatabaseForQuery(Rng& rng,
+                                           const ConjunctiveQuery& query,
+                                           const DbGenOptions& options) {
+  GeneratedInstance out;
+  out.db = Database(query.schema());
+  auto dval = [&](size_t i) { return "d" + std::to_string(i); };
+
+  std::unordered_set<RelationId> done;
+  for (const QueryAtom& atom : query.atoms()) {
+    if (!done.insert(atom.relation).second) continue;
+    RelationId rel = atom.relation;
+    uint32_t arity = query.schema().arity(rel);
+    const std::string& name = query.schema().name(rel);
+    out.keys.SetKeyOrDie(rel, {0});
+    // Distinct key values per block; non-key attributes from the shared
+    // domain so that joins fire with reasonable probability.
+    for (size_t b = 0; b < options.blocks_per_relation; ++b) {
+      size_t span = options.max_block_size - options.min_block_size + 1;
+      size_t size = options.min_block_size + rng.UniformIndex(span);
+      std::string key = dval(rng.UniformIndex(options.domain_size));
+      std::set<std::vector<std::string>> seen;
+      for (size_t f = 0; f < size; ++f) {
+        std::vector<std::string> args;
+        args.push_back(key);
+        for (uint32_t a = 1; a < arity; ++a) {
+          args.push_back(dval(rng.UniformIndex(options.domain_size)));
+        }
+        if (!seen.insert(args).second) continue;  // duplicate fact
+        out.db.Add(name, args);
+      }
+    }
+  }
+  // Relation names for blocks are per-relation, but two blocks of the same
+  // relation may have drawn the same key value, merging them — acceptable:
+  // the histogram is a target, not a contract.
+  return out;
+}
+
+namespace {
+
+ConjunctiveQuery BinaryRelationQuery(
+    const std::vector<std::pair<std::string, std::pair<std::string,
+                                                       std::string>>>& atoms) {
+  Schema s;
+  for (const auto& [rel, vars] : atoms) {
+    (void)vars;
+    s.AddRelationOrDie(rel, 2);
+  }
+  ConjunctiveQuery q(s);
+  for (const auto& [rel, vars] : atoms) {
+    VarId a = q.AddVariable(vars.first);
+    VarId b = q.AddVariable(vars.second);
+    q.AddAtom(s.Find(rel), {Term::Var(a), Term::Var(b)});
+  }
+  return q;
+}
+
+}  // namespace
+
+ConjunctiveQuery ChainQuery(size_t length) {
+  assert(length >= 1);
+  std::vector<std::pair<std::string, std::pair<std::string, std::string>>>
+      atoms;
+  for (size_t i = 1; i <= length; ++i) {
+    atoms.push_back({"R" + std::to_string(i),
+                     {"x" + std::to_string(i - 1), "x" + std::to_string(i)}});
+  }
+  return BinaryRelationQuery(atoms);
+}
+
+ConjunctiveQuery StarQuery(size_t arms) {
+  assert(arms >= 1);
+  std::vector<std::pair<std::string, std::pair<std::string, std::string>>>
+      atoms;
+  for (size_t i = 1; i <= arms; ++i) {
+    atoms.push_back({"R" + std::to_string(i),
+                     {"c", "x" + std::to_string(i)}});
+  }
+  return BinaryRelationQuery(atoms);
+}
+
+ConjunctiveQuery CycleQuery(size_t length) {
+  assert(length >= 3);
+  std::vector<std::pair<std::string, std::pair<std::string, std::string>>>
+      atoms;
+  for (size_t i = 1; i <= length; ++i) {
+    atoms.push_back(
+        {"R" + std::to_string(i),
+         {"x" + std::to_string(i), "x" + std::to_string(i % length + 1)}});
+  }
+  return BinaryRelationQuery(atoms);
+}
+
+ConjunctiveQuery CliqueQuery(size_t vertices) {
+  assert(vertices >= 2);
+  std::vector<std::pair<std::string, std::pair<std::string, std::string>>>
+      atoms;
+  for (size_t i = 1; i <= vertices; ++i) {
+    for (size_t j = i + 1; j <= vertices; ++j) {
+      atoms.push_back({"C" + std::to_string(i) + "_" + std::to_string(j),
+                       {"w" + std::to_string(i), "w" + std::to_string(j)}});
+    }
+  }
+  return BinaryRelationQuery(atoms);
+}
+
+UGraph RandomConnectedBipartite(Rng& rng, size_t left, size_t right,
+                                double extra_edge_prob) {
+  assert(left >= 1 && right >= 1);
+  UGraph g(left + right);
+  // Spanning tree: add vertices in interleaved order, attaching each new
+  // vertex to a random already-added vertex of the opposite side.
+  std::vector<size_t> added_left{0};
+  std::vector<size_t> added_right;
+  for (size_t i = 1; i < left + right; ++i) {
+    // Prefer alternating; fall back to whatever side still has vertices.
+    bool add_right = added_right.size() < right &&
+                     (added_right.size() * left <= added_left.size() * right ||
+                      added_left.size() == left);
+    if (add_right) {
+      size_t r = left + added_right.size();
+      g.AddEdge(added_left[rng.UniformIndex(added_left.size())], r);
+      added_right.push_back(r);
+    } else {
+      size_t l = added_left.size();
+      g.AddEdge(l, added_right[rng.UniformIndex(added_right.size())]);
+      added_left.push_back(l);
+    }
+  }
+  for (size_t l = 0; l < left; ++l) {
+    for (size_t r = 0; r < right; ++r) {
+      if (rng.Bernoulli(extra_edge_prob)) g.AddEdge(l, left + r);
+    }
+  }
+  return g;
+}
+
+Pos2Cnf RandomPos2Cnf(Rng& rng, size_t variables, size_t clauses) {
+  assert(variables >= 2);
+  Pos2Cnf f;
+  f.variable_count = variables;
+  for (size_t i = 0; i < clauses; ++i) {
+    size_t a = rng.UniformIndex(variables);
+    size_t b = rng.UniformIndex(variables - 1);
+    if (b >= a) ++b;
+    f.clauses.emplace_back(a, b);
+  }
+  return f;
+}
+
+}  // namespace uocqa

@@ -1,0 +1,70 @@
+// Synthetic workload generators for experiments and property tests.
+//
+// The paper evaluates nothing empirically, so the benchmark workloads are
+// built from the ingredients its constructions use: databases with
+// controlled conflict-block histograms, self-join-free queries of chosen
+// shape/width (chains, stars, cycles, cliques), random bipartite graphs for
+// the ♯H-Coloring reduction and random Pos2CNF formulas for ♯MON2SAT.
+
+#ifndef UOCQA_WORKLOAD_GENERATORS_H_
+#define UOCQA_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "db/database.h"
+#include "db/keys.h"
+#include "query/cq.h"
+#include "reductions/graph.h"
+#include "reductions/mon2sat.h"
+
+namespace uocqa {
+
+struct GeneratedInstance {
+  Database db;
+  KeySet keys;
+};
+
+struct DbGenOptions {
+  /// Number of conflict blocks per relation.
+  size_t blocks_per_relation = 4;
+  /// Block size range (inclusive). Size-1 blocks are consistent.
+  size_t min_block_size = 1;
+  size_t max_block_size = 3;
+  /// Size of the shared value domain for all attributes; smaller values
+  /// produce more joins (and more query-entailing repairs).
+  size_t domain_size = 6;
+};
+
+/// A database for the relations of `query` (key = first attribute), with
+/// per-relation blocks drawn per `options`.
+GeneratedInstance GenerateDatabaseForQuery(Rng& rng,
+                                           const ConjunctiveQuery& query,
+                                           const DbGenOptions& options);
+
+/// Ans() :- R1(x0,x1), R2(x1,x2), ..., Rn(x_{n-1},x_n). Acyclic, ghw 1.
+ConjunctiveQuery ChainQuery(size_t length);
+
+/// Ans() :- R1(c,x1), ..., Rn(c,xn). Acyclic, ghw 1.
+ConjunctiveQuery StarQuery(size_t arms);
+
+/// Ans() :- R1(x1,x2), ..., Rn(xn,x1). Cyclic (n >= 3), ghw 2.
+ConjunctiveQuery CycleQuery(size_t length);
+
+/// The (k+1)-clique of distinct binary relations used by the paper's
+/// hardness constructions: ghw = ceil((k+1)/2).
+ConjunctiveQuery CliqueQuery(size_t vertices);
+
+/// A connected bipartite graph: a random spanning tree between the sides
+/// plus extra random cross edges.
+UGraph RandomConnectedBipartite(Rng& rng, size_t left, size_t right,
+                                double extra_edge_prob);
+
+/// A random positive 2CNF formula.
+Pos2Cnf RandomPos2Cnf(Rng& rng, size_t variables, size_t clauses);
+
+}  // namespace uocqa
+
+#endif  // UOCQA_WORKLOAD_GENERATORS_H_

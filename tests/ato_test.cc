@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ato/ato.h"
+#include "ato/build_nfta.h"
+#include "ato/computation_dag.h"
+#include "automata/exact_count.h"
+
+namespace uocqa {
+namespace {
+
+/// Machine that scans the input left to right, existentially emitting one
+/// bit per input character: span on input of length n is 2^n. Every emitted
+/// bit is one output node, so valid outputs are unary paths ε→b1→...→bn.
+Ato GuessBitsMachine() {
+  Ato m;
+  AtoState init = m.AddState("init", AtoQuantifier::kExistential, true);
+  AtoState emit = m.AddState("emit", AtoQuantifier::kExistential, true);
+  AtoState acc = m.AddState("accept");
+  AtoState rej = m.AddState("reject");
+  m.SetAccept(acc);
+  m.SetReject(rej);
+  m.SetInitial(init);
+  for (AtoState s : {init, emit}) {
+    // On a non-blank input char: guess a bit and advance.
+    m.AddBranch(s, 'a', kAtoBlank, {emit, +1, 0, kAtoBlank, "0"});
+    m.AddBranch(s, 'a', kAtoBlank, {emit, +1, 0, kAtoBlank, "1"});
+    // At the end of the input: accept.
+    m.AddBranch(s, kAtoBlank, kAtoBlank, {acc, 0, 0, kAtoBlank, ""});
+  }
+  return m;
+}
+
+/// Universal machine: the root universally branches into an "L" and an "R"
+/// child; each existentially finishes with label suffix x or y. Outputs are
+/// trees ε(L:s, R:t) with s,t ∈ {x,y}: span = 4.
+Ato UniversalProductMachine() {
+  Ato m;
+  AtoState init = m.AddState("init", AtoQuantifier::kUniversal, true);
+  AtoState left = m.AddState("left", AtoQuantifier::kExistential, true);
+  AtoState right = m.AddState("right", AtoQuantifier::kExistential, true);
+  AtoState end = m.AddState("end", AtoQuantifier::kExistential, true);
+  AtoState acc = m.AddState("accept");
+  AtoState rej = m.AddState("reject");
+  m.SetAccept(acc);
+  m.SetReject(rej);
+  m.SetInitial(init);
+  m.AddBranch(init, kAtoBlank, kAtoBlank, {left, 0, 0, kAtoBlank, "L"});
+  m.AddBranch(init, kAtoBlank, kAtoBlank, {right, 0, 0, kAtoBlank, "R"});
+  for (AtoState s : {left, right}) {
+    m.AddBranch(s, kAtoBlank, kAtoBlank, {end, 0, 0, kAtoBlank, "x"});
+    m.AddBranch(s, kAtoBlank, kAtoBlank, {end, 0, 0, kAtoBlank, "y"});
+  }
+  m.AddBranch(end, kAtoBlank, kAtoBlank, {acc, 0, 0, kAtoBlank, ""});
+  return m;
+}
+
+/// Ambiguous machine: two distinct computations emit the same single
+/// output; span must be 1.
+Ato AmbiguousMachine() {
+  Ato m;
+  AtoState init = m.AddState("init", AtoQuantifier::kExistential, true);
+  AtoState a = m.AddState("a", AtoQuantifier::kExistential, false);
+  AtoState b = m.AddState("b", AtoQuantifier::kExistential, false);
+  AtoState out = m.AddState("out", AtoQuantifier::kExistential, true);
+  AtoState acc = m.AddState("accept");
+  AtoState rej = m.AddState("reject");
+  m.SetAccept(acc);
+  m.SetReject(rej);
+  m.SetInitial(init);
+  // Two intermediate non-labeling routes writing different work symbols
+  // (hence distinct configurations) but the same label.
+  m.AddBranch(init, kAtoBlank, kAtoBlank, {a, 0, 0, 'p', "same"});
+  m.AddBranch(init, kAtoBlank, kAtoBlank, {b, 0, 0, 'q', "same"});
+  m.AddBranch(a, kAtoBlank, 'p', {out, 0, +1, 'p', ""});
+  m.AddBranch(b, kAtoBlank, 'q', {out, 0, +1, 'q', ""});
+  m.AddBranch(out, kAtoBlank, kAtoBlank, {acc, 0, 0, kAtoBlank, ""});
+  return m;
+}
+
+/// Machine with a universal branch into one accepting and one rejecting
+/// child: no valid outputs.
+Ato RejectingUniversalMachine() {
+  Ato m;
+  AtoState init = m.AddState("init", AtoQuantifier::kUniversal, true);
+  AtoState good = m.AddState("good", AtoQuantifier::kExistential, true);
+  AtoState bad = m.AddState("bad", AtoQuantifier::kExistential, false);
+  AtoState acc = m.AddState("accept");
+  AtoState rej = m.AddState("reject");
+  m.SetAccept(acc);
+  m.SetReject(rej);
+  m.SetInitial(init);
+  m.AddBranch(init, kAtoBlank, kAtoBlank, {good, 0, 0, kAtoBlank, "g"});
+  m.AddBranch(init, kAtoBlank, kAtoBlank, {bad, 0, 0, kAtoBlank, ""});
+  m.AddBranch(good, kAtoBlank, kAtoBlank, {acc, 0, 0, kAtoBlank, ""});
+  m.AddBranch(bad, kAtoBlank, kAtoBlank, {rej, 0, 0, kAtoBlank, ""});
+  return m;
+}
+
+/// Looping machine (never terminates): the computation DAG is cyclic.
+Ato LoopingMachine() {
+  Ato m;
+  AtoState init = m.AddState("init", AtoQuantifier::kExistential, true);
+  AtoState spin = m.AddState("spin", AtoQuantifier::kExistential, false);
+  AtoState acc = m.AddState("accept");
+  AtoState rej = m.AddState("reject");
+  m.SetAccept(acc);
+  m.SetReject(rej);
+  m.SetInitial(init);
+  m.AddBranch(init, kAtoBlank, kAtoBlank, {spin, 0, 0, kAtoBlank, ""});
+  m.AddBranch(spin, kAtoBlank, kAtoBlank, {spin, 0, 0, kAtoBlank, ""});
+  return m;
+}
+
+TEST(ComputationDagTest, BuildsAndDetectsStructure) {
+  Ato m = GuessBitsMachine();
+  auto dag = ComputationDag::Build(m, "aa");
+  ASSERT_TRUE(dag.ok()) << dag.status().ToString();
+  EXPECT_GT(dag->size(), 3u);
+  EXPECT_EQ(dag->config(dag->root()).state, m.initial());
+  EXPECT_GT(dag->LongestPath(), 1u);
+}
+
+TEST(ComputationDagTest, DetectsLoops) {
+  Ato m = LoopingMachine();
+  auto dag = ComputationDag::Build(m, "");
+  EXPECT_FALSE(dag.ok());
+  EXPECT_EQ(dag.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SpanTest, GuessBitsSpanIsPowerOfTwo) {
+  Ato m = GuessBitsMachine();
+  for (size_t n = 0; n <= 6; ++n) {
+    auto span = SpanExact(m, std::string(n, 'a'));
+    ASSERT_TRUE(span.ok()) << span.status().ToString();
+    EXPECT_EQ(span->ToUint64(), uint64_t{1} << n) << "n=" << n;
+  }
+}
+
+TEST(SpanTest, UniversalProductSpan) {
+  Ato m = UniversalProductMachine();
+  auto span = SpanExact(m, "");
+  ASSERT_TRUE(span.ok()) << span.status().ToString();
+  EXPECT_EQ(span->ToUint64(), 4u);
+}
+
+TEST(SpanTest, AmbiguityCollapses) {
+  Ato m = AmbiguousMachine();
+  auto span = SpanExact(m, "");
+  ASSERT_TRUE(span.ok()) << span.status().ToString();
+  EXPECT_EQ(span->ToUint64(), 1u);
+}
+
+TEST(SpanTest, RejectingUniversalHasNoOutputs) {
+  Ato m = RejectingUniversalMachine();
+  auto span = SpanExact(m, "");
+  ASSERT_TRUE(span.ok()) << span.status().ToString();
+  EXPECT_TRUE(span->IsZero());
+}
+
+TEST(BuildNftaTest, CompiledAutomatonMatchesEnumeration) {
+  for (auto& [machine, input] :
+       std::vector<std::pair<Ato, std::string>>{
+           {GuessBitsMachine(), "aaa"},
+           {UniversalProductMachine(), ""},
+           {AmbiguousMachine(), ""},
+           {RejectingUniversalMachine(), ""}}) {
+    auto dag = ComputationDag::Build(machine, input);
+    ASSERT_TRUE(dag.ok());
+    auto compiled = BuildNftaFromDag(*dag);
+    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+    auto outputs =
+        EnumerateValidOutputs(*dag, &compiled->nfta, 100000);
+    ASSERT_TRUE(outputs.ok()) << outputs.status().ToString();
+    // Every enumerated valid output is accepted by the compiled NFTA...
+    for (const LabeledTree& t : *outputs) {
+      EXPECT_TRUE(compiled->nfta.Accepts(t))
+          << compiled->nfta.TreeToString(t);
+      EXPECT_LE(t.Size(), compiled->max_tree_size);
+    }
+    // ...and the distinct-tree count matches exactly (Lemma D.4).
+    ExactTreeCounter counter(compiled->nfta);
+    EXPECT_EQ(counter.CountUpTo(compiled->max_tree_size).ToUint64(),
+              outputs->size());
+  }
+}
+
+TEST(BuildNftaTest, MaxTreeSizeIsTight) {
+  Ato m = GuessBitsMachine();
+  auto compiled = BuildNftaFromAto(m, "aaaa");
+  ASSERT_TRUE(compiled.ok());
+  // Output paths: ε plus 4 bits.
+  EXPECT_EQ(compiled->max_tree_size, 5u);
+}
+
+TEST(AtoLimitsTest, ConfigurationBudgetEnforced) {
+  Ato m = GuessBitsMachine();
+  AtoLimits limits;
+  limits.max_configurations = 2;
+  auto dag = ComputationDag::Build(m, "aaaaaa", limits);
+  EXPECT_FALSE(dag.ok());
+  EXPECT_EQ(dag.status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace uocqa

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "base/status.h"
+#include "base/strings.h"
+
+namespace uocqa {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  Status ok = Status::OK();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
+  Status bad = Status::InvalidArgument("nope");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad.ToString(), "InvalidArgument: nope");
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+Result<int> Halve(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  UOCQA_ASSIGN_OR_RETURN(int half, Halve(x));
+  return Halve(half);
+}
+
+TEST(ResultTest, ValueAndErrorPaths) {
+  Result<int> good = Halve(10);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 5);
+  Result<int> bad = Halve(7);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+
+  Result<int> q = Quarter(12);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value(), 3);
+  EXPECT_FALSE(Quarter(10).ok());  // 5 is odd: propagated by the macro
+}
+
+TEST(StringsTest, SplitTrimJoin) {
+  auto pieces = StrSplit("a,b,,c", ',');
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(pieces[2], "");
+  EXPECT_EQ(StrTrim("  hi \t\n"), "hi");
+  EXPECT_EQ(StrTrim(""), "");
+  EXPECT_EQ(StrJoin({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_TRUE(StartsWith("keyword", "key"));
+  EXPECT_FALSE(StartsWith("ke", "key"));
+}
+
+TEST(RngTest, DeterminismAndBounds) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.NextU64(), b.NextU64());
+  EXPECT_NE(a.NextU64(), c.NextU64());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(a.UniformU64(17), 17u);
+    double d = a.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+  // Bernoulli extremes.
+  EXPECT_FALSE(a.Bernoulli(0.0));
+  EXPECT_TRUE(a.Bernoulli(1.0));
+  // Fork produces an independent stream.
+  Rng child = a.Fork();
+  EXPECT_NE(child.NextU64(), a.NextU64());
+}
+
+TEST(RngTest, UniformIsRoughlyUniform) {
+  Rng rng(7);
+  int buckets[8] = {0};
+  const int kTrials = 80000;
+  for (int i = 0; i < kTrials; ++i) buckets[rng.UniformU64(8)]++;
+  for (int b = 0; b < 8; ++b) {
+    EXPECT_NEAR(buckets[b], kTrials / 8, kTrials / 80) << b;
+  }
+}
+
+}  // namespace
+}  // namespace uocqa

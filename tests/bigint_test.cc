@@ -1,0 +1,184 @@
+#include "base/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "base/rng.h"
+
+namespace uocqa {
+namespace {
+
+TEST(BigIntTest, DefaultIsZero) {
+  BigInt z;
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_EQ(z.ToString(), "0");
+  EXPECT_EQ(z.BitLength(), 0u);
+  EXPECT_EQ(z.ToDouble(), 0.0);
+}
+
+TEST(BigIntTest, Uint64RoundTrip) {
+  for (uint64_t v : {0ull, 1ull, 2ull, 4294967295ull, 4294967296ull,
+                     18446744073709551615ull}) {
+    BigInt b(v);
+    EXPECT_EQ(b.ToUint64(), v) << v;
+    EXPECT_EQ(b.ToString(), std::to_string(v));
+  }
+}
+
+TEST(BigIntTest, DecimalStringRoundTrip) {
+  const std::string big = "123456789012345678901234567890123456789";
+  BigInt b = BigInt::FromDecimalString(big);
+  EXPECT_EQ(b.ToString(), big);
+}
+
+TEST(BigIntTest, AdditionMatchesUint64) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t a = rng.NextU64() >> 1;
+    uint64_t b = rng.NextU64() >> 1;
+    EXPECT_EQ((BigInt(a) + BigInt(b)).ToUint64(), a + b);
+  }
+}
+
+TEST(BigIntTest, SubtractionMatchesUint64) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t a = rng.NextU64();
+    uint64_t b = rng.NextU64();
+    if (a < b) std::swap(a, b);
+    EXPECT_EQ((BigInt(a) - BigInt(b)).ToUint64(), a - b);
+  }
+}
+
+TEST(BigIntTest, MultiplicationMatchesUint64) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t a = rng.NextU64() & 0xffffffffull;
+    uint64_t b = rng.NextU64() & 0xffffffffull;
+    EXPECT_EQ((BigInt(a) * BigInt(b)).ToUint64(), a * b);
+    EXPECT_EQ((BigInt(a) * b).ToUint64(), a * b);
+  }
+}
+
+TEST(BigIntTest, LargeMultiplicationKnownValue) {
+  // (2^128 - 1)^2 = 2^256 - 2^129 + 1
+  BigInt a = BigInt::FromDecimalString("340282366920938463463374607431768211455");
+  BigInt sq = a * a;
+  EXPECT_EQ(sq.ToString(),
+            "115792089237316195423570985008687907852589419931798687112530"
+            "834793049593217025");
+}
+
+TEST(BigIntTest, CompareOrdering) {
+  BigInt a(5), b(7);
+  EXPECT_LT(a, b);
+  EXPECT_LE(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, BigInt(5));
+  BigInt big = BigInt::FromDecimalString("99999999999999999999999");
+  EXPECT_LT(b, big);
+}
+
+TEST(BigIntTest, ShiftLeftRight) {
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    uint64_t v = rng.NextU64() >> 8;
+    size_t s = rng.UniformIndex(8);
+    BigInt b(v);
+    b.ShiftLeft(s);
+    EXPECT_EQ(b.ToUint64(), v << s);
+    b.ShiftRight(s);
+    EXPECT_EQ(b.ToUint64(), v);
+  }
+  BigInt one(1);
+  one.ShiftLeft(200);
+  EXPECT_EQ(one.BitLength(), 201u);
+  one.ShiftRight(200);
+  EXPECT_TRUE(one.IsOne());
+  one.ShiftRight(5);
+  EXPECT_TRUE(one.IsZero());
+}
+
+TEST(BigIntTest, DivModU32) {
+  BigInt b = BigInt::FromDecimalString("123456789012345678901");
+  uint32_t rem = b.DivModU32(1000u);
+  EXPECT_EQ(rem, 901u);
+  EXPECT_EQ(b.ToString(), "123456789012345678");
+}
+
+TEST(BigIntTest, ToDoubleAccuracy) {
+  BigInt b = BigInt::FromDecimalString("1000000000000000000000000000000");
+  EXPECT_NEAR(b.ToDouble(), 1e30, 1e15);
+}
+
+TEST(BigIntTest, RatioAsDouble) {
+  BigInt num = BigInt::FromDecimalString("123456789012345678901234567890");
+  BigInt den = BigInt::FromDecimalString("987654321098765432109876543210");
+  EXPECT_NEAR(BigInt::RatioAsDouble(num, den), 0.1249999988609375, 1e-12);
+  EXPECT_EQ(BigInt::RatioAsDouble(BigInt(), den), 0.0);
+  // Huge ratio that would overflow double numerator/denominator separately.
+  BigInt n2(3);
+  n2.ShiftLeft(5000);
+  BigInt d2(2);
+  d2.ShiftLeft(5000);
+  EXPECT_DOUBLE_EQ(BigInt::RatioAsDouble(n2, d2), 1.5);
+}
+
+TEST(BigIntTest, Log2) {
+  BigInt b(1);
+  b.ShiftLeft(100);
+  EXPECT_NEAR(b.Log2(), 100.0, 1e-9);
+  EXPECT_NEAR(BigInt(3).Log2(), 1.584962500721156, 1e-12);
+}
+
+TEST(BigIntTest, BinomialKnownValues) {
+  EXPECT_EQ(Binomial(0, 0).ToString(), "1");
+  EXPECT_EQ(Binomial(5, 2).ToUint64(), 10u);
+  EXPECT_EQ(Binomial(7, 5).ToUint64(), 21u);  // Example 5.4 amplifier
+  EXPECT_EQ(Binomial(10, 11).ToUint64(), 0u);
+  EXPECT_EQ(Binomial(100, 50).ToString(),
+            "100891344545564193334812497256");
+}
+
+TEST(BigIntTest, BinomialPascalIdentity) {
+  for (uint32_t n = 1; n < 40; ++n) {
+    for (uint32_t k = 1; k <= n; ++k) {
+      EXPECT_EQ(Binomial(n, k), Binomial(n - 1, k - 1) + Binomial(n - 1, k));
+    }
+  }
+}
+
+TEST(BigIntTest, FactorialKnownValues) {
+  EXPECT_EQ(Factorial(0).ToUint64(), 1u);
+  EXPECT_EQ(Factorial(5).ToUint64(), 120u);
+  EXPECT_EQ(Factorial(20).ToUint64(), 2432902008176640000ull);
+  EXPECT_EQ(Factorial(25).ToString(), "15511210043330985984000000");
+}
+
+TEST(BigIntTest, MultinomialMatchesFactorialFormula) {
+  // (3+2+2)! / (3!2!2!) = 5040/24 = 210
+  EXPECT_EQ(Multinomial({3, 2, 2}).ToUint64(), 210u);
+  EXPECT_EQ(Multinomial({}).ToUint64(), 1u);
+  EXPECT_EQ(Multinomial({4}).ToUint64(), 1u);
+  // Example 5.4 interleaving: 7!/(1!2!1!1!2!) = 1260.
+  EXPECT_EQ(Multinomial({1, 2, 1, 1, 2}).ToUint64(), 1260u);
+}
+
+TEST(BigIntTest, MulAddStressAgainstDouble) {
+  Rng rng(7);
+  BigInt acc(1);
+  double approx = 1.0;
+  for (int i = 0; i < 300; ++i) {
+    uint64_t m = 1 + rng.UniformU64(1000);
+    acc *= m;
+    approx *= static_cast<double>(m);
+    if (approx > 1e300) break;  // keep double in range
+  }
+  EXPECT_NEAR(acc.ToDouble() / approx, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace uocqa

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "db/blocks.h"
+#include "db/database.h"
+#include "db/fact.h"
+#include "db/keys.h"
+#include "db/schema.h"
+#include "db/value.h"
+
+namespace uocqa {
+namespace {
+
+Schema EmpSchema() {
+  Schema s;
+  s.AddRelationOrDie("Emp", 2);
+  return s;
+}
+
+TEST(ValuePoolTest, InternIsStable) {
+  Value a1 = ValuePool::Intern("alice-db-test");
+  Value a2 = ValuePool::Intern("alice-db-test");
+  Value b = ValuePool::Intern("bob-db-test");
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+  EXPECT_EQ(ValuePool::Name(a1), "alice-db-test");
+  EXPECT_EQ(ValuePool::InternInt(42), ValuePool::Intern("42"));
+}
+
+TEST(SchemaTest, AddAndFind) {
+  Schema s;
+  auto r = s.AddRelation("R", 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(s.arity(r.value()), 2u);
+  EXPECT_EQ(s.name(r.value()), "R");
+  EXPECT_EQ(s.Find("R"), r.value());
+  EXPECT_EQ(s.Find("S"), kInvalidRelation);
+  // Same name, same arity: idempotent.
+  auto r2 = s.AddRelation("R", 2);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value(), r.value());
+  // Same name, different arity: error.
+  auto bad = s.AddRelation("R", 3);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  // Zero arity: error.
+  EXPECT_FALSE(s.AddRelation("Z", 0).ok());
+}
+
+TEST(DatabaseTest, AddDeduplicatesAndKeepsOrder) {
+  Database db(EmpSchema());
+  FactId f1 = db.Add("Emp", {"1", "Alice"});
+  FactId f2 = db.Add("Emp", {"1", "Tom"});
+  FactId f3 = db.Add("Emp", {"1", "Alice"});
+  EXPECT_EQ(f1, f3);
+  EXPECT_NE(f1, f2);
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_EQ(FactToString(db.schema(), db.fact(f1)), "Emp(1,Alice)");
+  EXPECT_TRUE(db.Contains(MakeFact(db.schema(), "Emp", {"1", "Tom"})));
+  EXPECT_EQ(db.Find(MakeFact(db.schema(), "Emp", {"2", "Tom"})), kInvalidFact);
+}
+
+TEST(DatabaseTest, ActiveDomainAndSubset) {
+  Database db(EmpSchema());
+  db.Add("Emp", {"1", "Alice"});
+  db.Add("Emp", {"1", "Tom"});
+  EXPECT_EQ(db.ActiveDomain().size(), 3u);  // 1, Alice, Tom
+  Database sub = db.Subset({0});
+  EXPECT_EQ(sub.size(), 1u);
+  EXPECT_TRUE(sub.Contains(MakeFact(db.schema(), "Emp", {"1", "Alice"})));
+}
+
+TEST(KeySetTest, KeyValueProjectionAndDefault) {
+  Schema s = EmpSchema();
+  RelationId emp = s.Find("Emp");
+  KeySet keys;
+  keys.SetKeyOrDie(emp, {0});
+  Fact f = MakeFact(s, "Emp", {"1", "Alice"});
+  std::vector<Value> kv = keys.KeyValueOf(f);
+  ASSERT_EQ(kv.size(), 1u);
+  EXPECT_EQ(kv[0], ValuePool::Intern("1"));
+
+  KeySet none;
+  EXPECT_EQ(none.KeyValueOf(f), f.args);  // whole tuple when keyless
+}
+
+TEST(KeySetTest, RedeclareDifferentKeyFails) {
+  Schema s = EmpSchema();
+  RelationId emp = s.Find("Emp");
+  KeySet keys;
+  ASSERT_TRUE(keys.SetKey(emp, {0}).ok());
+  ASSERT_TRUE(keys.SetKey(emp, {0}).ok());  // idempotent
+  EXPECT_FALSE(keys.SetKey(emp, {1}).ok()); // primary keys are unique
+}
+
+TEST(KeySetTest, ViolatingPair) {
+  Schema s = EmpSchema();
+  RelationId emp = s.Find("Emp");
+  KeySet keys;
+  keys.SetKeyOrDie(emp, {0});
+  Fact a = MakeFact(s, "Emp", {"1", "Alice"});
+  Fact t = MakeFact(s, "Emp", {"1", "Tom"});
+  Fact b = MakeFact(s, "Emp", {"2", "Bob"});
+  EXPECT_TRUE(keys.ViolatingPair(a, t));
+  EXPECT_FALSE(keys.ViolatingPair(a, b));
+  EXPECT_FALSE(keys.ViolatingPair(a, a));  // same fact is not a violation
+}
+
+TEST(ConsistencyTest, DetectsViolations) {
+  Database db(EmpSchema());
+  RelationId emp = db.schema().Find("Emp");
+  KeySet keys;
+  keys.SetKeyOrDie(emp, {0});
+  db.Add("Emp", {"1", "Alice"});
+  EXPECT_TRUE(IsConsistent(db, keys));
+  db.Add("Emp", {"1", "Tom"});
+  EXPECT_FALSE(IsConsistent(db, keys));
+  db.Add("Emp", {"2", "Bob"});
+  auto v = Violations(db, keys);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].first, 0u);
+  EXPECT_EQ(v[0].second, 1u);
+}
+
+TEST(ConsistencyTest, NoDeclaredKeyMeansConsistent) {
+  Database db(EmpSchema());
+  KeySet keys;
+  db.Add("Emp", {"1", "Alice"});
+  db.Add("Emp", {"1", "Tom"});
+  EXPECT_TRUE(IsConsistent(db, keys));
+  EXPECT_TRUE(Violations(db, keys).empty());
+}
+
+TEST(BlockPartitionTest, Paper51ExampleBlocks) {
+  // Database from the paper's §5.1 discussion: 13 facts, 4 relations.
+  Schema s;
+  s.AddRelationOrDie("P", 2);
+  s.AddRelationOrDie("S", 2);
+  s.AddRelationOrDie("T", 2);
+  s.AddRelationOrDie("U", 2);
+  Database db(s);
+  db.Add("P", {"a1", "b"});
+  db.Add("P", {"a1", "c"});
+  db.Add("P", {"a2", "b"});
+  db.Add("P", {"a2", "c"});
+  db.Add("P", {"a2", "d"});
+  db.Add("S", {"c", "d"});
+  db.Add("S", {"c", "e"});
+  db.Add("T", {"d", "a1"});
+  db.Add("U", {"c", "f"});
+  db.Add("U", {"c", "g"});
+  db.Add("U", {"h", "i"});
+  db.Add("U", {"h", "j"});
+  db.Add("U", {"h", "k"});
+  KeySet keys;
+  for (const char* r : {"P", "S", "T", "U"}) {
+    keys.SetKeyOrDie(db.schema().Find(r), {0});
+  }
+  BlockPartition parts = BlockPartition::Compute(db, keys);
+  // Blocks: P(a1,*) size 2, P(a2,*) size 3, S(c,*) size 2, T(d,*) size 1,
+  // U(c,*) size 2, U(h,*) size 3.
+  ASSERT_EQ(parts.block_count(), 6u);
+  EXPECT_EQ(parts.block(0).size(), 2u);  // P(a1)
+  EXPECT_EQ(parts.block(1).size(), 3u);  // P(a2)
+  EXPECT_EQ(parts.block(2).size(), 2u);  // S(c)
+  EXPECT_EQ(parts.block(3).size(), 1u);  // T(d)
+  EXPECT_EQ(parts.block(4).size(), 2u);  // U(c)
+  EXPECT_EQ(parts.block(5).size(), 3u);  // U(h)
+  EXPECT_EQ(parts.ViolatingBlockCount(), 5u);
+  // Fact -> block mapping is consistent.
+  for (FactId id = 0; id < db.size(); ++id) {
+    const Block& b = parts.block(parts.BlockOf(id));
+    EXPECT_NE(std::find(b.facts.begin(), b.facts.end(), id), b.facts.end());
+  }
+  // Relation index.
+  EXPECT_EQ(parts.BlocksOfRelation(db.schema().Find("U")).size(), 2u);
+  EXPECT_EQ(parts.BlocksOfRelation(db.schema().Find("T")).size(), 1u);
+}
+
+}  // namespace
+}  // namespace uocqa

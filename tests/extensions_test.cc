@@ -1,0 +1,188 @@
+// Tests for the framework extensions: the probabilistic repair model of
+// Example 1.1, functional dependencies (paper §6 future work) through the
+// PairwiseConstraints interface, and the general enumeration-based RF.
+
+#include <gtest/gtest.h>
+
+#include "db/fds.h"
+#include "query/parser.h"
+#include "repairs/counting.h"
+#include "repairs/operations.h"
+#include "repairs/pairwise_rf.h"
+#include "repairs/probabilistic.h"
+
+namespace uocqa {
+namespace {
+
+struct EmpInstance {
+  Database db;
+  KeySet keys;
+
+  EmpInstance() {
+    Schema s;
+    s.AddRelationOrDie("Emp", 2);
+    db = Database(s);
+    db.Add("Emp", {"1", "Alice"});
+    db.Add("Emp", {"1", "Tom"});
+    keys.SetKeyOrDie(db.schema().Find("Emp"), {0});
+  }
+};
+
+// --- probabilistic repairs (Example 1.1) ---------------------------------------
+
+TEST(ProbabilisticTest, Example11Probabilities) {
+  EmpInstance inst;
+  TrustModel trust;  // both sources 50% reliable
+  ProbabilisticRepairModel model(inst.db, inst.keys, trust);
+  ASSERT_EQ(model.blocks().block_count(), 1u);
+  const std::vector<double>& dist = model.BlockDistribution(0);
+  ASSERT_EQ(dist.size(), 3u);
+  // "With probability 0.5 * 0.5 = 0.25 we do not trust either tuple ...
+  //  with probability (1 - 0.25)/2 = 0.375 we remove either" (Example 1.1).
+  EXPECT_DOUBLE_EQ(dist[0], 0.375);  // keep Alice
+  EXPECT_DOUBLE_EQ(dist[1], 0.375);  // keep Tom
+  EXPECT_DOUBLE_EQ(dist[2], 0.25);   // keep neither
+}
+
+TEST(ProbabilisticTest, AnswerProbabilityExactAndMc) {
+  EmpInstance inst;
+  ProbabilisticRepairModel model(inst.db, inst.keys, TrustModel{});
+  auto q = ParseQuery("Ans() :- Emp(x,y)");
+  ASSERT_TRUE(q.ok());
+  double exact = model.AnswerProbabilityExact(*q, {});
+  EXPECT_DOUBLE_EQ(exact, 0.75);  // 1 - Pr[empty repair]
+  Rng rng(5);
+  EXPECT_NEAR(model.AnswerProbabilityMc(*q, {}, 40000, rng), 0.75, 0.01);
+}
+
+TEST(ProbabilisticTest, SkewedTrust) {
+  EmpInstance inst;
+  TrustModel trust;
+  trust.per_fact[0] = 0.9;  // Alice's source highly trusted
+  trust.per_fact[1] = 0.1;
+  ProbabilisticRepairModel model(inst.db, inst.keys, trust);
+  const std::vector<double>& dist = model.BlockDistribution(0);
+  // keep-none = 0.1 * 0.9 = 0.09; keep mass 0.91 split 9:1.
+  EXPECT_NEAR(dist[2], 0.09, 1e-12);
+  EXPECT_NEAR(dist[0], 0.91 * 0.9, 1e-12);
+  EXPECT_NEAR(dist[1], 0.91 * 0.1, 1e-12);
+  // Distribution sums to 1 and sampling respects it roughly.
+  Rng rng(9);
+  int alice = 0;
+  for (int i = 0; i < 20000; ++i) {
+    auto kept = model.SampleRepair(rng);
+    if (kept.size() == 1 && kept[0] == 0) ++alice;
+  }
+  EXPECT_NEAR(alice / 20000.0, 0.819, 0.02);
+}
+
+TEST(ProbabilisticTest, UniformTrustZeroMeansAlwaysEmpty) {
+  EmpInstance inst;
+  TrustModel trust;
+  trust.default_trust = 0.0;
+  ProbabilisticRepairModel model(inst.db, inst.keys, trust);
+  const std::vector<double>& dist = model.BlockDistribution(0);
+  EXPECT_DOUBLE_EQ(dist[2], 1.0);
+  Rng rng(3);
+  EXPECT_TRUE(model.SampleRepair(rng).empty());
+}
+
+// --- functional dependencies -----------------------------------------------------
+
+TEST(FdTest, ViolatingPairSemantics) {
+  Schema s;
+  s.AddRelationOrDie("Emp", 3);  // Emp(id, dept, mgr)
+  FdSet fds;
+  fds.AddFdOrDie(s.Find("Emp"), {1}, {2});  // dept -> mgr
+  Fact a = MakeFact(s, "Emp", {"1", "sales", "carol"});
+  Fact b = MakeFact(s, "Emp", {"2", "sales", "dave"});
+  Fact c = MakeFact(s, "Emp", {"3", "sales", "carol"});
+  Fact d = MakeFact(s, "Emp", {"4", "hr", "erin"});
+  EXPECT_TRUE(fds.ViolatingPair(a, b));   // same dept, different mgr
+  EXPECT_FALSE(fds.ViolatingPair(a, c));  // same dept, same mgr
+  EXPECT_FALSE(fds.ViolatingPair(a, d));  // different dept
+  EXPECT_FALSE(fds.ViolatingPair(a, a));
+}
+
+TEST(FdTest, TrivialFdRejected) {
+  Schema s;
+  s.AddRelationOrDie("R", 2);
+  FdSet fds;
+  EXPECT_FALSE(fds.AddFd(s.Find("R"), {0, 1}, {0}).ok());
+}
+
+TEST(FdTest, KeysAsFdsAgreeWithKeySet) {
+  EmpInstance inst;
+  FdSet fds = KeysAsFds(inst.db.schema(), inst.keys);
+  // Same violating pairs, same complete sequences.
+  EXPECT_EQ(fds.ViolationsIn(inst.db), Violations(inst.db, inst.keys));
+  auto via_keys = EnumerateCompleteSequences(inst.db, inst.keys);
+  auto via_fds = EnumerateCompleteSequences(inst.db, fds);
+  EXPECT_EQ(via_keys, via_fds);
+}
+
+TEST(FdTest, OperationalRepairsUnderProperFd) {
+  // Emp(id, dept, mgr) with dept -> mgr: conflicts do NOT form key blocks;
+  // fact B conflicts with A and C, but A and C are compatible.
+  Schema s;
+  s.AddRelationOrDie("Emp", 3);
+  Database db(s);
+  db.Add("Emp", {"1", "sales", "carol"});  // A
+  db.Add("Emp", {"2", "sales", "dave"});   // B (conflicts with A and C)
+  db.Add("Emp", {"3", "sales", "carol"});  // C
+  FdSet fds;
+  fds.AddFdOrDie(s.Find("Emp"), {1}, {2});
+  EXPECT_FALSE(fds.SatisfiedBy(db));
+
+  auto q = ParseQuery("Ans() :- Emp(x, y, 'carol')");
+  ASSERT_TRUE(q.ok());
+  auto rf = ComputePairwiseRf(db, fds, *q, {});
+  ASSERT_TRUE(rf.ok()) << rf.status().ToString();
+  // Repairs (distinct results of complete sequences): {A,C}, {B}, {A},
+  // {C}, {} ... enumerate expectations: any consistent subset reachable by
+  // justified deletions. 'carol' survives in every repair containing A or
+  // C.
+  EXPECT_GT(rf->repairs, 0u);
+  EXPECT_GT(rf->sequences, rf->repairs);  // many sequences per repair
+  EXPECT_GT(rf->ur(), 0.0);
+  EXPECT_LT(rf->ur(), 1.0);
+  // Sanity: every enumerated sequence is a valid complete sequence.
+  for (const auto& seq : EnumerateCompleteSequences(db, fds)) {
+    auto check = CheckSequence(db, fds, seq);
+    EXPECT_TRUE(check.repairing);
+    EXPECT_TRUE(check.complete);
+  }
+}
+
+TEST(PairwiseRfTest, MatchesKeyMachineryOnKeyInstances) {
+  EmpInstance inst;
+  auto q = ParseQuery("Ans() :- Emp(x,y)");
+  ASSERT_TRUE(q.ok());
+  auto rf = ComputePairwiseRf(inst.db, inst.keys, *q, {});
+  ASSERT_TRUE(rf.ok());
+  ExactRF ur = ExactRepairFrequency(inst.db, inst.keys, *q, {});
+  ExactRF us = ExactSequenceFrequency(inst.db, inst.keys, *q, {});
+  EXPECT_EQ(BigInt(rf->repairs_entailing), ur.numerator);
+  EXPECT_EQ(BigInt(rf->repairs), ur.denominator);
+  EXPECT_EQ(BigInt(rf->sequences_entailing), us.numerator);
+  EXPECT_EQ(BigInt(rf->sequences), us.denominator);
+}
+
+TEST(PairwiseRfTest, SequenceBudgetEnforced) {
+  Schema s;
+  s.AddRelationOrDie("R", 2);
+  Database db(s);
+  for (int i = 0; i < 6; ++i) {
+    db.Add("R", {"k", "v" + std::to_string(i)});
+  }
+  KeySet keys;
+  keys.SetKeyOrDie(s.Find("R"), {0});
+  auto q = ParseQuery("Ans() :- R(x,y)");
+  ASSERT_TRUE(q.ok());
+  auto rf = ComputePairwiseRf(db, keys, *q, {}, /*max_sequences=*/10);
+  EXPECT_FALSE(rf.ok());
+  EXPECT_EQ(rf.status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace uocqa

@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include "hypertree/decomposition.h"
+#include "hypertree/ghd_search.h"
+#include "hypertree/gyo.h"
+#include "hypertree/normal_form.h"
+#include "query/parser.h"
+
+namespace uocqa {
+namespace {
+
+ConjunctiveQuery Parse(const std::string& text) {
+  auto q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return *q;
+}
+
+// --- acyclicity / GYO -------------------------------------------------------
+
+TEST(GyoTest, ChainIsAcyclic) {
+  ConjunctiveQuery q = Parse("Ans() :- R1(x0,x1), R2(x1,x2), R3(x2,x3)");
+  EXPECT_TRUE(IsAcyclic(q));
+  auto jt = BuildJoinTree(q);
+  ASSERT_TRUE(jt.ok()) << jt.status().ToString();
+  EXPECT_EQ(jt->Width(), 1u);
+  EXPECT_EQ(jt->size(), 3u);
+  EXPECT_TRUE(jt->Validate(q).ok());
+  EXPECT_TRUE(jt->IsComplete(q));
+}
+
+TEST(GyoTest, StarIsAcyclic) {
+  ConjunctiveQuery q = Parse("Ans() :- A(c,x), B(c,y), C(c,z), D(c,w)");
+  EXPECT_TRUE(IsAcyclic(q));
+  auto jt = BuildJoinTree(q);
+  ASSERT_TRUE(jt.ok());
+  EXPECT_EQ(jt->Width(), 1u);
+}
+
+TEST(GyoTest, TriangleIsCyclic) {
+  ConjunctiveQuery q = Parse("Ans() :- R(x,y), S(y,z), T(z,x)");
+  EXPECT_FALSE(IsAcyclic(q));
+  EXPECT_FALSE(BuildJoinTree(q).ok());
+}
+
+TEST(GyoTest, CycleOfLength4IsCyclic) {
+  ConjunctiveQuery q = Parse("Ans() :- A(x,y), B(y,z), C(z,w), D(w,x)");
+  EXPECT_FALSE(IsAcyclic(q));
+}
+
+TEST(GyoTest, AnswerVariablesDoNotCreateCycles) {
+  // With x,y,z as answer variables the residual hypergraph over existential
+  // variables is empty, so the query counts as acyclic.
+  ConjunctiveQuery q = Parse("Ans(x,y,z) :- R(x,y), S(y,z), T(z,x)");
+  EXPECT_TRUE(IsAcyclic(q));
+}
+
+TEST(GyoTest, SingleAtom) {
+  ConjunctiveQuery q = Parse("Ans() :- R(x,y)");
+  auto jt = BuildJoinTree(q);
+  ASSERT_TRUE(jt.ok());
+  EXPECT_EQ(jt->size(), 1u);
+  EXPECT_TRUE(jt->IsStronglyComplete(q));
+}
+
+// --- GHD search -------------------------------------------------------------
+
+TEST(GhdSearchTest, AcyclicHasWidth1) {
+  ConjunctiveQuery q = Parse("Ans() :- R1(x0,x1), R2(x1,x2), R3(x2,x3)");
+  auto r = ComputeGhw(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->width, 1u);
+  EXPECT_TRUE(r->decomposition.Validate(q).ok());
+}
+
+TEST(GhdSearchTest, TriangleHasWidth2) {
+  ConjunctiveQuery q = Parse("Ans() :- R(x,y), S(y,z), T(z,x)");
+  auto r = ComputeGhw(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->width, 2u);
+  EXPECT_TRUE(r->decomposition.Validate(q).ok());
+}
+
+TEST(GhdSearchTest, Cycle6HasWidth2) {
+  ConjunctiveQuery q = Parse(
+      "Ans() :- E1(x1,x2), E2(x2,x3), E3(x3,x4), E4(x4,x5), E5(x5,x6), "
+      "E6(x6,x1)");
+  auto r = ComputeGhw(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->width, 2u);
+}
+
+TEST(GhdSearchTest, CliqueWidths) {
+  // ghw(K_n) = ceil(n/2) for binary-edge cliques.
+  ConjunctiveQuery k4 = Parse(
+      "Ans() :- C12(w1,w2), C13(w1,w3), C14(w1,w4), C23(w2,w3), "
+      "C24(w2,w4), C34(w3,w4)");
+  auto r4 = ComputeGhw(k4);
+  ASSERT_TRUE(r4.ok());
+  EXPECT_EQ(r4->width, 2u);
+
+  ConjunctiveQuery k5 = Parse(
+      "Ans() :- C12(w1,w2), C13(w1,w3), C14(w1,w4), C15(w1,w5), "
+      "C23(w2,w3), C24(w2,w4), C25(w2,w5), C34(w3,w4), C35(w3,w5), "
+      "C45(w4,w5)");
+  auto r5 = ComputeGhw(k5);
+  ASSERT_TRUE(r5.ok());
+  EXPECT_EQ(r5->width, 3u);
+}
+
+TEST(GhdSearchTest, Paper51QueryHasWidth2) {
+  // Q: Ans() :- P(x,y), S(y,z), T(z,x), U(y,w) — paper §5.1, width 2.
+  ConjunctiveQuery q = Parse("Ans() :- P(x,y), S(y,z), T(z,x), U(y,w)");
+  auto r = ComputeGhw(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->width, 2u);
+}
+
+TEST(GhdSearchTest, DecomposeQueryPrefersJoinTree) {
+  ConjunctiveQuery q = Parse("Ans() :- R(x,y), S(y,z)");
+  auto h = DecomposeQuery(q);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->Width(), 1u);
+}
+
+// --- decomposition structure ------------------------------------------------
+
+class Paper51Fixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    q_ = Parse("Ans() :- P(x,y), S(y,z), T(z,x), U(y,w)");
+    // Manual decomposition from the paper:
+    //   root: chi={x,y,z}, lambda={P(x,y), S(y,z)}
+    //   child1: chi={x,z}, lambda={T(z,x)}
+    //   child2: chi={y,w}, lambda={U(y,w)}
+    VarId x = *q_.FindVariable("x");
+    VarId y = *q_.FindVariable("y");
+    VarId z = *q_.FindVariable("z");
+    VarId w = *q_.FindVariable("w");
+    DecompVertex root = h_.AddNode({x, y, z}, {0, 1}, kInvalidVertex);
+    h_.AddNode({x, z}, {2}, root);
+    h_.AddNode({y, w}, {3}, root);
+  }
+  ConjunctiveQuery q_;
+  HypertreeDecomposition h_;
+};
+
+TEST_F(Paper51Fixture, ValidatesWithWidth2) {
+  EXPECT_TRUE(h_.Validate(q_).ok()) << h_.Validate(q_).ToString();
+  EXPECT_EQ(h_.Width(), 2u);
+}
+
+TEST_F(Paper51Fixture, CoveringVertices) {
+  EXPECT_TRUE(h_.IsComplete(q_));
+  EXPECT_TRUE(h_.IsStronglyComplete(q_));
+  EXPECT_EQ(h_.MinimalCoveringVertex(q_, 0), 0u);  // P at root
+  EXPECT_EQ(h_.MinimalCoveringVertex(q_, 1), 0u);  // S at root
+  EXPECT_EQ(h_.MinimalCoveringVertex(q_, 2), 1u);  // T at child1
+  EXPECT_EQ(h_.MinimalCoveringVertex(q_, 3), 2u);  // U at child2
+}
+
+TEST_F(Paper51Fixture, OrderIsBreadthFirst) {
+  auto order = h_.VerticesInOrder();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], h_.root());
+  EXPECT_EQ(h_.Depth(order[0]), 0u);
+  EXPECT_EQ(h_.Depth(order[1]), 1u);
+  EXPECT_EQ(h_.OrderRank(order[2]), 2u);
+}
+
+TEST_F(Paper51Fixture, ValidateRejectsBrokenDecompositions) {
+  // Bag variable not covered by lambda.
+  HypertreeDecomposition bad;
+  VarId x = *q_.FindVariable("x");
+  VarId w = *q_.FindVariable("w");
+  bad.AddNode({x, w}, {0}, kInvalidVertex);  // w not in P(x,y)
+  EXPECT_FALSE(bad.Validate(q_).ok());
+
+  // Missing atom coverage.
+  HypertreeDecomposition partial;
+  VarId y = *q_.FindVariable("y");
+  partial.AddNode({x, y}, {0}, kInvalidVertex);
+  EXPECT_FALSE(partial.Validate(q_).ok());
+}
+
+TEST(DecompositionTest, ConnectednessViolationDetected) {
+  ConjunctiveQuery q = Parse("Ans() :- R(x,y), S(y,z), T(x,w)");
+  VarId x = *q.FindVariable("x");
+  VarId y = *q.FindVariable("y");
+  VarId z = *q.FindVariable("z");
+  VarId w = *q.FindVariable("w");
+  // x appears at root and at grandchild but not at the middle vertex.
+  HypertreeDecomposition h;
+  DecompVertex root = h.AddNode({x, y}, {0}, kInvalidVertex);
+  DecompVertex mid = h.AddNode({y, z}, {1}, root);
+  h.AddNode({x, w}, {2}, mid);
+  EXPECT_FALSE(h.Validate(q).ok());
+}
+
+// --- completion and normal form ---------------------------------------------
+
+TEST(CompletionTest, AddsCoveringVerticesWithoutWidthIncrease) {
+  ConjunctiveQuery q = Parse("Ans() :- R(x,y), S(y,z)");
+  VarId x = *q.FindVariable("x");
+  VarId y = *q.FindVariable("y");
+  VarId z = *q.FindVariable("z");
+  // A width-2 single-node decomposition that covers no atom *with* lambda
+  // membership for S only.
+  HypertreeDecomposition h;
+  h.AddNode({x, y, z}, {0, 1}, kInvalidVertex);
+  ASSERT_TRUE(h.Validate(q).ok());
+  ASSERT_TRUE(h.IsComplete(q));  // single bag covers both atoms
+
+  // Drop S from lambda: then S has no covering vertex... construct directly.
+  HypertreeDecomposition h2;
+  h2.AddNode({x, y}, {0}, kInvalidVertex);
+  DecompVertex v = h2.AddNode({y, z}, {1}, 0);
+  (void)v;
+  ASSERT_TRUE(h2.Validate(q).ok());
+  auto completed = CompleteDecomposition(q, h2);
+  ASSERT_TRUE(completed.ok());
+  EXPECT_TRUE(completed->IsComplete(q));
+  EXPECT_LE(completed->Width(), 2u);
+}
+
+class NormalFormFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    q_ = Parse("Ans() :- P(x,y), S(y,z)");
+    Schema s = q_.schema();
+    s.AddRelationOrDie("Extra", 2);  // relation in D but not in Q
+    db_ = Database(s);
+    db_.Add("P", {"1", "a"});
+    db_.Add("P", {"1", "b"});
+    db_.Add("S", {"a", "c"});
+    db_.Add("Extra", {"7", "8"});
+    db_.Add("Extra", {"7", "9"});
+    keys_.SetKeyOrDie(s.Find("P"), {0});
+    keys_.SetKeyOrDie(s.Find("S"), {0});
+    keys_.SetKeyOrDie(s.Find("Extra"), {0});
+    auto h = BuildJoinTree(q_);
+    ASSERT_TRUE(h.ok());
+    h_ = *h;
+  }
+  ConjunctiveQuery q_;
+  Database db_;
+  KeySet keys_;
+  HypertreeDecomposition h_;
+};
+
+TEST_F(NormalFormFixture, ProducesNormalForm) {
+  auto nf = ToNormalForm(db_, q_, h_);
+  ASSERT_TRUE(nf.ok()) << nf.status().ToString();
+  EXPECT_TRUE(IsInNormalForm(nf->db, nf->query, nf->decomposition));
+  EXPECT_TRUE(nf->decomposition.Validate(nf->query).ok());
+  EXPECT_TRUE(nf->decomposition.IsUniform(2));
+  EXPECT_TRUE(nf->decomposition.IsStronglyComplete(nf->query));
+  // Width grows by exactly one.
+  EXPECT_EQ(nf->decomposition.Width(), h_.Width() + 1);
+  // The original instance was *not* in normal form.
+  EXPECT_FALSE(IsInNormalForm(db_, q_, h_));
+}
+
+TEST_F(NormalFormFixture, QueryStaysSelfJoinFree) {
+  auto nf = ToNormalForm(db_, q_, h_);
+  ASSERT_TRUE(nf.ok());
+  EXPECT_TRUE(nf->query.IsSelfJoinFree());
+  EXPECT_TRUE(nf->query.IsBoolean());
+  // Original atoms are preserved as a prefix.
+  EXPECT_GE(nf->query.atom_count(), q_.atom_count());
+  for (size_t i = 0; i < q_.atom_count(); ++i) {
+    EXPECT_EQ(nf->query.atoms()[i].relation, q_.atoms()[i].relation);
+  }
+}
+
+TEST_F(NormalFormFixture, DatabaseKeepsOriginalFactsAndAddsPads) {
+  auto nf = ToNormalForm(db_, q_, h_);
+  ASSERT_TRUE(nf.ok());
+  // All original facts present.
+  for (const Fact& f : db_.facts()) {
+    RelationId nr = nf->db.schema().Find(db_.schema().name(f.relation));
+    ASSERT_NE(nr, kInvalidRelation);
+    EXPECT_TRUE(nf->db.Contains(Fact(nr, f.args)));
+  }
+  // Pad facts do not change consistency status of original relations.
+  EXPECT_GT(nf->db.size(), db_.size());
+}
+
+TEST(NormalFormNoMissingRelations, WorksWithoutPChain) {
+  ConjunctiveQuery q = Parse("Ans() :- P(x,y), S(y,z)");
+  Database db(q.schema());
+  db.Add("P", {"1", "a"});
+  db.Add("S", {"a", "c"});
+  auto h = BuildJoinTree(q);
+  ASSERT_TRUE(h.ok());
+  auto nf = ToNormalForm(db, q, *h);
+  ASSERT_TRUE(nf.ok()) << nf.status().ToString();
+  EXPECT_TRUE(IsInNormalForm(nf->db, nf->query, nf->decomposition));
+}
+
+TEST(NormalFormWithAnswerVars, PreservesAnswerVariables) {
+  ConjunctiveQuery q = Parse("Ans(x) :- P(x,y), S(y,z)");
+  Database db(q.schema());
+  db.Add("P", {"1", "a"});
+  db.Add("S", {"a", "c"});
+  auto h = BuildJoinTree(q);
+  ASSERT_TRUE(h.ok());
+  auto nf = ToNormalForm(db, q, *h);
+  ASSERT_TRUE(nf.ok()) << nf.status().ToString();
+  EXPECT_EQ(nf->query.answer_vars(), q.answer_vars());
+  EXPECT_TRUE(IsInNormalForm(nf->db, nf->query, nf->decomposition));
+}
+
+}  // namespace
+}  // namespace uocqa

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "automata/exact_count.h"
+#include "automata/fpras.h"
+#include "automata/nfa.h"
+#include "base/rng.h"
+
+namespace uocqa {
+namespace {
+
+/// NFA for (a|b)* a (a|b): words over {a,b} whose second-to-last letter is
+/// 'a'. The canonical ambiguous NFA.
+Nfa SecondToLastA() {
+  Nfa nfa;
+  NfaState q0 = nfa.AddState();
+  NfaState q1 = nfa.AddState();
+  NfaState q2 = nfa.AddState();
+  NftaSymbol a = nfa.InternSymbol("a");
+  NftaSymbol b = nfa.InternSymbol("b");
+  nfa.AddTransition(q0, a, q0);
+  nfa.AddTransition(q0, b, q0);
+  nfa.AddTransition(q0, a, q1);
+  nfa.AddTransition(q1, a, q2);
+  nfa.AddTransition(q1, b, q2);
+  nfa.SetInitial(q0);
+  nfa.AddAccepting(q2);
+  return nfa;
+}
+
+TEST(NfaTest, MembershipAndCounts) {
+  Nfa nfa = SecondToLastA();
+  NftaSymbol a = nfa.InternSymbol("a");
+  NftaSymbol b = nfa.InternSymbol("b");
+  EXPECT_TRUE(nfa.Accepts({a, b}));
+  EXPECT_TRUE(nfa.Accepts({b, a, a}));
+  EXPECT_FALSE(nfa.Accepts({a, b, b}));
+  EXPECT_FALSE(nfa.Accepts({a}));
+  // Words of length n with 'a' in the second-to-last position: 2^(n-1).
+  for (size_t n = 2; n <= 10; ++n) {
+    EXPECT_EQ(nfa.CountWordsOfLength(n).ToUint64(), uint64_t{1} << (n - 1))
+        << "n=" << n;
+  }
+  EXPECT_TRUE(nfa.CountWordsOfLength(1).IsZero());
+}
+
+TEST(NfaTest, UnaryEmbeddingPreservesCounts) {
+  // SpanL ⊆ SpanTL in executable form: the unary-tree embedding preserves
+  // per-length counts, so the tree machinery answers ♯NFA.
+  Nfa nfa = SecondToLastA();
+  Nfta tree = nfa.ToUnaryNfta();
+  ExactTreeCounter counter(tree);
+  for (size_t n = 1; n <= 8; ++n) {
+    EXPECT_EQ(counter.CountExactSize(n), nfa.CountWordsOfLength(n))
+        << "n=" << n;
+  }
+  // And the tree FPRAS approximates the same quantity.
+  FprasConfig cfg;
+  cfg.epsilon = 0.15;
+  cfg.seed = 17;
+  NftaFpras fpras(tree, cfg);
+  double exact = nfa.CountWordsUpTo(8).ToDouble();
+  double approx = fpras.EstimateUpTo(8);
+  EXPECT_NEAR(approx / exact, 1.0, 0.25);
+}
+
+TEST(NfaTest, EmbeddingAgreesOnMembership) {
+  Nfa nfa = SecondToLastA();
+  Nfta tree = nfa.ToUnaryNfta();
+  NftaSymbol a = nfa.InternSymbol("a");
+  NftaSymbol b = nfa.InternSymbol("b");
+  // b a b as a unary tree: b(a(b)).
+  LabeledTree t(b, {LabeledTree(a, {LabeledTree(b)})});
+  EXPECT_TRUE(nfa.Accepts({b, a, b}));
+  EXPECT_TRUE(tree.Accepts(t));
+  LabeledTree t2(b, {LabeledTree(b, {LabeledTree(b)})});
+  EXPECT_FALSE(nfa.Accepts({b, b, b}));
+  EXPECT_FALSE(tree.Accepts(t2));
+}
+
+TEST(NfaTest, RandomNfasEmbeddingCrossCheck) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed * 53);
+    Nfa nfa;
+    size_t n_states = 2 + rng.UniformIndex(3);
+    for (size_t i = 0; i < n_states; ++i) nfa.AddState();
+    NftaSymbol a = nfa.InternSymbol("a");
+    NftaSymbol b = nfa.InternSymbol("b");
+    for (int i = 0; i < 7; ++i) {
+      nfa.AddTransition(
+          static_cast<NfaState>(rng.UniformIndex(n_states)),
+          rng.Bernoulli(0.5) ? a : b,
+          static_cast<NfaState>(rng.UniformIndex(n_states)));
+    }
+    nfa.SetInitial(0);
+    nfa.AddAccepting(static_cast<NfaState>(rng.UniformIndex(n_states)));
+    Nfta tree = nfa.ToUnaryNfta();
+    ExactTreeCounter counter(tree);
+    for (size_t len = 1; len <= 6; ++len) {
+      EXPECT_EQ(counter.CountExactSize(len), nfa.CountWordsOfLength(len))
+          << "seed=" << seed << " len=" << len;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace uocqa

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "query/cq.h"
+#include "query/eval.h"
+#include "query/parser.h"
+
+namespace uocqa {
+namespace {
+
+TEST(ParserTest, ParsesBooleanQuery) {
+  auto q = ParseQuery("Ans() :- R(x,y), S(y,z)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q->IsBoolean());
+  EXPECT_EQ(q->atom_count(), 2u);
+  EXPECT_TRUE(q->IsSelfJoinFree());
+  EXPECT_EQ(q->variable_count(), 3u);
+  EXPECT_EQ(q->ToString(), "Ans() :- R(x,y), S(y,z)");
+}
+
+TEST(ParserTest, ParsesAnswerVarsAndConstants) {
+  auto q = ParseQuery("Ans(x, w) :- Emp(x, 'Alice'), Dept(x, w), Code(x, 7)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->answer_vars().size(), 2u);
+  EXPECT_FALSE(q->IsBoolean());
+  const QueryAtom& emp = q->atoms()[0];
+  EXPECT_TRUE(emp.terms[0].is_var());
+  EXPECT_TRUE(emp.terms[1].is_const());
+  EXPECT_EQ(emp.terms[1].id, ValuePool::Intern("Alice"));
+  const QueryAtom& code = q->atoms()[2];
+  EXPECT_EQ(code.terms[1].id, ValuePool::Intern("7"));
+}
+
+TEST(ParserTest, SelfJoinDetected) {
+  auto q = ParseQuery("Ans() :- E(x,y), E(y,z)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(q->IsSelfJoinFree());
+}
+
+TEST(ParserTest, RejectsUnsafeQuery) {
+  EXPECT_FALSE(ParseQuery("Ans(q) :- R(x,y)").ok());
+}
+
+TEST(ParserTest, RejectsSyntaxErrors) {
+  EXPECT_FALSE(ParseQuery("R(x,y)").ok());
+  EXPECT_FALSE(ParseQuery("Ans() :- R(x,").ok());
+  EXPECT_FALSE(ParseQuery("Ans() :- R(x,'unterminated)").ok());
+  EXPECT_FALSE(ParseQuery("Ans() :- R(x,y) garbage").ok());
+}
+
+TEST(ParserTest, ArityMismatchAcrossAtomsFails) {
+  EXPECT_FALSE(ParseQuery("Ans() :- R(x,y), R(x)").ok());
+}
+
+TEST(ParserTest, FixedSchemaRejectsUnknownRelation) {
+  Schema s;
+  s.AddRelationOrDie("R", 2);
+  ParseOptions opts;
+  opts.extend_schema = false;
+  EXPECT_FALSE(ParseQuery("Ans() :- Unknown(x)", s, opts).ok());
+  EXPECT_TRUE(ParseQuery("Ans() :- R(x,y)", s, opts).ok());
+}
+
+class EvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema s;
+    s.AddRelationOrDie("E", 2);
+    s.AddRelationOrDie("L", 1);
+    db_ = Database(s);
+    // Small directed graph: a->b, b->c, a->c, with labels on a and c.
+    db_.Add("E", {"a", "b"});
+    db_.Add("E", {"b", "c"});
+    db_.Add("E", {"a", "c"});
+    db_.Add("L", {"a"});
+    db_.Add("L", {"c"});
+  }
+  Database db_;
+};
+
+TEST_F(EvalTest, BooleanEntailment) {
+  auto q = ParseQuery("Ans() :- E(x,y), E(y,z)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(Entails(db_, *q));  // a->b->c
+  auto q3 = ParseQuery("Ans() :- E(x,y), E(y,z), E(z,w), E(w,u)");
+  ASSERT_TRUE(q3.ok());
+  EXPECT_FALSE(Entails(db_, *q3));  // no path of length 4
+}
+
+TEST_F(EvalTest, ConstantsInAtoms) {
+  auto q = ParseQuery("Ans() :- E('a', y), L(y)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(Entails(db_, *q));  // E(a,c), L(c)
+  auto q2 = ParseQuery("Ans() :- E('c', y)");
+  ASSERT_TRUE(q2.ok());
+  EXPECT_FALSE(Entails(db_, *q2));
+}
+
+TEST_F(EvalTest, AnswerTupleEntailment) {
+  auto q = ParseQuery("Ans(x,z) :- E(x,y), E(y,z)");
+  ASSERT_TRUE(q.ok());
+  QueryEvaluator eval(db_, *q);
+  EXPECT_TRUE(
+      eval.Entails({ValuePool::Intern("a"), ValuePool::Intern("c")}));
+  EXPECT_FALSE(
+      eval.Entails({ValuePool::Intern("b"), ValuePool::Intern("a")}));
+}
+
+TEST_F(EvalTest, FindHomomorphismWitness) {
+  auto q = ParseQuery("Ans() :- E(x,y), E(y,z)");
+  ASSERT_TRUE(q.ok());
+  QueryEvaluator eval(db_, *q);
+  auto hom = eval.FindHomomorphism({});
+  ASSERT_TRUE(hom.has_value());
+  VarId x = *q->FindVariable("x");
+  VarId y = *q->FindVariable("y");
+  VarId z = *q->FindVariable("z");
+  // The only length-2 path is a->b->c.
+  EXPECT_EQ((*hom)[x], ValuePool::Intern("a"));
+  EXPECT_EQ((*hom)[y], ValuePool::Intern("b"));
+  EXPECT_EQ((*hom)[z], ValuePool::Intern("c"));
+}
+
+TEST_F(EvalTest, CountHomomorphisms) {
+  auto q = ParseQuery("Ans() :- E(x,y)");
+  ASSERT_TRUE(q.ok());
+  QueryEvaluator eval(db_, *q);
+  EXPECT_EQ(eval.CountHomomorphisms({}), 3u);
+  auto q2 = ParseQuery("Ans() :- E(x,y), E(x,z)");
+  ASSERT_TRUE(q2.ok());
+  // x=a: y,z in {b,c} -> 4; x=b: y=z=c -> 1. Total 5.
+  QueryEvaluator eval2(db_, *q2);
+  EXPECT_EQ(eval2.CountHomomorphisms({}), 5u);
+}
+
+TEST_F(EvalTest, AnswersEnumeration) {
+  auto q = ParseQuery("Ans(x) :- E(x,y)");
+  ASSERT_TRUE(q.ok());
+  QueryEvaluator eval(db_, *q);
+  auto answers = eval.Answers();
+  EXPECT_EQ(answers.size(), 2u);  // a and b have outgoing edges
+}
+
+TEST_F(EvalTest, EmptyRelationMeansNoMatch) {
+  auto q = ParseQuery("Ans() :- Missing(x)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(Entails(db_, *q));
+}
+
+TEST_F(EvalTest, RepeatedAnswerVariable) {
+  auto q = ParseQuery("Ans(x,x) :- E(x,x)");
+  ASSERT_TRUE(q.ok());
+  QueryEvaluator eval(db_, *q);
+  Value a = ValuePool::Intern("a");
+  Value b = ValuePool::Intern("b");
+  EXPECT_FALSE(eval.Entails({a, a}));  // no self loop
+  EXPECT_FALSE(eval.Entails({a, b}));  // clash on repeated variable
+}
+
+TEST(EvalCrossSchemaTest, QueryAndDatabaseSchemasReconciledByName) {
+  // Query schema built independently (different relation id order).
+  Schema qs;
+  qs.AddRelationOrDie("B", 1);
+  qs.AddRelationOrDie("A", 1);
+  auto q = ParseQuery("Ans() :- A(x), B(x)", qs, ParseOptions{false});
+  ASSERT_TRUE(q.ok());
+
+  Schema ds;
+  ds.AddRelationOrDie("A", 1);
+  ds.AddRelationOrDie("B", 1);
+  Database db(ds);
+  db.Add("A", {"v"});
+  db.Add("B", {"v"});
+  EXPECT_TRUE(Entails(db, *q));
+}
+
+}  // namespace
+}  // namespace uocqa

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "ocqa/engine.h"
+#include "reductions/graph.h"
+#include "reductions/hcoloring.h"
+#include "reductions/mon2sat.h"
+#include "reductions/threecol.h"
+#include "workload/generators.h"
+#include "repairs/counting.h"
+
+namespace uocqa {
+namespace {
+
+// --- graph utilities ----------------------------------------------------------
+
+TEST(GraphTest, BasicStructure) {
+  UGraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  EXPECT_TRUE(g.IsConnected());
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  auto side = g.BipartitionOrNull();
+  ASSERT_TRUE(side.has_value());
+  EXPECT_NE((*side)[0], (*side)[1]);
+
+  UGraph tri(3);
+  tri.AddEdge(0, 1);
+  tri.AddEdge(1, 2);
+  tri.AddEdge(2, 0);
+  EXPECT_FALSE(tri.BipartitionOrNull().has_value());
+  EXPECT_TRUE(tri.IsThreeColorable());
+
+  UGraph k4(4);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = i + 1; j < 4; ++j) k4.AddEdge(i, j);
+  }
+  EXPECT_FALSE(k4.IsThreeColorable());
+}
+
+// --- Figure 1 / ♯H-Coloring ----------------------------------------------------
+
+TEST(HColoringTest, FigureOneGraphShape) {
+  UGraph h = FigureOneGraphH();
+  EXPECT_EQ(h.vertex_count(), 6u);
+  EXPECT_EQ(h.edges().size(), 8u);  // 3*3 - 1
+  EXPECT_FALSE(h.HasEdge(0, 3));    // (1L, 1R) missing
+  EXPECT_TRUE(h.HasEdge(0, 4));
+  EXPECT_TRUE(h.BipartitionOrNull().has_value());
+}
+
+TEST(HColoringTest, SingleVertexHasSixHoms) {
+  UGraph g(1);
+  EXPECT_EQ(CountHomomorphismsToH(g).ToUint64(), 6u);
+  auto hom = HomViaOcqa(g, 1, [](const Database&, const KeySet&,
+                                 const ConjunctiveQuery&) { return 0.0; });
+  ASSERT_TRUE(hom.ok());
+  EXPECT_DOUBLE_EQ(*hom, 6.0);
+}
+
+TEST(HColoringTest, InstanceStructure) {
+  UGraph g(2);
+  g.AddEdge(0, 1);
+  auto inst = BuildHColoringInstance(g, {0, 1}, 2);
+  ASSERT_TRUE(inst.ok()) << inst.status().ToString();
+  // 2 vertices * 2 facts + 1 edge + T + Tp + C(3,2)=3 clique facts.
+  EXPECT_EQ(inst->db.size(), 4u + 1u + 2u + 3u);
+  EXPECT_TRUE(inst->query.IsSelfJoinFree());
+  EXPECT_TRUE(inst->query.IsBoolean());
+  // 3^2 = 9 operational repairs.
+  BlockPartition blocks = BlockPartition::Compute(inst->db, inst->keys);
+  EXPECT_EQ(CountOperationalRepairs(blocks).ToUint64(), 9u);
+}
+
+class HColoringParamTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HColoringParamTest, HomViaExactOcqaMatchesBruteForce) {
+  // Random connected bipartite graphs with 2..6 vertices.
+  Rng rng(GetParam() * 77 + 3);
+  size_t left = 1 + rng.UniformIndex(3);
+  size_t right = 1 + rng.UniformIndex(3);
+  UGraph g = RandomConnectedBipartite(rng, left, right, 0.35);
+  ASSERT_TRUE(g.IsConnected());
+
+  const size_t k = 1;
+  auto oracle = [](const Database& db, const KeySet& keys,
+                   const ConjunctiveQuery& q) {
+    return ExactRepairFrequency(db, keys, q, {}).value();
+  };
+  auto hom = HomViaOcqa(g, k, oracle);
+  ASSERT_TRUE(hom.ok()) << hom.status().ToString();
+  BigInt brute = CountHomomorphismsToH(g);
+  EXPECT_NEAR(*hom, brute.ToDouble(), 1e-6 * (1 + brute.ToDouble()))
+      << "seed " << GetParam();
+}
+
+TEST_P(HColoringParamTest, RfUrEqualsRfUsOnReductionInstances) {
+  // Appendix A.2: the two relative frequencies coincide on D_G^k.
+  Rng rng(GetParam() * 131 + 9);
+  UGraph g(4);
+  g.AddEdge(0, 2);
+  g.AddEdge(0, 3);
+  if (rng.Bernoulli(0.5)) g.AddEdge(1, 2);
+  g.AddEdge(1, 3);
+  auto side = g.BipartitionOrNull();
+  ASSERT_TRUE(side.has_value());
+  auto inst = BuildHColoringInstance(g, *side, 1);
+  ASSERT_TRUE(inst.ok());
+  ExactRF ur = ExactRepairFrequency(inst->db, inst->keys, inst->query, {});
+  ExactRF us = ExactSequenceFrequency(inst->db, inst->keys, inst->query, {});
+  EXPECT_TRUE(ur == us) << ur.numerator.ToString() << "/"
+                        << ur.denominator.ToString() << " vs "
+                        << us.numerator.ToString() << "/"
+                        << us.denominator.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HColoringParamTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{9}));
+
+TEST(HColoringTest, HomFromNumeratorExact) {
+  // P2 path (one edge): brute force homs and exact numerator agree.
+  UGraph g(2);
+  g.AddEdge(0, 1);
+  auto inst = BuildHColoringInstance(g, {0, 1}, 1);
+  ASSERT_TRUE(inst.ok());
+  BigInt numerator =
+      CountRepairsEntailing(inst->db, inst->keys, inst->query, {});
+  EXPECT_EQ(HomFromNumerator(2, numerator), CountHomomorphismsToH(g));
+}
+
+// --- 3-colorability -------------------------------------------------------------
+
+TEST(ThreeColTest, TriangleIsColorable) {
+  UGraph tri(3);
+  tri.AddEdge(0, 1);
+  tri.AddEdge(1, 2);
+  tri.AddEdge(2, 0);
+  auto inst = BuildThreeColInstance(tri);
+  ASSERT_TRUE(inst.ok());
+  EXPECT_TRUE(PosOcqaThreeCol(*inst));
+  // Sigma is empty: RF is 0 or 1; here 1.
+  ExactRF rf = ExactRepairFrequency(inst->db, inst->keys, inst->query, {});
+  EXPECT_EQ(rf.numerator, rf.denominator);
+  EXPECT_TRUE(rf.denominator.IsOne());
+}
+
+TEST(ThreeColTest, K4IsNotColorable) {
+  UGraph k4(4);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = i + 1; j < 4; ++j) k4.AddEdge(i, j);
+  }
+  auto inst = BuildThreeColInstance(k4);
+  ASSERT_TRUE(inst.ok());
+  EXPECT_FALSE(PosOcqaThreeCol(*inst));
+  ExactRF rf = ExactRepairFrequency(inst->db, inst->keys, inst->query, {});
+  EXPECT_TRUE(rf.numerator.IsZero());
+}
+
+class ThreeColParamTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ThreeColParamTest, MatchesBruteForceColoring) {
+  Rng rng(GetParam() * 17 + 5);
+  size_t n = 3 + rng.UniformIndex(3);
+  UGraph g(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (rng.Bernoulli(0.6)) g.AddEdge(i, j);
+    }
+  }
+  if (g.edges().empty()) g.AddEdge(0, 1);
+  auto inst = BuildThreeColInstance(g);
+  ASSERT_TRUE(inst.ok());
+  EXPECT_EQ(PosOcqaThreeCol(*inst), g.IsThreeColorable())
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThreeColParamTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{13}));
+
+// --- ♯MON2SAT -------------------------------------------------------------------
+
+TEST(Mon2SatTest, CountSatisfyingAssignments) {
+  // (x0 ∨ x1): 3 of 4 assignments satisfy.
+  Pos2Cnf f;
+  f.variable_count = 2;
+  f.clauses = {{0, 1}};
+  EXPECT_EQ(CountSatisfyingAssignments(f).ToUint64(), 3u);
+  // (x0 ∨ x1)(x1 ∨ x2): assignments with x1=1 (4) plus x1=0,x0=1,x2=1 (1).
+  f.variable_count = 3;
+  f.clauses = {{0, 1}, {1, 2}};
+  EXPECT_EQ(CountSatisfyingAssignments(f).ToUint64(), 5u);
+}
+
+class Mon2SatParamTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Mon2SatParamTest, RfEqualsModelCountOver3PowN) {
+  Rng rng(GetParam() * 29 + 1);
+  Pos2Cnf f;
+  f.variable_count = 2 + rng.UniformIndex(3);  // 2..4 variables
+  size_t m = 1 + rng.UniformIndex(3);
+  for (size_t i = 0; i < m; ++i) {
+    size_t a = rng.UniformIndex(f.variable_count);
+    size_t b = rng.UniformIndex(f.variable_count);
+    if (a == b) b = (b + 1) % f.variable_count;
+    f.clauses.emplace_back(a, b);
+  }
+  const size_t k = 1;
+  auto inst = BuildMon2SatInstance(f, k);
+  ASSERT_TRUE(inst.ok()) << inst.status().ToString();
+  EXPECT_FALSE(inst->query.IsSelfJoinFree());  // V repeats by design
+
+  ExactRF ur = ExactRepairFrequency(inst->db, inst->keys, inst->query, {});
+  // RF_ur = ♯φ / 3^n: numerator equals the model count and the denominator
+  // equals 3^n.
+  BigInt models = CountSatisfyingAssignments(f);
+  BigInt three_pow(1);
+  for (size_t i = 0; i < f.variable_count; ++i) three_pow *= uint64_t{3};
+  EXPECT_EQ(ur.numerator, models) << "seed " << GetParam();
+  EXPECT_EQ(ur.denominator, three_pow);
+
+  // Appendix B.2 second half: RF_ur = RF_us.
+  ExactRF us = ExactSequenceFrequency(inst->db, inst->keys, inst->query, {});
+  EXPECT_TRUE(ur == us);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Mon2SatParamTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{11}));
+
+}  // namespace
+}  // namespace uocqa

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "db/textio.h"
+
+namespace uocqa {
+namespace {
+
+TEST(TextIoTest, ParsesFactsAndKeys) {
+  auto inst = ParseInstanceText(R"(
+# the paper's Example 1.1
+key Emp = 1
+Emp(1, Alice)
+Emp(1, Tom)
+Dept(1, 'R and D')
+)");
+  ASSERT_TRUE(inst.ok()) << inst.status().ToString();
+  EXPECT_EQ(inst->db.size(), 3u);
+  RelationId emp = inst->db.schema().Find("Emp");
+  ASSERT_NE(emp, kInvalidRelation);
+  EXPECT_TRUE(inst->keys.HasKey(emp));
+  EXPECT_EQ(inst->keys.Positions(emp), (std::vector<uint32_t>{0}));
+  EXPECT_FALSE(IsConsistent(inst->db, inst->keys));
+  // Quoted constant with spaces survives.
+  RelationId dept = inst->db.schema().Find("Dept");
+  ASSERT_NE(dept, kInvalidRelation);
+  Fact f = inst->db.fact(2);
+  EXPECT_EQ(ValuePool::Name(f.args[1]), "R and D");
+}
+
+TEST(TextIoTest, CompositeKeyAndRoundTrip) {
+  auto inst = ParseInstanceText("key R = 1 2\nR(a, b, c)\nR(a, b, d)\n");
+  ASSERT_TRUE(inst.ok());
+  RelationId r = inst->db.schema().Find("R");
+  EXPECT_EQ(inst->keys.Positions(r), (std::vector<uint32_t>{0, 1}));
+  EXPECT_FALSE(IsConsistent(inst->db, inst->keys));
+
+  std::string text = InstanceToText(inst->db, inst->keys);
+  auto again = ParseInstanceText(text);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->db.size(), inst->db.size());
+  EXPECT_TRUE(again->db == inst->db);
+}
+
+TEST(TextIoTest, Errors) {
+  EXPECT_FALSE(ParseInstanceText("R(a,b").ok());            // missing paren
+  EXPECT_FALSE(ParseInstanceText("key R = 1\n").ok());      // unknown rel
+  EXPECT_FALSE(ParseInstanceText("key R = 0\nR(a)\n").ok());  // 1-based
+  EXPECT_FALSE(ParseInstanceText("key R = 3\nR(a,b)\n").ok());  // range
+  EXPECT_FALSE(ParseInstanceText("R(a)\nR(a,b)\n").ok());   // arity clash
+  EXPECT_FALSE(ParseInstanceText("R('a)\n").ok());          // open quote
+}
+
+TEST(TextIoTest, EmptyAndCommentsOnly) {
+  auto inst = ParseInstanceText("# nothing here\n\n   \n");
+  ASSERT_TRUE(inst.ok());
+  EXPECT_TRUE(inst->db.empty());
+}
+
+}  // namespace
+}  // namespace uocqa

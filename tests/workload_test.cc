@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "hypertree/ghd_search.h"
+#include "hypertree/gyo.h"
+#include "ocqa/engine.h"
+#include "workload/generators.h"
+
+namespace uocqa {
+namespace {
+
+TEST(GeneratorsTest, QueryShapes) {
+  ConjunctiveQuery chain = ChainQuery(4);
+  EXPECT_EQ(chain.atom_count(), 4u);
+  EXPECT_TRUE(chain.IsSelfJoinFree());
+  EXPECT_TRUE(IsAcyclic(chain));
+
+  ConjunctiveQuery star = StarQuery(5);
+  EXPECT_TRUE(IsAcyclic(star));
+
+  ConjunctiveQuery cycle = CycleQuery(5);
+  EXPECT_FALSE(IsAcyclic(cycle));
+  auto w = ComputeGhw(cycle);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->width, 2u);
+
+  ConjunctiveQuery clique = CliqueQuery(4);
+  EXPECT_EQ(clique.atom_count(), 6u);
+  auto wc = ComputeGhw(clique);
+  ASSERT_TRUE(wc.ok());
+  EXPECT_EQ(wc->width, 2u);  // ceil(4/2)
+}
+
+TEST(GeneratorsTest, DatabaseRespectsBlockBounds) {
+  Rng rng(3);
+  ConjunctiveQuery q = ChainQuery(3);
+  DbGenOptions options;
+  options.blocks_per_relation = 5;
+  options.min_block_size = 2;
+  options.max_block_size = 4;
+  options.domain_size = 50;  // large domain: block-key collisions unlikely
+  GeneratedInstance inst = GenerateDatabaseForQuery(rng, q, options);
+  BlockPartition blocks = BlockPartition::Compute(inst.db, inst.keys);
+  EXPECT_EQ(blocks.block_count(), 15u);
+  for (const Block& b : blocks.blocks()) {
+    EXPECT_GE(b.size(), 1u);
+    EXPECT_LE(b.size(), 4u);
+  }
+  EXPECT_FALSE(IsConsistent(inst.db, inst.keys));
+}
+
+TEST(GeneratorsTest, GeneratedInstancesHaveNontrivialRf) {
+  // Across seeds, at least one instance should give 0 < RF < 1: the
+  // generator exercises interesting cases, not just trivia.
+  ConjunctiveQuery q = ChainQuery(2);
+  bool found_fractional = false;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    DbGenOptions options;
+    options.blocks_per_relation = 2;
+    options.max_block_size = 2;
+    options.domain_size = 3;
+    GeneratedInstance inst = GenerateDatabaseForQuery(rng, q, options);
+    OcqaEngine engine(inst.db, inst.keys);
+    ExactRF rf = engine.ExactUr(q, {});
+    double v = rf.value();
+    if (v > 0.0 && v < 1.0) found_fractional = true;
+  }
+  EXPECT_TRUE(found_fractional);
+}
+
+TEST(GeneratorsTest, RandomBipartiteIsConnectedAndBipartite) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    UGraph g = RandomConnectedBipartite(rng, 3, 4, 0.3);
+    EXPECT_TRUE(g.IsConnected());
+    EXPECT_TRUE(g.BipartitionOrNull().has_value());
+    EXPECT_EQ(g.vertex_count(), 7u);
+  }
+}
+
+TEST(GeneratorsTest, RandomPos2CnfWellFormed) {
+  Rng rng(5);
+  Pos2Cnf f = RandomPos2Cnf(rng, 5, 7);
+  EXPECT_EQ(f.clauses.size(), 7u);
+  for (const auto& [a, b] : f.clauses) {
+    EXPECT_LT(a, 5u);
+    EXPECT_LT(b, 5u);
+    EXPECT_NE(a, b);
+  }
+}
+
+}  // namespace
+}  // namespace uocqa

@@ -1,0 +1,180 @@
+// uocqa — command-line front end.
+//
+// Usage:
+//   uocqa --db FILE --query "Ans(x) :- R(x,y), S(y,z)"
+//         [--answer v1,v2,...] [--mode exact|fpras|mc|all]
+//         [--epsilon E] [--delta D] [--samples N] [--seed S]
+//
+// The database file uses the text format of db/textio.h:
+//   key Emp = 1
+//   Emp(1, Alice)
+//   Emp(1, Tom)
+//
+// Prints RF_ur and RF_us for the given candidate answer under the chosen
+// solver(s).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "base/strings.h"
+#include "db/textio.h"
+#include "ocqa/engine.h"
+#include "query/parser.h"
+
+using namespace uocqa;
+
+namespace {
+
+struct CliOptions {
+  std::string db_path;
+  std::string query_text;
+  std::string answer_text;
+  std::string mode = "all";
+  double epsilon = 0.2;
+  double delta = 0.1;
+  size_t samples = 20000;
+  uint64_t seed = 1;
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --db FILE --query 'Ans(..) :- ...' [--answer v1,v2]\n"
+      "          [--mode exact|fpras|mc|all] [--epsilon E] [--delta D]\n"
+      "          [--samples N] [--seed S]\n",
+      argv0);
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* out) {
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--db") == 0) {
+      const char* v = need_value("--db");
+      if (!v) return false;
+      out->db_path = v;
+    } else if (std::strcmp(argv[i], "--query") == 0) {
+      const char* v = need_value("--query");
+      if (!v) return false;
+      out->query_text = v;
+    } else if (std::strcmp(argv[i], "--answer") == 0) {
+      const char* v = need_value("--answer");
+      if (!v) return false;
+      out->answer_text = v;
+    } else if (std::strcmp(argv[i], "--mode") == 0) {
+      const char* v = need_value("--mode");
+      if (!v) return false;
+      out->mode = v;
+    } else if (std::strcmp(argv[i], "--epsilon") == 0) {
+      const char* v = need_value("--epsilon");
+      if (!v) return false;
+      out->epsilon = std::atof(v);
+    } else if (std::strcmp(argv[i], "--delta") == 0) {
+      const char* v = need_value("--delta");
+      if (!v) return false;
+      out->delta = std::atof(v);
+    } else if (std::strcmp(argv[i], "--samples") == 0) {
+      const char* v = need_value("--samples");
+      if (!v) return false;
+      out->samples = static_cast<size_t>(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      const char* v = need_value("--seed");
+      if (!v) return false;
+      out->seed = static_cast<uint64_t>(std::atoll(v));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return false;
+    }
+  }
+  return !out->db_path.empty() && !out->query_text.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opts;
+  if (!ParseArgs(argc, argv, &opts)) {
+    Usage(argv[0]);
+    return 2;
+  }
+  auto inst = LoadInstanceFile(opts.db_path);
+  if (!inst.ok()) {
+    std::fprintf(stderr, "error: %s\n", inst.status().ToString().c_str());
+    return 1;
+  }
+  auto query = ParseQuery(opts.query_text, inst->db.schema());
+  if (!query.ok()) {
+    std::fprintf(stderr, "query error: %s\n",
+                 query.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<Value> answer;
+  if (!opts.answer_text.empty()) {
+    for (const std::string& piece : StrSplit(opts.answer_text, ',')) {
+      answer.push_back(ValuePool::Intern(std::string(StrTrim(piece))));
+    }
+  }
+  if (answer.size() != query->answer_vars().size()) {
+    std::fprintf(stderr,
+                 "answer arity mismatch: query has %zu answer variables, "
+                 "--answer provided %zu constants\n",
+                 query->answer_vars().size(), answer.size());
+    return 1;
+  }
+
+  std::printf("database: %zu facts, consistent: %s\n", inst->db.size(),
+              IsConsistent(inst->db, inst->keys) ? "yes" : "no");
+  std::printf("query:    %s\n\n", query->ToString().c_str());
+
+  OcqaEngine engine(inst->db, inst->keys);
+  bool all = opts.mode == "all";
+  if (all || opts.mode == "exact") {
+    ExactRF ur = engine.ExactUr(*query, answer);
+    ExactRF us = engine.ExactUs(*query, answer);
+    std::printf("exact  RF_ur = %s / %s = %.6f\n",
+                ur.numerator.ToString().c_str(),
+                ur.denominator.ToString().c_str(), ur.value());
+    std::printf("exact  RF_us = %s / %s = %.6f\n",
+                us.numerator.ToString().c_str(),
+                us.denominator.ToString().c_str(), us.value());
+  }
+  if (all || opts.mode == "fpras") {
+    OcqaOptions options;
+    options.fpras.epsilon = opts.epsilon;
+    options.fpras.delta = opts.delta;
+    options.fpras.seed = opts.seed;
+    auto ur = engine.ApproxUr(*query, answer, options);
+    if (ur.ok()) {
+      std::printf("fpras  RF_ur ~= %.6f  (eps=%.2f, %zu states)\n",
+                  ur->value, opts.epsilon, ur->automaton_states);
+    } else {
+      std::printf("fpras  RF_ur unavailable: %s\n",
+                  ur.status().ToString().c_str());
+    }
+    auto us = engine.ApproxUs(*query, answer, options);
+    if (us.ok()) {
+      std::printf("fpras  RF_us ~= %.6f  (eps=%.2f, %zu states)\n",
+                  us->value, opts.epsilon, us->automaton_states);
+    } else {
+      std::printf("fpras  RF_us unavailable: %s\n",
+                  us.status().ToString().c_str());
+    }
+  }
+  if (all || opts.mode == "mc") {
+    std::printf("mc     RF_ur ~= %.6f  (%zu samples)\n",
+                engine.MonteCarloUr(*query, answer, opts.samples, opts.seed),
+                opts.samples);
+    std::printf("mc     RF_us ~= %.6f  (%zu samples)\n",
+                engine.MonteCarloUs(*query, answer, opts.samples, opts.seed),
+                opts.samples);
+  }
+  return 0;
+}
