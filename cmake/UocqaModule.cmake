@@ -1,0 +1,18 @@
+# Helper for declaring the per-subsystem library targets under src/.
+#
+# uocqa_add_module(<name> SOURCES <files...> [DEPS <uocqa::targets...>])
+#
+# creates a static library `uocqa_<name>` with alias `uocqa::<name>`,
+# exporting `src/` as the public include root (headers are included as
+# "module/header.h" throughout the tree).
+
+function(uocqa_add_module name)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+  add_library(uocqa_${name} STATIC ${ARG_SOURCES})
+  add_library(uocqa::${name} ALIAS uocqa_${name})
+  target_include_directories(uocqa_${name} PUBLIC "${PROJECT_SOURCE_DIR}/src")
+  if(ARG_DEPS)
+    target_link_libraries(uocqa_${name} PUBLIC ${ARG_DEPS})
+  endif()
+  target_link_libraries(uocqa_${name} PRIVATE uocqa::warnings)
+endfunction()

@@ -62,8 +62,7 @@ struct Builder {
 
   /// Allowed outcome indices for a block under an assignment (Algorithm 2
   /// lines 7-9; same rule as Rep[k]).
-  std::vector<uint32_t> AllowedOutcomes(DecompVertex v,
-                                        const VertexAssignment& a,
+  std::vector<uint32_t> AllowedOutcomes(const VertexAssignment& a,
                                         size_t block_idx) const {
     const Block& block = out.blocks.block(block_idx);
     if (block.size() == 1) return {0};
@@ -92,7 +91,7 @@ struct Builder {
     size_t block_idx = out.vertex_blocks[v][block_pos];
     const Block& block = out.blocks.block(block_idx);
     for (uint32_t alpha :
-         AllowedOutcomes(v, assignments.ForVertex(v)[a], block_idx)) {
+         AllowedOutcomes(assignments.ForVertex(v)[a], block_idx)) {
       uint32_t to_remove = (alpha == block.size())
                                ? static_cast<uint32_t>(block.size())
                                : static_cast<uint32_t>(block.size()) - 1;

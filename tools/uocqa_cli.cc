@@ -94,6 +94,11 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       return false;
     }
   }
+  if (out->mode != "exact" && out->mode != "fpras" && out->mode != "mc" &&
+      out->mode != "all") {
+    std::fprintf(stderr, "unknown mode: %s\n", out->mode.c_str());
+    return false;
+  }
   return !out->db_path.empty() && !out->query_text.empty();
 }
 
