@@ -2,33 +2,51 @@
 
 #include <algorithm>
 #include <cassert>
-#include <map>
+#include <unordered_map>
+
+#include "base/hashing.h"
 
 namespace uocqa {
 
 BlockPartition BlockPartition::Compute(const Database& db,
                                        const KeySet& keys) {
   BlockPartition out;
-  // Group facts by (relation, key value); std::map gives the fixed
-  // lexicographic block order the paper assumes.
-  std::map<std::pair<RelationId, std::vector<Value>>, std::vector<FactId>>
-      groups;
-  for (FactId id = 0; id < db.size(); ++id) {
-    const Fact& f = db.fact(id);
-    groups[{f.relation, keys.KeyValueOf(f)}].push_back(id);
-  }
   out.block_of_fact_.assign(db.size(), 0);
-  out.blocks_of_relation_.assign(db.schema().relation_count(), {});
-  for (auto& [sig, ids] : groups) {
-    Block b;
-    b.relation = sig.first;
-    b.key_value = sig.second;
-    std::sort(ids.begin(), ids.end());
-    b.facts = ids;
-    size_t idx = out.blocks_.size();
-    for (FactId id : ids) out.block_of_fact_[id] = idx;
-    out.blocks_of_relation_[sig.first].push_back(idx);
-    out.blocks_.push_back(std::move(b));
+  size_t relation_count = db.schema().relation_count();
+  out.blocks_of_relation_.assign(relation_count, {});
+  // Group each relation's facts by key value via the relation index, then
+  // sort that relation's (few) distinct key values. Walking relations in id
+  // order preserves the paper's fixed (relation id, lexicographic key value)
+  // block order (§5.1) without a global ordered-map regroup.
+  using Groups = std::unordered_map<std::vector<Value>, std::vector<FactId>,
+                                    VectorHash<Value>>;
+  for (RelationId rel = 0; rel < relation_count; ++rel) {
+    const std::vector<FactId>& rel_facts = db.index().FactsOfRelation(rel);
+    if (rel_facts.empty()) continue;
+    Groups groups;
+    groups.reserve(rel_facts.size());
+    for (FactId id : rel_facts) {
+      // rel_facts is in increasing id order, so each group's fact list is
+      // already sorted by id.
+      groups[keys.KeyValueOf(db.fact(id))].push_back(id);
+    }
+    std::vector<Groups::value_type*> ordered;
+    ordered.reserve(groups.size());
+    for (auto& entry : groups) ordered.push_back(&entry);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Groups::value_type* a, const Groups::value_type* b) {
+                return a->first < b->first;
+              });
+    for (Groups::value_type* entry : ordered) {
+      Block b;
+      b.relation = rel;
+      b.key_value = entry->first;
+      b.facts = std::move(entry->second);
+      size_t idx = out.blocks_.size();
+      for (FactId id : b.facts) out.block_of_fact_[id] = idx;
+      out.blocks_of_relation_[rel].push_back(idx);
+      out.blocks_.push_back(std::move(b));
+    }
   }
   return out;
 }

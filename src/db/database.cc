@@ -1,44 +1,31 @@
 #include "db/database.h"
 
-#include <algorithm>
 #include <cassert>
-#include <unordered_set>
 
 namespace uocqa {
 
 FactId Database::AddFact(Fact fact) {
   assert(fact.relation < schema_.relation_count());
   assert(fact.args.size() == schema_.arity(fact.relation));
-  auto it = index_.find(fact);
-  if (it != index_.end()) return it->second;
+  size_t hash = FactHash{}(fact);
+  std::vector<FactId>& bucket = dedup_[hash];
+  for (FactId id : bucket) {
+    if (facts_[id] == fact) return id;
+  }
   FactId id = static_cast<FactId>(facts_.size());
-  facts_.push_back(fact);
-  index_.emplace(std::move(fact), id);
+  bucket.push_back(id);
+  facts_.push_back(std::move(fact));
+  index_.OnFactAdded(facts_.back(), id);
   return id;
 }
 
 FactId Database::Find(const Fact& fact) const {
-  auto it = index_.find(fact);
-  return it == index_.end() ? kInvalidFact : it->second;
-}
-
-std::vector<Value> Database::ActiveDomain() const {
-  std::vector<Value> out;
-  std::unordered_set<Value> seen;
-  for (const Fact& f : facts_) {
-    for (Value v : f.args) {
-      if (seen.insert(v).second) out.push_back(v);
-    }
+  auto it = dedup_.find(FactHash{}(fact));
+  if (it == dedup_.end()) return kInvalidFact;
+  for (FactId id : it->second) {
+    if (facts_[id] == fact) return id;
   }
-  return out;
-}
-
-std::vector<FactId> Database::FactsOfRelation(RelationId rel) const {
-  std::vector<FactId> out;
-  for (FactId id = 0; id < facts_.size(); ++id) {
-    if (facts_[id].relation == rel) out.push_back(id);
-  }
-  return out;
+  return kInvalidFact;
 }
 
 Database Database::Subset(const std::vector<FactId>& keep) const {
@@ -50,10 +37,13 @@ Database Database::Subset(const std::vector<FactId>& keep) const {
   return out;
 }
 
-std::vector<Fact> Database::SortedFacts() const {
-  std::vector<Fact> out = facts_;
-  std::sort(out.begin(), out.end());
-  return out;
+bool Database::operator==(const Database& o) const {
+  if (facts_.size() != o.facts_.size()) return false;
+  // Facts are deduplicated, so equal sizes + containment means set equality.
+  for (const Fact& f : facts_) {
+    if (!o.Contains(f)) return false;
+  }
+  return true;
 }
 
 std::string Database::ToString() const {

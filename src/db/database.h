@@ -10,18 +10,21 @@
 #include <vector>
 
 #include "db/fact.h"
+#include "db/index.h"
 #include "db/schema.h"
 
 namespace uocqa {
 
-/// Dense index of a fact within a Database (insertion order, stable).
-using FactId = uint32_t;
-
-constexpr FactId kInvalidFact = static_cast<FactId>(-1);
-
 /// A finite set of facts. Facts are deduplicated; ids are assigned in
 /// insertion order and never change, which gives every instance the fixed
 /// fact/block orderings the paper's algorithms assume.
+///
+/// Every database carries a DatabaseIndex (per-relation fact lists, an
+/// inverted (relation, position, value) index, the cached active domain and
+/// cardinality statistics), maintained incrementally on insertion. Each fact
+/// is stored exactly once, in `facts_`; deduplication goes through a
+/// hash-bucket map so AddFact moves its argument into place instead of
+/// copying it twice.
 class Database {
  public:
   Database() = default;
@@ -30,7 +33,8 @@ class Database {
   const Schema& schema() const { return schema_; }
   Schema& mutable_schema() { return schema_; }
 
-  /// Inserts a fact (no-op if present); returns its id.
+  /// Inserts a fact (no-op if present); returns its id. Pass an rvalue to
+  /// move the fact into the database without copying.
   FactId AddFact(Fact fact);
 
   /// Convenience: interns constants and inserts.
@@ -49,12 +53,23 @@ class Database {
   const Fact& fact(FactId id) const { return facts_[id]; }
   const std::vector<Fact>& facts() const { return facts_; }
 
-  /// Distinct constants appearing in the database, in first-seen order
-  /// (dom(D), paper §2).
-  std::vector<Value> ActiveDomain() const;
+  /// Secondary indexes: per-relation fact lists, the inverted
+  /// (relation, position, value) index, active domain, statistics.
+  const DatabaseIndex& index() const { return index_; }
 
-  /// All fact ids of a given relation, in id order.
-  std::vector<FactId> FactsOfRelation(RelationId rel) const;
+  /// Distinct constants appearing in the database, in first-seen order
+  /// (dom(D), paper §2). Cached by the index; O(1). The reference is
+  /// invalidated by AddFact/Add — copy it before inserting.
+  const std::vector<Value>& ActiveDomain() const {
+    return index_.ActiveDomain();
+  }
+
+  /// All fact ids of a given relation, in id order. Backed by the relation
+  /// index; O(1). The reference is invalidated by AddFact/Add — copy it
+  /// before inserting.
+  const std::vector<FactId>& FactsOfRelation(RelationId rel) const {
+    return index_.FactsOfRelation(rel);
+  }
 
   /// The sub-database carrying over only the facts in `keep` (ids refer to
   /// *this*; the result is a fresh Database sharing the schema).
@@ -63,14 +78,17 @@ class Database {
   /// Multi-line rendering for debugging.
   std::string ToString() const;
 
-  bool operator==(const Database& o) const { return SortedFacts() == o.SortedFacts(); }
+  /// Set equality over facts (schema and insertion order are ignored).
+  bool operator==(const Database& o) const;
+  bool operator!=(const Database& o) const { return !(*this == o); }
 
  private:
-  std::vector<Fact> SortedFacts() const;
-
   Schema schema_;
   std::vector<Fact> facts_;
-  std::unordered_map<Fact, FactId, FactHash> index_;
+  // Dedup map: fact hash -> ids with that hash (collisions resolved by
+  // comparing against facts_). Keeps Fact storage single-copy.
+  std::unordered_map<size_t, std::vector<FactId>> dedup_;
+  DatabaseIndex index_;
 };
 
 }  // namespace uocqa

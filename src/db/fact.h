@@ -3,6 +3,7 @@
 #ifndef UOCQA_DB_FACT_H_
 #define UOCQA_DB_FACT_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,11 @@
 #include "db/value.h"
 
 namespace uocqa {
+
+/// Dense index of a fact within a Database (insertion order, stable).
+using FactId = uint32_t;
+
+constexpr FactId kInvalidFact = static_cast<FactId>(-1);
 
 /// A ground atom: relation id plus a tuple of interned constants.
 struct Fact {

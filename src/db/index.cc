@@ -1,0 +1,91 @@
+#include "db/index.h"
+
+#include <cassert>
+
+namespace uocqa {
+
+namespace {
+
+const std::vector<FactId>& EmptyFactList() {
+  static const std::vector<FactId> kEmpty;
+  return kEmpty;
+}
+
+}  // namespace
+
+void DatabaseIndex::OnFactAdded(const Fact& fact, FactId id) {
+  assert(fact.relation != kInvalidRelation);
+  if (fact.relation >= by_relation_.size()) {
+    by_relation_.resize(fact.relation + 1);
+    inverted_.resize(fact.relation + 1);
+  }
+  std::vector<FactId>& rel_facts = by_relation_[fact.relation];
+  assert(rel_facts.empty() || rel_facts.back() < id);
+  rel_facts.push_back(id);
+  std::vector<ColumnIndex>& cols = inverted_[fact.relation];
+  if (cols.size() < fact.args.size()) cols.resize(fact.args.size());
+  for (size_t pos = 0; pos < fact.args.size(); ++pos) {
+    Value v = fact.args[pos];
+    cols[pos][v].push_back(id);
+    if (domain_seen_.insert(v).second) active_domain_.push_back(v);
+  }
+  ++total_facts_;
+}
+
+const std::vector<FactId>& DatabaseIndex::FactsOfRelation(
+    RelationId rel) const {
+  if (rel >= by_relation_.size()) return EmptyFactList();
+  return by_relation_[rel];
+}
+
+const std::vector<FactId>& DatabaseIndex::FactsWith(RelationId rel,
+                                                    uint32_t pos,
+                                                    Value value) const {
+  if (rel >= inverted_.size() || pos >= inverted_[rel].size()) {
+    return EmptyFactList();
+  }
+  const ColumnIndex& col = inverted_[rel][pos];
+  auto it = col.find(value);
+  return it == col.end() ? EmptyFactList() : it->second;
+}
+
+const std::vector<FactId>& DatabaseIndex::Candidates(
+    RelationId rel, const std::vector<BoundArg>& bound) const {
+  if (bound.empty()) return FactsOfRelation(rel);
+  const std::vector<FactId>* best = nullptr;
+  for (const BoundArg& b : bound) {
+    const std::vector<FactId>& postings = FactsWith(rel, b.first, b.second);
+    if (best == nullptr || postings.size() < best->size()) best = &postings;
+    if (best->empty()) break;
+  }
+  return *best;
+}
+
+size_t DatabaseIndex::RelationCardinality(RelationId rel) const {
+  return FactsOfRelation(rel).size();
+}
+
+size_t DatabaseIndex::DistinctValues(RelationId rel, uint32_t pos) const {
+  if (rel >= inverted_.size() || pos >= inverted_[rel].size()) return 0;
+  return inverted_[rel][pos].size();
+}
+
+double DatabaseIndex::EstimateMatches(
+    RelationId rel, const std::vector<BoundArg>& consts,
+    const std::vector<uint32_t>& bound_positions) const {
+  size_t cardinality = RelationCardinality(rel);
+  if (cardinality == 0) return 0;
+  double est = static_cast<double>(cardinality);
+  for (const BoundArg& c : consts) {
+    size_t matches = FactsWith(rel, c.first, c.second).size();
+    if (matches == 0) return 0;
+    est *= static_cast<double>(matches) / static_cast<double>(cardinality);
+  }
+  for (uint32_t pos : bound_positions) {
+    size_t distinct = DistinctValues(rel, pos);
+    if (distinct > 1) est /= static_cast<double>(distinct);
+  }
+  return est;
+}
+
+}  // namespace uocqa

@@ -1,0 +1,94 @@
+// Secondary indexes over a Database's facts.
+//
+// Every layer of the pipeline (query evaluation, block partitioning, the
+// normal-form construction, assignment enumeration) used to rediscover the
+// same structure by scanning all facts. DatabaseIndex maintains that
+// structure incrementally as facts are added:
+//
+//   - per-relation fact-id lists (FactsOfRelation in O(1)),
+//   - an inverted index (relation, argument position, value) -> fact ids,
+//   - the active domain dom(D) in first-seen order, and
+//   - cardinality statistics (|R|, distinct values per column) that drive
+//     selectivity estimates for join ordering.
+//
+// Fact ids grow monotonically, so every posting list is sorted by
+// construction and lookups never need re-sorting. The index is owned and
+// updated by Database; consumers reach it through Database::index().
+//
+// All accessors return references into index-internal vectors; those
+// references are invalidated by the next OnFactAdded (i.e. by
+// Database::AddFact). Copy the list before inserting if it must survive.
+
+#ifndef UOCQA_DB_INDEX_H_
+#define UOCQA_DB_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "db/fact.h"
+#include "db/schema.h"
+#include "db/value.h"
+
+namespace uocqa {
+
+/// One bound argument of an atom: (position, required value). Used to query
+/// the inverted index for candidate facts.
+using BoundArg = std::pair<uint32_t, Value>;
+
+class DatabaseIndex {
+ public:
+  /// Registers a freshly inserted fact. Must be called with strictly
+  /// increasing ids (Database enforces this); keeps postings sorted.
+  void OnFactAdded(const Fact& fact, FactId id);
+
+  /// Fact ids of `rel` in id order. Out-of-range relations (including
+  /// kInvalidRelation) yield the empty list.
+  const std::vector<FactId>& FactsOfRelation(RelationId rel) const;
+
+  /// Fact ids of `rel` whose argument at `pos` equals `value`, in id order.
+  const std::vector<FactId>& FactsWith(RelationId rel, uint32_t pos,
+                                       Value value) const;
+
+  /// The smallest available candidate superset for a conjunction of bound
+  /// arguments: the shortest posting list among `bound`, or all facts of the
+  /// relation when `bound` is empty. Callers must still verify every term
+  /// against each candidate; the list is a superset of the exact match set.
+  const std::vector<FactId>& Candidates(RelationId rel,
+                                        const std::vector<BoundArg>& bound)
+      const;
+
+  /// Distinct constants over all facts, in first-seen order (dom(D)).
+  const std::vector<Value>& ActiveDomain() const { return active_domain_; }
+
+  /// Number of facts of `rel` (0 for out-of-range relations).
+  size_t RelationCardinality(RelationId rel) const;
+
+  /// Number of distinct values in column `pos` of `rel` (0 if no facts).
+  size_t DistinctValues(RelationId rel, uint32_t pos) const;
+
+  /// Expected number of facts of `rel` matching the bound arguments, used
+  /// for greedy join ordering. Bound constants use their exact posting
+  /// length; positions bound to a yet-unknown value contribute the average
+  /// selectivity 1/distinct(rel, pos) under a uniform-column model.
+  double EstimateMatches(RelationId rel, const std::vector<BoundArg>& consts,
+                         const std::vector<uint32_t>& bound_positions) const;
+
+  size_t total_facts() const { return total_facts_; }
+
+ private:
+  // Postings of one relation column: value -> sorted fact ids.
+  using ColumnIndex = std::unordered_map<Value, std::vector<FactId>>;
+
+  size_t total_facts_ = 0;
+  std::vector<std::vector<FactId>> by_relation_;      // [rel] -> fact ids
+  std::vector<std::vector<ColumnIndex>> inverted_;    // [rel][pos]
+  std::vector<Value> active_domain_;                  // first-seen order
+  std::unordered_set<Value> domain_seen_;
+};
+
+}  // namespace uocqa
+
+#endif  // UOCQA_DB_INDEX_H_

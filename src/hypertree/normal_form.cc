@@ -79,7 +79,7 @@ Result<NormalFormInstance> ToNormalForm(const Database& db,
   std::vector<RelationId> missing;  // ids in db schema
   for (RelationId r = 0; r < db.schema().relation_count(); ++r) {
     if (query_rels.count(db.schema().name(r)) > 0) continue;
-    if (db.FactsOfRelation(r).empty()) continue;  // not "in D"
+    if (db.index().RelationCardinality(r) == 0) continue;  // not "in D"
     missing.push_back(r);
   }
 

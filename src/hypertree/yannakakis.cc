@@ -74,7 +74,9 @@ Result<YannakakisEvaluator> YannakakisEvaluator::Create(
 namespace {
 
 /// Enumerates an atom's matches against the database, honouring constants,
-/// repeated variables, and pinned answer variables.
+/// repeated variables, and pinned answer variables. Candidate facts come
+/// from the inverted index over the atom's bound terms (constants and
+/// pinned variables); the unification loop below verifies every term.
 std::vector<Match> AtomMatches(const Database& db,
                                const ConjunctiveQuery& query, size_t atom_idx,
                                const std::vector<Value>& pinned) {
@@ -84,7 +86,16 @@ std::vector<Match> AtomMatches(const Database& db,
   const std::string& rel_name = query.schema().name(atom.relation);
   RelationId dr = db.schema().Find(rel_name);
   if (dr == kInvalidRelation) return out;
-  for (FactId fid : db.FactsOfRelation(dr)) {
+  std::vector<BoundArg> bound;
+  for (size_t t = 0; t < atom.terms.size(); ++t) {
+    const Term& term = atom.terms[t];
+    if (term.is_const()) {
+      bound.emplace_back(static_cast<uint32_t>(t), term.id);
+    } else if (pinned[term.id] != kUnassignedValue) {
+      bound.emplace_back(static_cast<uint32_t>(t), pinned[term.id]);
+    }
+  }
+  for (FactId fid : db.index().Candidates(dr, bound)) {
     const Fact& fact = db.fact(fid);
     Match m(vars.size(), kUnassignedValue);
     bool ok = true;

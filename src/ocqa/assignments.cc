@@ -4,6 +4,8 @@
 #include <cassert>
 #include <functional>
 
+#include "query/eval.h"
+
 namespace uocqa {
 
 Result<AssignmentIndex> AssignmentIndex::Build(
@@ -26,25 +28,30 @@ Result<AssignmentIndex> AssignmentIndex::Build(
     answer_bindings.emplace_back(v, answer_tuple[i]);
   }
 
-  // Candidate facts per query atom (resolved by relation name).
-  std::vector<std::vector<FactId>> candidates(query.atom_count());
+  // Database-side relation per query atom (resolved by relation name);
+  // candidate facts are pulled from the inverted index during enumeration.
+  std::vector<RelationId> atom_rels(query.atom_count(), kInvalidRelation);
   for (size_t ai = 0; ai < query.atom_count(); ++ai) {
     const std::string& name =
         query.schema().name(query.atoms()[ai].relation);
-    RelationId dr = db.schema().Find(name);
-    if (dr == kInvalidRelation) continue;
-    candidates[ai] = db.FactsOfRelation(dr);
+    atom_rels[ai] = db.schema().Find(name);
   }
 
   AssignmentIndex out;
   out.h_ = &h;
   out.per_vertex_.resize(h.size());
 
+  // var_values mirrors `bindings` as a VarId-indexed array so that binding
+  // lookups during enumeration are O(1) instead of a scan of the list.
+  std::vector<Value> var_values(query.variable_count(), kUnassignedValue);
   for (DecompVertex v = 0; v < h.size(); ++v) {
     const std::vector<size_t>& lambda = h.node(v).lambda;
     // Depth-first product over lambda atoms with incremental binding checks.
     std::vector<FactId> chosen(lambda.size(), kInvalidFact);
     std::vector<std::pair<VarId, Value>> bindings = answer_bindings;
+    std::fill(var_values.begin(), var_values.end(), kUnassignedValue);
+    for (const auto& [bv, bc] : bindings) var_values[bv] = bc;
+    std::vector<BoundArg> bound_args;  // reused across recursion nodes
     std::function<void(size_t)> rec = [&](size_t pos) {
       if (pos == lambda.size()) {
         VertexAssignment a;
@@ -60,7 +67,24 @@ Result<AssignmentIndex> AssignmentIndex::Build(
         return;
       }
       const QueryAtom& atom = query.atoms()[lambda[pos]];
-      for (FactId fid : candidates[lambda[pos]]) {
+      // Candidates via the inverted index of terms already bound at this
+      // depth (constants and variables fixed by earlier atoms); the
+      // unification loop below still verifies every term. The scratch
+      // buffer is safe to reuse across recursion nodes because the
+      // candidate list returned by the index does not reference it.
+      bound_args.clear();
+      for (size_t t = 0; t < atom.terms.size(); ++t) {
+        const Term& term = atom.terms[t];
+        if (term.is_const()) {
+          bound_args.emplace_back(static_cast<uint32_t>(t), term.id);
+        } else if (var_values[term.id] != kUnassignedValue) {
+          bound_args.emplace_back(static_cast<uint32_t>(t),
+                                  var_values[term.id]);
+        }
+      }
+      const std::vector<FactId>& candidates =
+          db.index().Candidates(atom_rels[lambda[pos]], bound_args);
+      for (FactId fid : candidates) {
         const Fact& fact = db.fact(fid);
         size_t added = 0;
         bool ok = true;
@@ -71,23 +95,22 @@ Result<AssignmentIndex> AssignmentIndex::Build(
             ok = (term.id == c);
             continue;
           }
-          // Variable: check against existing bindings.
-          bool found = false;
-          for (const auto& [bv, bc] : bindings) {
-            if (bv == term.id) {
-              found = true;
-              ok = (bc == c);
-              break;
-            }
-          }
-          if (!found) {
+          // Variable: check against the existing binding, if any.
+          Value existing = var_values[term.id];
+          if (existing != kUnassignedValue) {
+            ok = (existing == c);
+          } else {
             bindings.emplace_back(term.id, c);
+            var_values[term.id] = c;
             ++added;
           }
         }
         if (ok) {
           chosen[pos] = fid;
           rec(pos + 1);
+        }
+        for (size_t i = bindings.size() - added; i < bindings.size(); ++i) {
+          var_values[bindings[i].first] = kUnassignedValue;
         }
         bindings.resize(bindings.size() - added);
       }

@@ -11,44 +11,56 @@ namespace uocqa {
 QueryEvaluator::QueryEvaluator(const Database& db,
                                const ConjunctiveQuery& query)
     : db_(db), query_(query) {
-  // Reconcile relations by name: for each query atom, the candidate facts in
-  // the database.
-  atom_candidates_.resize(query.atom_count());
+  // Reconcile relations by name: for each query atom, the relation holding
+  // its candidate facts in the database (kInvalidRelation when absent, which
+  // makes the atom unsatisfiable).
+  const DatabaseIndex& index = db.index();
+  atom_rels_.resize(query.atom_count(), kInvalidRelation);
   for (size_t i = 0; i < query.atom_count(); ++i) {
     const QueryAtom& atom = query.atoms()[i];
     const std::string& name = query.schema().name(atom.relation);
     RelationId db_rel = db.schema().Find(name);
-    if (db_rel == kInvalidRelation) continue;  // no facts: atom unsatisfiable
+    if (db_rel == kInvalidRelation) continue;
     assert(db.schema().arity(db_rel) == atom.terms.size());
-    atom_candidates_[i] = db.FactsOfRelation(db_rel);
+    atom_rels_[i] = db_rel;
   }
 
-  // Greedy atom order: repeatedly pick the atom with the fewest candidates
-  // among those connected to already-placed atoms (or overall, when starting
-  // a new connected component). Keeps the backtracking join selective.
+  // Statistics-driven greedy atom order: repeatedly pick the atom with the
+  // smallest estimated result size given the variables bound so far
+  // (constant terms use exact posting lengths, bound variables the average
+  // column selectivity), preferring atoms connected to already-placed ones.
+  // Order only affects search cost, never the set of homomorphisms.
   std::vector<bool> placed(query.atom_count(), false);
   std::unordered_set<VarId> bound;
   for (VarId v : query.answer_vars()) bound.insert(v);
   while (order_.size() < query.atom_count()) {
     size_t best = query.atom_count();
     bool best_connected = false;
-    size_t best_size = 0;
+    double best_est = 0;
     for (size_t i = 0; i < query.atom_count(); ++i) {
       if (placed[i]) continue;
-      bool connected = false;
-      for (const Term& t : query.atoms()[i].terms) {
-        if (t.is_const() || bound.count(t.id) > 0) {
-          connected = true;
-          break;
+      const QueryAtom& atom = query.atoms()[i];
+      std::vector<BoundArg> consts;
+      std::vector<uint32_t> bound_positions;
+      for (size_t j = 0; j < atom.terms.size(); ++j) {
+        const Term& t = atom.terms[j];
+        if (t.is_const()) {
+          consts.emplace_back(static_cast<uint32_t>(j), t.id);
+        } else if (bound.count(t.id) > 0) {
+          bound_positions.push_back(static_cast<uint32_t>(j));
         }
       }
-      size_t size = atom_candidates_[i].size();
+      bool connected = !consts.empty() || !bound_positions.empty();
+      double est = atom_rels_[i] == kInvalidRelation
+                       ? 0
+                       : index.EstimateMatches(atom_rels_[i], consts,
+                                               bound_positions);
       if (best == query.atom_count() ||
           (connected && !best_connected) ||
-          (connected == best_connected && size < best_size)) {
+          (connected == best_connected && est < best_est)) {
         best = i;
         best_connected = connected;
-        best_size = size;
+        best_est = est;
       }
     }
     placed[best] = true;
@@ -76,11 +88,27 @@ bool QueryEvaluator::SeedAssignment(const std::vector<Value>& answer_tuple,
 
 bool QueryEvaluator::Search(
     size_t depth, Assignment* assignment,
+    std::vector<BoundArg>* bound_scratch,
     const std::function<bool(const Assignment&)>& fn) const {
   if (depth == order_.size()) return fn(*assignment);
   size_t atom_idx = order_[depth];
   const QueryAtom& atom = query_.atoms()[atom_idx];
-  for (FactId fid : atom_candidates_[atom_idx]) {
+  // Resolve bound terms (constants and already-assigned variables) through
+  // the inverted index: the shortest posting list is a candidate superset,
+  // so only matching facts are enumerated instead of the whole relation.
+  bound_scratch->clear();
+  for (size_t j = 0; j < atom.terms.size(); ++j) {
+    const Term& t = atom.terms[j];
+    if (t.is_const()) {
+      bound_scratch->emplace_back(static_cast<uint32_t>(j), t.id);
+    } else if ((*assignment)[t.id] != kUnassignedValue) {
+      bound_scratch->emplace_back(static_cast<uint32_t>(j),
+                                  (*assignment)[t.id]);
+    }
+  }
+  const std::vector<FactId>& candidates =
+      db_.index().Candidates(atom_rels_[atom_idx], *bound_scratch);
+  for (FactId fid : candidates) {
     const Fact& fact = db_.fact(fid);
     // Try to unify atom terms with the fact, recording newly bound vars.
     std::vector<VarId> newly_bound;
@@ -105,7 +133,7 @@ bool QueryEvaluator::Search(
       }
     }
     if (ok) {
-      if (!Search(depth + 1, assignment, fn)) {
+      if (!Search(depth + 1, assignment, bound_scratch, fn)) {
         for (VarId v : newly_bound) (*assignment)[v] = kUnassignedValue;
         return false;
       }
@@ -119,7 +147,8 @@ bool QueryEvaluator::Entails(const std::vector<Value>& answer_tuple) const {
   Assignment assignment;
   if (!SeedAssignment(answer_tuple, &assignment)) return false;
   bool found = false;
-  Search(0, &assignment, [&found](const Assignment&) {
+  std::vector<BoundArg> scratch;
+  Search(0, &assignment, &scratch, [&found](const Assignment&) {
     found = true;
     return false;  // abort at first witness
   });
@@ -131,7 +160,8 @@ std::optional<Assignment> QueryEvaluator::FindHomomorphism(
   Assignment assignment;
   if (!SeedAssignment(answer_tuple, &assignment)) return std::nullopt;
   std::optional<Assignment> result;
-  Search(0, &assignment, [&result](const Assignment& a) {
+  std::vector<BoundArg> scratch;
+  Search(0, &assignment, &scratch, [&result](const Assignment& a) {
     result = a;
     return false;
   });
@@ -149,7 +179,8 @@ uint64_t QueryEvaluator::CountHomomorphisms(
   Assignment assignment;
   if (!SeedAssignment(answer_tuple, &assignment)) return 0;
   uint64_t count = 0;
-  Search(0, &assignment, [&count](const Assignment&) {
+  std::vector<BoundArg> scratch;
+  Search(0, &assignment, &scratch, [&count](const Assignment&) {
     ++count;
     return true;
   });
@@ -161,14 +192,16 @@ bool QueryEvaluator::ForEachHomomorphism(
     const std::function<bool(const Assignment&)>& fn) const {
   Assignment assignment;
   if (!SeedAssignment(answer_tuple, &assignment)) return true;
-  return Search(0, &assignment, fn);
+  std::vector<BoundArg> scratch;
+  return Search(0, &assignment, &scratch, fn);
 }
 
 std::vector<std::vector<Value>> QueryEvaluator::Answers() const {
   std::unordered_set<std::vector<Value>, VectorHash<Value>> seen;
   std::vector<std::vector<Value>> out;
   Assignment assignment(query_.variable_count(), kUnassignedValue);
-  Search(0, &assignment, [&](const Assignment& a) {
+  std::vector<BoundArg> scratch;
+  Search(0, &assignment, &scratch, [&](const Assignment& a) {
     std::vector<Value> tuple;
     tuple.reserve(query_.answer_vars().size());
     for (VarId v : query_.answer_vars()) tuple.push_back(a[v]);

@@ -1,9 +1,12 @@
 // Homomorphism-based evaluation of conjunctive queries (paper §2).
 //
 // The evaluator matches query atoms against database facts by backtracking
-// search with a greedy connectivity-based atom order and per-relation fact
-// indices. Query and database may carry independently-built Schema objects;
-// relations are reconciled by name.
+// search. Atom order is chosen greedily from the database's cardinality
+// statistics (estimated result size given the variables bound so far), and
+// at every search step candidate facts come from the inverted
+// (relation, position, value) index of the bound terms instead of a scan
+// over the relation. Query and database may carry independently-built
+// Schema objects; relations are reconciled by name.
 
 #ifndef UOCQA_QUERY_EVAL_H_
 #define UOCQA_QUERY_EVAL_H_
@@ -26,8 +29,9 @@ using Assignment = std::vector<Value>;
 
 class QueryEvaluator {
  public:
-  /// Builds the per-relation indices. The database must outlive the
-  /// evaluator; the query is copied by reference as well.
+  /// Resolves atom relations against the database and fixes the atom order.
+  /// The database must outlive the evaluator; the query is kept by
+  /// reference as well.
   QueryEvaluator(const Database& db, const ConjunctiveQuery& query);
 
   /// c̄ ∈ Q(D)? `answer_tuple` must have one constant per answer variable
@@ -59,14 +63,18 @@ class QueryEvaluator {
                       Assignment* assignment) const;
 
   /// Depth-first matching over atoms in order_[depth...]; calls fn on every
-  /// completed assignment; returns false iff aborted by fn.
+  /// completed assignment; returns false iff aborted by fn. `bound_scratch`
+  /// is a reusable buffer for resolving bound terms (cleared at each node;
+  /// safe to share across depths because the candidate list returned by the
+  /// index does not reference it).
   bool Search(size_t depth, Assignment* assignment,
+              std::vector<BoundArg>* bound_scratch,
               const std::function<bool(const Assignment&)>& fn) const;
 
   const Database& db_;
   const ConjunctiveQuery& query_;
-  std::vector<std::vector<FactId>> atom_candidates_;  // per atom, db facts
-  std::vector<size_t> order_;                         // atom visit order
+  std::vector<RelationId> atom_rels_;  // per atom, db relation (by name)
+  std::vector<size_t> order_;          // atom visit order
 };
 
 /// One-shot convenience: c̄ ∈ Q(D)?

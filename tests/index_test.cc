@@ -1,0 +1,287 @@
+// Tests for the DatabaseIndex subsystem: incremental maintenance under
+// AddFact, Subset correctness, inverted-index lookups vs. brute-force
+// scans, cardinality statistics, block-order stability against the legacy
+// scan-based BlockPartition::Compute, and end-to-end evaluator agreement
+// with brute-force homomorphism enumeration.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "db/blocks.h"
+#include "db/database.h"
+#include "db/index.h"
+#include "db/keys.h"
+#include "query/eval.h"
+#include "workload/generators.h"
+
+namespace uocqa {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Brute-force references (the pre-index scan implementations).
+// ---------------------------------------------------------------------------
+
+std::vector<FactId> ScanFactsOfRelation(const Database& db, RelationId rel) {
+  std::vector<FactId> out;
+  for (FactId id = 0; id < db.size(); ++id) {
+    if (db.fact(id).relation == rel) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<Value> ScanActiveDomain(const Database& db) {
+  std::vector<Value> out;
+  for (const Fact& f : db.facts()) {
+    for (Value v : f.args) {
+      if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+    }
+  }
+  return out;
+}
+
+std::vector<FactId> ScanFactsWith(const Database& db, RelationId rel,
+                                  uint32_t pos, Value value) {
+  std::vector<FactId> out;
+  for (FactId id = 0; id < db.size(); ++id) {
+    const Fact& f = db.fact(id);
+    if (f.relation == rel && pos < f.args.size() && f.args[pos] == value) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+/// The pre-refactor BlockPartition::Compute: one global std::map keyed by
+/// (relation, key value), giving blocks in (relation, lexicographic key)
+/// order. Kept here as the ordering reference the index-backed version must
+/// reproduce exactly.
+std::vector<Block> LegacyBlocks(const Database& db, const KeySet& keys) {
+  std::map<std::pair<RelationId, std::vector<Value>>, std::vector<FactId>>
+      groups;
+  for (FactId id = 0; id < db.size(); ++id) {
+    const Fact& f = db.fact(id);
+    groups[{f.relation, keys.KeyValueOf(f)}].push_back(id);
+  }
+  std::vector<Block> out;
+  for (auto& [sig, ids] : groups) {
+    Block b;
+    b.relation = sig.first;
+    b.key_value = sig.second;
+    std::sort(ids.begin(), ids.end());
+    b.facts = ids;
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+GeneratedInstance RandomInstance(uint64_t seed, size_t blocks,
+                                 size_t domain) {
+  Rng rng(seed);
+  ConjunctiveQuery q = ChainQuery(3);
+  DbGenOptions gen;
+  gen.blocks_per_relation = blocks;
+  gen.min_block_size = 1;
+  gen.max_block_size = 3;
+  gen.domain_size = domain;
+  return GenerateDatabaseForQuery(rng, q, gen);
+}
+
+void ExpectIndexMatchesScans(const Database& db) {
+  const DatabaseIndex& index = db.index();
+  EXPECT_EQ(index.total_facts(), db.size());
+  EXPECT_EQ(index.ActiveDomain(), ScanActiveDomain(db));
+  for (RelationId rel = 0; rel < db.schema().relation_count(); ++rel) {
+    std::vector<FactId> expected = ScanFactsOfRelation(db, rel);
+    EXPECT_EQ(index.FactsOfRelation(rel), expected);
+    EXPECT_EQ(index.RelationCardinality(rel), expected.size());
+    for (uint32_t pos = 0; pos < db.schema().arity(rel); ++pos) {
+      std::vector<Value> distinct;
+      for (FactId id : expected) {
+        Value v = db.fact(id).args[pos];
+        if (std::find(distinct.begin(), distinct.end(), v) ==
+            distinct.end()) {
+          distinct.push_back(v);
+        }
+      }
+      EXPECT_EQ(index.DistinctValues(rel, pos), distinct.size());
+      for (Value v : distinct) {
+        EXPECT_EQ(index.FactsWith(rel, pos, v),
+                  ScanFactsWith(db, rel, pos, v));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental maintenance.
+// ---------------------------------------------------------------------------
+
+TEST(DatabaseIndexTest, IncrementalMaintenanceUnderAddFact) {
+  Schema s;
+  s.AddRelationOrDie("R", 2);
+  s.AddRelationOrDie("S", 3);
+  Database db(s);
+  const std::vector<std::pair<std::string, std::vector<std::string>>> inserts =
+      {{"R", {"a", "b"}}, {"S", {"a", "c", "d"}}, {"R", {"b", "b"}},
+       {"R", {"a", "b"}},  // duplicate: must not disturb the index
+       {"S", {"e", "c", "a"}}, {"R", {"c", "a"}}};
+  for (const auto& [rel, args] : inserts) {
+    db.Add(rel, args);
+    ExpectIndexMatchesScans(db);
+  }
+  EXPECT_EQ(db.size(), 5u);  // one duplicate
+  // Postings are sorted by fact id.
+  RelationId r = s.Find("R");
+  Value b = ValuePool::Intern("b");
+  const std::vector<FactId>& with_b = db.index().FactsWith(r, 1, b);
+  EXPECT_TRUE(std::is_sorted(with_b.begin(), with_b.end()));
+  EXPECT_EQ(with_b.size(), 2u);
+}
+
+TEST(DatabaseIndexTest, MissingRelationAndValueLookupsAreEmpty) {
+  Schema s;
+  s.AddRelationOrDie("R", 2);
+  s.AddRelationOrDie("Empty", 2);
+  Database db(s);
+  db.Add("R", {"a", "b"});
+  EXPECT_TRUE(db.index().FactsOfRelation(s.Find("Empty")).empty());
+  EXPECT_TRUE(db.index().FactsOfRelation(kInvalidRelation).empty());
+  EXPECT_EQ(db.index().RelationCardinality(s.Find("Empty")), 0u);
+  EXPECT_EQ(db.index().DistinctValues(s.Find("Empty"), 0), 0u);
+  EXPECT_TRUE(
+      db.index().FactsWith(s.Find("R"), 0, ValuePool::Intern("zzz")).empty());
+  EXPECT_TRUE(db.index().FactsWith(s.Find("R"), 7, ValuePool::Intern("a"))
+                  .empty());
+}
+
+TEST(DatabaseIndexTest, CandidatesPicksSupersetOfMatches) {
+  GeneratedInstance inst = RandomInstance(7, 20, 12);
+  const Database& db = inst.db;
+  for (RelationId rel = 0; rel < db.schema().relation_count(); ++rel) {
+    for (FactId id : db.index().FactsOfRelation(rel)) {
+      const Fact& f = db.fact(id);
+      // Binding both positions to the fact's own values must keep the fact
+      // among the candidates (the list is a superset of the match set).
+      std::vector<BoundArg> bound = {{0, f.args[0]}, {1, f.args[1]}};
+      const std::vector<FactId>& cands = db.index().Candidates(rel, bound);
+      EXPECT_NE(std::find(cands.begin(), cands.end(), id), cands.end());
+      // And the candidate list never exceeds the smaller posting list.
+      EXPECT_LE(cands.size(),
+                std::min(db.index().FactsWith(rel, 0, f.args[0]).size(),
+                         db.index().FactsWith(rel, 1, f.args[1]).size()));
+    }
+    // Unbound lookup degrades to the full relation list.
+    EXPECT_EQ(&db.index().Candidates(rel, {}),
+              &db.index().FactsOfRelation(rel));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Subset and equality.
+// ---------------------------------------------------------------------------
+
+TEST(DatabaseIndexTest, SubsetRebuildsAConsistentIndex) {
+  GeneratedInstance inst = RandomInstance(11, 15, 8);
+  const Database& db = inst.db;
+  std::vector<FactId> keep;
+  for (FactId id = 0; id < db.size(); id += 2) keep.push_back(id);
+  Database sub = db.Subset(keep);
+  ASSERT_EQ(sub.size(), keep.size());
+  for (size_t i = 0; i < keep.size(); ++i) {
+    EXPECT_EQ(sub.fact(static_cast<FactId>(i)), db.fact(keep[i]));
+    EXPECT_TRUE(sub.Contains(db.fact(keep[i])));
+  }
+  ExpectIndexMatchesScans(sub);
+}
+
+TEST(DatabaseEqualityTest, SetSemanticsIgnoreInsertionOrder) {
+  Schema s;
+  s.AddRelationOrDie("R", 2);
+  Database a(s);
+  a.Add("R", {"x", "y"});
+  a.Add("R", {"u", "v"});
+  Database b(s);
+  b.Add("R", {"u", "v"});
+  b.Add("R", {"x", "y"});
+  EXPECT_EQ(a, b);
+  b.Add("R", {"w", "w"});
+  EXPECT_NE(a, b);  // size fast path
+  Database c(s);
+  c.Add("R", {"x", "y"});
+  c.Add("R", {"u", "w"});
+  EXPECT_NE(a, c);  // same size, different facts
+}
+
+// ---------------------------------------------------------------------------
+// Block-order stability against the legacy scan-based Compute.
+// ---------------------------------------------------------------------------
+
+TEST(BlockPartitionIndexTest, MatchesLegacyComputeOnRandomInstances) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    GeneratedInstance inst = RandomInstance(seed, 25, 10);
+    BlockPartition parts = BlockPartition::Compute(inst.db, inst.keys);
+    std::vector<Block> legacy = LegacyBlocks(inst.db, inst.keys);
+    ASSERT_EQ(parts.block_count(), legacy.size());
+    for (size_t i = 0; i < legacy.size(); ++i) {
+      EXPECT_EQ(parts.block(i).relation, legacy[i].relation) << "block " << i;
+      EXPECT_EQ(parts.block(i).key_value, legacy[i].key_value) << "block "
+                                                               << i;
+      EXPECT_EQ(parts.block(i).facts, legacy[i].facts) << "block " << i;
+    }
+    // block_of_fact / blocks_of_relation stay consistent with the blocks.
+    for (FactId id = 0; id < inst.db.size(); ++id) {
+      const Block& b = parts.block(parts.BlockOf(id));
+      EXPECT_NE(std::find(b.facts.begin(), b.facts.end(), id),
+                b.facts.end());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Index-backed evaluation agrees with brute-force enumeration.
+// ---------------------------------------------------------------------------
+
+TEST(IndexedEvaluationTest, CountsMatchBruteForceEnumeration) {
+  GeneratedInstance inst = RandomInstance(23, 6, 5);
+  const Database& db = inst.db;
+  ConjunctiveQuery q = ChainQuery(3);  // Boolean, vars x0..x3
+
+  QueryEvaluator eval(db, q);
+  uint64_t indexed = eval.CountHomomorphisms({});
+
+  // Brute force: every total assignment of the query variables to the
+  // active domain, checked atom by atom via Database::Contains.
+  const std::vector<Value>& dom = db.ActiveDomain();
+  size_t vars = q.variable_count();
+  uint64_t brute = 0;
+  std::vector<size_t> pick(vars, 0);
+  while (true) {
+    bool ok = true;
+    for (const QueryAtom& atom : q.atoms()) {
+      std::vector<Value> args;
+      for (const Term& t : atom.terms) {
+        args.push_back(t.is_const() ? t.id : dom[pick[t.id]]);
+      }
+      RelationId dr = db.schema().Find(q.schema().name(atom.relation));
+      if (dr == kInvalidRelation || !db.Contains(Fact(dr, args))) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) ++brute;
+    size_t i = 0;
+    for (; i < vars; ++i) {
+      if (++pick[i] < dom.size()) break;
+      pick[i] = 0;
+    }
+    if (i == vars) break;
+  }
+  EXPECT_EQ(indexed, brute);
+  EXPECT_EQ(eval.Entails({}), brute > 0);
+}
+
+}  // namespace
+}  // namespace uocqa
