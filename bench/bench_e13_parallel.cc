@@ -1,0 +1,158 @@
+// E13 — thread-count sweep for the parallel subsystem (repo experiment).
+//
+// The approximate answers are embarrassingly parallel: Monte-Carlo repair /
+// sequence trials, FPRAS union-estimation trials, and per-relation block
+// grouping are all independent work items. This benchmark sweeps 1/2/4/8
+// execution lanes against the strictly serial path on the same 24k-fact
+// instance used by E12, so speedups are directly attributable to the
+// ThreadPool. Because every parallel path derives one RNG stream per fixed
+// chunk, all thread counts compute bit-identical estimates — the sweep
+// measures wall-clock only (UseRealTime).
+//
+// NOTE when reading recorded numbers: speedup is bounded by the machine's
+// hardware concurrency. On a single-core container every thread count
+// necessarily measures ~1x; run on a >= 8-core machine to see the scaling
+// this benchmark exists to track.
+//
+// Record results with tools/bench_report (see README):
+//   tools/bench_report build/bench/bench_e13_parallel
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+
+#include "base/thread_pool.h"
+#include "db/blocks.h"
+#include "ocqa/engine.h"
+#include "workload/generators.h"
+
+namespace uocqa {
+namespace {
+
+// Same construction as bench_e12_index: 4096 blocks per relation over a
+// 3-atom chain query is ~24k facts.
+GeneratedInstance MakeDb(size_t blocks) {
+  Rng rng(blocks);
+  ConjunctiveQuery q = ChainQuery(3);
+  DbGenOptions gen;
+  gen.blocks_per_relation = blocks;
+  gen.min_block_size = 1;
+  gen.max_block_size = 3;
+  gen.domain_size = 2 * blocks;
+  return GenerateDatabaseForQuery(rng, q, gen);
+}
+
+constexpr size_t kBlocks = 4096;
+// Trial counts must span many OcqaEngine::kMcChunk-sized chunks — one
+// chunk is the unit of parallel work, so a sweep needs chunks >> 8 lanes
+// (2048 samples = 32 chunks, 1024 = 16) or the 8-lane point measures chunk
+// granularity instead of thread scaling.
+constexpr size_t kMcSamples = 2048;   // repair trials on the 24k instance
+// The exact-uniform sequence sampler's interleaving polynomials are
+// quadratic in the block count (gigabytes of BigInt coefficients at 24k
+// facts), so the Us sweep runs on a smaller instance; the per-trial work it
+// parallelizes is the same shape.
+constexpr size_t kSeqBlocks = 256;
+constexpr size_t kMcSeqSamples = 1024;
+constexpr size_t kFprasBlocks = 12;   // FPRAS runs on a smaller instance
+
+// ---------------------------------------------------------------------------
+// Monte-Carlo repair sampling: serial baseline vs. 1/2/4/8 lanes.
+// ---------------------------------------------------------------------------
+
+void BM_McUrSerialBaseline(benchmark::State& state) {
+  GeneratedInstance inst = MakeDb(kBlocks);
+  ConjunctiveQuery q = ChainQuery(3);
+  OcqaEngine engine(inst.db, inst.keys);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.MonteCarloUr(q, {}, kMcSamples, 7, /*threads=*/1));
+  }
+  state.counters["facts"] = static_cast<double>(inst.db.size());
+  state.counters["samples"] = static_cast<double>(kMcSamples);
+}
+BENCHMARK(BM_McUrSerialBaseline)->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_McUrParallel(benchmark::State& state) {
+  GeneratedInstance inst = MakeDb(kBlocks);
+  ConjunctiveQuery q = ChainQuery(3);
+  OcqaEngine engine(inst.db, inst.keys);
+  size_t threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.MonteCarloUr(q, {}, kMcSamples, 7, threads));
+  }
+  state.counters["facts"] = static_cast<double>(inst.db.size());
+  state.counters["samples"] = static_cast<double>(kMcSamples);
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_McUrParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// Monte-Carlo sequence sampling (the heavier baseline: exact-uniform
+// sequence draws plus ApplySequence per trial).
+// ---------------------------------------------------------------------------
+
+void BM_McUsParallel(benchmark::State& state) {
+  GeneratedInstance inst = MakeDb(kSeqBlocks);
+  ConjunctiveQuery q = ChainQuery(3);
+  OcqaEngine engine(inst.db, inst.keys);
+  size_t threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.MonteCarloUs(q, {}, kMcSeqSamples, 7, threads));
+  }
+  state.counters["facts"] = static_cast<double>(inst.db.size());
+  state.counters["samples"] = static_cast<double>(kMcSeqSamples);
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_McUsParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// FPRAS: the KLM trial loops dominate; a smaller instance keeps automaton
+// construction (serial) from drowning out the parallel section.
+// ---------------------------------------------------------------------------
+
+void BM_FprasUrParallel(benchmark::State& state) {
+  GeneratedInstance inst = MakeDb(kFprasBlocks);
+  ConjunctiveQuery q = ChainQuery(3);
+  OcqaEngine engine(inst.db, inst.keys);
+  OcqaOptions options;
+  options.fpras.seed = 5;
+  options.threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto r = engine.ApproxUr(q, {}, options);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["facts"] = static_cast<double>(inst.db.size());
+  state.counters["threads"] = static_cast<double>(options.threads);
+}
+BENCHMARK(BM_FprasUrParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// Block partitioning on the 24k-fact instance.
+// ---------------------------------------------------------------------------
+
+void BM_BlocksParallel(benchmark::State& state) {
+  GeneratedInstance inst = MakeDb(kBlocks);
+  size_t threads = static_cast<size_t>(state.range(0));
+  ThreadPool pool(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BlockPartition::Compute(inst.db, inst.keys, &pool));
+  }
+  state.counters["facts"] = static_cast<double>(inst.db.size());
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_BlocksParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+}  // namespace uocqa
+
+BENCHMARK_MAIN();

@@ -7,8 +7,23 @@
 
 namespace uocqa {
 
-NftaFpras::NftaFpras(const Nfta& nfta, FprasConfig config)
-    : nfta_(nfta), config_(config), rng_(config.seed) {}
+NftaFpras::NftaFpras(const Nfta& nfta, FprasConfig config, ThreadPool* pool)
+    : nfta_(nfta), config_(config), rng_(config.seed), external_pool_(pool) {
+  if (config_.threads != 1) {
+    // Warm the automaton's lazy symbol index before any parallel section:
+    // afterwards the membership oracle (AcceptingStates) is read-only.
+    nfta_.EnsureSymbolIndex();
+  }
+}
+
+ThreadPool* NftaFpras::pool() {
+  if (config_.threads == 1) return nullptr;
+  if (external_pool_ != nullptr) return external_pool_;
+  if (!owned_pool_) {
+    owned_pool_ = std::make_unique<ThreadPool>(config_.threads);
+  }
+  return owned_pool_.get();
+}
 
 NftaFpras::Cell& NftaFpras::GetCell(NftaState q, size_t size) {
   auto key = std::make_pair(q, size);
@@ -141,23 +156,44 @@ double NftaFpras::EstimateGroup(Group* group) {
                 std::log(4.0 / config_.delta) / (eps * eps)));
   samples = std::clamp(samples, config_.min_samples, config_.max_samples);
 
+  // Trials are independent, so they run chunked: chunk c always covers the
+  // same trials with Rng stream c of a per-union root seed, whatever the
+  // thread count. Every cell a trial samples from was computed while this
+  // group's components were built, so the loop body only reads `cells_`.
+  uint64_t union_seed = rng_.NextU64();
+  size_t chunks = (samples + kTrialChunk - 1) / kTrialChunk;
+  std::vector<std::pair<size_t, size_t>> counts(chunks);  // hits, performed
+  auto run_chunk = [&](size_t c) {
+    Rng rng = Rng::Stream(union_seed, c);
+    size_t begin = c * kTrialChunk;
+    size_t end = std::min(samples, begin + kTrialChunk);
+    size_t hits = 0;
+    size_t performed = 0;
+    for (size_t i = begin; i < end; ++i) {
+      // Pick a component proportionally to its estimated size.
+      double r = rng.UniformDouble() * sum;
+      size_t j = 0;
+      double acc = 0;
+      for (; j + 1 < m; ++j) {
+        acc += comps[j].size;
+        if (r < acc) break;
+      }
+      std::optional<LabeledTree> t = SampleComponent(rng, comps[j]);
+      if (!t.has_value()) continue;
+      ++performed;
+      int min_idx = MinIndex(*group, *t);
+      assert(min_idx >= 0);
+      if (static_cast<size_t>(min_idx) == j) ++hits;
+    }
+    counts[c] = {hits, performed};
+  };
+  ParallelForOn(pool(), chunks, run_chunk, /*grain=*/1);
+
   size_t hits = 0;
   size_t performed = 0;
-  for (size_t i = 0; i < samples; ++i) {
-    // Pick a component proportionally to its estimated size.
-    double r = rng_.UniformDouble() * sum;
-    size_t j = 0;
-    double acc = 0;
-    for (; j + 1 < m; ++j) {
-      acc += comps[j].size;
-      if (r < acc) break;
-    }
-    std::optional<LabeledTree> t = SampleComponent(rng_, comps[j]);
-    if (!t.has_value()) continue;
-    ++performed;
-    int min_idx = MinIndex(*group, *t);
-    assert(min_idx >= 0);
-    if (static_cast<size_t>(min_idx) == j) ++hits;
+  for (const auto& [h, p] : counts) {
+    hits += h;
+    performed += p;
   }
   if (performed == 0) return 0;
   return sum * static_cast<double>(hits) / static_cast<double>(performed);

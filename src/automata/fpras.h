@@ -22,14 +22,20 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "base/rng.h"
+#include "base/thread_pool.h"
 #include "automata/nfta.h"
 
 namespace uocqa {
 
+/// Tuning knobs for the ♯NFTA FPRAS. Estimates are a deterministic function
+/// of (automaton, config) — including `threads`: any thread count yields the
+/// same bits, because trials are split into fixed-size chunks with one
+/// Rng::Stream per chunk.
 struct FprasConfig {
   /// Target relative error.
   double epsilon = 0.25;
@@ -48,11 +54,19 @@ struct FprasConfig {
   /// the ablation benchmark bench_e11 quantifies the win). When false, the
   /// plain Karp–Luby–Madras estimator runs over all components at once.
   bool group_disjoint_components = true;
+  /// Execution lanes for the KLM union-estimation trials: 1 = serial,
+  /// 0 = hardware concurrency. Changes wall-clock time only, never the
+  /// estimate (see the class comment on determinism).
+  size_t threads = 1;
 };
 
 class NftaFpras {
  public:
-  NftaFpras(const Nfta& nfta, FprasConfig config = {});
+  /// Wraps `nfta` (not owned; must outlive this object and stay unchanged).
+  /// When `config.threads != 1`, KLM trials run on `pool` if given, else on
+  /// an internally owned pool of `config.threads` lanes.
+  NftaFpras(const Nfta& nfta, FprasConfig config = {},
+            ThreadPool* pool = nullptr);
 
   /// Estimate of |L_s(A)| for the initial state.
   double EstimateExactSize(size_t size);
@@ -90,6 +104,9 @@ class NftaFpras {
   Cell& GetCell(NftaState q, size_t size);
 
   /// KLM union estimate within one group (components share symbol+sizes).
+  /// Trials are chunked (kTrialChunk) and may run on the pool; every cell
+  /// the trials sample from is already computed, so the parallel section
+  /// only ever reads `cells_`.
   double EstimateGroup(Group* group);
 
   /// Uniform-ish sample from one component (tuple of child samples).
@@ -98,9 +115,19 @@ class NftaFpras {
   /// Index of the first component of `group` containing `tree`; -1 if none.
   int MinIndex(const Group& group, const LabeledTree& tree) const;
 
+  /// The pool trials run on (lazily created when owned), or nullptr for
+  /// serial execution.
+  ThreadPool* pool();
+
+  /// Trials per RNG stream chunk: fixed so the (chunk -> stream) map — and
+  /// hence the estimate — is independent of the thread count.
+  static constexpr size_t kTrialChunk = 64;
+
   const Nfta& nfta_;
   FprasConfig config_;
   Rng rng_;
+  ThreadPool* external_pool_ = nullptr;
+  std::unique_ptr<ThreadPool> owned_pool_;
   std::map<std::pair<NftaState, size_t>, Cell> cells_;
   size_t union_estimations_ = 0;
 };

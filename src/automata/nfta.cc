@@ -66,17 +66,23 @@ const std::vector<NftaTransition>& Nfta::TransitionsFrom(NftaState s) const {
 
 const std::vector<const NftaTransition*>& Nfta::TransitionsWithSymbol(
     NftaSymbol s) const {
-  if (indexed_transition_count_ != transition_count_) {
-    by_symbol_.assign(symbol_names_.size(), {});
-    for (const auto& bucket : transitions_) {
-      for (const NftaTransition& t : bucket) {
-        by_symbol_[t.symbol].push_back(&t);
-      }
-    }
-    indexed_transition_count_ = transition_count_;
-  }
+  EnsureSymbolIndex();
   if (s >= by_symbol_.size()) return empty_ptrs_;
   return by_symbol_[s];
+}
+
+void Nfta::EnsureSymbolIndex() const {
+  if (indexed_transition_count_ == transition_count_ &&
+      by_symbol_.size() == symbol_names_.size()) {
+    return;
+  }
+  by_symbol_.assign(symbol_names_.size(), {});
+  for (const auto& bucket : transitions_) {
+    for (const NftaTransition& t : bucket) {
+      by_symbol_[t.symbol].push_back(&t);
+    }
+  }
+  indexed_transition_count_ = transition_count_;
 }
 
 std::vector<NftaState> Nfta::AcceptingStates(const LabeledTree& tree) const {

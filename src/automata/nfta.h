@@ -111,6 +111,12 @@ class Nfta {
   const std::vector<const NftaTransition*>& TransitionsWithSymbol(
       NftaSymbol s) const;
 
+  /// Forces the lazy symbol index to be built now. Call before handing the
+  /// automaton to concurrent readers (the parallel FPRAS trials): once the
+  /// index is fresh, TransitionsWithSymbol/AcceptingStates are read-only and
+  /// safe to call from many threads, provided no AddTransition intervenes.
+  void EnsureSymbolIndex() const;
+
  private:
   size_t state_count_ = 0;
   NftaState initial_ = kNoNftaState;

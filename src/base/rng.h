@@ -3,6 +3,11 @@
 // All randomized algorithms in the library (FPRAS estimators, uniform repair
 // and sequence samplers, workload generators) take an explicit Rng so every
 // experiment is reproducible from its seed.
+//
+// Parallel use: never share one Rng across threads. Instead split a root
+// seed into independent streams with Rng::Stream(seed, k) — stream k is a
+// pure function of (seed, k), independent of call order and thread count,
+// which is what makes the engine's parallel estimators bit-reproducible.
 
 #ifndef UOCQA_BASE_RNG_H_
 #define UOCQA_BASE_RNG_H_
@@ -13,19 +18,28 @@
 
 namespace uocqa {
 
+/// A single xoshiro256** pseudo-random stream.
 class Rng {
  public:
   /// Seeds the generator deterministically via splitmix64 expansion.
   explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) {
     uint64_t x = seed;
     for (auto& s : state_) {
-      // splitmix64 step.
-      x += 0x9e3779b97f4a7c15ull;
-      uint64_t z = x;
-      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-      s = z ^ (z >> 31);
+      s = SplitMix64(&x);
     }
+  }
+
+  /// The k-th independent stream of a root seed.
+  ///
+  /// A pure function of (root_seed, stream): callers that assign one stream
+  /// per work chunk (chunk boundaries fixed, not derived from the thread
+  /// count) get results that are identical at any parallelism level. The
+  /// stream index is mixed through splitmix64 before seeding, so
+  /// neighbouring indices yield uncorrelated state.
+  static Rng Stream(uint64_t root_seed, uint64_t stream) {
+    uint64_t x = root_seed;
+    uint64_t mixed = SplitMix64(&x) ^ (stream + 0x9e3779b97f4a7c15ull);
+    return Rng(SplitMix64(&mixed));
   }
 
   /// Next raw 64 random bits (xoshiro256**).
@@ -69,12 +83,18 @@ class Rng {
   /// Bernoulli trial with success probability p (clamped to [0,1]).
   bool Bernoulli(double p) { return UniformDouble() < p; }
 
-  /// Derives an independent child generator (for parallel or nested use).
-  Rng Fork() { return Rng(NextU64()); }
-
  private:
   static uint64_t Rotl(uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));
+  }
+
+  /// One splitmix64 step: advances *x and returns the mixed output.
+  static uint64_t SplitMix64(uint64_t* x) {
+    *x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = *x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
   }
 
   uint64_t state_[4];

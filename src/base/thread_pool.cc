@@ -1,0 +1,206 @@
+#include "base/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+
+namespace uocqa {
+
+namespace {
+
+// Identifies the pool (and lane) the current thread works for, so nested
+// ParallelFor calls from inside a body push onto the worker's own deque.
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local size_t tls_lane = 0;
+
+}  // namespace
+
+size_t HardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<size_t>(n);
+}
+
+// Shared state of one ParallelFor call. Tasks of the job retire their
+// iteration counts into `remaining`; the caller waits for it to hit zero.
+struct ThreadPool::LoopJob {
+  const std::function<void(size_t)>* body = nullptr;
+  size_t grain = 1;
+  std::atomic<size_t> remaining{0};    // iterations not yet retired
+  std::atomic<bool> cancelled{false};  // set on first exception
+  std::mutex error_mu;
+  std::exception_ptr error;
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+};
+
+ThreadPool::ThreadPool(size_t threads) {
+  if (threads == 0) threads = HardwareThreads();
+  worker_count_ = threads - 1;
+  lanes_.reserve(worker_count_ + 1);
+  for (size_t i = 0; i < worker_count_ + 1; ++i) {
+    lanes_.push_back(std::make_unique<Lane>());
+  }
+  workers_.reserve(worker_count_);
+  for (size_t i = 0; i < worker_count_; ++i) {
+    workers_.emplace_back([this, i] { WorkerMain(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+size_t ThreadPool::CurrentLane() const {
+  if (tls_pool == this) return tls_lane;
+  return worker_count_;  // the shared external lane
+}
+
+void ThreadPool::Push(size_t lane, Task t) {
+  {
+    // The increment happens under wake_mu_ so it cannot slip into the
+    // window between a worker reading queued_ == 0 and blocking (a lost
+    // wakeup that would idle the worker for the rest of the loop), and
+    // *before* the deque insert so a concurrent TryPop of this very task
+    // can never decrement the counter below zero.
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    queued_.fetch_add(1, std::memory_order_release);
+  }
+  {
+    std::lock_guard<std::mutex> lock(lanes_[lane]->mu);
+    lanes_[lane]->tasks.push_back(t);
+  }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::TryPop(size_t lane, Task* out) {
+  {
+    Lane& own = *lanes_[lane];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      *out = own.tasks.back();
+      own.tasks.pop_back();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  for (size_t k = 1; k < lanes_.size(); ++k) {
+    Lane& victim = *lanes_[(lane + k) % lanes_.size()];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.tasks.empty()) {
+      *out = victim.tasks.front();
+      victim.tasks.pop_front();
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::RunTask(Task t, size_t lane) {
+  LoopJob* job = t.job;
+  // Shed the back half while the range is above the grain; stolen halves
+  // split further on whichever lane picks them up.
+  while (t.hi - t.lo > job->grain) {
+    size_t mid = t.lo + (t.hi - t.lo) / 2;
+    Push(lane, Task{job, mid, t.hi});
+    t.hi = mid;
+  }
+  if (!job->cancelled.load(std::memory_order_relaxed)) {
+    try {
+      for (size_t i = t.lo; i < t.hi; ++i) (*job->body)(i);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(job->error_mu);
+        if (!job->error) job->error = std::current_exception();
+      }
+      job->cancelled.store(true, std::memory_order_relaxed);
+    }
+  }
+  size_t covered = t.hi - t.lo;
+  {
+    // Retire under done_mu, notify inside the same critical section: the
+    // waiting caller only ever observes remaining == 0 while holding
+    // done_mu (see HelpUntilDone), so once it does, this worker has left
+    // the critical section and touches the job no more — the caller may
+    // destroy the stack-allocated LoopJob safely.
+    std::lock_guard<std::mutex> lock(job->done_mu);
+    if (job->remaining.fetch_sub(covered, std::memory_order_acq_rel) ==
+        covered) {
+      job->done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::HelpUntilDone(LoopJob* job, size_t lane) {
+  for (;;) {
+    Task t;
+    if (TryPop(lane, &t)) {
+      RunTask(t, lane);
+      continue;
+    }
+    // Nothing stealable: the job's last tasks are in flight on other lanes
+    // (or an unrelated outer job holds the deques). Sleep briefly rather
+    // than wait on a signal — new tasks are announced on the pool-wide
+    // condvar, not per job, and a helping loop must watch for both.
+    //
+    // The completion check happens exclusively under done_mu, pairing with
+    // the locked retire in RunTask: observing 0 here proves the final
+    // worker has released done_mu and will never touch the job again, so
+    // returning (and destroying the job) is safe.
+    std::unique_lock<std::mutex> lock(job->done_mu);
+    if (job->remaining.load(std::memory_order_acquire) == 0) return;
+    job->done_cv.wait_for(lock, std::chrono::milliseconds(1));
+  }
+}
+
+void ThreadPool::WorkerMain(size_t lane) {
+  tls_pool = this;
+  tls_lane = lane;
+  for (;;) {
+    Task t;
+    if (TryPop(lane, &t)) {
+      RunTask(t, lane);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    wake_cv_.wait(lock, [this] {
+      return stop_ || queued_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_) return;  // all loops have drained before ~ThreadPool
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& body,
+                             size_t grain) {
+  if (n == 0) return;
+  if (grain == 0) grain = std::max<size_t>(1, n / (8 * thread_count()));
+  if (worker_count_ == 0 || n <= grain) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  LoopJob job;
+  job.body = &body;
+  job.grain = grain;
+  job.remaining.store(n, std::memory_order_relaxed);
+  size_t lane = CurrentLane();
+  RunTask(Task{&job, 0, n}, lane);  // splits, then runs the caller's share
+  HelpUntilDone(&job, lane);
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+void ParallelForOn(ThreadPool* pool, size_t n,
+                   const std::function<void(size_t)>& body, size_t grain) {
+  if (pool != nullptr) {
+    pool->ParallelFor(n, body, grain);
+  } else {
+    for (size_t i = 0; i < n; ++i) body(i);
+  }
+}
+
+}  // namespace uocqa

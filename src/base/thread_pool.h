@@ -1,0 +1,131 @@
+// A small work-stealing thread pool with a blocking parallel-for.
+//
+// This is the concurrency layer of the library. The engine's parallel paths
+// (Monte-Carlo sampling, FPRAS union estimation, block partitioning) are all
+// data-parallel loops over independent items, so the entire public surface
+// is ParallelFor; there is deliberately no future/promise machinery.
+//
+// Determinism contract: the pool never owns randomness and never influences
+// results. Parallel callers split work into *fixed-size chunks that do not
+// depend on the thread count* and derive one independent RNG stream per
+// chunk from a root seed (Rng::Stream), so every estimate in the library is
+// bit-identical at any thread count, including fully serial execution.
+
+#ifndef UOCQA_BASE_THREAD_POOL_H_
+#define UOCQA_BASE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace uocqa {
+
+/// Number of hardware threads, never 0 (falls back to 1 when the runtime
+/// cannot tell).
+size_t HardwareThreads();
+
+/// A work-stealing thread pool.
+///
+/// `ThreadPool(n)` provides `n` execution lanes for ParallelFor: `n - 1`
+/// worker threads plus the calling thread, which always participates.
+/// `ThreadPool(1)` therefore spawns no threads at all and runs every loop
+/// inline, making `--threads 1` exactly the serial execution path.
+///
+/// Scheduling: each lane owns a deque of range tasks. A task covering more
+/// iterations than the loop's grain splits in half, keeping the front half
+/// and pushing the back half onto the executing lane's deque; idle lanes
+/// steal from the *front* of other lanes' deques (oldest, i.e. largest,
+/// ranges first). This is the classic binary-splitting work-stealing scheme:
+/// well-balanced loops run almost entirely out of lane-local deques, while
+/// skewed loops shed their large untouched subranges to idle lanes.
+///
+/// Thread safety: ParallelFor may be called from any thread, including from
+/// inside a running ParallelFor body (nested loops execute on the same
+/// lanes; the inner caller helps until its own loop is done). The pool
+/// itself must outlive all concurrent calls.
+class ThreadPool {
+ public:
+  /// Creates a pool with `threads` lanes; 0 means HardwareThreads().
+  explicit ThreadPool(size_t threads = 0);
+
+  /// Joins all workers. Must not run concurrently with ParallelFor.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution lanes (worker threads + the calling thread).
+  size_t thread_count() const { return worker_count_ + 1; }
+
+  /// Runs `body(i)` for every i in [0, n), distributing iterations over all
+  /// lanes, and returns when every iteration has finished.
+  ///
+  /// `grain` is the largest range a single task may cover before splitting;
+  /// 0 picks max(1, n / (8 * lanes)). The grain affects scheduling only,
+  /// never which iterations run.
+  ///
+  /// If any invocation of `body` throws, the first exception (in completion
+  /// order) is captured and rethrown in the caller after all in-flight
+  /// iterations finish; iterations not yet started are skipped. The pool
+  /// remains usable afterwards.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body,
+                   size_t grain = 0);
+
+ private:
+  struct LoopJob;
+  /// A contiguous iteration range [lo, hi) of one ParallelFor call.
+  struct Task {
+    LoopJob* job = nullptr;
+    size_t lo = 0;
+    size_t hi = 0;
+  };
+  struct Lane {
+    std::mutex mu;
+    std::deque<Task> tasks;
+  };
+
+  void WorkerMain(size_t lane);
+  /// Lane index for the current thread: its own lane when it is one of this
+  /// pool's workers, the shared external lane otherwise.
+  size_t CurrentLane() const;
+  void Push(size_t lane, Task t);
+  /// Pops from the back of `lane`'s deque, else steals from the front of
+  /// another lane's. Returns false when every deque is empty.
+  bool TryPop(size_t lane, Task* out);
+  /// Splits `t` down to the job's grain, runs the body on what remains, and
+  /// retires the covered iterations.
+  void RunTask(Task t, size_t lane);
+  /// Executes available tasks (any job) until `job` has no iterations left.
+  void HelpUntilDone(LoopJob* job, size_t lane);
+
+  size_t worker_count_ = 0;
+  std::vector<std::unique_ptr<Lane>> lanes_;  // workers, then external lane
+  std::vector<std::thread> workers_;
+
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::atomic<size_t> queued_{0};  // tasks sitting in deques
+  bool stop_ = false;              // guarded by wake_mu_
+};
+
+/// Runs `body(i)` for i in [0, n) on `pool`, or inline (in index order)
+/// when `pool` is null.
+///
+/// This is the canonical dispatch for the engine's determinism pattern:
+/// callers lay out fixed-size chunks (independent of any thread count),
+/// derive one Rng::Stream per chunk, and hand the chunk loop here with
+/// whatever pool — possibly none — they were given. Every parallel
+/// estimator (Monte Carlo, FPRAS trials, block partitioning) goes through
+/// this single entry point so the serial and parallel paths cannot drift.
+void ParallelForOn(ThreadPool* pool, size_t n,
+                   const std::function<void(size_t)>& body, size_t grain = 0);
+
+}  // namespace uocqa
+
+#endif  // UOCQA_BASE_THREAD_POOL_H_

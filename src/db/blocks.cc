@@ -8,21 +8,25 @@
 
 namespace uocqa {
 
-BlockPartition BlockPartition::Compute(const Database& db,
-                                       const KeySet& keys) {
+BlockPartition BlockPartition::Compute(const Database& db, const KeySet& keys,
+                                       ThreadPool* pool) {
   BlockPartition out;
   out.block_of_fact_.assign(db.size(), 0);
   size_t relation_count = db.schema().relation_count();
   out.blocks_of_relation_.assign(relation_count, {});
   // Group each relation's facts by key value via the relation index, then
-  // sort that relation's (few) distinct key values. Walking relations in id
-  // order preserves the paper's fixed (relation id, lexicographic key value)
-  // block order (§5.1) without a global ordered-map regroup.
+  // sort that relation's (few) distinct key values. Relations are disjoint,
+  // so the grouping runs per relation — in parallel when a pool is given —
+  // and the serial merge below walks relations in id order, preserving the
+  // paper's fixed (relation id, lexicographic key value) block order (§5.1)
+  // without a global ordered-map regroup.
   using Groups = std::unordered_map<std::vector<Value>, std::vector<FactId>,
                                     VectorHash<Value>>;
-  for (RelationId rel = 0; rel < relation_count; ++rel) {
+  std::vector<std::vector<Block>> per_relation(relation_count);
+  auto group_relation = [&](size_t r) {
+    RelationId rel = static_cast<RelationId>(r);
     const std::vector<FactId>& rel_facts = db.index().FactsOfRelation(rel);
-    if (rel_facts.empty()) continue;
+    if (rel_facts.empty()) return;
     Groups groups;
     groups.reserve(rel_facts.size());
     for (FactId id : rel_facts) {
@@ -37,11 +41,19 @@ BlockPartition BlockPartition::Compute(const Database& db,
               [](const Groups::value_type* a, const Groups::value_type* b) {
                 return a->first < b->first;
               });
+    per_relation[r].reserve(ordered.size());
     for (Groups::value_type* entry : ordered) {
       Block b;
       b.relation = rel;
       b.key_value = entry->first;
       b.facts = std::move(entry->second);
+      per_relation[r].push_back(std::move(b));
+    }
+  };
+  ParallelForOn(pool, relation_count, group_relation, /*grain=*/1);
+
+  for (RelationId rel = 0; rel < relation_count; ++rel) {
+    for (Block& b : per_relation[rel]) {
       size_t idx = out.blocks_.size();
       for (FactId id : b.facts) out.block_of_fact_[id] = idx;
       out.blocks_of_relation_[rel].push_back(idx);

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "base/thread_pool.h"
 #include "db/database.h"
 #include "db/keys.h"
 
@@ -31,7 +32,12 @@ struct Block {
 /// fixes in §5.1.
 class BlockPartition {
  public:
-  static BlockPartition Compute(const Database& db, const KeySet& keys);
+  /// Partitions `db` into conflict blocks. Relations are independent, so
+  /// with a `pool` the per-relation grouping runs in parallel; the merged
+  /// result (block order, indices, fact mapping) is identical to the serial
+  /// one because relations are always merged in relation-id order.
+  static BlockPartition Compute(const Database& db, const KeySet& keys,
+                                ThreadPool* pool = nullptr);
 
   size_t block_count() const { return blocks_.size(); }
   const Block& block(size_t i) const { return blocks_[i]; }

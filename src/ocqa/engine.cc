@@ -15,10 +15,28 @@
 
 namespace uocqa {
 
+namespace {
+
+/// 0 = hardware concurrency, anything else verbatim.
+size_t ResolveThreads(size_t threads) {
+  return threads == 0 ? HardwareThreads() : threads;
+}
+
+}  // namespace
+
 struct OcqaEngine::Prepared {
   NormalFormInstance nf;
   KeySet keys;  // over nf.db's schema
 };
+
+ThreadPool* OcqaEngine::PoolFor(size_t threads) const {
+  threads = ResolveThreads(threads);
+  if (threads == 1) return nullptr;
+  if (!pool_ || pool_->thread_count() != threads) {
+    pool_ = std::make_unique<ThreadPool>(threads);
+  }
+  return pool_.get();
+}
 
 Result<OcqaEngine::Prepared> OcqaEngine::Prepare(
     const ConjunctiveQuery& query, const OcqaOptions& options) const {
@@ -59,11 +77,15 @@ Result<ApproxRF> OcqaEngine::ApproxUr(const ConjunctiveQuery& query,
       RepAutomaton rep,
       BuildRepAutomaton(prep.nf.db, prep.keys, prep.nf.query,
                         prep.nf.decomposition, answer_tuple));
-  NftaFpras fpras(rep.nfta, options.fpras);
+  ThreadPool* pool = PoolFor(options.threads);
+  FprasConfig fpras_config = options.fpras;
+  fpras_config.threads = ResolveThreads(options.threads);
+  NftaFpras fpras(rep.nfta, fpras_config, pool);
   ApproxRF out;
   out.numerator = fpras.EstimateExactSize(rep.tree_size);
   out.denominator =
-      CountOperationalRepairs(BlockPartition::Compute(db_, keys_)).ToDouble();
+      CountOperationalRepairs(BlockPartition::Compute(db_, keys_, pool))
+          .ToDouble();
   out.value = out.denominator > 0 ? out.numerator / out.denominator : 0.0;
   out.automaton_states = rep.nfta.state_count();
   out.automaton_transitions = rep.nfta.transition_count();
@@ -78,11 +100,14 @@ Result<ApproxRF> OcqaEngine::ApproxUs(const ConjunctiveQuery& query,
       SeqAutomaton seq,
       BuildSeqAutomaton(prep.nf.db, prep.keys, prep.nf.query,
                         prep.nf.decomposition, answer_tuple));
-  NftaFpras fpras(seq.nfta, options.fpras);
+  ThreadPool* pool = PoolFor(options.threads);
+  FprasConfig fpras_config = options.fpras;
+  fpras_config.threads = ResolveThreads(options.threads);
+  NftaFpras fpras(seq.nfta, fpras_config, pool);
   ApproxRF out;
   out.numerator = fpras.EstimateUpTo(seq.max_tree_size);
   out.denominator =
-      CountCompleteSequencesExact(BlockPartition::Compute(db_, keys_))
+      CountCompleteSequencesExact(BlockPartition::Compute(db_, keys_, pool))
           .ToDouble();
   out.value = out.denominator > 0 ? out.numerator / out.denominator : 0.0;
   out.automaton_states = seq.nfta.state_count();
@@ -195,37 +220,61 @@ Result<std::vector<std::vector<FactId>>> OcqaEngine::SampleEntailingRepairs(
   return out;
 }
 
+namespace {
+
+/// Shared shape of both Monte-Carlo baselines: `samples` independent trials
+/// in fixed chunks of OcqaEngine::kMcChunk, chunk c driven by RNG stream c
+/// of `seed`, hit counts merged per chunk. The chunk layout never depends
+/// on the pool, so the estimate is bit-identical at every thread count.
+template <typename Trial>
+double MonteCarloEstimate(size_t samples, uint64_t seed, ThreadPool* pool,
+                          const Trial& trial) {
+  if (samples == 0) return 0.0;
+  size_t chunks = (samples + OcqaEngine::kMcChunk - 1) / OcqaEngine::kMcChunk;
+  std::vector<size_t> hits(chunks, 0);
+  auto run_chunk = [&](size_t c) {
+    Rng rng = Rng::Stream(seed, c);
+    size_t begin = c * OcqaEngine::kMcChunk;
+    size_t end = std::min(samples, begin + OcqaEngine::kMcChunk);
+    size_t h = 0;
+    for (size_t i = begin; i < end; ++i) {
+      if (trial(rng)) ++h;
+    }
+    hits[c] = h;
+  };
+  ParallelForOn(pool, chunks, run_chunk, /*grain=*/1);
+  size_t total = 0;
+  for (size_t h : hits) total += h;
+  return static_cast<double>(total) / static_cast<double>(samples);
+}
+
+}  // namespace
+
 double OcqaEngine::MonteCarloUr(const ConjunctiveQuery& query,
                                 const std::vector<Value>& answer_tuple,
-                                size_t samples, uint64_t seed) const {
+                                size_t samples, uint64_t seed,
+                                size_t threads) const {
   UniformRepairSampler sampler(db_, keys_);
-  Rng rng(seed);
-  size_t hits = 0;
-  for (size_t i = 0; i < samples; ++i) {
-    Database repair = db_.Subset(sampler.Sample(rng));
-    QueryEvaluator eval(repair, query);
-    if (eval.Entails(answer_tuple)) ++hits;
-  }
-  return samples == 0 ? 0.0
-                      : static_cast<double>(hits) /
-                            static_cast<double>(samples);
+  return MonteCarloEstimate(
+      samples, seed, PoolFor(threads), [&](Rng& rng) {
+        Database repair = db_.Subset(sampler.Sample(rng));
+        QueryEvaluator eval(repair, query);
+        return eval.Entails(answer_tuple);
+      });
 }
 
 double OcqaEngine::MonteCarloUs(const ConjunctiveQuery& query,
                                 const std::vector<Value>& answer_tuple,
-                                size_t samples, uint64_t seed) const {
+                                size_t samples, uint64_t seed,
+                                size_t threads) const {
   UniformSequenceSampler sampler(db_, keys_);
-  Rng rng(seed);
-  size_t hits = 0;
-  for (size_t i = 0; i < samples; ++i) {
-    RepairingSequence seq = sampler.Sample(rng);
-    Database result = db_.Subset(ApplySequence(db_, seq));
-    QueryEvaluator eval(result, query);
-    if (eval.Entails(answer_tuple)) ++hits;
-  }
-  return samples == 0 ? 0.0
-                      : static_cast<double>(hits) /
-                            static_cast<double>(samples);
+  return MonteCarloEstimate(
+      samples, seed, PoolFor(threads), [&](Rng& rng) {
+        RepairingSequence seq = sampler.Sample(rng);
+        Database result = db_.Subset(ApplySequence(db_, seq));
+        QueryEvaluator eval(result, query);
+        return eval.Entails(answer_tuple);
+      });
 }
 
 }  // namespace uocqa

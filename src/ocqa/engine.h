@@ -19,11 +19,13 @@
 #define UOCQA_OCQA_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "automata/fpras.h"
 #include "base/bigint.h"
 #include "base/status.h"
+#include "base/thread_pool.h"
 #include "db/database.h"
 #include "db/keys.h"
 #include "query/cq.h"
@@ -31,10 +33,19 @@
 
 namespace uocqa {
 
+/// Options of one engine call.
 struct OcqaOptions {
+  /// FPRAS tuning knobs (accuracy targets, sample budgets, seed). The
+  /// engine overrides `fpras.threads` with the resolved `threads` below.
   FprasConfig fpras;
   /// Maximum decomposition width to search for cyclic queries.
   size_t max_width = 6;
+  /// Execution lanes for the parallel paths (FPRAS trials, Monte-Carlo
+  /// sampling, block partitioning): 0 = hardware concurrency, 1 = strictly
+  /// serial. Results are bit-identical at every value — parallel work is
+  /// split into fixed chunks with one deterministic RNG stream each — so
+  /// this knob trades wall-clock time only.
+  size_t threads = 0;
 };
 
 /// Result of an approximate relative-frequency computation.
@@ -96,15 +107,24 @@ class OcqaEngine {
       uint64_t seed = 1) const;
 
   // -- Monte-Carlo baselines (data-complexity regime, [13]) -----------------
+  /// Fraction of `samples` uniform operational repairs that entail the
+  /// answer. Samples are drawn in fixed chunks of kMcChunk, chunk c from
+  /// RNG stream c of `seed`, and evaluated across `threads` lanes
+  /// (0 = hardware concurrency, 1 = serial); the estimate is bit-identical
+  /// at every thread count.
   double MonteCarloUr(const ConjunctiveQuery& query,
                       const std::vector<Value>& answer_tuple, size_t samples,
-                      uint64_t seed) const;
+                      uint64_t seed, size_t threads = 0) const;
+  /// Same over uniform complete repairing sequences.
   double MonteCarloUs(const ConjunctiveQuery& query,
                       const std::vector<Value>& answer_tuple, size_t samples,
-                      uint64_t seed) const;
+                      uint64_t seed, size_t threads = 0) const;
 
   const Database& db() const { return db_; }
   const KeySet& keys() const { return keys_; }
+
+  /// Monte-Carlo samples per RNG stream chunk (the unit of parallel work).
+  static constexpr size_t kMcChunk = 64;
 
  private:
   /// Common pipeline prefix: decompose, normalize, remap keys. On success
@@ -113,8 +133,14 @@ class OcqaEngine {
   Result<Prepared> Prepare(const ConjunctiveQuery& query,
                            const OcqaOptions& options) const;
 
+  /// The engine's pool, (re)built for `threads` resolved lanes; nullptr for
+  /// 1 lane. The engine itself is not re-entrant: callers parallelize
+  /// through the options, not by sharing one engine across threads.
+  ThreadPool* PoolFor(size_t threads) const;
+
   const Database& db_;
   const KeySet& keys_;
+  mutable std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace uocqa

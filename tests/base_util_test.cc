@@ -72,9 +72,21 @@ TEST(RngTest, DeterminismAndBounds) {
   // Bernoulli extremes.
   EXPECT_FALSE(a.Bernoulli(0.0));
   EXPECT_TRUE(a.Bernoulli(1.0));
-  // Fork produces an independent stream.
-  Rng child = a.Fork();
-  EXPECT_NE(child.NextU64(), a.NextU64());
+}
+
+TEST(RngTest, StreamsAreIndependentAndOrderFree) {
+  // Stream k is a pure function of (seed, k): re-deriving it gives the same
+  // sequence regardless of which other streams were derived before.
+  Rng s0 = Rng::Stream(42, 0);
+  Rng s1 = Rng::Stream(42, 1);
+  Rng s0_again = Rng::Stream(42, 0);
+  uint64_t first0 = s0.NextU64();
+  EXPECT_EQ(first0, s0_again.NextU64());
+  EXPECT_NE(first0, s1.NextU64());
+  // Distinct root seeds give distinct streams at the same index.
+  EXPECT_NE(Rng::Stream(42, 7).NextU64(), Rng::Stream(43, 7).NextU64());
+  // Neighbouring stream indices are not correlated with plain reseeding.
+  EXPECT_NE(Rng::Stream(42, 3).NextU64(), Rng(42 + 3).NextU64());
 }
 
 TEST(RngTest, UniformIsRoughlyUniform) {

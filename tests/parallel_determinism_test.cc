@@ -1,0 +1,156 @@
+// The concurrency layer's central promise: for a fixed seed, every estimate
+// in the library is bit-identical at every thread count. Parallel work is
+// split into fixed-size chunks with one Rng::Stream per chunk, so the
+// (chunk -> randomness) map never depends on how many lanes execute it.
+// These tests pin that contract for the Monte-Carlo baselines, the FPRAS
+// pipeline (RF_ur and RF_us), and parallel block partitioning.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "base/thread_pool.h"
+#include "db/blocks.h"
+#include "ocqa/engine.h"
+#include "query/parser.h"
+#include "workload/generators.h"
+
+namespace uocqa {
+namespace {
+
+/// A small inconsistent two-relation instance with a join query, enough for
+/// multi-chunk Monte Carlo and a non-trivial automaton.
+struct Fixture {
+  Schema s;
+  Database db;
+  KeySet keys;
+  ConjunctiveQuery q = *ParseQuery("Ans() :- R(x,y), W(y,z)");
+
+  Fixture() {
+    s.AddRelationOrDie("R", 2);
+    s.AddRelationOrDie("W", 2);
+    db = Database(s);
+    db.Add("R", {"1", "a"});
+    db.Add("R", {"1", "b"});
+    db.Add("R", {"2", "a"});
+    db.Add("R", {"2", "c"});
+    db.Add("W", {"a", "x"});
+    db.Add("W", {"b", "x"});
+    db.Add("W", {"b", "y"});
+    db.Add("W", {"c", "y"});
+    keys.SetKeyOrDie(db.schema().Find("R"), {0});
+    keys.SetKeyOrDie(db.schema().Find("W"), {0});
+  }
+};
+
+const size_t kThreadCounts[] = {1, 2, 8};
+
+TEST(ParallelDeterminismTest, MonteCarloUrIsThreadCountInvariant) {
+  Fixture f;
+  OcqaEngine engine(f.db, f.keys);
+  // 500 samples span several kMcChunk chunks, so multi-lane runs genuinely
+  // interleave chunk execution.
+  double baseline = engine.MonteCarloUr(f.q, {}, 500, 9, 1);
+  EXPECT_GT(baseline, 0.0);
+  EXPECT_LT(baseline, 1.0);
+  for (size_t threads : kThreadCounts) {
+    EXPECT_EQ(engine.MonteCarloUr(f.q, {}, 500, 9, threads), baseline)
+        << threads << " threads";
+  }
+}
+
+TEST(ParallelDeterminismTest, MonteCarloUsIsThreadCountInvariant) {
+  Fixture f;
+  OcqaEngine engine(f.db, f.keys);
+  double baseline = engine.MonteCarloUs(f.q, {}, 400, 11, 1);
+  EXPECT_GT(baseline, 0.0);
+  EXPECT_LT(baseline, 1.0);
+  for (size_t threads : kThreadCounts) {
+    EXPECT_EQ(engine.MonteCarloUs(f.q, {}, 400, 11, threads), baseline)
+        << threads << " threads";
+  }
+}
+
+TEST(ParallelDeterminismTest, FprasUrIsThreadCountInvariant) {
+  Fixture f;
+  OcqaEngine engine(f.db, f.keys);
+  OcqaOptions options;
+  options.fpras.seed = 21;
+  options.threads = 1;
+  auto baseline = engine.ApproxUr(f.q, {}, options);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  for (size_t threads : kThreadCounts) {
+    options.threads = threads;
+    auto run = engine.ApproxUr(f.q, {}, options);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_EQ(run->numerator, baseline->numerator) << threads << " threads";
+    EXPECT_EQ(run->denominator, baseline->denominator)
+        << threads << " threads";
+    EXPECT_EQ(run->value, baseline->value) << threads << " threads";
+  }
+}
+
+TEST(ParallelDeterminismTest, FprasUsIsThreadCountInvariant) {
+  Fixture f;
+  OcqaEngine engine(f.db, f.keys);
+  OcqaOptions options;
+  options.fpras.seed = 23;
+  // Keep the sequence automaton's trial budget small: this test is about
+  // bit-equality, not accuracy, and it also runs under TSan.
+  options.fpras.min_samples = 32;
+  options.fpras.max_samples = 256;
+  options.threads = 1;
+  auto baseline = engine.ApproxUs(f.q, {}, options);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  for (size_t threads : kThreadCounts) {
+    options.threads = threads;
+    auto run = engine.ApproxUs(f.q, {}, options);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_EQ(run->numerator, baseline->numerator) << threads << " threads";
+    EXPECT_EQ(run->value, baseline->value) << threads << " threads";
+  }
+}
+
+TEST(ParallelDeterminismTest, BlockPartitionIsPoolInvariant) {
+  // A larger generated instance: many relations and blocks, so the
+  // parallel per-relation grouping actually distributes work.
+  Rng rng(5);
+  ConjunctiveQuery q = ChainQuery(4);
+  DbGenOptions gen;
+  gen.blocks_per_relation = 200;
+  gen.max_block_size = 4;
+  gen.domain_size = 300;
+  GeneratedInstance inst = GenerateDatabaseForQuery(rng, q, gen);
+
+  BlockPartition serial = BlockPartition::Compute(inst.db, inst.keys);
+  for (size_t threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    BlockPartition parallel =
+        BlockPartition::Compute(inst.db, inst.keys, &pool);
+    ASSERT_EQ(parallel.block_count(), serial.block_count());
+    for (size_t i = 0; i < serial.block_count(); ++i) {
+      ASSERT_EQ(parallel.block(i).relation, serial.block(i).relation) << i;
+      ASSERT_EQ(parallel.block(i).key_value, serial.block(i).key_value) << i;
+      ASSERT_EQ(parallel.block(i).facts, serial.block(i).facts) << i;
+    }
+    for (FactId id = 0; id < inst.db.size(); ++id) {
+      ASSERT_EQ(parallel.BlockOf(id), serial.BlockOf(id)) << id;
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, RngStreamsDoNotOverlap) {
+  // Neighbouring streams drawing many values stay disjoint — a smoke check
+  // that chunked estimators really consume independent randomness.
+  std::vector<uint64_t> seen;
+  for (uint64_t stream = 0; stream < 8; ++stream) {
+    Rng rng = Rng::Stream(77, stream);
+    for (int i = 0; i < 256; ++i) seen.push_back(rng.NextU64());
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
+}
+
+}  // namespace
+}  // namespace uocqa

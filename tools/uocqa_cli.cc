@@ -3,7 +3,7 @@
 // Usage:
 //   uocqa --db FILE --query "Ans(x) :- R(x,y), S(y,z)"
 //         [--answer v1,v2,...] [--mode exact|fpras|mc|all]
-//         [--epsilon E] [--delta D] [--samples N] [--seed S]
+//         [--epsilon E] [--delta D] [--samples N] [--seed S] [--threads N]
 //
 // The database file uses the text format of db/textio.h:
 //   key Emp = 1
@@ -11,7 +11,7 @@
 //   Emp(1, Tom)
 //
 // Prints RF_ur and RF_us for the given candidate answer under the chosen
-// solver(s).
+// solver(s). The full format and flag reference lives in docs/FORMATS.md.
 
 #include <cstdio>
 #include <cstdlib>
@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "base/strings.h"
+#include "base/thread_pool.h"
 #include "db/textio.h"
 #include "ocqa/engine.h"
 #include "query/parser.h"
@@ -37,6 +38,7 @@ struct CliOptions {
   double delta = 0.1;
   size_t samples = 20000;
   uint64_t seed = 1;
+  size_t threads = 0;  // 0 = hardware concurrency
 };
 
 void Usage(const char* argv0) {
@@ -44,7 +46,7 @@ void Usage(const char* argv0) {
       stderr,
       "usage: %s --db FILE --query 'Ans(..) :- ...' [--answer v1,v2]\n"
       "          [--mode exact|fpras|mc|all] [--epsilon E] [--delta D]\n"
-      "          [--samples N] [--seed S]\n",
+      "          [--samples N] [--seed S] [--threads N]\n",
       argv0);
 }
 
@@ -89,6 +91,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       const char* v = need_value("--seed");
       if (!v) return false;
       out->seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      const char* v = need_value("--threads");
+      if (!v) return false;
+      out->threads = static_cast<size_t>(std::atoll(v));
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return false;
@@ -137,7 +143,10 @@ int main(int argc, char** argv) {
 
   std::printf("database: %zu facts, consistent: %s\n", inst->db.size(),
               IsConsistent(inst->db, inst->keys) ? "yes" : "no");
-  std::printf("query:    %s\n\n", query->ToString().c_str());
+  std::printf("query:    %s\n", query->ToString().c_str());
+  std::printf("threads:  %zu%s\n\n",
+              opts.threads == 0 ? HardwareThreads() : opts.threads,
+              opts.threads == 0 ? " (hardware)" : "");
 
   OcqaEngine engine(inst->db, inst->keys);
   bool all = opts.mode == "all";
@@ -156,6 +165,7 @@ int main(int argc, char** argv) {
     options.fpras.epsilon = opts.epsilon;
     options.fpras.delta = opts.delta;
     options.fpras.seed = opts.seed;
+    options.threads = opts.threads;
     auto ur = engine.ApproxUr(*query, answer, options);
     if (ur.ok()) {
       std::printf("fpras  RF_ur ~= %.6f  (eps=%.2f, %zu states)\n",
@@ -175,10 +185,12 @@ int main(int argc, char** argv) {
   }
   if (all || opts.mode == "mc") {
     std::printf("mc     RF_ur ~= %.6f  (%zu samples)\n",
-                engine.MonteCarloUr(*query, answer, opts.samples, opts.seed),
+                engine.MonteCarloUr(*query, answer, opts.samples, opts.seed,
+                                    opts.threads),
                 opts.samples);
     std::printf("mc     RF_us ~= %.6f  (%zu samples)\n",
-                engine.MonteCarloUs(*query, answer, opts.samples, opts.seed),
+                engine.MonteCarloUs(*query, answer, opts.samples, opts.seed,
+                                    opts.threads),
                 opts.samples);
   }
   return 0;
