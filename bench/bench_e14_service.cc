@@ -1,0 +1,251 @@
+// E14 — the serving layer under repeated-query traffic (repo experiment).
+//
+// Every OcqaEngine call pays the full pipeline prefix — GHD search,
+// Appendix-E normal-form conversion (which rebuilds the whole instance),
+// Rep[k]/Seq[k] NFTA compilation, and the exact |ORep|/|CRS| denominators —
+// before the per-request FPRAS trials. The service's plan cache memoizes
+// all of that per canonical query; the result cache short-circuits exact
+// repeats entirely.
+//
+// Workload: Zipfian (hot-query) traffic of *answer membership probes* over
+// cyclic queries — "how often is this candidate answer true?" for answers
+// with no support. Such probes compile to trivial automata, so their entire
+// per-call cost IS the pipeline prefix: the cleanest measurement of what
+// plan caching removes. (Chain-query traffic with live answers is
+// FPRAS-trial-bound at every instance size — the plan cache helps there
+// too, but the win drowns in sampling noise; the E5/E11 benches cover
+// trial costs.) Three configurations of the same service replay the same
+// traffic:
+//
+//   ColdCache      — both caches disabled: the per-call pipeline baseline;
+//   WarmPlanCache  — plan cache only, pre-warmed: repeated queries skip the
+//                    prefix (the ISSUE's >= 5x acceptance gate compares
+//                    this against Cold);
+//   FullCache      — plan + result caches, steady state: pure replay.
+//
+// Plus: batch throughput at 1/2/8 lanes (Monte-Carlo requests through
+// ExecuteBatch; wall-clock scaling needs a multi-core host, like E13), and
+// a cache hit-rate sweep across Zipf skew values.
+//
+// Record results with tools/bench_report (see README):
+//   tools/bench_report build/bench/bench_e14_service
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "service/service.h"
+#include "workload/generators.h"
+
+namespace uocqa {
+namespace {
+
+// ~620 facts over R1..R3 (ChainQuery(3)'s schema) with the Zipfian
+// hot-block histogram: big enough that the per-call prefix (normal-form
+// instance rebuild, |CRS| denominator) costs real milliseconds.
+GeneratedInstance MakeServeDb() {
+  Rng rng(29);
+  ConjunctiveQuery q = ChainQuery(3);
+  SkewedDbGenOptions gen;
+  gen.blocks_per_relation = 200;
+  gen.max_block_size = 5;
+  gen.block_skew = 1.0;
+  gen.domain_size = 800;
+  return GenerateSkewedDatabaseForQuery(rng, q, gen);
+}
+
+// A smaller instance for the Monte-Carlo batch bench: the exact-uniform
+// sequence sampler each mc request builds is quadratic in the block count
+// (cf. E13's kSeqBlocks), so the big instance would measure sampler setup
+// rather than executor behaviour.
+GeneratedInstance MakeBatchDb() {
+  Rng rng(29);
+  ConjunctiveQuery q = ChainQuery(3);
+  SkewedDbGenOptions gen;
+  gen.blocks_per_relation = 48;
+  gen.max_block_size = 5;
+  gen.block_skew = 1.0;
+  gen.domain_size = 200;
+  return GenerateSkewedDatabaseForQuery(rng, q, gen);
+}
+
+// The hot (query, answer) pool: two triangle orientations (cyclic, ghw 2 —
+// each cold call re-runs the width search) x 16 candidate answers. 32
+// combinations, 2 distinct plans.
+const std::vector<std::pair<std::string, std::string>>& ProbePool() {
+  static const std::vector<std::pair<std::string, std::string>>* pool = [] {
+    auto* out = new std::vector<std::pair<std::string, std::string>>();
+    for (const char* query : {"Ans(u) :- R1(u, v), R2(v, w), R3(w, u)",
+                              "Ans(a) :- R2(a, b), R3(b, c), R1(c, a)"}) {
+      for (size_t a = 0; a < 16; ++a) {
+        out->emplace_back(query, "p" + std::to_string(a));
+      }
+    }
+    return out;
+  }();
+  return *pool;
+}
+
+std::vector<Request> ZipfianWorkload(size_t count, double skew,
+                                     RequestMode mode) {
+  Rng rng(17);
+  std::vector<size_t> ranks =
+      SampleZipfianIndices(rng, ProbePool().size(), count, skew);
+  std::vector<Request> out;
+  out.reserve(count);
+  for (size_t r : ranks) {
+    Request req;
+    req.query_text = ProbePool()[r].first;
+    req.answer_text = ProbePool()[r].second;
+    req.mode = mode;
+    req.epsilon = 0.5;
+    req.delta = 0.2;
+    req.samples = 200;
+    req.seed = 7;
+    out.push_back(std::move(req));
+  }
+  return out;
+}
+
+constexpr size_t kRequests = 24;
+constexpr double kSkew = 1.2;
+
+ServiceOptions NoCaches() {
+  ServiceOptions options;
+  options.plan_cache_capacity = 0;
+  options.result_cache_capacity = 0;
+  return options;
+}
+
+ServiceOptions PlanCacheOnly() {
+  ServiceOptions options;
+  options.result_cache_capacity = 0;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Cold vs. warm plan cache vs. full cache on the same Zipfian fpras stream.
+// ---------------------------------------------------------------------------
+
+void BM_ServeZipfianColdCache(benchmark::State& state) {
+  GeneratedInstance inst = MakeServeDb();
+  std::vector<Request> workload =
+      ZipfianWorkload(kRequests, kSkew, RequestMode::kFpras);
+  QueryService service(inst.db, inst.keys, NoCaches());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.ExecuteBatch(workload, 1));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kRequests));
+  state.counters["facts"] = static_cast<double>(inst.db.size());
+  state.counters["requests"] = static_cast<double>(kRequests);
+}
+BENCHMARK(BM_ServeZipfianColdCache)->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_ServeZipfianWarmPlanCache(benchmark::State& state) {
+  GeneratedInstance inst = MakeServeDb();
+  std::vector<Request> workload =
+      ZipfianWorkload(kRequests, kSkew, RequestMode::kFpras);
+  QueryService service(inst.db, inst.keys, PlanCacheOnly());
+  benchmark::DoNotOptimize(service.ExecuteBatch(workload, 1));  // warm
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.ExecuteBatch(workload, 1));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kRequests));
+  ServiceStats stats = service.stats();
+  state.counters["plan_hit_pct"] =
+      100.0 * static_cast<double>(stats.plan_hits) /
+      static_cast<double>(stats.plan_hits + stats.plan_misses);
+}
+BENCHMARK(BM_ServeZipfianWarmPlanCache)->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_ServeZipfianFullCache(benchmark::State& state) {
+  GeneratedInstance inst = MakeServeDb();
+  std::vector<Request> workload =
+      ZipfianWorkload(kRequests, kSkew, RequestMode::kFpras);
+  QueryService service(inst.db, inst.keys);
+  benchmark::DoNotOptimize(service.ExecuteBatch(workload, 1));  // warm
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.ExecuteBatch(workload, 1));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kRequests));
+  ServiceStats stats = service.stats();
+  state.counters["result_hit_pct"] =
+      100.0 * static_cast<double>(stats.result_hits) /
+      static_cast<double>(stats.result_hits + stats.result_misses);
+}
+BENCHMARK(BM_ServeZipfianFullCache)->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// Batch throughput: independent Monte-Carlo requests across 1/2/8 lanes.
+// Distinct seeds keep every request a real computation; like E13, the
+// wall-clock scaling is bounded by the host's core count.
+// ---------------------------------------------------------------------------
+
+void BM_ServeBatchThroughput(benchmark::State& state) {
+  GeneratedInstance inst = MakeBatchDb();
+  std::vector<Request> workload =
+      ZipfianWorkload(kRequests, kSkew, RequestMode::kMc);
+  for (size_t i = 0; i < workload.size(); ++i) {
+    workload[i].seed = 1000 + i;
+  }
+  size_t lanes = static_cast<size_t>(state.range(0));
+  QueryService service(inst.db, inst.keys, NoCaches());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.ExecuteBatch(workload, lanes));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kRequests));
+  state.counters["threads"] = static_cast<double>(lanes);
+}
+BENCHMARK(BM_ServeBatchThroughput)->Arg(1)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// Hit-rate sweep: how cache effectiveness tracks traffic skew when the
+// result cache is *smaller than the distinct-request universe* (capacity 8
+// vs 32 combinations) — uniform traffic churns the cache, Zipfian traffic
+// keeps the hot entries resident. Arg is Zipf skew x10 (0 = uniform). A
+// fresh service per iteration measures the whole lifecycle (compulsory
+// misses included); the hit rates are the interesting output.
+// ---------------------------------------------------------------------------
+
+void BM_ServeHitRateSweep(benchmark::State& state) {
+  GeneratedInstance inst = MakeServeDb();
+  double skew = static_cast<double>(state.range(0)) / 10.0;
+  std::vector<Request> workload =
+      ZipfianWorkload(96, skew, RequestMode::kFpras);
+  double result_hit_pct = 0;
+  double plan_hit_pct = 0;
+  for (auto _ : state) {
+    ServiceOptions options;
+    options.result_cache_capacity = 8;
+    QueryService service(inst.db, inst.keys, options);
+    benchmark::DoNotOptimize(service.ExecuteBatch(workload, 1));
+    ServiceStats stats = service.stats();
+    result_hit_pct = 100.0 * static_cast<double>(stats.result_hits) /
+                     static_cast<double>(stats.result_hits +
+                                         stats.result_misses);
+    plan_hit_pct = 100.0 * static_cast<double>(stats.plan_hits) /
+                   static_cast<double>(stats.plan_hits + stats.plan_misses);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 96);
+  state.counters["skew_x10"] = static_cast<double>(state.range(0));
+  state.counters["result_hit_pct"] = result_hit_pct;
+  state.counters["plan_hit_pct"] = plan_hit_pct;
+}
+BENCHMARK(BM_ServeHitRateSweep)->Arg(0)->Arg(10)->Arg(15)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+}  // namespace uocqa
+
+BENCHMARK_MAIN();

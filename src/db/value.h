@@ -8,11 +8,11 @@
 #define UOCQA_DB_VALUE_H_
 
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 namespace uocqa {
 
@@ -31,7 +31,10 @@ class ValuePool {
   /// workloads).
   static Value InternInt(int64_t n);
 
-  /// Returns the name of an interned value.
+  /// Returns the name of an interned value. The reference is stable for the
+  /// process lifetime: names are stored in a deque, so a concurrent Intern
+  /// of a new constant never relocates existing entries (the service batch
+  /// executor reads names while other lanes intern).
   static const std::string& Name(Value v);
 
   /// Number of interned values so far.
@@ -42,7 +45,7 @@ class ValuePool {
 
   std::mutex mutex_;
   std::unordered_map<std::string, Value> index_;
-  std::vector<std::string> names_;
+  std::deque<std::string> names_;
 };
 
 }  // namespace uocqa

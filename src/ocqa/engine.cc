@@ -7,9 +7,6 @@
 #include "automata/exact_count.h"
 #include "db/blocks.h"
 #include "hypertree/ghd_search.h"
-#include "hypertree/normal_form.h"
-#include "ocqa/rep_builder.h"
-#include "ocqa/seq_builder.h"
 #include "query/eval.h"
 #include "repairs/sampling.h"
 
@@ -24,11 +21,6 @@ size_t ResolveThreads(size_t threads) {
 
 }  // namespace
 
-struct OcqaEngine::Prepared {
-  NormalFormInstance nf;
-  KeySet keys;  // over nf.db's schema
-};
-
 ThreadPool* OcqaEngine::PoolFor(size_t threads) const {
   threads = ResolveThreads(threads);
   if (threads == 1) return nullptr;
@@ -38,8 +30,52 @@ ThreadPool* OcqaEngine::PoolFor(size_t threads) const {
   return pool_.get();
 }
 
-Result<OcqaEngine::Prepared> OcqaEngine::Prepare(
-    const ConjunctiveQuery& query, const OcqaOptions& options) const {
+Result<const RepAutomaton*> CompiledQuery::Rep(
+    const std::vector<Value>& answer_tuple, bool classical_repairs) const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  auto key = std::make_pair(classical_repairs, answer_tuple);
+  auto it = rep_.find(key);
+  if (it == rep_.end()) {
+    RepAutomatonOptions options;
+    options.classical_repairs = classical_repairs;
+    UOCQA_ASSIGN_OR_RETURN(
+        RepAutomaton rep,
+        BuildRepAutomaton(nf_.db, keys_, nf_.query, nf_.decomposition,
+                          answer_tuple, options));
+    // Warm the lazy symbol index before publishing: concurrent serving
+    // requests may only ever *read* the memoized automaton.
+    rep.nfta.EnsureSymbolIndex();
+    it = rep_.emplace(std::move(key),
+                      std::make_unique<RepAutomaton>(std::move(rep)))
+             .first;
+  }
+  return static_cast<const RepAutomaton*>(it->second.get());
+}
+
+Result<const SeqAutomaton*> CompiledQuery::Seq(
+    const std::vector<Value>& answer_tuple) const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  auto it = seq_.find(answer_tuple);
+  if (it == seq_.end()) {
+    UOCQA_ASSIGN_OR_RETURN(
+        SeqAutomaton seq,
+        BuildSeqAutomaton(nf_.db, keys_, nf_.query, nf_.decomposition,
+                          answer_tuple));
+    seq.nfta.EnsureSymbolIndex();
+    it = seq_.emplace(answer_tuple,
+                      std::make_unique<SeqAutomaton>(std::move(seq)))
+             .first;
+  }
+  return static_cast<const SeqAutomaton*>(it->second.get());
+}
+
+size_t CompiledQuery::cached_automata() const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return rep_.size() + seq_.size();
+}
+
+Result<CompiledQuery> OcqaEngine::Compile(const ConjunctiveQuery& query,
+                                          const OcqaOptions& options) const {
   if (!query.IsSelfJoinFree()) {
     return Status::InvalidArgument(
         "combined-complexity pipeline requires a self-join-free query");
@@ -47,16 +83,44 @@ Result<OcqaEngine::Prepared> OcqaEngine::Prepare(
   if (!query.IsSafe()) return Status::InvalidArgument("unsafe query");
   UOCQA_ASSIGN_OR_RETURN(HypertreeDecomposition h,
                          DecomposeQuery(query, options.max_width));
-  Prepared out;
-  UOCQA_ASSIGN_OR_RETURN(out.nf, ToNormalForm(db_, query, h));
+  CompiledQuery out;
+  UOCQA_ASSIGN_OR_RETURN(out.nf_, ToNormalForm(db_, query, h));
   // Remap the key set onto the normal-form schema by relation name. Fresh
   // pad relations stay keyless (their facts are singleton blocks).
   for (const auto& [rel, positions] : keys_.Entries()) {
-    RelationId nr = out.nf.db.schema().Find(db_.schema().name(rel));
+    RelationId nr = out.nf_.db.schema().Find(db_.schema().name(rel));
     if (nr == kInvalidRelation) continue;  // relation had no facts
-    UOCQA_RETURN_IF_ERROR(out.keys.SetKey(nr, positions));
+    UOCQA_RETURN_IF_ERROR(out.keys_.SetKey(nr, positions));
   }
   return out;
+}
+
+const BigInt& OcqaEngine::OrepCount(ThreadPool* pool) const {
+  std::lock_guard<std::mutex> lock(denom_mu_);
+  if (denom_facts_ != db_.size()) {
+    orep_count_.reset();
+    crs_count_.reset();
+    denom_facts_ = db_.size();
+  }
+  if (!orep_count_.has_value()) {
+    orep_count_ =
+        CountOperationalRepairs(BlockPartition::Compute(db_, keys_, pool));
+  }
+  return *orep_count_;
+}
+
+const BigInt& OcqaEngine::CrsCount(ThreadPool* pool) const {
+  std::lock_guard<std::mutex> lock(denom_mu_);
+  if (denom_facts_ != db_.size()) {
+    orep_count_.reset();
+    crs_count_.reset();
+    denom_facts_ = db_.size();
+  }
+  if (!crs_count_.has_value()) {
+    crs_count_ =
+        CountCompleteSequencesExact(BlockPartition::Compute(db_, keys_, pool));
+  }
+  return *crs_count_;
 }
 
 ExactRF OcqaEngine::ExactUr(const ConjunctiveQuery& query,
@@ -72,85 +136,95 @@ ExactRF OcqaEngine::ExactUs(const ConjunctiveQuery& query,
 Result<ApproxRF> OcqaEngine::ApproxUr(const ConjunctiveQuery& query,
                                       const std::vector<Value>& answer_tuple,
                                       const OcqaOptions& options) const {
-  UOCQA_ASSIGN_OR_RETURN(Prepared prep, Prepare(query, options));
-  UOCQA_ASSIGN_OR_RETURN(
-      RepAutomaton rep,
-      BuildRepAutomaton(prep.nf.db, prep.keys, prep.nf.query,
-                        prep.nf.decomposition, answer_tuple));
-  ThreadPool* pool = PoolFor(options.threads);
-  FprasConfig fpras_config = options.fpras;
-  fpras_config.threads = ResolveThreads(options.threads);
-  NftaFpras fpras(rep.nfta, fpras_config, pool);
-  ApproxRF out;
-  out.numerator = fpras.EstimateExactSize(rep.tree_size);
-  out.denominator =
-      CountOperationalRepairs(BlockPartition::Compute(db_, keys_, pool))
-          .ToDouble();
-  out.value = out.denominator > 0 ? out.numerator / out.denominator : 0.0;
-  out.automaton_states = rep.nfta.state_count();
-  out.automaton_transitions = rep.nfta.transition_count();
-  return out;
+  UOCQA_ASSIGN_OR_RETURN(CompiledQuery compiled, Compile(query, options));
+  return ApproxUr(compiled, answer_tuple, options);
 }
 
 Result<ApproxRF> OcqaEngine::ApproxUs(const ConjunctiveQuery& query,
                                       const std::vector<Value>& answer_tuple,
                                       const OcqaOptions& options) const {
-  UOCQA_ASSIGN_OR_RETURN(Prepared prep, Prepare(query, options));
-  UOCQA_ASSIGN_OR_RETURN(
-      SeqAutomaton seq,
-      BuildSeqAutomaton(prep.nf.db, prep.keys, prep.nf.query,
-                        prep.nf.decomposition, answer_tuple));
+  UOCQA_ASSIGN_OR_RETURN(CompiledQuery compiled, Compile(query, options));
+  return ApproxUs(compiled, answer_tuple, options);
+}
+
+Result<ApproxRF> OcqaEngine::ApproxUr(const CompiledQuery& compiled,
+                                      const std::vector<Value>& answer_tuple,
+                                      const OcqaOptions& options) const {
+  UOCQA_ASSIGN_OR_RETURN(const RepAutomaton* rep, compiled.Rep(answer_tuple));
   ThreadPool* pool = PoolFor(options.threads);
   FprasConfig fpras_config = options.fpras;
   fpras_config.threads = ResolveThreads(options.threads);
-  NftaFpras fpras(seq.nfta, fpras_config, pool);
+  NftaFpras fpras(rep->nfta, fpras_config, pool);
   ApproxRF out;
-  out.numerator = fpras.EstimateUpTo(seq.max_tree_size);
-  out.denominator =
-      CountCompleteSequencesExact(BlockPartition::Compute(db_, keys_, pool))
-          .ToDouble();
+  out.numerator = fpras.EstimateExactSize(rep->tree_size);
+  out.denominator = OrepCount(pool).ToDouble();
   out.value = out.denominator > 0 ? out.numerator / out.denominator : 0.0;
-  out.automaton_states = seq.nfta.state_count();
-  out.automaton_transitions = seq.nfta.transition_count();
+  out.automaton_states = rep->nfta.state_count();
+  out.automaton_transitions = rep->nfta.transition_count();
+  return out;
+}
+
+Result<ApproxRF> OcqaEngine::ApproxUs(const CompiledQuery& compiled,
+                                      const std::vector<Value>& answer_tuple,
+                                      const OcqaOptions& options) const {
+  UOCQA_ASSIGN_OR_RETURN(const SeqAutomaton* seq, compiled.Seq(answer_tuple));
+  ThreadPool* pool = PoolFor(options.threads);
+  FprasConfig fpras_config = options.fpras;
+  fpras_config.threads = ResolveThreads(options.threads);
+  NftaFpras fpras(seq->nfta, fpras_config, pool);
+  ApproxRF out;
+  out.numerator = fpras.EstimateUpTo(seq->max_tree_size);
+  out.denominator = CrsCount(pool).ToDouble();
+  out.value = out.denominator > 0 ? out.numerator / out.denominator : 0.0;
+  out.automaton_states = seq->nfta.state_count();
+  out.automaton_transitions = seq->nfta.transition_count();
   return out;
 }
 
 Result<BigInt> OcqaEngine::RepairsEntailingViaAutomaton(
     const ConjunctiveQuery& query, const std::vector<Value>& answer_tuple,
     const OcqaOptions& options) const {
-  UOCQA_ASSIGN_OR_RETURN(Prepared prep, Prepare(query, options));
-  UOCQA_ASSIGN_OR_RETURN(
-      RepAutomaton rep,
-      BuildRepAutomaton(prep.nf.db, prep.keys, prep.nf.query,
-                        prep.nf.decomposition, answer_tuple));
-  ExactTreeCounter counter(rep.nfta);
-  return counter.CountExactSize(rep.tree_size);
+  UOCQA_ASSIGN_OR_RETURN(CompiledQuery compiled, Compile(query, options));
+  return RepairsEntailingViaAutomaton(compiled, answer_tuple);
 }
 
 Result<BigInt> OcqaEngine::SequencesEntailingViaAutomaton(
     const ConjunctiveQuery& query, const std::vector<Value>& answer_tuple,
     const OcqaOptions& options) const {
-  UOCQA_ASSIGN_OR_RETURN(Prepared prep, Prepare(query, options));
-  UOCQA_ASSIGN_OR_RETURN(
-      SeqAutomaton seq,
-      BuildSeqAutomaton(prep.nf.db, prep.keys, prep.nf.query,
-                        prep.nf.decomposition, answer_tuple));
-  ExactTreeCounter counter(seq.nfta);
-  return counter.CountUpTo(seq.max_tree_size);
+  UOCQA_ASSIGN_OR_RETURN(CompiledQuery compiled, Compile(query, options));
+  return SequencesEntailingViaAutomaton(compiled, answer_tuple);
+}
+
+Result<BigInt> OcqaEngine::RepairsEntailingViaAutomaton(
+    const CompiledQuery& compiled,
+    const std::vector<Value>& answer_tuple) const {
+  UOCQA_ASSIGN_OR_RETURN(const RepAutomaton* rep, compiled.Rep(answer_tuple));
+  ExactTreeCounter counter(rep->nfta);
+  return counter.CountExactSize(rep->tree_size);
+}
+
+Result<BigInt> OcqaEngine::SequencesEntailingViaAutomaton(
+    const CompiledQuery& compiled,
+    const std::vector<Value>& answer_tuple) const {
+  UOCQA_ASSIGN_OR_RETURN(const SeqAutomaton* seq, compiled.Seq(answer_tuple));
+  ExactTreeCounter counter(seq->nfta);
+  return counter.CountUpTo(seq->max_tree_size);
 }
 
 Result<BigInt> OcqaEngine::ClassicalRepairsEntailingViaAutomaton(
     const ConjunctiveQuery& query, const std::vector<Value>& answer_tuple,
     const OcqaOptions& options) const {
-  UOCQA_ASSIGN_OR_RETURN(Prepared prep, Prepare(query, options));
-  RepAutomatonOptions rep_options;
-  rep_options.classical_repairs = true;
-  UOCQA_ASSIGN_OR_RETURN(
-      RepAutomaton rep,
-      BuildRepAutomaton(prep.nf.db, prep.keys, prep.nf.query,
-                        prep.nf.decomposition, answer_tuple, rep_options));
-  ExactTreeCounter counter(rep.nfta);
-  return counter.CountExactSize(rep.tree_size);
+  UOCQA_ASSIGN_OR_RETURN(CompiledQuery compiled, Compile(query, options));
+  return ClassicalRepairsEntailingViaAutomaton(compiled, answer_tuple);
+}
+
+Result<BigInt> OcqaEngine::ClassicalRepairsEntailingViaAutomaton(
+    const CompiledQuery& compiled,
+    const std::vector<Value>& answer_tuple) const {
+  UOCQA_ASSIGN_OR_RETURN(const RepAutomaton* rep,
+                         compiled.Rep(answer_tuple, /*classical_repairs=*/true));
+  ExactTreeCounter counter(rep->nfta);
+  return counter.CountExactSize(rep->tree_size);
 }
 
 BigInt OcqaEngine::CountClassicalRepairs() const {
@@ -183,17 +257,21 @@ BigInt OcqaEngine::ClassicalRepairsEntailingBruteForce(
 Result<std::vector<std::vector<FactId>>> OcqaEngine::SampleEntailingRepairs(
     const ConjunctiveQuery& query, const std::vector<Value>& answer_tuple,
     size_t count, const OcqaOptions& options, uint64_t seed) const {
-  UOCQA_ASSIGN_OR_RETURN(Prepared prep, Prepare(query, options));
-  UOCQA_ASSIGN_OR_RETURN(
-      RepAutomaton rep,
-      BuildRepAutomaton(prep.nf.db, prep.keys, prep.nf.query,
-                        prep.nf.decomposition, answer_tuple));
-  NftaFpras fpras(rep.nfta, options.fpras);
+  UOCQA_ASSIGN_OR_RETURN(CompiledQuery compiled, Compile(query, options));
+  return SampleEntailingRepairs(compiled, answer_tuple, count, options, seed);
+}
+
+Result<std::vector<std::vector<FactId>>> OcqaEngine::SampleEntailingRepairs(
+    const CompiledQuery& compiled, const std::vector<Value>& answer_tuple,
+    size_t count, const OcqaOptions& options, uint64_t seed) const {
+  UOCQA_ASSIGN_OR_RETURN(const RepAutomaton* rep, compiled.Rep(answer_tuple));
+  const NormalFormInstance& nf = compiled.nf();
+  NftaFpras fpras(rep->nfta, options.fpras);
   Rng rng(seed);
   std::vector<std::vector<FactId>> out;
   for (size_t i = 0; i < count; ++i) {
     std::optional<LabeledTree> tree =
-        fpras.Sample(rng, rep.nfta.initial(), rep.tree_size);
+        fpras.Sample(rng, rep->nfta.initial(), rep->tree_size);
     if (!tree.has_value()) {
       if (out.empty()) {
         return Status::NotFound("no operational repair entails the answer");
@@ -201,15 +279,15 @@ Result<std::vector<std::vector<FactId>>> OcqaEngine::SampleEntailingRepairs(
       break;
     }
     UOCQA_ASSIGN_OR_RETURN(std::vector<FactId> kept,
-                           rep.DecodeRepair(*tree, prep.nf.decomposition));
+                           rep->DecodeRepair(*tree, nf.decomposition));
     // Map normal-form facts back to original fact ids; pad facts (fresh
     // relations, or the P_i pad tuple absent from the original database)
     // are dropped.
     std::vector<FactId> original;
     for (FactId f : kept) {
-      const Fact& fact = prep.nf.db.fact(f);
+      const Fact& fact = nf.db.fact(f);
       RelationId orig_rel =
-          db_.schema().Find(prep.nf.db.schema().name(fact.relation));
+          db_.schema().Find(nf.db.schema().name(fact.relation));
       if (orig_rel == kInvalidRelation) continue;
       FactId orig = db_.Find(Fact(orig_rel, fact.args));
       if (orig != kInvalidFact) original.push_back(orig);

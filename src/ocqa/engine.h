@@ -19,7 +19,11 @@
 #define UOCQA_OCQA_ENGINE_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "automata/fpras.h"
@@ -28,6 +32,9 @@
 #include "base/thread_pool.h"
 #include "db/database.h"
 #include "db/keys.h"
+#include "hypertree/normal_form.h"
+#include "ocqa/rep_builder.h"
+#include "ocqa/seq_builder.h"
 #include "query/cq.h"
 #include "repairs/counting.h"
 
@@ -57,9 +64,68 @@ struct ApproxRF {
   size_t automaton_transitions = 0;
 };
 
+/// The reusable output of the engine's shared pipeline prefix: the GHD of
+/// the query, its Appendix-E normal form, and the key set remapped onto the
+/// normal-form schema — plus a memo of the Rep[k]/Seq[k] automata compiled
+/// from it, keyed by answer tuple. (The exact |ORep| / |CRS| denominators
+/// depend only on the instance and are memoized engine-side, shared by all
+/// plans.)
+///
+/// Produced once per (query, width config) by OcqaEngine::Compile, a
+/// CompiledQuery serves any number of subsequent calls: repeated queries —
+/// including variable renamings, which compile to the same artifact — skip
+/// decomposition, normal-form conversion, and NFTA compilation entirely.
+/// This is the unit the service layer's plan cache stores.
+///
+/// Thread safety: the automaton memo is guarded by an internal mutex (held
+/// across a first-touch build, so cold concurrent compiles of the same plan
+/// serialize — the hot path is a memo hit), and every automaton's lazy
+/// symbol index is warmed before it is published, so one CompiledQuery may
+/// serve concurrent requests that each run with `threads = 1` (the service
+/// batch executor's contract). The normal-form instance itself is immutable
+/// after Compile.
+class CompiledQuery {
+ public:
+  const NormalFormInstance& nf() const { return nf_; }
+  /// The key set over the normal-form schema.
+  const KeySet& keys() const { return keys_; }
+
+  /// The Rep[k] automaton for `answer_tuple`, compiled on first use and
+  /// memoized. The pointer stays valid for the CompiledQuery's lifetime.
+  Result<const RepAutomaton*> Rep(const std::vector<Value>& answer_tuple,
+                                  bool classical_repairs = false) const;
+  /// The Seq[k] automaton for `answer_tuple`, compiled on first use.
+  Result<const SeqAutomaton*> Seq(const std::vector<Value>& answer_tuple)
+      const;
+
+  /// Number of automata currently memoized (diagnostics).
+  size_t cached_automata() const;
+
+ private:
+  friend class OcqaEngine;
+  CompiledQuery() : mu_(std::make_unique<std::mutex>()) {}
+
+  NormalFormInstance nf_;
+  KeySet keys_;  // over nf_.db's schema
+
+  // Guards the memos below (shared by concurrent serving requests).
+  std::unique_ptr<std::mutex> mu_;
+  mutable std::map<std::pair<bool, std::vector<Value>>,
+                   std::unique_ptr<RepAutomaton>>
+      rep_;
+  mutable std::map<std::vector<Value>, std::unique_ptr<SeqAutomaton>> seq_;
+};
+
 class OcqaEngine {
  public:
   OcqaEngine(const Database& db, const KeySet& keys) : db_(db), keys_(keys) {}
+
+  // -- plan compilation (the shared pipeline prefix, reusable) --------------
+  /// Runs the pipeline prefix once — decompose, normalize, remap keys — and
+  /// returns the reusable artifact. Every automaton-based solver below has
+  /// an overload taking a CompiledQuery that skips this prefix.
+  Result<CompiledQuery> Compile(const ConjunctiveQuery& query,
+                                const OcqaOptions& options = {}) const;
 
   // -- exact (exponential-time numerators; ground truth) --------------------
   ExactRF ExactUr(const ConjunctiveQuery& query,
@@ -74,6 +140,15 @@ class OcqaEngine {
   Result<ApproxRF> ApproxUs(const ConjunctiveQuery& query,
                             const std::vector<Value>& answer_tuple,
                             const OcqaOptions& options = {}) const;
+  /// Same, over a previously compiled plan (skips the pipeline prefix; the
+  /// result is bit-identical to the query-based overload at every cache
+  /// state and thread count).
+  Result<ApproxRF> ApproxUr(const CompiledQuery& compiled,
+                            const std::vector<Value>& answer_tuple,
+                            const OcqaOptions& options = {}) const;
+  Result<ApproxRF> ApproxUs(const CompiledQuery& compiled,
+                            const std::vector<Value>& answer_tuple,
+                            const OcqaOptions& options = {}) const;
 
   // -- exact numerators through the compiled automata (validation path) -----
   Result<BigInt> RepairsEntailingViaAutomaton(
@@ -82,12 +157,21 @@ class OcqaEngine {
   Result<BigInt> SequencesEntailingViaAutomaton(
       const ConjunctiveQuery& query, const std::vector<Value>& answer_tuple,
       const OcqaOptions& options = {}) const;
+  Result<BigInt> RepairsEntailingViaAutomaton(
+      const CompiledQuery& compiled,
+      const std::vector<Value>& answer_tuple) const;
+  Result<BigInt> SequencesEntailingViaAutomaton(
+      const CompiledQuery& compiled,
+      const std::vector<Value>& answer_tuple) const;
 
   // -- classical subset repairs (♯SRepairs, §5.1 remark) ---------------------
   /// |{D' subset repair : c̄ ∈ Q(D')}| exactly, via the ⊥-free automaton.
   Result<BigInt> ClassicalRepairsEntailingViaAutomaton(
       const ConjunctiveQuery& query, const std::vector<Value>& answer_tuple,
       const OcqaOptions& options = {}) const;
+  Result<BigInt> ClassicalRepairsEntailingViaAutomaton(
+      const CompiledQuery& compiled,
+      const std::vector<Value>& answer_tuple) const;
   /// Number of classical subset repairs (prod of block sizes).
   BigInt CountClassicalRepairs() const;
   /// Brute-force exact count of subset repairs entailing the query.
@@ -103,6 +187,10 @@ class OcqaEngine {
   /// this answer" exploration.
   Result<std::vector<std::vector<FactId>>> SampleEntailingRepairs(
       const ConjunctiveQuery& query, const std::vector<Value>& answer_tuple,
+      size_t count, const OcqaOptions& options = {},
+      uint64_t seed = 1) const;
+  Result<std::vector<std::vector<FactId>>> SampleEntailingRepairs(
+      const CompiledQuery& compiled, const std::vector<Value>& answer_tuple,
       size_t count, const OcqaOptions& options = {},
       uint64_t seed = 1) const;
 
@@ -127,11 +215,14 @@ class OcqaEngine {
   static constexpr size_t kMcChunk = 64;
 
  private:
-  /// Common pipeline prefix: decompose, normalize, remap keys. On success
-  /// fills the normal-form triple and the key set over its schema.
-  struct Prepared;
-  Result<Prepared> Prepare(const ConjunctiveQuery& query,
-                           const OcqaOptions& options) const;
+  /// Exact denominators |ORep| / |CRS| over the engine's instance, shared
+  /// by every compiled plan. Memoized per instance state — the database
+  /// only ever accumulates facts, so the fact count identifies it — and
+  /// mutex-guarded for concurrent compiled-plan calls (the service batch
+  /// executor). The returned reference stays valid until the database is
+  /// mutated, which the engine's callers must not do concurrently anyway.
+  const BigInt& OrepCount(ThreadPool* pool) const;
+  const BigInt& CrsCount(ThreadPool* pool) const;
 
   /// The engine's pool, (re)built for `threads` resolved lanes; nullptr for
   /// 1 lane. The engine itself is not re-entrant: callers parallelize
@@ -141,6 +232,11 @@ class OcqaEngine {
   const Database& db_;
   const KeySet& keys_;
   mutable std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::mutex denom_mu_;
+  mutable size_t denom_facts_ = 0;  // db_.size() the memos were taken at
+  mutable std::optional<BigInt> orep_count_;
+  mutable std::optional<BigInt> crs_count_;
 };
 
 }  // namespace uocqa

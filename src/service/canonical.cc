@@ -1,0 +1,64 @@
+#include "service/canonical.h"
+
+#include <unordered_map>
+
+#include "base/hashing.h"
+#include "db/value.h"
+
+namespace uocqa {
+
+std::string CanonicalQueryText(const ConjunctiveQuery& query) {
+  // Canonical index of each variable: first occurrence over the answer
+  // tuple, then the atom terms in syntactic order. This is exactly the
+  // order in which any renaming of the query introduces the same variable,
+  // so renamed queries map to identical indices.
+  std::unordered_map<VarId, size_t> rank;
+  auto touch = [&rank](VarId v) { rank.emplace(v, rank.size()); };
+  for (VarId v : query.answer_vars()) touch(v);
+  for (const QueryAtom& atom : query.atoms()) {
+    for (const Term& t : atom.terms) {
+      if (t.is_var()) touch(t.id);
+    }
+  }
+
+  auto term_text = [&](const Term& t) {
+    if (t.is_var()) return "?" + std::to_string(rank.at(t.id));
+    return "'" + ValuePool::Name(t.id) + "'";
+  };
+
+  std::string out = "Ans(";
+  for (size_t i = 0; i < query.answer_vars().size(); ++i) {
+    if (i > 0) out += ",";
+    out += "?" + std::to_string(rank.at(query.answer_vars()[i]));
+  }
+  out += "):-";
+  for (size_t a = 0; a < query.atoms().size(); ++a) {
+    const QueryAtom& atom = query.atoms()[a];
+    if (a > 0) out += ",";
+    out += query.schema().name(atom.relation);
+    out += "(";
+    for (size_t i = 0; i < atom.terms.size(); ++i) {
+      if (i > 0) out += ",";
+      out += term_text(atom.terms[i]);
+    }
+    out += ")";
+  }
+  return out;
+}
+
+uint64_t InstanceFingerprint(const Database& db, const KeySet& keys) {
+  std::hash<std::string> hs;
+  size_t seed = db.size();
+  for (const Fact& fact : db.facts()) {
+    HashCombine(&seed, hs(db.schema().name(fact.relation)));
+    HashCombine(&seed, fact.args.size());
+    for (Value v : fact.args) HashCombine(&seed, hs(ValuePool::Name(v)));
+  }
+  for (const auto& [rel, positions] : keys.Entries()) {
+    HashCombine(&seed, hs(db.schema().name(rel)));
+    for (uint32_t p : positions) HashCombine(&seed, p);
+  }
+  return static_cast<uint64_t>(seed);
+}
+
+}  // namespace uocqa

@@ -1,0 +1,39 @@
+// Canonical forms for cache keys: a variable-renaming-invariant rendering
+// of a conjunctive query, and a content fingerprint of an instance.
+//
+// Two queries that differ only in variable names (`Ans(x) :- R(x,y)` vs.
+// `Ans(a) :- R(a,b)`) compile to identical pipeline state — the engine only
+// ever sees dense VarIds, assigned in first-occurrence order — so the plan
+// cache keys on the canonical text and serves both from one CompiledQuery.
+// Atom order is preserved: the canonicalization normalizes names, not query
+// structure (reordered atoms are a different plan key; they would also
+// enumerate candidates in a different order).
+
+#ifndef UOCQA_SERVICE_CANONICAL_H_
+#define UOCQA_SERVICE_CANONICAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "db/database.h"
+#include "db/keys.h"
+#include "query/cq.h"
+
+namespace uocqa {
+
+/// Renders `query` with variables renamed to ?0, ?1, ... in first-occurrence
+/// order (answer variables first, then atom terms left to right), relations
+/// by name, and constants by their interned spelling:
+/// "Ans(?0):-R(?0,?1),S(?1,'c')". Equal strings iff the queries are equal
+/// up to variable renaming.
+std::string CanonicalQueryText(const ConjunctiveQuery& query);
+
+/// Content hash of (db, keys): facts in id order (relation name + constant
+/// spellings) plus the key declarations. Result-cache entries are scoped to
+/// this fingerprint so a differently loaded instance can never replay
+/// another instance's answers.
+uint64_t InstanceFingerprint(const Database& db, const KeySet& keys);
+
+}  // namespace uocqa
+
+#endif  // UOCQA_SERVICE_CANONICAL_H_

@@ -1,0 +1,215 @@
+#include "service/request.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <vector>
+
+#include "base/strings.h"
+
+namespace uocqa {
+
+const char* RequestModeName(RequestMode mode) {
+  switch (mode) {
+    case RequestMode::kExact:
+      return "exact";
+    case RequestMode::kFpras:
+      return "fpras";
+    case RequestMode::kMc:
+      return "mc";
+    case RequestMode::kAll:
+      return "all";
+  }
+  return "unknown";
+}
+
+std::optional<RequestMode> ParseRequestMode(std::string_view text) {
+  if (text == "exact") return RequestMode::kExact;
+  if (text == "fpras") return RequestMode::kFpras;
+  if (text == "mc") return RequestMode::kMc;
+  if (text == "all") return RequestMode::kAll;
+  return std::nullopt;
+}
+
+Status ValidateAccuracy(double epsilon, double delta, size_t samples) {
+  if (!std::isfinite(epsilon) || epsilon <= 0.0 || epsilon >= 1.0) {
+    return Status::InvalidArgument(
+        "epsilon must be a finite value in (0, 1)");
+  }
+  if (!std::isfinite(delta) || delta <= 0.0 || delta >= 1.0) {
+    return Status::InvalidArgument("delta must be a finite value in (0, 1)");
+  }
+  if (samples == 0) {
+    return Status::InvalidArgument("samples must be positive");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Splits a line into whitespace-separated tokens. A single quote toggles
+/// quoting (quoted whitespace is kept, the delimiting quotes are dropped);
+/// inside a quoted region a doubled quote '' is a literal quote, so query
+/// text may itself contain quoted constants:
+///   query='Ans(x) :- Emp(x, ''tom'')'  ->  Ans(x) :- Emp(x, 'tom')
+Result<std::vector<std::string>> Tokenize(std::string_view line) {
+  std::vector<std::string> out;
+  std::string current;
+  bool in_token = false;
+  bool in_quote = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (c == '\'') {
+      if (in_quote && i + 1 < line.size() && line[i + 1] == '\'') {
+        current += '\'';
+        ++i;
+        continue;
+      }
+      in_quote = !in_quote;
+      in_token = true;  // `query=''` produces an (empty-valued) token
+      continue;
+    }
+    if (!in_quote && std::isspace(static_cast<unsigned char>(c))) {
+      if (in_token) out.push_back(std::move(current));
+      current.clear();
+      in_token = false;
+      continue;
+    }
+    current += c;
+    in_token = true;
+  }
+  if (in_quote) return Status::InvalidArgument("unterminated quote");
+  if (in_token) out.push_back(std::move(current));
+  return out;
+}
+
+/// Wraps `value` in single quotes, doubling interior quotes (the inverse of
+/// Tokenize's quoting rule).
+std::string QuoteValue(const std::string& value) {
+  std::string out = "'";
+  for (char c : value) {
+    out += c;
+    if (c == '\'') out += '\'';
+  }
+  out += "'";
+  return out;
+}
+
+Status ParseDouble(const std::string& field, const std::string& text,
+                   double* out) {
+  char* end = nullptr;
+  double v = std::strtod(text.c_str(), &end);
+  if (text.empty() || end != text.c_str() + text.size()) {
+    return Status::InvalidArgument(field + " expects a number");
+  }
+  *out = v;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ParseSizeField(const std::string& field, const std::string& text,
+                      size_t* out) {
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (text.empty() || end != text.c_str() + text.size() ||
+      !std::isdigit(static_cast<unsigned char>(text.front())) ||
+      errno == ERANGE) {
+    return Status::InvalidArgument(field +
+                                   " expects a non-negative integer in range");
+  }
+  *out = static_cast<size_t>(v);
+  return Status::OK();
+}
+
+std::vector<std::string> ReadRequestLines(std::istream& in) {
+  std::vector<std::string> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string_view trimmed = StrTrim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    out.emplace_back(trimmed);
+  }
+  return out;
+}
+
+Result<Request> ParseRequestLine(std::string_view line) {
+  UOCQA_ASSIGN_OR_RETURN(std::vector<std::string> tokens, Tokenize(line));
+  if (tokens.empty()) return Status::InvalidArgument("empty request");
+  Request out;
+  for (const std::string& token : tokens) {
+    size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("expected key=value, got '" + token +
+                                     "'");
+    }
+    std::string key = token.substr(0, eq);
+    std::string value = token.substr(eq + 1);
+    if (key == "query") {
+      out.query_text = value;
+    } else if (key == "answer") {
+      out.answer_text = value;
+    } else if (key == "mode") {
+      std::optional<RequestMode> mode = ParseRequestMode(value);
+      if (!mode.has_value()) {
+        return Status::InvalidArgument("unknown mode: " + value);
+      }
+      out.mode = *mode;
+    } else if (key == "epsilon") {
+      UOCQA_RETURN_IF_ERROR(ParseDouble(key, value, &out.epsilon));
+    } else if (key == "delta") {
+      UOCQA_RETURN_IF_ERROR(ParseDouble(key, value, &out.delta));
+    } else if (key == "samples") {
+      UOCQA_RETURN_IF_ERROR(ParseSizeField(key, value, &out.samples));
+    } else if (key == "seed") {
+      size_t seed = 0;
+      UOCQA_RETURN_IF_ERROR(ParseSizeField(key, value, &seed));
+      out.seed = static_cast<uint64_t>(seed);
+    } else {
+      return Status::InvalidArgument("unknown request field: " + key);
+    }
+  }
+  if (out.query_text.empty()) {
+    return Status::InvalidArgument("request is missing query=...");
+  }
+  UOCQA_RETURN_IF_ERROR(
+      ValidateAccuracy(out.epsilon, out.delta, out.samples));
+  return out;
+}
+
+std::string FormatRequestLine(const Request& request) {
+  char buf[64];
+  std::string out = "query=" + QuoteValue(request.query_text);
+  if (!request.answer_text.empty()) {
+    out += " answer=" + QuoteValue(request.answer_text);
+  }
+  out += " mode=";
+  out += RequestModeName(request.mode);
+  std::snprintf(buf, sizeof(buf), " epsilon=%.17g delta=%.17g",
+                request.epsilon, request.delta);
+  out += buf;
+  out += " samples=" + std::to_string(request.samples);
+  out += " seed=" + std::to_string(request.seed);
+  return out;
+}
+
+std::string FormatResponseLine(size_t id, const ServiceResponse& response) {
+  std::string out = std::to_string(id);
+  if (response.status.ok()) {
+    out += " ok ";
+    out += response.cache_hit ? "hit" : "miss";
+    if (!response.payload.empty()) {
+      out += " ";
+      out += response.payload;
+    }
+  } else {
+    out += " error '" + response.status.ToString() + "'";
+  }
+  return out;
+}
+
+}  // namespace uocqa

@@ -1,0 +1,94 @@
+// The service layer's line-oriented request/response protocol.
+//
+// One request per line, `key=value` fields separated by whitespace, keys
+// mirroring the uocqa CLI flags; values may be single-quoted (a quote
+// toggles quoting, as in the instance format, so spaces and commas survive
+// inside `query='...'`). Blank lines and lines starting with '#' are
+// skipped by the readers (uocqa_serve, uocqa --batch).
+//
+//   query='Ans(x) :- Emp(x, y)' answer=e1 mode=fpras epsilon=0.3 seed=7
+//
+// One response line per request, in request order:
+//
+//   <id> ok <hit|miss> <payload>
+//   <id> error '<message>'
+//
+// where <payload> is a sequence of `key=value` result fields (see
+// docs/FORMATS.md for the full field reference). Cached responses replay
+// the payload byte-identically; only the hit/miss marker differs.
+
+#ifndef UOCQA_SERVICE_REQUEST_H_
+#define UOCQA_SERVICE_REQUEST_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+
+namespace uocqa {
+
+/// Which solver(s) a request runs — the CLI's --mode values.
+enum class RequestMode : uint8_t { kExact, kFpras, kMc, kAll };
+
+const char* RequestModeName(RequestMode mode);
+std::optional<RequestMode> ParseRequestMode(std::string_view text);
+
+/// One OCQA request. Field names and defaults mirror the CLI flags; the
+/// database is fixed per service, not per request.
+struct Request {
+  std::string query_text;
+  std::string answer_text;  // comma-separated constants; empty for Boolean
+  RequestMode mode = RequestMode::kAll;
+  double epsilon = 0.2;
+  double delta = 0.1;
+  size_t samples = 20000;
+  uint64_t seed = 1;
+};
+
+/// Accuracy/budget validation shared by the CLI front ends and the request
+/// parser: epsilon and delta must be finite and in (0, 1), samples must be
+/// positive. (The defaults always pass.)
+Status ValidateAccuracy(double epsilon, double delta, size_t samples);
+
+/// Strict non-negative integer parse (rejects signs, trailing junk, and
+/// empty input), shared by the request parser and the CLI flag parsers so
+/// `--threads -1` is a usage error rather than a 2^64-lane pool.
+Status ParseSizeField(const std::string& field, const std::string& text,
+                      size_t* out);
+
+/// Reads request lines from a stream, trimming whitespace and dropping
+/// blanks and '#' comments — the shared reader of `uocqa_serve` and
+/// `uocqa --batch`.
+std::vector<std::string> ReadRequestLines(std::istream& in);
+
+/// Parses one protocol line (must be non-blank and not a comment).
+Result<Request> ParseRequestLine(std::string_view line);
+
+/// Renders a request back into a protocol line (round-trips through
+/// ParseRequestLine).
+std::string FormatRequestLine(const Request& request);
+
+/// The outcome of serving one request.
+struct ServiceResponse {
+  /// Protocol- or query-level failure (parse error, arity mismatch, invalid
+  /// accuracy parameters). Solver-level unavailability (e.g. FPRAS on a
+  /// query beyond the width bound) is reported inside the payload instead.
+  Status status;
+  /// Result fields, `key=value` separated by single spaces. This is the
+  /// unit of byte-identical replay: a result-cache hit returns exactly the
+  /// bytes the miss computed.
+  std::string payload;
+  /// True if the payload was replayed from the result cache.
+  bool cache_hit = false;
+};
+
+/// "<id> ok <hit|miss> <payload>" or "<id> error '<message>'".
+std::string FormatResponseLine(size_t id, const ServiceResponse& response);
+
+}  // namespace uocqa
+
+#endif  // UOCQA_SERVICE_REQUEST_H_

@@ -1,0 +1,262 @@
+#include "service/service.h"
+
+#include <cstdio>
+#include <optional>
+
+#include "base/hashing.h"
+#include "base/strings.h"
+#include "db/value.h"
+#include "query/parser.h"
+#include "service/canonical.h"
+
+namespace uocqa {
+
+namespace {
+
+/// Doubles are rendered with every bit of precision: payload byte-equality
+/// must coincide with bit-equality of the underlying estimates (the
+/// service_test determinism checks rely on this).
+std::string FormatDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::vector<Value> ParseAnswerTuple(const std::string& text) {
+  std::vector<Value> out;
+  if (text.empty()) return out;
+  for (const std::string& piece : StrSplit(text, ',')) {
+    out.push_back(ValuePool::Intern(std::string(StrTrim(piece))));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ServiceStats::ToString() const {
+  std::string out;
+  out += "requests=" + std::to_string(requests);
+  out += " plan_hits=" + std::to_string(plan_hits);
+  out += " plan_misses=" + std::to_string(plan_misses);
+  out += " plan_evictions=" + std::to_string(plan_evictions);
+  out += " result_hits=" + std::to_string(result_hits);
+  out += " result_misses=" + std::to_string(result_misses);
+  out += " result_evictions=" + std::to_string(result_evictions);
+  return out;
+}
+
+bool QueryService::ResultKey::operator==(const ResultKey& o) const {
+  return fingerprint == o.fingerprint &&
+         canonical_query == o.canonical_query && answer == o.answer &&
+         mode == o.mode && epsilon == o.epsilon && delta == o.delta &&
+         samples == o.samples && seed == o.seed && max_width == o.max_width;
+}
+
+size_t QueryService::ResultKeyHash::operator()(const ResultKey& k) const {
+  size_t seed = std::hash<std::string>{}(k.canonical_query);
+  HashCombine(&seed, static_cast<size_t>(k.fingerprint));
+  for (Value v : k.answer) HashCombine(&seed, v);
+  HashCombine(&seed, static_cast<size_t>(k.mode));
+  HashCombine(&seed, std::hash<double>{}(k.epsilon));
+  HashCombine(&seed, std::hash<double>{}(k.delta));
+  HashCombine(&seed, k.samples);
+  HashCombine(&seed, static_cast<size_t>(k.seed));
+  HashCombine(&seed, k.max_width);
+  return seed;
+}
+
+QueryService::QueryService(const Database& db, const KeySet& keys,
+                           const ServiceOptions& options)
+    : db_(db),
+      keys_(keys),
+      options_(options),
+      fingerprint_(InstanceFingerprint(db, keys)),
+      engine_(db, keys),
+      plan_cache_(options.plan_cache_capacity),
+      result_cache_(options.result_cache_capacity) {}
+
+ServiceResponse QueryService::Execute(const Request& request) {
+  return Run(request);
+}
+
+std::vector<ServiceResponse> QueryService::ExecuteBatch(
+    const std::vector<Request>& requests, size_t threads) {
+  std::vector<ServiceResponse> out(requests.size());
+  ParallelForOn(BatchPool(threads), requests.size(),
+                [&](size_t i) { out[i] = Run(requests[i]); }, /*grain=*/1);
+  return out;
+}
+
+std::vector<ServiceResponse> QueryService::ExecuteBatchLines(
+    const std::vector<std::string>& lines, size_t threads) {
+  std::vector<ServiceResponse> out(lines.size());
+  std::vector<std::optional<Request>> parsed(lines.size());
+  for (size_t i = 0; i < lines.size(); ++i) {
+    Result<Request> r = ParseRequestLine(lines[i]);
+    if (r.ok()) {
+      parsed[i] = std::move(r).value();
+    } else {
+      out[i].status = r.status();
+    }
+  }
+  ParallelForOn(BatchPool(threads), lines.size(),
+                [&](size_t i) {
+                  if (parsed[i].has_value()) out[i] = Run(*parsed[i]);
+                },
+                /*grain=*/1);
+  return out;
+}
+
+ThreadPool* QueryService::BatchPool(size_t threads) {
+  size_t lanes = threads == 0 ? HardwareThreads() : threads;
+  if (lanes == 1) return nullptr;
+  if (!pool_ || pool_->thread_count() != lanes) {
+    pool_ = std::make_unique<ThreadPool>(lanes);
+  }
+  return pool_.get();
+}
+
+Result<std::shared_ptr<CompiledQuery>> QueryService::PlanFor(
+    const std::string& canonical, const ConjunctiveQuery& query) {
+  {
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    std::optional<std::shared_ptr<CompiledQuery>> hit =
+        plan_cache_.Get(canonical);
+    if (hit.has_value()) return *hit;
+  }
+  OcqaOptions options;
+  options.max_width = options_.max_width;
+  Result<CompiledQuery> compiled = engine_.Compile(query, options);
+  if (!compiled.ok()) return compiled.status();
+  auto plan = std::make_shared<CompiledQuery>(std::move(compiled).value());
+  {
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    // Another lane may have raced us to the same plan; keep the published
+    // one so every request shares a single automaton memo. (Find, not Get:
+    // this request's semantic miss was already counted above.)
+    std::optional<std::shared_ptr<CompiledQuery>> existing =
+        plan_cache_.Find(canonical);
+    if (existing.has_value()) return *existing;
+    plan_cache_.Put(canonical, plan);
+  }
+  return plan;
+}
+
+ServiceResponse QueryService::Run(const Request& request) {
+  ServiceResponse out;
+  {
+    std::lock_guard<std::mutex> lock(requests_mu_);
+    ++requests_served_;
+  }
+  out.status = ValidateAccuracy(request.epsilon, request.delta,
+                                request.samples);
+  if (!out.status.ok()) return out;
+
+  Result<ConjunctiveQuery> query =
+      ParseQuery(request.query_text, db_.schema());
+  if (!query.ok()) {
+    out.status = query.status();
+    return out;
+  }
+  std::vector<Value> answer = ParseAnswerTuple(request.answer_text);
+  if (answer.size() != query->answer_vars().size()) {
+    out.status = Status::InvalidArgument(
+        "answer arity mismatch: query has " +
+        std::to_string(query->answer_vars().size()) +
+        " answer variables, answer provided " +
+        std::to_string(answer.size()) + " constants");
+    return out;
+  }
+
+  std::string canonical = CanonicalQueryText(*query);
+  ResultKey key;
+  key.fingerprint = fingerprint_;
+  key.canonical_query = canonical;
+  key.answer = answer;
+  key.mode = request.mode;
+  key.epsilon = request.epsilon;
+  key.delta = request.delta;
+  key.samples = request.samples;
+  key.seed = request.seed;
+  key.max_width = options_.max_width;
+  {
+    std::lock_guard<std::mutex> lock(result_mu_);
+    std::optional<std::string> hit = result_cache_.Get(key);
+    if (hit.has_value()) {
+      out.payload = std::move(*hit);
+      out.cache_hit = true;
+      return out;
+    }
+  }
+
+  std::string payload;
+  auto append = [&payload](const std::string& field) {
+    if (!payload.empty()) payload += " ";
+    payload += field;
+  };
+  bool all = request.mode == RequestMode::kAll;
+
+  if (all || request.mode == RequestMode::kExact) {
+    ExactRF ur = engine_.ExactUr(*query, answer);
+    ExactRF us = engine_.ExactUs(*query, answer);
+    append("exact_ur=" + ur.numerator.ToString() + "/" +
+           ur.denominator.ToString());
+    append("exact_us=" + us.numerator.ToString() + "/" +
+           us.denominator.ToString());
+  }
+  if (all || request.mode == RequestMode::kFpras) {
+    Result<std::shared_ptr<CompiledQuery>> plan = PlanFor(canonical, *query);
+    if (!plan.ok()) {
+      append("fpras_error='" + plan.status().ToString() + "'");
+    } else {
+      OcqaOptions options;
+      options.fpras.epsilon = request.epsilon;
+      options.fpras.delta = request.delta;
+      options.fpras.seed = request.seed;
+      options.max_width = options_.max_width;
+      options.threads = 1;  // batch lanes are the parallelism
+      Result<ApproxRF> ur = engine_.ApproxUr(**plan, answer, options);
+      append(ur.ok() ? "fpras_ur=" + FormatDouble(ur->value) : "fpras_ur=na");
+      Result<ApproxRF> us = engine_.ApproxUs(**plan, answer, options);
+      append(us.ok() ? "fpras_us=" + FormatDouble(us->value) : "fpras_us=na");
+    }
+  }
+  if (all || request.mode == RequestMode::kMc) {
+    append("mc_ur=" + FormatDouble(engine_.MonteCarloUr(
+                          *query, answer, request.samples, request.seed,
+                          /*threads=*/1)));
+    append("mc_us=" + FormatDouble(engine_.MonteCarloUs(
+                          *query, answer, request.samples, request.seed,
+                          /*threads=*/1)));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(result_mu_);
+    result_cache_.Put(key, payload);
+  }
+  out.payload = std::move(payload);
+  return out;
+}
+
+ServiceStats QueryService::stats() const {
+  ServiceStats out;
+  {
+    std::lock_guard<std::mutex> lock(requests_mu_);
+    out.requests = requests_served_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    out.plan_hits = plan_cache_.hits();
+    out.plan_misses = plan_cache_.misses();
+    out.plan_evictions = plan_cache_.evictions();
+  }
+  {
+    std::lock_guard<std::mutex> lock(result_mu_);
+    out.result_hits = result_cache_.hits();
+    out.result_misses = result_cache_.misses();
+    out.result_evictions = result_cache_.evictions();
+  }
+  return out;
+}
+
+}  // namespace uocqa

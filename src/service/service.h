@@ -1,0 +1,147 @@
+// The query service layer: one loaded instance serving many OCQA requests.
+//
+// Every OcqaEngine call used to re-run the whole pipeline prefix — GHD
+// search, Appendix-E normal form, Rep[k]/Seq[k] NFTA compilation — even for
+// a query asked a moment earlier. The service amortizes that cost across a
+// request stream with two caches and a batch executor:
+//
+//  * a **plan cache** (LRU over canonical query text + width config) holding
+//    CompiledQuery artifacts, so a repeated query — including any variable
+//    renaming of it — skips straight to the per-request trials;
+//  * a **result cache** (LRU over instance fingerprint + canonical query +
+//    answer tuple + mode + accuracy/seed parameters) replaying fully
+//    computed responses byte-identically;
+//  * a **batch executor** running independent requests across ThreadPool
+//    lanes. Each request is itself executed serially (inner threads = 1),
+//    so the engine's non-re-entrant pool is never touched concurrently, and
+//    every estimate is a pure function of the request parameters — the
+//    response vector is bit-identical at any lane count, in request order.
+
+#ifndef UOCQA_SERVICE_SERVICE_H_
+#define UOCQA_SERVICE_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "base/thread_pool.h"
+#include "db/database.h"
+#include "db/keys.h"
+#include "ocqa/engine.h"
+#include "query/cq.h"
+#include "service/lru_cache.h"
+#include "service/request.h"
+
+namespace uocqa {
+
+struct ServiceOptions {
+  /// Plan (compiled pipeline) cache capacity; 0 disables plan caching.
+  size_t plan_cache_capacity = 64;
+  /// Result (response replay) cache capacity; 0 disables result caching.
+  size_t result_cache_capacity = 4096;
+  /// Maximum decomposition width for the FPRAS pipeline (OcqaOptions).
+  size_t max_width = 6;
+};
+
+/// Cache counters, as one readable line for logs and the serve front end.
+struct ServiceStats {
+  size_t requests = 0;
+  size_t plan_hits = 0;
+  size_t plan_misses = 0;
+  size_t plan_evictions = 0;
+  size_t result_hits = 0;
+  size_t result_misses = 0;
+  size_t result_evictions = 0;
+
+  /// "requests=N plan_hits=... result_evictions=...".
+  std::string ToString() const;
+};
+
+/// Owns a loaded instance and serves OCQA requests against it. The database
+/// and key set must stay alive and unmodified for the service's lifetime
+/// (the result cache is scoped to the instance fingerprint taken at
+/// construction).
+///
+/// Thread safety: Execute and ExecuteBatch may not be called concurrently
+/// by external threads; batching is the supported way to parallelize.
+class QueryService {
+ public:
+  QueryService(const Database& db, const KeySet& keys,
+               const ServiceOptions& options = {});
+
+  /// Serves one request (equivalent to a one-element batch).
+  ServiceResponse Execute(const Request& request);
+
+  /// Serves independent requests concurrently on `threads` lanes
+  /// (0 = hardware concurrency, 1 = serial). Responses come back in request
+  /// order and are bit-identical at every lane count.
+  std::vector<ServiceResponse> ExecuteBatch(
+      const std::vector<Request>& requests, size_t threads = 1);
+
+  /// Parses each line with ParseRequestLine and serves the batch; a line
+  /// that fails to parse yields an error response in its slot. Blank and
+  /// comment lines are the caller's concern (the front ends skip them).
+  std::vector<ServiceResponse> ExecuteBatchLines(
+      const std::vector<std::string>& lines, size_t threads = 1);
+
+  /// Snapshot of the cache counters.
+  ServiceStats stats() const;
+
+  const Database& db() const { return db_; }
+  const KeySet& keys() const { return keys_; }
+  uint64_t instance_fingerprint() const { return fingerprint_; }
+
+ private:
+  struct ResultKey {
+    uint64_t fingerprint = 0;
+    std::string canonical_query;
+    std::vector<Value> answer;
+    RequestMode mode = RequestMode::kAll;
+    double epsilon = 0;
+    double delta = 0;
+    size_t samples = 0;
+    uint64_t seed = 0;
+    size_t max_width = 0;
+
+    bool operator==(const ResultKey& o) const;
+  };
+  struct ResultKeyHash {
+    size_t operator()(const ResultKey& k) const;
+  };
+
+  /// The full (uncached) execution of one request; `response.payload` is
+  /// what the result cache stores.
+  ServiceResponse Run(const Request& request);
+
+  /// The plan cache entry for `canonical`, compiling on miss. Never null on
+  /// ok(); the shared_ptr keeps evicted plans alive for in-flight requests.
+  Result<std::shared_ptr<CompiledQuery>> PlanFor(
+      const std::string& canonical, const ConjunctiveQuery& query);
+
+  /// Lanes for a batch call; nullptr when `threads` resolves to 1.
+  ThreadPool* BatchPool(size_t threads);
+
+  const Database& db_;
+  const KeySet& keys_;
+  ServiceOptions options_;
+  uint64_t fingerprint_;
+  OcqaEngine engine_;
+
+  mutable std::mutex plan_mu_;
+  LruCache<std::string, std::shared_ptr<CompiledQuery>> plan_cache_;
+  mutable std::mutex result_mu_;
+  LruCache<ResultKey, std::string, ResultKeyHash> result_cache_;
+
+  mutable std::mutex requests_mu_;
+  size_t requests_served_ = 0;
+
+  /// Lanes for ExecuteBatch, (re)built on demand like OcqaEngine::PoolFor.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace uocqa
+
+#endif  // UOCQA_SERVICE_SERVICE_H_

@@ -1,6 +1,8 @@
 #include "workload/generators.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <set>
 #include <unordered_set>
 
@@ -41,6 +43,68 @@ GeneratedInstance GenerateDatabaseForQuery(Rng& rng,
   // Relation names for blocks are per-relation, but two blocks of the same
   // relation may have drawn the same key value, merging them — acceptable:
   // the histogram is a target, not a contract.
+  return out;
+}
+
+std::vector<size_t> SampleZipfianIndices(Rng& rng, size_t items, size_t count,
+                                         double skew) {
+  assert(items >= 1);
+  // Cumulative weights over ranks; one inverse-CDF lookup per draw.
+  std::vector<double> cumulative(items);
+  double total = 0;
+  for (size_t r = 0; r < items; ++r) {
+    total += std::pow(static_cast<double>(r + 1), -skew);
+    cumulative[r] = total;
+  }
+  std::vector<size_t> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    double u = rng.UniformDouble() * total;
+    size_t rank = static_cast<size_t>(
+        std::upper_bound(cumulative.begin(), cumulative.end(), u) -
+        cumulative.begin());
+    // u can round up to exactly `total` (UniformDouble is < 1, but the
+    // product rounds); clamp the end iterator back into range.
+    out.push_back(std::min(rank, items - 1));
+  }
+  return out;
+}
+
+size_t ZipfianBlockSize(size_t rank, const SkewedDbGenOptions& options) {
+  double size = static_cast<double>(options.max_block_size) /
+                std::pow(static_cast<double>(rank + 1), options.block_skew);
+  return std::max<size_t>(1, static_cast<size_t>(std::lround(size)));
+}
+
+GeneratedInstance GenerateSkewedDatabaseForQuery(
+    Rng& rng, const ConjunctiveQuery& query,
+    const SkewedDbGenOptions& options) {
+  GeneratedInstance out;
+  out.db = Database(query.schema());
+  auto dval = [&](size_t i) { return "d" + std::to_string(i); };
+
+  std::unordered_set<RelationId> done;
+  for (const QueryAtom& atom : query.atoms()) {
+    if (!done.insert(atom.relation).second) continue;
+    RelationId rel = atom.relation;
+    uint32_t arity = query.schema().arity(rel);
+    const std::string& name = query.schema().name(rel);
+    out.keys.SetKeyOrDie(rel, {0});
+    for (size_t b = 0; b < options.blocks_per_relation; ++b) {
+      size_t size = ZipfianBlockSize(b, options);
+      std::string key = dval(rng.UniformIndex(options.domain_size));
+      std::set<std::vector<std::string>> seen;
+      for (size_t f = 0; f < size; ++f) {
+        std::vector<std::string> args;
+        args.push_back(key);
+        for (uint32_t a = 1; a < arity; ++a) {
+          args.push_back(dval(rng.UniformIndex(options.domain_size)));
+        }
+        if (!seen.insert(args).second) continue;  // duplicate fact
+        out.db.Add(name, args);
+      }
+    }
+  }
   return out;
 }
 

@@ -44,6 +44,40 @@ GeneratedInstance GenerateDatabaseForQuery(Rng& rng,
                                            const ConjunctiveQuery& query,
                                            const DbGenOptions& options);
 
+// --- skewed (Zipfian) workloads, for the serving/cache benchmarks ----------
+
+/// `count` draws from the Zipf(skew) distribution over ranks 0..items-1:
+/// P(rank r) ∝ 1/(r+1)^skew (skew 0 = uniform; larger = more concentrated
+/// on the low ranks). Deterministic given the rng state — the repeated-
+/// query traffic the cache benchmarks replay is reproducible from a seed.
+std::vector<size_t> SampleZipfianIndices(Rng& rng, size_t items,
+                                         size_t count, double skew);
+
+struct SkewedDbGenOptions {
+  /// Number of conflict blocks per relation.
+  size_t blocks_per_relation = 64;
+  /// Size of the hottest block. Block rank r targets
+  /// ZipfianBlockSize(r, *) = max(1, round(max_block_size/(r+1)^block_skew))
+  /// facts: a few hot blocks and a long consistent singleton tail, the
+  /// histogram shape of real key-violation data.
+  size_t max_block_size = 8;
+  double block_skew = 1.0;
+  /// Shared value domain for all attributes (as in DbGenOptions). Block
+  /// keys are drawn from it too, so keep it well above
+  /// blocks_per_relation or the requested blocks merge on shared keys and
+  /// the histogram collapses.
+  size_t domain_size = 256;
+};
+
+/// Target size of the block with rank `rank` (deterministic; no rng).
+size_t ZipfianBlockSize(size_t rank, const SkewedDbGenOptions& options);
+
+/// Like GenerateDatabaseForQuery, but with the Zipfian block-size histogram
+/// above instead of a uniform size range.
+GeneratedInstance GenerateSkewedDatabaseForQuery(
+    Rng& rng, const ConjunctiveQuery& query,
+    const SkewedDbGenOptions& options);
+
 /// Ans() :- R1(x0,x1), R2(x1,x2), ..., Rn(x_{n-1},x_n). Acyclic, ghw 1.
 ConjunctiveQuery ChainQuery(size_t length);
 

@@ -68,6 +68,59 @@ TEST(GeneratorsTest, GeneratedInstancesHaveNontrivialRf) {
   EXPECT_TRUE(found_fractional);
 }
 
+TEST(GeneratorsTest, ZipfianIndicesDeterministicAndSkewed) {
+  Rng a(42);
+  Rng b(42);
+  std::vector<size_t> draws = SampleZipfianIndices(a, 8, 2000, 1.5);
+  // Bit-identical replay from the same seed: the cache benchmarks depend on
+  // replaying the exact same request traffic across configurations.
+  EXPECT_EQ(draws, SampleZipfianIndices(b, 8, 2000, 1.5));
+  ASSERT_EQ(draws.size(), 2000u);
+  std::vector<size_t> freq(8, 0);
+  for (size_t r : draws) {
+    ASSERT_LT(r, 8u);
+    ++freq[r];
+  }
+  // Rank 0 carries ~48% of the Zipf(1.5) mass over 8 items vs ~2% for rank
+  // 7 — with 2000 draws the ordering cannot plausibly invert.
+  EXPECT_GT(freq[0], freq[7]);
+  EXPECT_GT(freq[0], 2000u / 4);
+
+  Rng c(7);
+  std::vector<size_t> uniform = SampleZipfianIndices(c, 5, 100, 0.0);
+  for (size_t r : uniform) ASSERT_LT(r, 5u);
+}
+
+TEST(GeneratorsTest, SkewedDatabaseDeterministicWithHotBlocks) {
+  ConjunctiveQuery q = ChainQuery(3);
+  SkewedDbGenOptions options;
+  options.blocks_per_relation = 16;
+  options.max_block_size = 6;
+  options.block_skew = 1.0;
+  options.domain_size = 200;  // large domain: block-key collisions unlikely
+  EXPECT_EQ(ZipfianBlockSize(0, options), 6u);
+  EXPECT_EQ(ZipfianBlockSize(1, options), 3u);
+  EXPECT_EQ(ZipfianBlockSize(11, options), 1u);
+
+  Rng a(5);
+  GeneratedInstance inst = GenerateSkewedDatabaseForQuery(a, q, options);
+  Rng b(5);
+  GeneratedInstance again = GenerateSkewedDatabaseForQuery(b, q, options);
+  EXPECT_EQ(inst.db, again.db);
+
+  BlockPartition blocks = BlockPartition::Compute(inst.db, inst.keys);
+  size_t hot = 0;
+  size_t singleton = 0;
+  for (const Block& blk : blocks.blocks()) {
+    if (blk.size() >= 4) ++hot;
+    if (blk.size() == 1) ++singleton;
+  }
+  // The histogram is skewed: a few hot blocks, a long consistent tail.
+  EXPECT_GE(hot, 3u);
+  EXPECT_GT(singleton, hot);
+  EXPECT_FALSE(IsConsistent(inst.db, inst.keys));
+}
+
 TEST(GeneratorsTest, RandomBipartiteIsConnectedAndBipartite) {
   for (uint64_t seed = 1; seed <= 10; ++seed) {
     Rng rng(seed);

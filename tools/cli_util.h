@@ -1,0 +1,38 @@
+// Helpers shared by the uocqa command-line front ends (uocqa_cli.cc's
+// --batch path and uocqa_serve.cc): strict numeric flag parsing and the
+// batch response/stats epilogue, kept in one place so the two binaries
+// cannot drift.
+
+#ifndef UOCQA_TOOLS_CLI_UTIL_H_
+#define UOCQA_TOOLS_CLI_UTIL_H_
+
+#include <cstdio>
+#include <vector>
+
+#include "service/request.h"
+#include "service/service.h"
+
+namespace uocqa {
+
+/// Strict size-flag parse (shared grammar with the request protocol);
+/// prints the error and fails on `-1`, junk, or out-of-range input.
+inline bool SizeFlag(const char* flag, const char* text, size_t* out) {
+  Status st = ParseSizeField(flag, text, out);
+  if (!st.ok()) std::fprintf(stderr, "%s\n", st.ToString().c_str());
+  return st.ok();
+}
+
+/// One result line per response on stdout, in request order, then the
+/// `served=N <cache stats>` summary on stderr (what the smoke tests grep).
+inline void PrintBatchResponses(const QueryService& service,
+                                const std::vector<ServiceResponse>& responses) {
+  for (size_t i = 0; i < responses.size(); ++i) {
+    std::printf("%s\n", FormatResponseLine(i + 1, responses[i]).c_str());
+  }
+  std::fprintf(stderr, "served=%zu %s\n", responses.size(),
+               service.stats().ToString().c_str());
+}
+
+}  // namespace uocqa
+
+#endif  // UOCQA_TOOLS_CLI_UTIL_H_

@@ -4,6 +4,7 @@
 //   uocqa --db FILE --query "Ans(x) :- R(x,y), S(y,z)"
 //         [--answer v1,v2,...] [--mode exact|fpras|mc|all]
 //         [--epsilon E] [--delta D] [--samples N] [--seed S] [--threads N]
+//   uocqa --db FILE --batch FILE [--threads N]
 //
 // The database file uses the text format of db/textio.h:
 //   key Emp = 1
@@ -11,11 +12,15 @@
 //   Emp(1, Tom)
 //
 // Prints RF_ur and RF_us for the given candidate answer under the chosen
-// solver(s). The full format and flag reference lives in docs/FORMATS.md.
+// solver(s). With --batch, runs every request line of the file through the
+// query service layer (plan & result caches, lanes = --threads) and prints
+// one result line each. Formats, flags, and the request line protocol are
+// specified in docs/FORMATS.md.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -24,6 +29,8 @@
 #include "db/textio.h"
 #include "ocqa/engine.h"
 #include "query/parser.h"
+#include "service/service.h"
+#include "cli_util.h"
 
 using namespace uocqa;
 
@@ -33,6 +40,7 @@ struct CliOptions {
   std::string db_path;
   std::string query_text;
   std::string answer_text;
+  std::string batch_path;
   std::string mode = "all";
   double epsilon = 0.2;
   double delta = 0.1;
@@ -46,8 +54,9 @@ void Usage(const char* argv0) {
       stderr,
       "usage: %s --db FILE --query 'Ans(..) :- ...' [--answer v1,v2]\n"
       "          [--mode exact|fpras|mc|all] [--epsilon E] [--delta D]\n"
-      "          [--samples N] [--seed S] [--threads N]\n",
-      argv0);
+      "          [--samples N] [--seed S] [--threads N]\n"
+      "       %s --db FILE --batch FILE [--threads N]\n",
+      argv0, argv0);
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* out) {
@@ -71,6 +80,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       const char* v = need_value("--answer");
       if (!v) return false;
       out->answer_text = v;
+    } else if (std::strcmp(argv[i], "--batch") == 0) {
+      const char* v = need_value("--batch");
+      if (!v) return false;
+      out->batch_path = v;
     } else if (std::strcmp(argv[i], "--mode") == 0) {
       const char* v = need_value("--mode");
       if (!v) return false;
@@ -85,16 +98,15 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       out->delta = std::atof(v);
     } else if (std::strcmp(argv[i], "--samples") == 0) {
       const char* v = need_value("--samples");
-      if (!v) return false;
-      out->samples = static_cast<size_t>(std::atoll(v));
+      if (!v || !SizeFlag("--samples", v, &out->samples)) return false;
     } else if (std::strcmp(argv[i], "--seed") == 0) {
       const char* v = need_value("--seed");
-      if (!v) return false;
-      out->seed = static_cast<uint64_t>(std::atoll(v));
+      size_t seed = 0;
+      if (!v || !SizeFlag("--seed", v, &seed)) return false;
+      out->seed = static_cast<uint64_t>(seed);
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       const char* v = need_value("--threads");
-      if (!v) return false;
-      out->threads = static_cast<size_t>(std::atoll(v));
+      if (!v || !SizeFlag("--threads", v, &out->threads)) return false;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return false;
@@ -105,7 +117,31 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
     std::fprintf(stderr, "unknown mode: %s\n", out->mode.c_str());
     return false;
   }
+  // Accuracy/budget validation is shared with the service request parser:
+  // bad values are usage errors here, per-request errors there.
+  Status accuracy =
+      ValidateAccuracy(out->epsilon, out->delta, out->samples);
+  if (!accuracy.ok()) {
+    std::fprintf(stderr, "%s\n", accuracy.ToString().c_str());
+    return false;
+  }
+  if (!out->batch_path.empty()) return !out->db_path.empty();
   return !out->db_path.empty() && !out->query_text.empty();
+}
+
+/// The --batch path: every request line of `path` through the service layer.
+int RunBatch(const CliOptions& opts, const ParsedInstance& inst) {
+  std::ifstream file(opts.batch_path);
+  if (!file) {
+    std::fprintf(stderr, "error: cannot read batch file '%s'\n",
+                 opts.batch_path.c_str());
+    return 1;
+  }
+  std::vector<std::string> lines = ReadRequestLines(file);
+  QueryService service(inst.db, inst.keys);
+  PrintBatchResponses(service,
+                      service.ExecuteBatchLines(lines, opts.threads));
+  return 0;
 }
 
 }  // namespace
@@ -121,6 +157,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", inst.status().ToString().c_str());
     return 1;
   }
+  if (!opts.batch_path.empty()) return RunBatch(opts, *inst);
   auto query = ParseQuery(opts.query_text, inst->db.schema());
   if (!query.ok()) {
     std::fprintf(stderr, "query error: %s\n",

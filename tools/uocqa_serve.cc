@@ -1,0 +1,127 @@
+// uocqa_serve — batch/serving front end over the query service layer.
+//
+// Usage:
+//   uocqa_serve --db FILE [--requests FILE] [--threads N]
+//               [--plan-cache N] [--result-cache N] [--max-width K]
+//
+// Loads one instance and serves many OCQA requests against it, one request
+// per line (from --requests FILE, else stdin), in the line protocol of
+// docs/FORMATS.md:
+//
+//   query='Ans(x) :- Emp(x, y)' answer=e1 mode=fpras epsilon=0.3
+//
+// Prints one result line per request on stdout, in request order, and a
+// cache-statistics summary line on stderr. Repeated queries hit the plan
+// cache (compiled decomposition/normal-form/automata state is reused);
+// repeated identical requests hit the result cache and replay the answer
+// byte-identically. Per-request failures become `N error '...'` lines, not
+// process failures.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "db/textio.h"
+#include "service/service.h"
+#include "cli_util.h"
+
+using namespace uocqa;
+
+namespace {
+
+struct ServeOptions {
+  std::string db_path;
+  std::string requests_path;  // empty = stdin
+  size_t threads = 0;         // batch lanes; 0 = hardware concurrency
+  ServiceOptions service;
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --db FILE [--requests FILE] [--threads N]\n"
+      "          [--plan-cache N] [--result-cache N] [--max-width K]\n"
+      "reads one request per line (see docs/FORMATS.md), writes one result\n"
+      "line per request on stdout and a stats summary on stderr\n",
+      argv0);
+}
+
+bool ParseArgs(int argc, char** argv, ServeOptions* out) {
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--db") == 0) {
+      const char* v = need_value("--db");
+      if (!v) return false;
+      out->db_path = v;
+    } else if (std::strcmp(argv[i], "--requests") == 0) {
+      const char* v = need_value("--requests");
+      if (!v) return false;
+      out->requests_path = v;
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      const char* v = need_value("--threads");
+      if (!v || !SizeFlag("--threads", v, &out->threads)) return false;
+    } else if (std::strcmp(argv[i], "--plan-cache") == 0) {
+      const char* v = need_value("--plan-cache");
+      if (!v ||
+          !SizeFlag("--plan-cache", v, &out->service.plan_cache_capacity)) {
+        return false;
+      }
+    } else if (std::strcmp(argv[i], "--result-cache") == 0) {
+      const char* v = need_value("--result-cache");
+      if (!v || !SizeFlag("--result-cache", v,
+                          &out->service.result_cache_capacity)) {
+        return false;
+      }
+    } else if (std::strcmp(argv[i], "--max-width") == 0) {
+      const char* v = need_value("--max-width");
+      if (!v || !SizeFlag("--max-width", v, &out->service.max_width)) {
+        return false;
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return false;
+    }
+  }
+  return !out->db_path.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServeOptions opts;
+  if (!ParseArgs(argc, argv, &opts)) {
+    Usage(argv[0]);
+    return 2;
+  }
+  auto inst = LoadInstanceFile(opts.db_path);
+  if (!inst.ok()) {
+    std::fprintf(stderr, "error: %s\n", inst.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<std::string> lines;
+  if (opts.requests_path.empty()) {
+    lines = ReadRequestLines(std::cin);
+  } else {
+    std::ifstream file(opts.requests_path);
+    if (!file) {
+      std::fprintf(stderr, "error: cannot read requests file '%s'\n",
+                   opts.requests_path.c_str());
+      return 1;
+    }
+    lines = ReadRequestLines(file);
+  }
+
+  QueryService service(inst->db, inst->keys, opts.service);
+  PrintBatchResponses(service, service.ExecuteBatchLines(lines, opts.threads));
+  return 0;
+}
