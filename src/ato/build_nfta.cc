@@ -138,6 +138,10 @@ Result<AtoNfta> BuildNftaFromDag(const ComputationDag& dag) {
   }
   nfta.SetInitial(root_set[0][0]);
   out.max_tree_size = std::max<size_t>(1, MaxOutputSize(dag));
+  // Warm the flattened view: every consumer of the artifact (exact counter,
+  // FPRAS, membership probes) runs on it, and warming here keeps the
+  // automaton safe to hand to concurrent readers as-is.
+  nfta.EnsureCompiled();
   return out;
 }
 

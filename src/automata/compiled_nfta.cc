@@ -1,0 +1,173 @@
+#include "automata/compiled_nfta.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace uocqa {
+
+CompiledNfta::CompiledNfta(const Nfta& nfta) {
+  state_count_ = nfta.state_count();
+  initial_ = nfta.initial();
+  max_rank_ = nfta.MaxRank();
+  words_per_set_ = (state_count_ + 63) / 64;
+
+  size_t n_trans = nfta.transition_count();
+  from_.reserve(n_trans);
+  symbol_.reserve(n_trans);
+  child_begin_.reserve(n_trans + 1);
+  from_offsets_.reserve(state_count_ + 1);
+
+  // Pass 1: flatten transitions in (from-state, insertion) order, inlining
+  // all children into one arena. Ids are therefore dense and pre-sorted by
+  // from-state: the by-from view is a plain index range.
+  size_t total_children = 0;
+  for (NftaState q = 0; q < state_count_; ++q) {
+    for (const NftaTransition& t : nfta.TransitionsFrom(q)) {
+      total_children += t.children.size();
+    }
+  }
+  children_arena_.reserve(total_children);
+  for (NftaState q = 0; q < state_count_; ++q) {
+    from_offsets_.push_back(static_cast<TransitionId>(from_.size()));
+    for (const NftaTransition& t : nfta.TransitionsFrom(q)) {
+      from_.push_back(t.from);
+      symbol_.push_back(t.symbol);
+      child_begin_.push_back(static_cast<uint32_t>(children_arena_.size()));
+      children_arena_.insert(children_arena_.end(), t.children.begin(),
+                             t.children.end());
+    }
+  }
+  from_offsets_.push_back(static_cast<TransitionId>(from_.size()));
+  child_begin_.push_back(static_cast<uint32_t>(children_arena_.size()));
+
+  // Pass 2: secondary index sorted by (symbol, rank), stable so each group
+  // keeps the (from, insertion) order of pass 1.
+  group_ids_.resize(from_.size());
+  for (size_t i = 0; i < group_ids_.size(); ++i) {
+    group_ids_[i] = static_cast<TransitionId>(i);
+  }
+  std::stable_sort(group_ids_.begin(), group_ids_.end(),
+                   [this](TransitionId a, TransitionId b) {
+                     if (symbol_[a] != symbol_[b]) {
+                       return symbol_[a] < symbol_[b];
+                     }
+                     return rank(a) < rank(b);
+                   });
+  size_t n_symbols = nfta.symbol_count();
+  symbol_offsets_.assign(n_symbols + 1, 0);
+  for (TransitionId id : group_ids_) ++symbol_offsets_[symbol_[id] + 1];
+  for (size_t s = 0; s < n_symbols; ++s) {
+    symbol_offsets_[s + 1] += symbol_offsets_[s];
+  }
+  for (uint32_t i = 0; i < group_ids_.size(); ++i) {
+    TransitionId id = group_ids_[i];
+    NftaSymbol sym = symbol_[id];
+    uint32_t r = rank(id);
+    if (symbol_rank_groups_.empty() ||
+        symbol_rank_groups_.back().symbol != sym ||
+        symbol_rank_groups_.back().rank != r) {
+      group_index_.emplace(
+          std::make_pair(sym, r),
+          static_cast<int32_t>(symbol_rank_groups_.size()));
+      symbol_rank_groups_.push_back({sym, r, i, i + 1});
+    } else {
+      symbol_rank_groups_.back().ids_end = i + 1;
+    }
+  }
+}
+
+void CompiledNfta::CombineBehaviors(NftaSymbol sym,
+                                    const uint64_t* const* child_sets,
+                                    uint32_t rank, uint64_t* out) const {
+  std::memset(out, 0, words_per_set_ * sizeof(uint64_t));
+  int32_t gi = GroupIndex(sym, rank);
+  if (gi < 0) return;
+  const SymbolRankGroup& g = symbol_rank_groups_[static_cast<size_t>(gi)];
+  for (uint32_t i = g.ids_begin; i < g.ids_end; ++i) {
+    TransitionId id = group_ids_[i];
+    const NftaState* kids = children(id);
+    bool ok = true;
+    for (uint32_t c = 0; c < rank; ++c) {
+      if (!TestBit(child_sets[c], kids[c])) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) SetBit(out, from_[id]);
+  }
+}
+
+void CompiledNfta::EvalInto(const LabeledTree& tree, Workspace* ws,
+                            size_t base) const {
+  size_t wps = words_per_set_;
+  size_t rank = tree.children.size();
+  ws->EnsureSlots(base + 1 + rank, wps);
+  // Child i's result lands in slot base+1+i; its own recursion scribbles on
+  // slots >= base+2+i, which only ever hold results of *later* siblings —
+  // not yet written — so results survive until the combine below.
+  for (size_t i = 0; i < rank; ++i) {
+    EvalInto(tree.children[i], ws, base + 1 + i);
+  }
+  // All EnsureSlots growth for this subtree happened above, so pointers
+  // taken from here on are stable.
+  uint64_t* slot = ws->slots.data() + base * wps;
+  if (rank == 0) {
+    CombineBehaviors(tree.symbol, nullptr, 0, slot);
+    return;
+  }
+  // Collect child-set pointers on the stack (max_rank is tiny in practice).
+  const uint64_t* child_ptrs_static[8];
+  std::vector<const uint64_t*> child_ptrs_dyn;
+  const uint64_t** child_ptrs = child_ptrs_static;
+  if (rank > 8) {
+    child_ptrs_dyn.resize(rank);
+    child_ptrs = child_ptrs_dyn.data();
+  }
+  for (size_t i = 0; i < rank; ++i) {
+    child_ptrs[i] = ws->slots.data() + (base + 1 + i) * wps;
+  }
+  CombineBehaviors(tree.symbol, child_ptrs, static_cast<uint32_t>(rank),
+                   slot);
+}
+
+void CompiledNfta::BehaviorOf(const LabeledTree& tree, Workspace* ws,
+                              uint64_t* out) const {
+  if (words_per_set_ == 0) return;
+  EvalInto(tree, ws, 0);
+  std::memcpy(out, ws->slots.data(), words_per_set_ * sizeof(uint64_t));
+}
+
+bool CompiledNfta::Accepts(const LabeledTree& tree, Workspace* ws) const {
+  return AcceptsFrom(initial_, tree, ws);
+}
+
+bool CompiledNfta::AcceptsFrom(NftaState q, const LabeledTree& tree,
+                               Workspace* ws) const {
+  if (q == kNoNftaState || q >= state_count_) return false;
+  EvalInto(tree, ws, 0);
+  return TestBit(ws->slots.data(), q);
+}
+
+std::vector<NftaState> CompiledNfta::AcceptingStates(const LabeledTree& tree,
+                                                     Workspace* ws) const {
+  std::vector<NftaState> out;
+  if (words_per_set_ == 0) return out;
+  EvalInto(tree, ws, 0);
+  AppendSetBits(ws->slots.data(), &out);
+  return out;
+}
+
+void CompiledNfta::AppendSetBits(const uint64_t* words,
+                                 std::vector<NftaState>* out) const {
+  for (size_t w = 0; w < words_per_set_; ++w) {
+    uint64_t bits = words[w];
+    while (bits != 0) {
+      unsigned tz = static_cast<unsigned>(__builtin_ctzll(bits));
+      out->push_back(static_cast<NftaState>(w * 64 + tz));
+      bits &= bits - 1;
+    }
+  }
+}
+
+}  // namespace uocqa

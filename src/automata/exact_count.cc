@@ -1,108 +1,170 @@
 #include "automata/exact_count.h"
 
 #include <algorithm>
-#include <functional>
 #include <cassert>
+#include <cstring>
 
 namespace uocqa {
 
-ExactTreeCounter::ExactTreeCounter(const Nfta& nfta) : nfta_(nfta) {
-  for (NftaState q = 0; q < nfta.state_count(); ++q) {
-    for (const NftaTransition& t : nfta.TransitionsFrom(q)) {
-      auto key = std::make_pair(t.symbol,
-                                static_cast<uint32_t>(t.children.size()));
-      auto [it, inserted] = by_symbol_rank_.try_emplace(key);
-      if (inserted) symbol_ranks_.push_back({t.symbol, t.children.size()});
-      it->second.push_back(&t);
-    }
+size_t ExactTreeCounter::ArenaRowHash::operator()(BehaviorId id) const {
+  const uint64_t* w = c->BehaviorWords(id);
+  size_t seed = c->words_;
+  for (size_t i = 0; i < c->words_; ++i) {
+    HashCombine(&seed, static_cast<size_t>(w[i]));
   }
+  return seed;
+}
+
+bool ExactTreeCounter::ArenaRowEq::operator()(BehaviorId a,
+                                              BehaviorId b) const {
+  return std::memcmp(c->BehaviorWords(a), c->BehaviorWords(b),
+                     c->words_ * sizeof(uint64_t)) == 0;
+}
+
+ExactTreeCounter::ExactTreeCounter(const Nfta& nfta)
+    : nfta_(nfta),
+      keep_(nfta.CompiledShared()),
+      c_(*keep_),
+      words_(c_.words_per_set()),
+      behavior_index_(/*bucket_count=*/64, ArenaRowHash{this},
+                      ArenaRowEq{this}) {
   levels_.resize(1);  // index 0 unused (trees have >= 1 node)
 }
 
-ExactTreeCounter::BehaviorId ExactTreeCounter::InternBehavior(
-    std::vector<NftaState> states) {
-  auto it = behavior_index_.find(states);
-  if (it != behavior_index_.end()) return it->second;
-  BehaviorId id = static_cast<BehaviorId>(behaviors_.size());
-  behaviors_.push_back(states);
-  behavior_index_.emplace(std::move(states), id);
-  return id;
+ExactTreeCounter::BehaviorId ExactTreeCounter::InternScratchRow() {
+  BehaviorId cand = static_cast<BehaviorId>(behavior_count_);
+  auto it = behavior_index_.find(cand);
+  if (it != behavior_index_.end()) {
+    behavior_arena_.resize(behavior_count_ * words_);  // pop the scratch row
+    return *it;
+  }
+  behavior_index_.insert(cand);
+  ++behavior_count_;
+  return cand;
 }
 
-std::vector<NftaState> ExactTreeCounter::Combine(
-    NftaSymbol sym, const std::vector<BehaviorId>& children) const {
-  std::vector<NftaState> out;
-  auto it = by_symbol_rank_.find(
-      {sym, static_cast<uint32_t>(children.size())});
-  if (it == by_symbol_rank_.end()) return out;
-  for (const NftaTransition* t : it->second) {
+int32_t ExactTreeCounter::CombineMemo(
+    int32_t group, const std::vector<BehaviorId>& children) {
+  combine_key_.clear();
+  combine_key_.reserve(children.size() + 1);
+  combine_key_.push_back(static_cast<uint32_t>(group));
+  combine_key_.insert(combine_key_.end(), children.begin(), children.end());
+  auto it = combine_memo_.find(combine_key_);
+  if (it != combine_memo_.end()) return it->second;
+
+  // Compute the behaviour into a scratch row appended to the arena; the
+  // bitset representation dedups states for free (no sort/unique pass).
+  const CompiledNfta::SymbolRankGroup& g =
+      c_.symbol_rank_groups()[static_cast<size_t>(group)];
+  assert(g.rank == children.size());
+  size_t old_size = behavior_arena_.size();
+  behavior_arena_.resize(old_size + words_, 0);
+  uint64_t* out = behavior_arena_.data() + old_size;
+  bool nonempty = false;
+  for (uint32_t i = g.ids_begin; i < g.ids_end; ++i) {
+    CompiledNfta::TransitionId id = c_.group_id(i);
+    const NftaState* kids = c_.children(id);
     bool ok = true;
-    for (size_t i = 0; i < children.size(); ++i) {
-      const std::vector<NftaState>& b = behaviors_[children[i]];
-      if (!std::binary_search(b.begin(), b.end(), t->children[i])) {
+    for (size_t ci = 0; ci < children.size(); ++ci) {
+      if (!CompiledNfta::TestBit(BehaviorWords(children[ci]), kids[ci])) {
         ok = false;
         break;
       }
     }
-    if (ok) out.push_back(t->from);
+    if (ok) {
+      CompiledNfta::SetBit(out, c_.from(id));
+      nonempty = true;
+    }
   }
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
-  return out;
+  int32_t result;
+  if (nonempty) {
+    result = static_cast<int32_t>(InternScratchRow());
+  } else {
+    behavior_arena_.resize(old_size);  // pop: ∅ is represented as -1
+    result = -1;
+  }
+  combine_memo_.emplace(combine_key_, result);
+  return result;
 }
 
+namespace {
+
+/// Composition enumeration for one (symbol, rank) group at one level:
+/// child sizes (s1..s_rank), si >= 1, sum = s-1, crossed with behaviour
+/// choices at each child size. Plain struct recursion (no std::function
+/// allocation on this hot path).
+struct Enumerator {
+  ExactTreeCounter* self = nullptr;
+  int32_t group = 0;
+  size_t rank = 0;
+  const std::vector<std::vector<std::pair<uint32_t, BigInt>>>* levels;
+  std::vector<uint32_t>* chosen;
+  std::unordered_map<uint32_t, BigInt>* out;
+  int32_t (ExactTreeCounter::*combine)(int32_t,
+                                       const std::vector<uint32_t>&);
+
+  void Run(size_t pos, size_t remaining, const BigInt& count) {
+    if (pos == rank) {
+      if (remaining != 0) return;
+      int32_t b = (self->*combine)(group, *chosen);
+      if (b >= 0) (*out)[static_cast<uint32_t>(b)] += count;
+      return;
+    }
+    size_t max_here = remaining - (rank - pos - 1);
+    for (size_t si = 1; si <= max_here; ++si) {
+      for (const auto& [bid, cnt] : (*levels)[si]) {
+        (*chosen)[pos] = bid;
+        Run(pos + 1, remaining - si, count * cnt);
+      }
+    }
+  }
+};
+
+}  // namespace
+
 void ExactTreeCounter::ComputeUpTo(size_t size) {
+  const std::vector<CompiledNfta::SymbolRankGroup>& groups =
+      c_.symbol_rank_groups();
+  std::vector<BehaviorId> chosen;
   while (levels_.size() <= size) {
     size_t s = levels_.size();
-    std::unordered_map<BehaviorId, BigInt> level;
-    for (const auto& [sym, rank] : symbol_ranks_) {
+    level_scratch_.clear();
+    for (size_t gi = 0; gi < groups.size(); ++gi) {
+      size_t rank = groups[gi].rank;
       if (rank == 0) {
         if (s != 1) continue;
-        std::vector<NftaState> behavior = Combine(sym, {});
-        if (!behavior.empty()) {
-          level[InternBehavior(std::move(behavior))] += uint64_t{1};
-        }
+        int32_t b = CombineMemo(static_cast<int32_t>(gi), {});
+        if (b >= 0) level_scratch_[static_cast<BehaviorId>(b)] += uint64_t{1};
         continue;
       }
       if (s < rank + 1) continue;
-      // Enumerate compositions (s1..s_rank), si >= 1, sum = s-1, together
-      // with behaviour choices at each child size.
-      std::vector<BehaviorId> chosen(rank);
-      std::vector<size_t> sizes(rank);
-      std::function<void(size_t, size_t, BigInt)> rec =
-          [&](size_t pos, size_t remaining, BigInt count) {
-            if (pos == rank) {
-              if (remaining != 0) return;
-              std::vector<NftaState> behavior = Combine(sym, chosen);
-              if (!behavior.empty()) {
-                level[InternBehavior(std::move(behavior))] += count;
-              }
-              return;
-            }
-            size_t min_here = 1;
-            size_t max_here = remaining - (rank - pos - 1);
-            for (size_t si = min_here; si <= max_here; ++si) {
-              if (si >= levels_.size()) break;  // cannot happen: si < s
-              for (const auto& [bid, cnt] : levels_[si]) {
-                chosen[pos] = bid;
-                sizes[pos] = si;
-                rec(pos + 1, remaining - si, count * cnt);
-              }
-            }
-          };
-      rec(0, s - 1, BigInt(1));
+      chosen.assign(rank, 0);
+      Enumerator e{this,    static_cast<int32_t>(gi),
+                   rank,    &levels_,
+                   &chosen, &level_scratch_,
+                   &ExactTreeCounter::CombineMemo};
+      e.Run(0, s - 1, BigInt(1));
     }
+    // Flatten the finished level to an id-sorted vector: deterministic,
+    // cache-friendly iteration for all higher levels.
+    std::vector<std::pair<BehaviorId, BigInt>> level;
+    level.reserve(level_scratch_.size());
+    for (auto& [bid, cnt] : level_scratch_) {
+      level.emplace_back(bid, std::move(cnt));
+    }
+    std::sort(level.begin(), level.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    assert(levels_.size() == s && "levels_ must be append-only");
     levels_.push_back(std::move(level));
   }
 }
 
 BigInt ExactTreeCounter::CountExactSizeFrom(NftaState q, size_t size) {
-  if (size == 0) return BigInt();
+  if (size == 0 || q >= c_.state_count()) return BigInt();
   ComputeUpTo(size);
   BigInt out;
   for (const auto& [bid, cnt] : levels_[size]) {
-    const std::vector<NftaState>& b = behaviors_[bid];
-    if (std::binary_search(b.begin(), b.end(), q)) out += cnt;
+    if (CompiledNfta::TestBit(BehaviorWords(bid), q)) out += cnt;
   }
   return out;
 }
@@ -113,8 +175,15 @@ BigInt ExactTreeCounter::CountExactSize(size_t size) {
 }
 
 BigInt ExactTreeCounter::CountUpTo(size_t max_size) {
+  NftaState q = nfta_.initial();
+  if (q == kNoNftaState || q >= c_.state_count()) return BigInt();
+  ComputeUpTo(max_size);  // one pass; levels are computed at most once ever
   BigInt out;
-  for (size_t s = 1; s <= max_size; ++s) out += CountExactSize(s);
+  for (size_t s = 1; s <= max_size && s < levels_.size(); ++s) {
+    for (const auto& [bid, cnt] : levels_[s]) {
+      if (CompiledNfta::TestBit(BehaviorWords(bid), q)) out += cnt;
+    }
+  }
   return out;
 }
 

@@ -8,23 +8,41 @@
 // number of states (the DP implicitly determinizes) — which is exactly the
 // gap the FPRAS (fpras.h) closes; the benchmark suite exhibits the
 // crossover.
+//
+// Hot-path layout (see docs/ARCHITECTURE.md): the DP runs over the
+// automaton's CompiledNfta view. Behaviours are fixed-width bitsets stored
+// in one flat arena (O(1) membership, word-wise hash/equality — the old
+// sorted-vector + binary_search representation is gone), the Combine step
+// is memoized on (symbol-rank group, child behaviour ids), and per-level
+// counts use BigInt's small-value fast path for the overwhelmingly common
+// word-sized counts.
 
 #ifndef UOCQA_AUTOMATA_EXACT_COUNT_H_
 #define UOCQA_AUTOMATA_EXACT_COUNT_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "base/bigint.h"
 #include "base/hashing.h"
+#include "automata/compiled_nfta.h"
 #include "automata/nfta.h"
 
 namespace uocqa {
 
 class ExactTreeCounter {
  public:
+  /// Wraps `nfta` (not owned; must outlive this object and stay unchanged —
+  /// the counter holds the automaton's compiled view).
   explicit ExactTreeCounter(const Nfta& nfta);
+
+  // Non-copyable/movable: the behaviour intern table's hash/equality
+  // functors point back into this object's arena.
+  ExactTreeCounter(const ExactTreeCounter&) = delete;
+  ExactTreeCounter& operator=(const ExactTreeCounter&) = delete;
 
   /// Number of distinct trees of exactly `size` nodes accepted from the
   /// initial state.
@@ -33,43 +51,64 @@ class ExactTreeCounter {
   /// Number of distinct trees of exactly `size` nodes accepted from `q`.
   BigInt CountExactSizeFrom(NftaState q, size_t size);
 
-  /// |⋃_{1 <= s <= max_size} L_s(A)| — the ♯NFTA quantity.
+  /// |⋃_{1 <= s <= max_size} L_s(A)| — the ♯NFTA quantity. Levels already
+  /// computed by earlier calls are reused, never re-derived.
   BigInt CountUpTo(size_t max_size);
 
   /// Number of distinct behaviours materialized so far (diagnostics).
-  size_t BehaviorCount() const { return behaviors_.size(); }
+  size_t BehaviorCount() const { return behavior_count_; }
 
  private:
   using BehaviorId = uint32_t;
 
-  BehaviorId InternBehavior(std::vector<NftaState> states);
+  /// Hash/equality over rows of the behaviour arena, so the intern table
+  /// stores 4-byte ids instead of owning word vectors.
+  struct ArenaRowHash {
+    const ExactTreeCounter* c;
+    size_t operator()(BehaviorId id) const;
+  };
+  struct ArenaRowEq {
+    const ExactTreeCounter* c;
+    bool operator()(BehaviorId a, BehaviorId b) const;
+  };
 
-  /// Ensures levels_ is filled up to `size`.
+  const uint64_t* BehaviorWords(BehaviorId id) const {
+    return behavior_arena_.data() + static_cast<size_t>(id) * words_;
+  }
+
+  /// Interns the candidate behaviour sitting in the scratch row at the end
+  /// of the arena (appended by the caller): returns the existing id and
+  /// pops the row, or keeps the row as a fresh id.
+  BehaviorId InternScratchRow();
+
+  /// Ensures levels_ is filled up to `size` (append-only).
   void ComputeUpTo(size_t size);
 
-  /// Behaviour of a tree with root symbol `sym` whose children have the
-  /// given behaviours.
-  std::vector<NftaState> Combine(NftaSymbol sym,
-                                 const std::vector<BehaviorId>& children)
-      const;
+  /// Behaviour of a tree with root symbol-rank group `group` whose children
+  /// have the given behaviours; memoized. Returns the behaviour id, or -1
+  /// for the empty behaviour (such trees can never join an accepted tree).
+  int32_t CombineMemo(int32_t group, const std::vector<BehaviorId>& children);
 
   const Nfta& nfta_;
-  // Transitions grouped by (symbol, rank).
-  std::unordered_map<std::pair<uint32_t, uint32_t>,
-                     std::vector<const NftaTransition*>,
-                     PairHash<uint32_t, uint32_t>>
-      by_symbol_rank_;
-  std::vector<std::pair<NftaSymbol, size_t>> symbol_ranks_;  // distinct keys
+  std::shared_ptr<const CompiledNfta> keep_;  // owns the compiled snapshot
+  const CompiledNfta& c_;                     // *keep_
+  size_t words_ = 0;                          // bitset words per behaviour
 
-  std::vector<std::vector<NftaState>> behaviors_;
-  std::unordered_map<std::vector<NftaState>, BehaviorId,
-                     VectorHash<NftaState>>
-      behavior_index_;
+  // Behaviour arena: behaviour id -> `words_` contiguous uint64s.
+  std::vector<uint64_t> behavior_arena_;
+  size_t behavior_count_ = 0;
+  std::unordered_set<BehaviorId, ArenaRowHash, ArenaRowEq> behavior_index_;
 
-  // levels_[s] maps behaviour -> number of distinct trees of size s with
-  // exactly that behaviour (behaviour-∅ trees are dropped: they can never
-  // participate in an accepted tree).
-  std::vector<std::unordered_map<BehaviorId, BigInt>> levels_;
+  // Combine memo: [group, child ids...] -> behaviour id or -1.
+  std::unordered_map<std::vector<uint32_t>, int32_t, VectorHash<uint32_t>>
+      combine_memo_;
+  std::vector<uint32_t> combine_key_;  // scratch key (reused)
+
+  // levels_[s]: behaviour id -> number of distinct trees of size s with
+  // exactly that behaviour (behaviour-∅ trees are dropped), flattened to
+  // id-sorted vectors once a level is complete. Append-only.
+  std::vector<std::vector<std::pair<BehaviorId, BigInt>>> levels_;
+  std::unordered_map<BehaviorId, BigInt> level_scratch_;
 };
 
 }  // namespace uocqa

@@ -1,20 +1,35 @@
 #include "automata/fpras.h"
 
 #include <algorithm>
-#include <functional>
 #include <cassert>
 #include <cmath>
+#include <functional>
 
 namespace uocqa {
 
-NftaFpras::NftaFpras(const Nfta& nfta, FprasConfig config, ThreadPool* pool)
-    : nfta_(nfta), config_(config), rng_(config.seed), external_pool_(pool) {
-  if (config_.threads != 1) {
-    // Warm the automaton's lazy symbol index before any parallel section:
-    // afterwards the membership oracle (AcceptingStates) is read-only.
-    nfta_.EnsureSymbolIndex();
-  }
+namespace {
+
+/// Proportional pick shared by every selection on the sampling path: the
+/// first index j with r < prefix[j+1], clamped to the last index — exactly
+/// the element the legacy linear scan (`acc += size; if (r < acc) break;`)
+/// selected, found by binary search. `prefix` has m+1 entries for m items
+/// (m >= 1) and is non-decreasing.
+size_t PickIndex(const std::vector<double>& prefix, double r) {
+  size_t m = prefix.size() - 1;
+  auto it = std::upper_bound(prefix.begin() + 1,
+                             prefix.begin() + static_cast<ptrdiff_t>(m), r);
+  return static_cast<size_t>(it - (prefix.begin() + 1));
 }
+
+}  // namespace
+
+NftaFpras::NftaFpras(const Nfta& nfta, FprasConfig config, ThreadPool* pool)
+    : nfta_(nfta),
+      compiled_keep_(nfta.CompiledShared()),
+      c_(*compiled_keep_),
+      config_(config),
+      rng_(config.seed),
+      external_pool_(pool) {}
 
 ThreadPool* NftaFpras::pool() {
   if (config_.threads == 1) return nullptr;
@@ -25,11 +40,14 @@ ThreadPool* NftaFpras::pool() {
   return owned_pool_.get();
 }
 
+const NftaFpras::Cell* NftaFpras::FindCell(NftaState q, size_t size) const {
+  auto it = cells_.find({q, size});
+  return it == cells_.end() ? nullptr : &it->second;
+}
+
 NftaFpras::Cell& NftaFpras::GetCell(NftaState q, size_t size) {
-  auto key = std::make_pair(q, size);
-  auto it = cells_.find(key);
-  if (it != cells_.end() && it->second.computed) return it->second;
-  Cell& cell = cells_[key];
+  auto [it, inserted] = cells_.try_emplace({q, size});
+  Cell& cell = it->second;
   if (cell.computed) return cell;
   // Mark first to guard against (impossible) cycles: child sizes are
   // strictly smaller.
@@ -38,22 +56,24 @@ NftaFpras::Cell& NftaFpras::GetCell(NftaState q, size_t size) {
 
   // Build components, grouped by (symbol, child sizes).
   std::map<std::pair<NftaSymbol, std::vector<size_t>>, size_t> group_index;
-  for (const NftaTransition& t : nfta_.TransitionsFrom(q)) {
-    size_t rank = t.children.size();
+  CompiledNfta::IdRange range = c_.TransitionsFrom(q);
+  for (CompiledNfta::TransitionId tid = range.begin; tid < range.end; ++tid) {
+    size_t rank = c_.rank(tid);
     if (rank == 0) {
       if (size != 1) continue;
-      Component c;
-      c.transition = &t;
-      c.size = 1.0;
-      auto key2 = config_.group_disjoint_components
-                      ? std::make_pair(t.symbol, std::vector<size_t>{})
-                      : std::make_pair(NftaSymbol{0}, std::vector<size_t>{});
-      auto [git, inserted] = group_index.try_emplace(key2, cell.groups.size());
-      if (inserted) cell.groups.emplace_back();
-      cell.groups[git->second].components.push_back(std::move(c));
+      Component comp;
+      comp.transition = tid;
+      comp.size = 1.0;
+      auto key = config_.group_disjoint_components
+                     ? std::make_pair(c_.symbol(tid), std::vector<size_t>{})
+                     : std::make_pair(NftaSymbol{0}, std::vector<size_t>{});
+      auto [git, fresh] = group_index.try_emplace(key, cell.groups.size());
+      if (fresh) cell.groups.emplace_back();
+      cell.groups[git->second].components.push_back(std::move(comp));
       continue;
     }
     if (size < rank + 1) continue;
+    const NftaState* kids = c_.children(tid);
     // Enumerate compositions of size-1 into `rank` positive parts.
     std::vector<size_t> sizes(rank, 1);
     std::function<void(size_t, size_t)> rec = [&](size_t pos,
@@ -62,20 +82,19 @@ NftaFpras::Cell& NftaFpras::GetCell(NftaState q, size_t size) {
         if (remaining != 0) return;
         double prod = 1.0;
         for (size_t i = 0; i < rank && prod > 0; ++i) {
-          prod *= GetCell(t.children[i], sizes[i]).estimate;
+          prod *= GetCell(kids[i], sizes[i]).estimate;
         }
         if (prod <= 0) return;
-        Component c;
-        c.transition = &t;
-        c.child_sizes = sizes;
-        c.size = prod;
-        auto key2 = config_.group_disjoint_components
-                        ? std::make_pair(t.symbol, sizes)
-                        : std::make_pair(NftaSymbol{0}, std::vector<size_t>{});
-        auto [git, inserted] =
-            group_index.try_emplace(key2, cell.groups.size());
-        if (inserted) cell.groups.emplace_back();
-        cell.groups[git->second].components.push_back(std::move(c));
+        Component comp;
+        comp.transition = tid;
+        comp.child_sizes = sizes;
+        comp.size = prod;
+        auto key = config_.group_disjoint_components
+                       ? std::make_pair(c_.symbol(tid), sizes)
+                       : std::make_pair(NftaSymbol{0}, std::vector<size_t>{});
+        auto [git, fresh] = group_index.try_emplace(key, cell.groups.size());
+        if (fresh) cell.groups.emplace_back();
+        cell.groups[git->second].components.push_back(std::move(comp));
         return;
       }
       size_t max_here = remaining - (rank - pos - 1);
@@ -88,37 +107,98 @@ NftaFpras::Cell& NftaFpras::GetCell(NftaState q, size_t size) {
   }
 
   double total = 0;
+  cell.group_prefix.reserve(cell.groups.size() + 1);
+  cell.group_prefix.push_back(0);
   for (Group& g : cell.groups) {
+    // Left-to-right prefix sums: prefix.back() reproduces the legacy
+    // accumulated `sum` bit-for-bit.
+    g.prefix.reserve(g.components.size() + 1);
+    g.prefix.push_back(0);
+    for (const Component& comp : g.components) {
+      g.prefix.push_back(g.prefix.back() + comp.size);
+    }
     g.estimate = EstimateGroup(&g);
     total += g.estimate;
+    cell.group_prefix.push_back(cell.group_prefix.back() + g.estimate);
   }
   cell.estimate = total;
   return cell;
 }
 
-int NftaFpras::MinIndex(const Group& group, const LabeledTree& tree) const {
-  // Compute each child's behaviour (and size) once; with grouping enabled
-  // all components share root symbol and child sizes, without it the
-  // per-component checks below filter mismatches.
-  std::vector<std::vector<NftaState>> behaviors;
-  std::vector<size_t> child_sizes;
-  behaviors.reserve(tree.children.size());
-  for (const LabeledTree& c : tree.children) {
-    behaviors.push_back(nfta_.AcceptingStates(c));
-    child_sizes.push_back(c.Size());
+void NftaFpras::EvalNodeBehavior(const TreePool& pool, uint32_t node,
+                                 CompiledNfta::Workspace* ws,
+                                 size_t base) const {
+  // Recursive bitset run over pooled nodes, same slot discipline as
+  // CompiledNfta::EvalInto: result at `base`, subtree scratch above.
+  size_t wps = c_.words_per_set();
+  size_t rank = 0;
+  for (uint32_t ch = pool.nodes[node].first_child; ch != TreePool::kNil;
+       ch = pool.nodes[ch].next_sibling) {
+    ++rank;
   }
+  ws->EnsureSlots(base + 1 + rank, wps);
+  size_t i = 0;
+  for (uint32_t ch = pool.nodes[node].first_child; ch != TreePool::kNil;
+       ch = pool.nodes[ch].next_sibling) {
+    EvalNodeBehavior(pool, ch, ws, base + 1 + (i++));
+  }
+  const uint64_t* child_ptrs_static[8];
+  std::vector<const uint64_t*> child_ptrs_dyn;
+  const uint64_t** child_ptrs = child_ptrs_static;
+  if (rank > 8) {
+    child_ptrs_dyn.resize(rank);
+    child_ptrs = child_ptrs_dyn.data();
+  }
+  for (size_t j = 0; j < rank; ++j) {
+    child_ptrs[j] = ws->slots.data() + (base + 1 + j) * wps;
+  }
+  c_.CombineBehaviors(pool.nodes[node].symbol,
+                      rank == 0 ? nullptr : child_ptrs,
+                      static_cast<uint32_t>(rank),
+                      ws->slots.data() + base * wps);
+}
+
+int NftaFpras::MinIndexFlat(const Group& group, uint32_t root,
+                            SampleCtx* ctx) const {
+  const TreePool& pool = ctx->pool;
+  const TreePool::Node& root_node = pool.nodes[root];
+  size_t wps = c_.words_per_set();
+
+  // Compute each child's behaviour (bitset run) and collect its cached
+  // size, once per call; with grouping enabled all components share root
+  // symbol and child sizes, without it the per-component checks below
+  // filter mismatches.
+  size_t n_children = 0;
+  for (uint32_t ch = root_node.first_child; ch != TreePool::kNil;
+       ch = pool.nodes[ch].next_sibling) {
+    ++n_children;
+  }
+  // Child i's behaviour lands in slot i; slots are assigned bottom-up so
+  // sibling results at lower slots survive later siblings' scratch.
+  ctx->ws.EnsureSlots(n_children, wps);
+  {
+    size_t i = 0;
+    for (uint32_t ch = root_node.first_child; ch != TreePool::kNil;
+         ch = pool.nodes[ch].next_sibling) {
+      EvalNodeBehavior(pool, ch, &ctx->ws, i++);
+    }
+  }
+
   for (size_t j = 0; j < group.components.size(); ++j) {
     const Component& comp = group.components[j];
-    const NftaTransition* t = comp.transition;
-    if (t->symbol != tree.symbol ||
-        t->children.size() != tree.children.size() ||
-        comp.child_sizes != child_sizes) {
+    CompiledNfta::TransitionId tid = comp.transition;
+    if (c_.symbol(tid) != root_node.symbol ||
+        c_.rank(tid) != n_children ||
+        comp.child_sizes.size() != n_children) {
       continue;
     }
+    const NftaState* kids = c_.children(tid);
     bool ok = true;
-    for (size_t i = 0; i < t->children.size(); ++i) {
-      if (!std::binary_search(behaviors[i].begin(), behaviors[i].end(),
-                              t->children[i])) {
+    size_t i = 0;
+    for (uint32_t ch = root_node.first_child; ch != TreePool::kNil;
+         ch = pool.nodes[ch].next_sibling, ++i) {
+      if (pool.nodes[ch].size != comp.child_sizes[i] ||
+          !CompiledNfta::TestBit(ctx->ws.slots.data() + i * wps, kids[i])) {
         ok = false;
         break;
       }
@@ -128,23 +208,65 @@ int NftaFpras::MinIndex(const Group& group, const LabeledTree& tree) const {
   return -1;
 }
 
-std::optional<LabeledTree> NftaFpras::SampleComponent(Rng& rng,
-                                                      const Component& c) {
-  LabeledTree out(c.transition->symbol);
-  for (size_t i = 0; i < c.child_sizes.size(); ++i) {
-    std::optional<LabeledTree> child =
-        Sample(rng, c.transition->children[i], c.child_sizes[i]);
-    if (!child.has_value()) return std::nullopt;
-    out.children.push_back(std::move(*child));
+uint32_t NftaFpras::SampleComponentFlat(Rng& rng, const Component& comp,
+                                        SampleCtx* ctx) {
+  CompiledNfta::TransitionId tid = comp.transition;
+  uint32_t total = 1;
+  for (size_t s : comp.child_sizes) total += static_cast<uint32_t>(s);
+  uint32_t node = ctx->pool.New(c_.symbol(tid), total);
+  const NftaState* kids = c_.children(tid);
+  for (size_t i = 0; i < comp.child_sizes.size(); ++i) {
+    uint32_t child = SampleFlat(rng, kids[i], comp.child_sizes[i], ctx);
+    if (child == TreePool::kNil) return TreePool::kNil;
+    ctx->pool.AddChild(node, child);
   }
-  return out;
+  return node;
+}
+
+uint32_t NftaFpras::SampleFlat(Rng& rng, NftaState q, size_t size,
+                               SampleCtx* ctx) {
+  // Read-only: every cell this can touch was built by the GetCell call
+  // that preceded the sampling (component construction recurses through
+  // all child cells), so trial threads never mutate `cells_`.
+  const Cell* cell = FindCell(q, size);
+  assert(cell != nullptr && cell->computed);
+  if (cell == nullptr || cell->estimate <= 0 || cell->groups.empty()) {
+    return TreePool::kNil;
+  }
+  for (size_t attempt = 0; attempt < config_.max_rejection_attempts;
+       ++attempt) {
+    // Pick a group proportionally to its (union) estimate, then a component
+    // proportionally to its size, then apply minimal-index rejection. One
+    // uniform per pick, binary-searched over the cached prefix sums.
+    double r = rng.UniformDouble() * cell->estimate;
+    size_t gi = PickIndex(cell->group_prefix, r);
+    const Group& g = cell->groups[gi];
+    if (g.components.empty()) continue;
+    double csum = g.prefix.back();
+    if (csum <= 0) continue;
+    double rc = rng.UniformDouble() * csum;
+    size_t j = PickIndex(g.prefix, rc);
+    uint32_t t = SampleComponentFlat(rng, g.components[j], ctx);
+    if (t == TreePool::kNil) continue;
+    int min_idx = MinIndexFlat(g, t, ctx);
+    if (min_idx >= 0 && static_cast<size_t>(min_idx) == j) return t;
+    // Rejected: t belongs to an earlier component; retry.
+  }
+  // Rejection budget exhausted: return any sample (slight bias) so callers
+  // always make progress on non-empty languages.
+  for (const Group& g : cell->groups) {
+    for (const Component& comp : g.components) {
+      uint32_t t = SampleComponentFlat(rng, comp, ctx);
+      if (t != TreePool::kNil) return t;
+    }
+  }
+  return TreePool::kNil;
 }
 
 double NftaFpras::EstimateGroup(Group* group) {
   std::vector<Component>& comps = group->components;
   if (comps.empty()) return 0;
-  double sum = 0;
-  for (const Component& c : comps) sum += c.size;
+  double sum = group->prefix.back();
   if (comps.size() == 1 || sum <= 0) return sum;
 
   // Karp–Luby–Madras: estimate = sum * Pr[sampled (j, t) has j minimal].
@@ -165,23 +287,21 @@ double NftaFpras::EstimateGroup(Group* group) {
   std::vector<std::pair<size_t, size_t>> counts(chunks);  // hits, performed
   auto run_chunk = [&](size_t c) {
     Rng rng = Rng::Stream(union_seed, c);
+    SampleCtx ctx;  // pool + bitset scratch, reused across this chunk
     size_t begin = c * kTrialChunk;
     size_t end = std::min(samples, begin + kTrialChunk);
     size_t hits = 0;
     size_t performed = 0;
     for (size_t i = begin; i < end; ++i) {
-      // Pick a component proportionally to its estimated size.
+      // Pick a component proportionally to its estimated size (one
+      // uniform, binary search over the prefix sums).
       double r = rng.UniformDouble() * sum;
-      size_t j = 0;
-      double acc = 0;
-      for (; j + 1 < m; ++j) {
-        acc += comps[j].size;
-        if (r < acc) break;
-      }
-      std::optional<LabeledTree> t = SampleComponent(rng, comps[j]);
-      if (!t.has_value()) continue;
+      size_t j = PickIndex(group->prefix, r);
+      ctx.pool.Clear();
+      uint32_t t = SampleComponentFlat(rng, comps[j], &ctx);
+      if (t == TreePool::kNil) continue;
       ++performed;
-      int min_idx = MinIndex(*group, *t);
+      int min_idx = MinIndexFlat(*group, t, &ctx);
       assert(min_idx >= 0);
       if (static_cast<size_t>(min_idx) == j) ++hits;
     }
@@ -201,46 +321,21 @@ double NftaFpras::EstimateGroup(Group* group) {
 
 std::optional<LabeledTree> NftaFpras::Sample(Rng& rng, NftaState q,
                                              size_t size) {
-  Cell& cell = GetCell(q, size);
-  if (cell.estimate <= 0 || cell.groups.empty()) return std::nullopt;
-  for (size_t attempt = 0; attempt < config_.max_rejection_attempts;
-       ++attempt) {
-    // Pick a group proportionally to its (union) estimate, then a component
-    // proportionally to its size, then apply minimal-index rejection.
-    double r = rng.UniformDouble() * cell.estimate;
-    size_t gi = 0;
-    double acc = 0;
-    for (; gi + 1 < cell.groups.size(); ++gi) {
-      acc += cell.groups[gi].estimate;
-      if (r < acc) break;
+  GetCell(q, size);  // builds every reachable cell (serial)
+  sample_ctx_.pool.Clear();
+  uint32_t root = SampleFlat(rng, q, size, &sample_ctx_);
+  if (root == TreePool::kNil) return std::nullopt;
+  // Materialize the winner only (trial rejects never touch the heap).
+  std::function<LabeledTree(uint32_t)> build =
+      [&](uint32_t n) -> LabeledTree {
+    LabeledTree out(sample_ctx_.pool.nodes[n].symbol);
+    for (uint32_t ch = sample_ctx_.pool.nodes[n].first_child;
+         ch != TreePool::kNil; ch = sample_ctx_.pool.nodes[ch].next_sibling) {
+      out.children.push_back(build(ch));
     }
-    Group& g = cell.groups[gi];
-    if (g.components.empty()) continue;
-    double csum = 0;
-    for (const Component& c : g.components) csum += c.size;
-    if (csum <= 0) continue;
-    double rc = rng.UniformDouble() * csum;
-    size_t j = 0;
-    double cacc = 0;
-    for (; j + 1 < g.components.size(); ++j) {
-      cacc += g.components[j].size;
-      if (rc < cacc) break;
-    }
-    std::optional<LabeledTree> t = SampleComponent(rng, g.components[j]);
-    if (!t.has_value()) continue;
-    int min_idx = MinIndex(g, *t);
-    if (min_idx >= 0 && static_cast<size_t>(min_idx) == j) return t;
-    // Rejected: t belongs to an earlier component; retry.
-  }
-  // Rejection budget exhausted: return any sample (slight bias) so callers
-  // always make progress on non-empty languages.
-  for (Group& g : cell.groups) {
-    for (const Component& c : g.components) {
-      std::optional<LabeledTree> t = SampleComponent(rng, c);
-      if (t.has_value()) return t;
-    }
-  }
-  return std::nullopt;
+    return out;
+  };
+  return build(root);
 }
 
 double NftaFpras::EstimateFrom(NftaState q, size_t size) {

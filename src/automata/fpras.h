@@ -16,6 +16,16 @@
 // decomposition but direct recursive estimation with per-union sample
 // budgets chosen empirically, validated against the exact behaviour-set
 // counter in tests (E5). Estimates are doubles (counts up to ~1e308).
+//
+// Hot-path layout (see docs/ARCHITECTURE.md): the estimator runs over the
+// automaton's CompiledNfta view. Proportional selection uses per-group /
+// per-cell prefix-sum arrays probed by binary search — consuming exactly
+// one uniform per pick, with the partial sums accumulated in the same
+// left-to-right order as the old linear scan, so estimates and samples are
+// bit-identical to the pre-flattening implementation at the same seed.
+// Trial trees are built in a per-chunk node pool (no per-node heap
+// LabeledTree), each node caching its subtree size; the membership oracle
+// is the compiled bitset run.
 
 #ifndef UOCQA_AUTOMATA_FPRAS_H_
 #define UOCQA_AUTOMATA_FPRAS_H_
@@ -24,10 +34,14 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "base/hashing.h"
 #include "base/rng.h"
 #include "base/thread_pool.h"
+#include "automata/compiled_nfta.h"
 #include "automata/nfta.h"
 
 namespace uocqa {
@@ -62,9 +76,10 @@ struct FprasConfig {
 
 class NftaFpras {
  public:
-  /// Wraps `nfta` (not owned; must outlive this object and stay unchanged).
-  /// When `config.threads != 1`, KLM trials run on `pool` if given, else on
-  /// an internally owned pool of `config.threads` lanes.
+  /// Wraps `nfta` (not owned; must outlive this object and stay unchanged;
+  /// the estimator snapshots its compiled view). When `config.threads != 1`,
+  /// KLM trials run on `pool` if given, else on an internally owned pool of
+  /// `config.threads` lanes.
   NftaFpras(const Nfta& nfta, FprasConfig config = {},
             ThreadPool* pool = nullptr);
 
@@ -78,30 +93,75 @@ class NftaFpras {
   double EstimateFrom(NftaState q, size_t size);
 
   /// Approximately-uniform sample from L(q, s); nullopt if (estimated)
-  /// empty.
+  /// empty. Serial (unlike the estimation paths, which may use the pool).
   std::optional<LabeledTree> Sample(Rng& rng, NftaState q, size_t size);
 
   /// Total number of union estimations performed (diagnostics).
   size_t union_estimations() const { return union_estimations_; }
 
  private:
+  /// Pool-backed flat trees for rejection trials: one contiguous node
+  /// vector per chunk, cleared (capacity kept) between trials, each node
+  /// caching its subtree size so the min-index oracle never recomputes it.
+  struct TreePool {
+    static constexpr uint32_t kNil = 0xffffffffu;
+    struct Node {
+      NftaSymbol symbol = 0;
+      uint32_t size = 0;        // subtree node count
+      uint32_t first_child = kNil;
+      uint32_t last_child = kNil;
+      uint32_t next_sibling = kNil;
+    };
+    std::vector<Node> nodes;
+
+    uint32_t New(NftaSymbol s, uint32_t size) {
+      nodes.push_back(Node{s, size, kNil, kNil, kNil});
+      return static_cast<uint32_t>(nodes.size() - 1);
+    }
+    void AddChild(uint32_t parent, uint32_t child) {
+      if (nodes[parent].first_child == kNil) {
+        nodes[parent].first_child = child;
+      } else {
+        nodes[nodes[parent].last_child].next_sibling = child;
+      }
+      nodes[parent].last_child = child;
+    }
+    void Clear() { nodes.clear(); }
+  };
+
+  /// Per-thread sampling context (pool + bitset scratch), owned by each
+  /// trial chunk / by the serial public Sample.
+  struct SampleCtx {
+    TreePool pool;
+    CompiledNfta::Workspace ws;
+  };
+
   struct Component {
-    const NftaTransition* transition = nullptr;
+    CompiledNfta::TransitionId transition = 0;
     std::vector<size_t> child_sizes;
     double size = 0;  // product of child estimates
   };
   /// Components sharing (symbol, child_sizes); only these can overlap.
   struct Group {
     std::vector<Component> components;
+    /// prefix[i] = components[0].size + ... + components[i-1].size,
+    /// accumulated left to right (same fp order as the legacy linear scan,
+    /// so prefix.back() is bit-identical to its `sum`).
+    std::vector<double> prefix;
     double estimate = 0;
   };
   struct Cell {
     bool computed = false;
     double estimate = 0;
     std::vector<Group> groups;
+    /// Prefix sums of group estimates (group_prefix.back() == estimate).
+    std::vector<double> group_prefix;
   };
 
+  /// Build-or-return, single hash probe. Build path only (mutates cells_).
   Cell& GetCell(NftaState q, size_t size);
+  /// Read-only lookup for trial threads; the cell must already be built.
+  const Cell* FindCell(NftaState q, size_t size) const;
 
   /// KLM union estimate within one group (components share symbol+sizes).
   /// Trials are chunked (kTrialChunk) and may run on the pool; every cell
@@ -109,11 +169,23 @@ class NftaFpras {
   /// only ever reads `cells_`.
   double EstimateGroup(Group* group);
 
-  /// Uniform-ish sample from one component (tuple of child samples).
-  std::optional<LabeledTree> SampleComponent(Rng& rng, const Component& c);
+  /// Uniform-ish flat sample from L(q, size) into ctx->pool; TreePool::kNil
+  /// if empty / rejected to exhaustion. Mirrors the legacy recursive
+  /// Sample() uniform-for-uniform.
+  uint32_t SampleFlat(Rng& rng, NftaState q, size_t size, SampleCtx* ctx);
 
-  /// Index of the first component of `group` containing `tree`; -1 if none.
-  int MinIndex(const Group& group, const LabeledTree& tree) const;
+  /// Uniform-ish flat sample from one component (tuple of child samples).
+  uint32_t SampleComponentFlat(Rng& rng, const Component& c, SampleCtx* ctx);
+
+  /// Index of the first component of `group` containing the pooled tree
+  /// `root`; -1 if none. Child behaviours via the compiled bitset run,
+  /// child sizes from the cached per-node sizes.
+  int MinIndexFlat(const Group& group, uint32_t root, SampleCtx* ctx) const;
+
+  /// Bitset run over a pooled subtree: behaviour of `node` into slot
+  /// `base` of `ws` (scratch above, CompiledNfta::EvalInto discipline).
+  void EvalNodeBehavior(const TreePool& pool, uint32_t node,
+                        CompiledNfta::Workspace* ws, size_t base) const;
 
   /// The pool trials run on (lazily created when owned), or nullptr for
   /// serial execution.
@@ -124,12 +196,17 @@ class NftaFpras {
   static constexpr size_t kTrialChunk = 64;
 
   const Nfta& nfta_;
+  std::shared_ptr<const CompiledNfta> compiled_keep_;
+  const CompiledNfta& c_;  // *compiled_keep_
   FprasConfig config_;
   Rng rng_;
   ThreadPool* external_pool_ = nullptr;
   std::unique_ptr<ThreadPool> owned_pool_;
-  std::map<std::pair<NftaState, size_t>, Cell> cells_;
+  std::unordered_map<std::pair<NftaState, size_t>, Cell,
+                     PairHash<NftaState, size_t>>
+      cells_;
   size_t union_estimations_ = 0;
+  SampleCtx sample_ctx_;  // for the serial public Sample()
 };
 
 }  // namespace uocqa

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "automata/compiled_nfta.h"
+
 namespace uocqa {
 
 size_t LabeledTree::Size() const {
@@ -85,30 +87,42 @@ void Nfta::EnsureSymbolIndex() const {
   indexed_transition_count_ = transition_count_;
 }
 
+const CompiledNfta& Nfta::Compiled() const {
+  if (!compiled_ || compiled_->state_count() != state_count_ ||
+      compiled_->transition_count() != transition_count_ ||
+      compiled_->symbol_count() != symbol_names_.size() ||
+      compiled_->initial() != initial_) {
+    compiled_ = std::make_shared<const CompiledNfta>(*this);
+  }
+  return *compiled_;
+}
+
+void Nfta::EnsureCompiled() const {
+  EnsureSymbolIndex();
+  Compiled();
+}
+
+std::shared_ptr<const CompiledNfta> Nfta::CompiledShared() const {
+  Compiled();
+  return compiled_;
+}
+
+namespace {
+
+// Per-thread scratch for the bitset runs below: reused across calls (and
+// across automata — buffers regrow as needed), so the membership oracle
+// allocates nothing per call beyond the returned vector itself.
+CompiledNfta::Workspace& LocalWorkspace() {
+  static thread_local CompiledNfta::Workspace ws;
+  return ws;
+}
+
+}  // namespace
+
 std::vector<NftaState> Nfta::AcceptingStates(const LabeledTree& tree) const {
-  // Bottom-up: behaviour of each child, then match transitions (indexed by
-  // root symbol — this is the membership oracle on the FPRAS hot path).
-  std::vector<std::vector<NftaState>> child_behaviors;
-  child_behaviors.reserve(tree.children.size());
-  for (const LabeledTree& c : tree.children) {
-    child_behaviors.push_back(AcceptingStates(c));
-  }
-  std::vector<NftaState> out;
-  for (const NftaTransition* t : TransitionsWithSymbol(tree.symbol)) {
-    if (t->children.size() != tree.children.size()) continue;
-    bool ok = true;
-    for (size_t i = 0; i < t->children.size(); ++i) {
-      if (!std::binary_search(child_behaviors[i].begin(),
-                              child_behaviors[i].end(), t->children[i])) {
-        ok = false;
-        break;
-      }
-    }
-    if (ok) out.push_back(t->from);
-  }
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
-  return out;
+  // Bottom-up bitset run over the compiled view (the membership oracle on
+  // the FPRAS hot path).
+  return Compiled().AcceptingStates(tree, &LocalWorkspace());
 }
 
 bool Nfta::Accepts(const LabeledTree& tree) const {
@@ -117,8 +131,7 @@ bool Nfta::Accepts(const LabeledTree& tree) const {
 
 bool Nfta::AcceptsFrom(NftaState q, const LabeledTree& tree) const {
   if (q == kNoNftaState) return false;
-  std::vector<NftaState> behavior = AcceptingStates(tree);
-  return std::binary_search(behavior.begin(), behavior.end(), q);
+  return Compiled().AcceptsFrom(q, tree, &LocalWorkspace());
 }
 
 namespace {

@@ -11,6 +11,7 @@
 #define UOCQA_AUTOMATA_NFTA_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -18,6 +19,8 @@
 #include "base/hashing.h"
 
 namespace uocqa {
+
+class CompiledNfta;
 
 using NftaState = uint32_t;
 using NftaSymbol = uint32_t;
@@ -117,6 +120,22 @@ class Nfta {
   /// safe to call from many threads, provided no AddTransition intervenes.
   void EnsureSymbolIndex() const;
 
+  /// The flattened immutable view of this automaton (compiled_nfta.h): CSR
+  /// transitions, by-symbol/by-rank indexes, bitset behaviour runs. Built
+  /// lazily on first use and rebuilt if states/symbols/transitions were
+  /// added since. Same concurrency contract as EnsureSymbolIndex: call once
+  /// (e.g. via EnsureCompiled) before handing the automaton to concurrent
+  /// readers; afterwards the returned reference is safe to share across
+  /// threads as long as the automaton is not mutated.
+  const CompiledNfta& Compiled() const;
+
+  /// Warms both lazy views (symbol index + compiled form).
+  void EnsureCompiled() const;
+
+  /// Shared ownership of the compiled view: stays valid even if this Nfta
+  /// is mutated (which rebuilds its own view) or destroyed.
+  std::shared_ptr<const CompiledNfta> CompiledShared() const;
+
  private:
   size_t state_count_ = 0;
   NftaState initial_ = kNoNftaState;
@@ -131,6 +150,10 @@ class Nfta {
   mutable std::vector<std::vector<const NftaTransition*>> by_symbol_;
   mutable size_t indexed_transition_count_ = 0;
   std::vector<const NftaTransition*> empty_ptrs_;
+
+  // Lazy compiled view (shared_ptr so Nfta stays copyable; copies share the
+  // immutable snapshot until one of them mutates and rebuilds its own).
+  mutable std::shared_ptr<const CompiledNfta> compiled_;
 };
 
 }  // namespace uocqa

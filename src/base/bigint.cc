@@ -8,14 +8,35 @@
 namespace uocqa {
 
 namespace {
+
 constexpr uint64_t kBase = uint64_t{1} << 32;
+
+size_t BitWidthU64(uint64_t v) {
+  return v == 0 ? 0 : 64 - static_cast<size_t>(__builtin_clzll(v));
+}
+
 }  // namespace
 
-BigInt::BigInt(uint64_t value) {
-  if (value != 0) {
-    limbs_.push_back(static_cast<uint32_t>(value & 0xffffffffu));
-    uint32_t hi = static_cast<uint32_t>(value >> 32);
+void BigInt::Promote() {
+  assert(limbs_.empty());
+  if (small_ != 0) {
+    limbs_.push_back(static_cast<uint32_t>(small_ & 0xffffffffu));
+    uint32_t hi = static_cast<uint32_t>(small_ >> 32);
     if (hi != 0) limbs_.push_back(hi);
+    small_ = 0;
+  }
+}
+
+void BigInt::Canonicalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.size() <= 2) {
+    uint64_t v = 0;
+    if (limbs_.size() == 2) v = static_cast<uint64_t>(limbs_[1]) << 32;
+    if (!limbs_.empty()) v |= limbs_[0];
+    limbs_.clear();
+    small_ = v;
+  } else {
+    small_ = 0;
   }
 }
 
@@ -29,12 +50,8 @@ BigInt BigInt::FromDecimalString(const std::string& digits) {
   return out;
 }
 
-void BigInt::Normalize() {
-  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
-}
-
 size_t BigInt::BitLength() const {
-  if (limbs_.empty()) return 0;
+  if (limbs_.empty()) return BitWidthU64(small_);
   uint32_t top = limbs_.back();
   size_t bits = (limbs_.size() - 1) * 32;
   while (top != 0) {
@@ -45,17 +62,17 @@ size_t BigInt::BitLength() const {
 }
 
 uint64_t BigInt::ToUint64() const {
-  assert(limbs_.size() <= 2);
-  uint64_t v = 0;
-  if (limbs_.size() >= 2) v = static_cast<uint64_t>(limbs_[1]) << 32;
-  if (!limbs_.empty()) v |= limbs_[0];
-  return v;
+  assert(limbs_.empty() && "BigInt::ToUint64 overflow");
+  return small_;
 }
 
 uint64_t BigInt::TopBits64() const {
+  if (limbs_.empty()) {
+    if (small_ == 0) return 0;
+    return small_ << (64 - BitWidthU64(small_));
+  }
   // Left-aligned top 64 bits of the magnitude.
   size_t bl = BitLength();
-  if (bl == 0) return 0;
   uint64_t acc = 0;
   // Collect the top three limbs into a 96-bit window, then shift.
   size_t n = limbs_.size();
@@ -92,7 +109,7 @@ double BigInt::Log2() const {
 }
 
 std::string BigInt::ToString() const {
-  if (IsZero()) return "0";
+  if (limbs_.empty()) return std::to_string(small_);
   BigInt tmp = *this;
   std::string out;
   while (!tmp.IsZero()) {
@@ -108,6 +125,15 @@ std::string BigInt::ToString() const {
 }
 
 int BigInt::Compare(const BigInt& other) const {
+  // Canonical form: limbs are only used for values >= 2^64, so mixed
+  // representations compare by representation alone.
+  if (limbs_.empty() != other.limbs_.empty()) {
+    return limbs_.empty() ? -1 : 1;
+  }
+  if (limbs_.empty()) {
+    if (small_ == other.small_) return 0;
+    return small_ < other.small_ ? -1 : 1;
+  }
   if (limbs_.size() != other.limbs_.size()) {
     return limbs_.size() < other.limbs_.size() ? -1 : 1;
   }
@@ -117,7 +143,45 @@ int BigInt::Compare(const BigInt& other) const {
   return 0;
 }
 
+void BigInt::AddU64ToLimbs(uint64_t v) {
+  uint64_t carry = v;
+  for (size_t i = 0; i < limbs_.size() && carry != 0; ++i) {
+    uint64_t sum = (carry & 0xffffffffu) + limbs_[i];
+    limbs_[i] = static_cast<uint32_t>(sum & 0xffffffffu);
+    carry = (carry >> 32) + (sum >> 32);
+  }
+  while (carry != 0) {
+    limbs_.push_back(static_cast<uint32_t>(carry & 0xffffffffu));
+    carry >>= 32;
+  }
+}
+
+BigInt& BigInt::operator+=(uint64_t v) {
+  if (limbs_.empty()) {
+    uint64_t sum;
+    if (!__builtin_add_overflow(small_, v, &sum)) {
+      small_ = sum;
+      return *this;
+    }
+    // Spill: the true value is 2^64 + sum.
+    limbs_ = {static_cast<uint32_t>(sum & 0xffffffffu),
+              static_cast<uint32_t>(sum >> 32), 1u};
+    small_ = 0;
+    return *this;
+  }
+  AddU64ToLimbs(v);
+  return *this;
+}
+
 BigInt& BigInt::operator+=(const BigInt& o) {
+  if (o.limbs_.empty()) return *this += o.small_;
+  if (limbs_.empty()) {
+    uint64_t v = small_;
+    limbs_ = o.limbs_;
+    small_ = 0;
+    AddU64ToLimbs(v);
+    return *this;
+  }
   size_t n = std::max(limbs_.size(), o.limbs_.size());
   limbs_.resize(n, 0);
   uint64_t carry = 0;
@@ -132,10 +196,22 @@ BigInt& BigInt::operator+=(const BigInt& o) {
 
 BigInt& BigInt::operator-=(const BigInt& o) {
   assert(Compare(o) >= 0 && "BigInt subtraction underflow");
+  if (limbs_.empty()) {
+    // o <= *this < 2^64, so o is small too.
+    small_ -= o.small_;
+    return *this;
+  }
+  BigInt promoted;  // o in limb form, when it is small
+  const std::vector<uint32_t>* ol = &o.limbs_;
+  if (o.limbs_.empty()) {
+    promoted = o;
+    promoted.Promote();
+    ol = &promoted.limbs_;
+  }
   int64_t borrow = 0;
   for (size_t i = 0; i < limbs_.size(); ++i) {
     int64_t diff = static_cast<int64_t>(limbs_[i]) - borrow -
-                   (i < o.limbs_.size() ? static_cast<int64_t>(o.limbs_[i]) : 0);
+                   (i < ol->size() ? static_cast<int64_t>((*ol)[i]) : 0);
     if (diff < 0) {
       diff += static_cast<int64_t>(kBase);
       borrow = 1;
@@ -145,31 +221,61 @@ BigInt& BigInt::operator-=(const BigInt& o) {
     limbs_[i] = static_cast<uint32_t>(diff);
   }
   assert(borrow == 0);
-  Normalize();
+  Canonicalize();
   return *this;
 }
 
-BigInt operator*(const BigInt& a, const BigInt& b) {
-  if (a.IsZero() || b.IsZero()) return BigInt();
-  BigInt out;
-  out.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
-  for (size_t i = 0; i < a.limbs_.size(); ++i) {
+std::vector<uint32_t> BigInt::MulLimbs(const std::vector<uint32_t>& a,
+                                       const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out(a.size() + b.size(), 0);
+  for (size_t i = 0; i < a.size(); ++i) {
     uint64_t carry = 0;
-    uint64_t ai = a.limbs_[i];
-    for (size_t j = 0; j < b.limbs_.size(); ++j) {
-      uint64_t cur = out.limbs_[i + j] + carry + ai * b.limbs_[j];
-      out.limbs_[i + j] = static_cast<uint32_t>(cur & 0xffffffffu);
+    uint64_t ai = a[i];
+    for (size_t j = 0; j < b.size(); ++j) {
+      uint64_t cur = out[i + j] + carry + ai * b[j];
+      out[i + j] = static_cast<uint32_t>(cur & 0xffffffffu);
       carry = cur >> 32;
     }
-    size_t k = i + b.limbs_.size();
+    size_t k = i + b.size();
     while (carry != 0) {
-      uint64_t cur = out.limbs_[k] + carry;
-      out.limbs_[k] = static_cast<uint32_t>(cur & 0xffffffffu);
+      uint64_t cur = out[k] + carry;
+      out[k] = static_cast<uint32_t>(cur & 0xffffffffu);
       carry = cur >> 32;
       ++k;
     }
   }
-  out.Normalize();
+  return out;
+}
+
+BigInt operator*(const BigInt& a, const BigInt& b) {
+  if (a.IsZero() || b.IsZero()) return BigInt();
+  if (a.limbs_.empty() && b.limbs_.empty()) {
+    unsigned __int128 p =
+        static_cast<unsigned __int128>(a.small_) * b.small_;
+    uint64_t hi = static_cast<uint64_t>(p >> 64);
+    if (hi == 0) return BigInt(static_cast<uint64_t>(p));
+    BigInt out;
+    uint64_t lo = static_cast<uint64_t>(p);
+    out.limbs_ = {static_cast<uint32_t>(lo & 0xffffffffu),
+                  static_cast<uint32_t>(lo >> 32),
+                  static_cast<uint32_t>(hi & 0xffffffffu),
+                  static_cast<uint32_t>(hi >> 32)};
+    out.Canonicalize();
+    return out;
+  }
+  if (b.limbs_.empty()) {
+    BigInt out = a;
+    out *= b.small_;
+    return out;
+  }
+  if (a.limbs_.empty()) {
+    BigInt out = b;
+    out *= a.small_;
+    return out;
+  }
+  BigInt out;
+  out.limbs_ = BigInt::MulLimbs(a.limbs_, b.limbs_);
+  out.Canonicalize();
   return out;
 }
 
@@ -181,6 +287,23 @@ BigInt& BigInt::operator*=(const BigInt& o) {
 BigInt& BigInt::operator*=(uint64_t v) {
   if (v == 0 || IsZero()) {
     limbs_.clear();
+    small_ = 0;
+    return *this;
+  }
+  if (limbs_.empty()) {
+    unsigned __int128 p = static_cast<unsigned __int128>(small_) * v;
+    uint64_t hi = static_cast<uint64_t>(p >> 64);
+    if (hi == 0) {
+      small_ = static_cast<uint64_t>(p);
+      return *this;
+    }
+    uint64_t lo = static_cast<uint64_t>(p);
+    limbs_ = {static_cast<uint32_t>(lo & 0xffffffffu),
+              static_cast<uint32_t>(lo >> 32),
+              static_cast<uint32_t>(hi & 0xffffffffu),
+              static_cast<uint32_t>(hi >> 32)};
+    small_ = 0;
+    Canonicalize();
     return *this;
   }
   uint32_t lo = static_cast<uint32_t>(v & 0xffffffffu);
@@ -195,11 +318,22 @@ BigInt& BigInt::operator*=(uint64_t v) {
     if (carry != 0) limbs_.push_back(static_cast<uint32_t>(carry));
     return *this;
   }
-  return *this *= BigInt(v);
+  std::vector<uint32_t> vl{lo, hi};
+  limbs_ = MulLimbs(limbs_, vl);
+  Canonicalize();
+  return *this;
 }
 
 BigInt& BigInt::ShiftLeft(size_t bits) {
   if (IsZero() || bits == 0) return *this;
+  if (limbs_.empty()) {
+    size_t width = BitWidthU64(small_);
+    if (width + bits <= 64) {
+      small_ <<= bits;
+      return *this;
+    }
+    Promote();
+  }
   size_t limb_shift = bits / 32;
   size_t bit_shift = bits % 32;
   size_t old_size = limbs_.size();
@@ -213,15 +347,20 @@ BigInt& BigInt::ShiftLeft(size_t bits) {
     if (i < limb_shift) limbs_[i] = 0;
   }
   for (size_t i = 0; i < limb_shift; ++i) limbs_[i] = 0;
-  Normalize();
+  Canonicalize();
   return *this;
 }
 
 BigInt& BigInt::ShiftRight(size_t bits) {
+  if (limbs_.empty()) {
+    small_ = bits >= 64 ? 0 : small_ >> bits;
+    return *this;
+  }
   size_t limb_shift = bits / 32;
   size_t bit_shift = bits % 32;
   if (limb_shift >= limbs_.size()) {
     limbs_.clear();
+    small_ = 0;
     return *this;
   }
   limbs_.erase(limbs_.begin(),
@@ -234,19 +373,24 @@ BigInt& BigInt::ShiftRight(size_t bits) {
           0xffffffffu);
     }
   }
-  Normalize();
+  Canonicalize();
   return *this;
 }
 
 uint32_t BigInt::DivModU32(uint32_t divisor) {
   assert(divisor != 0);
+  if (limbs_.empty()) {
+    uint32_t rem = static_cast<uint32_t>(small_ % divisor);
+    small_ /= divisor;
+    return rem;
+  }
   uint64_t rem = 0;
   for (size_t i = limbs_.size(); i-- > 0;) {
     uint64_t cur = (rem << 32) | limbs_[i];
     limbs_[i] = static_cast<uint32_t>(cur / divisor);
     rem = cur % divisor;
   }
-  Normalize();
+  Canonicalize();
   return static_cast<uint32_t>(rem);
 }
 

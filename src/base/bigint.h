@@ -10,7 +10,14 @@
 //  * Magnitudes only. Every count in the paper is a natural number; the
 //    handful of subtractions that occur (inclusion-exclusion in tests)
 //    guarantee non-negative results, enforced by assertions.
-//  * Base 2^32 limbs, little-endian, always normalized (no leading zeros).
+//  * Small-value fast path: values < 2^64 live in an inline uint64_t and
+//    never touch the heap. The exact-count DP performs millions of
+//    additions and multiplications whose operands overwhelmingly fit in a
+//    word; only a carry past 2^64 spills to heap limbs. Canonical form:
+//    `limbs_` is non-empty iff the value is >= 2^64 (so the representation
+//    of every value is unique, and comparison can shortcut on it).
+//  * Spilled values use base 2^32 limbs, little-endian, normalized (no
+//    leading zeros; at least three limbs by the canonical-form invariant).
 //  * No general big/big division. Only what the library needs:
 //    - multiplication/addition/subtraction/comparison/shifts,
 //    - division by a 32-bit digit (decimal printing),
@@ -32,13 +39,16 @@ class BigInt {
   BigInt() = default;
 
   /// Value-initializing constructor from an unsigned 64-bit integer.
-  explicit BigInt(uint64_t value);
+  explicit BigInt(uint64_t value) : small_(value) {}
 
   /// Parses a decimal string of digits. Returns zero for an empty string.
   static BigInt FromDecimalString(const std::string& digits);
 
-  bool IsZero() const { return limbs_.empty(); }
-  bool IsOne() const { return limbs_.size() == 1 && limbs_[0] == 1; }
+  bool IsZero() const { return limbs_.empty() && small_ == 0; }
+  bool IsOne() const { return limbs_.empty() && small_ == 1; }
+
+  /// True when the value fits in the inline uint64_t (no heap limbs).
+  bool IsSmall() const { return limbs_.empty(); }
 
   /// Number of significant bits (0 for zero).
   size_t BitLength() const;
@@ -66,7 +76,7 @@ class BigInt {
   /// Asserts *this >= o (magnitude arithmetic only).
   BigInt& operator-=(const BigInt& o);
   BigInt& operator*=(const BigInt& o);
-  BigInt& operator+=(uint64_t v) { return *this += BigInt(v); }
+  BigInt& operator+=(uint64_t v);
   BigInt& operator*=(uint64_t v);
 
   friend BigInt operator+(BigInt a, const BigInt& b) { return a += b; }
@@ -89,18 +99,26 @@ class BigInt {
   /// log2(value) as a double; value must be non-zero.
   double Log2() const;
 
-  const std::vector<uint32_t>& limbs() const { return limbs_; }
-
  private:
-  void Normalize();
+  /// Moves a small value into `limbs_` so the limb algorithms below apply.
+  /// Intermediate state only — Canonicalize() restores the invariant.
+  void Promote();
+  /// Drops leading zero limbs and collapses values < 2^64 back into the
+  /// inline word (the canonical-form invariant).
+  void Canonicalize();
+  /// Adds `v` into an already-promoted limb representation.
+  void AddU64ToLimbs(uint64_t v);
   /// Top (up to) 64 significant bits, left-aligned so bit 63 is the MSB.
   uint64_t TopBits64() const;
+  /// Schoolbook limb product (used by all spilled multiplications).
+  static std::vector<uint32_t> MulLimbs(const std::vector<uint32_t>& a,
+                                        const std::vector<uint32_t>& b);
 
-  std::vector<uint32_t> limbs_;  // little-endian base 2^32, normalized
+  uint64_t small_ = 0;           // the value, when limbs_ is empty
+  std::vector<uint32_t> limbs_;  // little-endian base 2^32, else
 };
 
-/// Binomial coefficient C(n, k) computed exactly (Pascal recurrence with an
-/// internal cache shared per-thread).
+/// Binomial coefficient C(n, k) computed exactly.
 BigInt Binomial(uint32_t n, uint32_t k);
 
 /// n! computed exactly.

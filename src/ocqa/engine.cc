@@ -42,9 +42,10 @@ Result<const RepAutomaton*> CompiledQuery::Rep(
         RepAutomaton rep,
         BuildRepAutomaton(nf_.db, keys_, nf_.query, nf_.decomposition,
                           answer_tuple, options));
-    // Warm the lazy symbol index before publishing: concurrent serving
-    // requests may only ever *read* the memoized automaton.
-    rep.nfta.EnsureSymbolIndex();
+    // Warm the lazy views (symbol index + CSR/bitset compiled form) before
+    // publishing: concurrent serving requests may only ever *read* the
+    // memoized automaton, and every solver below runs on the compiled view.
+    rep.nfta.EnsureCompiled();
     it = rep_.emplace(std::move(key),
                       std::make_unique<RepAutomaton>(std::move(rep)))
              .first;
@@ -61,7 +62,7 @@ Result<const SeqAutomaton*> CompiledQuery::Seq(
         SeqAutomaton seq,
         BuildSeqAutomaton(nf_.db, keys_, nf_.query, nf_.decomposition,
                           answer_tuple));
-    seq.nfta.EnsureSymbolIndex();
+    seq.nfta.EnsureCompiled();
     it = seq_.emplace(answer_tuple,
                       std::make_unique<SeqAutomaton>(std::move(seq)))
              .first;

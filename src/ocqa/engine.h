@@ -80,10 +80,11 @@ struct ApproxRF {
 /// Thread safety: the automaton memo is guarded by an internal mutex (held
 /// across a first-touch build, so cold concurrent compiles of the same plan
 /// serialize — the hot path is a memo hit), and every automaton's lazy
-/// symbol index is warmed before it is published, so one CompiledQuery may
-/// serve concurrent requests that each run with `threads = 1` (the service
-/// batch executor's contract). The normal-form instance itself is immutable
-/// after Compile.
+/// views — the symbol index and the flattened CompiledNfta that all solvers
+/// run on (compiled_nfta.h) — are warmed before it is published, so one
+/// CompiledQuery may serve concurrent requests that each run with
+/// `threads = 1` (the service batch executor's contract). The normal-form
+/// instance itself is immutable after Compile.
 class CompiledQuery {
  public:
   const NormalFormInstance& nf() const { return nf_; }

@@ -167,6 +167,147 @@ TEST(BigIntTest, MultinomialMatchesFactorialFormula) {
   EXPECT_EQ(Multinomial({1, 2, 1, 1, 2}).ToUint64(), 1260u);
 }
 
+// --- small-value fast path: spill boundaries & small/limb cross-checks ------
+
+// Forces the limb (spilled) representation of a value that fits in 64 bits
+// by shifting it above 2^64 and back: every intermediate op must agree with
+// the small path afterwards.
+BigInt ViaLimbs(uint64_t v) {
+  BigInt b(v);
+  b.ShiftLeft(96);
+  b.ShiftRight(96);
+  return b;
+}
+
+TEST(BigIntSmallPathTest, RepresentationInvariant) {
+  // Values < 2^64 are small; >= 2^64 are spilled; ops that shrink a value
+  // below the boundary collapse it back.
+  EXPECT_TRUE(BigInt(0).IsSmall());
+  EXPECT_TRUE(BigInt(~0ull).IsSmall());
+  BigInt spill = BigInt(~0ull) + BigInt(1);
+  EXPECT_FALSE(spill.IsSmall());
+  EXPECT_EQ(spill.ToString(), "18446744073709551616");  // 2^64
+  spill -= BigInt(1);
+  EXPECT_TRUE(spill.IsSmall());
+  EXPECT_EQ(spill.ToUint64(), ~0ull);
+  // (2^64 - 1) * 1000 is spilled; dividing the 1000 back out collapses it.
+  BigInt q = BigInt::FromDecimalString("18446744073709551615000");
+  EXPECT_FALSE(q.IsSmall());
+  EXPECT_EQ(q.DivModU32(1000u), 0u);
+  EXPECT_TRUE(q.IsSmall());
+  EXPECT_EQ(q.ToUint64(), ~0ull);
+  EXPECT_FALSE((BigInt(1) + BigInt(~0ull)).IsSmall());
+}
+
+TEST(BigIntSmallPathTest, AdditionSpillAt64) {
+  // a + b straddling 2^64: cross-check against 128-bit arithmetic.
+  const uint64_t kMax = ~0ull;
+  for (uint64_t a : {kMax, kMax - 1, uint64_t{1} << 63, kMax / 2}) {
+    for (uint64_t b : {uint64_t{1}, uint64_t{2}, kMax, uint64_t{1} << 63}) {
+      BigInt s = BigInt(a) + BigInt(b);
+      unsigned __int128 ref = static_cast<unsigned __int128>(a) + b;
+      uint64_t hi = static_cast<uint64_t>(ref >> 64);
+      uint64_t lo = static_cast<uint64_t>(ref);
+      BigInt expect = (BigInt(hi).ShiftLeft(64)) + BigInt(lo);
+      EXPECT_EQ(s, expect) << a << " + " << b;
+      EXPECT_EQ(s.IsSmall(), hi == 0);
+      // Subtracting one addend crosses back below the boundary.
+      EXPECT_EQ((s - BigInt(b)).ToUint64(), a);
+      EXPECT_TRUE((s - BigInt(b)).IsSmall());
+    }
+  }
+}
+
+TEST(BigIntSmallPathTest, MultiplicationSpillAt32And64) {
+  // Products around 2^32 stay small; around 2^64 they spill. Cross-check
+  // against 128-bit arithmetic and the decimal printer.
+  const uint64_t k32 = uint64_t{1} << 32;
+  for (uint64_t a : {k32 - 1, k32, k32 + 1, (uint64_t{1} << 33) - 7}) {
+    for (uint64_t b : {k32 - 1, k32, k32 + 1, uint64_t{977}}) {
+      BigInt p = BigInt(a) * BigInt(b);
+      unsigned __int128 ref = static_cast<unsigned __int128>(a) * b;
+      uint64_t hi = static_cast<uint64_t>(ref >> 64);
+      uint64_t lo = static_cast<uint64_t>(ref);
+      BigInt expect = (BigInt(hi).ShiftLeft(64)) + BigInt(lo);
+      EXPECT_EQ(p, expect) << a << " * " << b;
+      EXPECT_EQ(p.IsSmall(), hi == 0) << a << " * " << b;
+      BigInt q = BigInt(a);
+      q *= b;  // the u64 overload takes the same fast path
+      EXPECT_EQ(q, expect);
+    }
+  }
+}
+
+TEST(BigIntSmallPathTest, SmallAndLimbPathsAgree) {
+  // The same value computed via the small path and via a forced limb
+  // round-trip must be indistinguishable under every operation.
+  Rng rng(11);
+  for (int i = 0; i < 300; ++i) {
+    uint64_t a = rng.NextU64();
+    uint64_t b = rng.NextU64();
+    if (a < b) std::swap(a, b);
+    BigInt sa(a), la = ViaLimbs(a);
+    BigInt sb(b), lb = ViaLimbs(b);
+    EXPECT_EQ(la.ToUint64(), a);
+    EXPECT_TRUE(la.IsSmall());  // round-trip collapses back
+    EXPECT_EQ(sa.Compare(la), 0);
+    EXPECT_EQ(sa + sb, la + lb);
+    EXPECT_EQ(sa - sb, la - lb);
+    EXPECT_EQ(sa * sb, la * lb);
+    EXPECT_EQ((sa + sb).ToString(), (la + lb).ToString());
+    size_t sh = rng.UniformIndex(130);
+    BigInt ss = sa;
+    ss.ShiftLeft(sh);
+    BigInt ls = la;
+    ls.ShiftLeft(sh);
+    EXPECT_EQ(ss, ls) << "a=" << a << " shift=" << sh;
+    ss.ShiftRight(sh);
+    EXPECT_EQ(ss.ToUint64(), a);
+  }
+}
+
+TEST(BigIntSmallPathTest, ShiftBoundaries) {
+  BigInt b(1);
+  b.ShiftLeft(63);
+  EXPECT_TRUE(b.IsSmall());
+  EXPECT_EQ(b.ToUint64(), uint64_t{1} << 63);
+  b.ShiftLeft(1);  // 2^64: spills
+  EXPECT_FALSE(b.IsSmall());
+  EXPECT_EQ(b.ToString(), "18446744073709551616");
+  EXPECT_EQ(b.BitLength(), 65u);
+  b.ShiftRight(1);  // back under the boundary
+  EXPECT_TRUE(b.IsSmall());
+  EXPECT_EQ(b.ToUint64(), uint64_t{1} << 63);
+  // Shift by more than the whole width.
+  b.ShiftRight(200);
+  EXPECT_TRUE(b.IsZero());
+}
+
+TEST(BigIntSmallPathTest, CompareAcrossTheBoundary) {
+  BigInt small(~0ull);                    // 2^64 - 1
+  BigInt big = BigInt(1).ShiftLeft(64);   // 2^64
+  EXPECT_LT(small, big);
+  EXPECT_GT(big, small);
+  EXPECT_EQ(big - BigInt(1), small);
+  EXPECT_LT(BigInt(0), small);
+  // Mixed-representation equality after a shrink.
+  BigInt shrunk = big;
+  shrunk.ShiftRight(64);
+  EXPECT_EQ(shrunk, BigInt(1));
+}
+
+TEST(BigIntSmallPathTest, DivModAcrossTheBoundary) {
+  // 2^64 / 2 = 2^63 collapses back to small with remainder 0.
+  BigInt b = BigInt(1).ShiftLeft(64);
+  EXPECT_EQ(b.DivModU32(2u), 0u);
+  EXPECT_TRUE(b.IsSmall());
+  EXPECT_EQ(b.ToUint64(), uint64_t{1} << 63);
+  // Small-path remainder agrees with native arithmetic.
+  BigInt s(1234567890123456789ull);
+  EXPECT_EQ(s.DivModU32(1000000007u), 1234567890123456789ull % 1000000007u);
+  EXPECT_EQ(s.ToUint64(), 1234567890123456789ull / 1000000007u);
+}
+
 TEST(BigIntTest, MulAddStressAgainstDouble) {
   Rng rng(7);
   BigInt acc(1);
