@@ -18,15 +18,21 @@ void DatabaseIndex::OnFactAdded(const Fact& fact, FactId id) {
   if (fact.relation >= by_relation_.size()) {
     by_relation_.resize(fact.relation + 1);
     inverted_.resize(fact.relation + 1);
+    mcv_freq_.resize(fact.relation + 1);
   }
   std::vector<FactId>& rel_facts = by_relation_[fact.relation];
   assert(rel_facts.empty() || rel_facts.back() < id);
   rel_facts.push_back(id);
   std::vector<ColumnIndex>& cols = inverted_[fact.relation];
   if (cols.size() < fact.args.size()) cols.resize(fact.args.size());
+  std::vector<size_t>& mcv = mcv_freq_[fact.relation];
+  if (mcv.size() < fact.args.size()) mcv.resize(fact.args.size(), 0);
   for (size_t pos = 0; pos < fact.args.size(); ++pos) {
     Value v = fact.args[pos];
-    cols[pos][v].push_back(id);
+    std::vector<FactId>& postings = cols[pos][v];
+    postings.push_back(id);
+    // Only the posting list that grew can take over the maximum.
+    if (postings.size() > mcv[pos]) mcv[pos] = postings.size();
     if (domain_seen_.insert(v).second) active_domain_.push_back(v);
   }
   ++total_facts_;
@@ -68,6 +74,12 @@ size_t DatabaseIndex::RelationCardinality(RelationId rel) const {
 size_t DatabaseIndex::DistinctValues(RelationId rel, uint32_t pos) const {
   if (rel >= inverted_.size() || pos >= inverted_[rel].size()) return 0;
   return inverted_[rel][pos].size();
+}
+
+size_t DatabaseIndex::MostCommonFrequency(RelationId rel,
+                                          uint32_t pos) const {
+  if (rel >= mcv_freq_.size() || pos >= mcv_freq_[rel].size()) return 0;
+  return mcv_freq_[rel][pos];
 }
 
 double DatabaseIndex::EstimateMatches(

@@ -69,6 +69,12 @@ class DatabaseIndex {
   /// Number of distinct values in column `pos` of `rel` (0 if no facts).
   size_t DistinctValues(RelationId rel, uint32_t pos) const;
 
+  /// Frequency of the most common value in column `pos` of `rel` (0 if no
+  /// facts). Maintained incrementally: the longest posting list can only be
+  /// the one that just grew, so OnFactAdded keeps a running maximum. Lets
+  /// the cost model detect skew that the uniform 1/distinct estimate hides.
+  size_t MostCommonFrequency(RelationId rel, uint32_t pos) const;
+
   /// Expected number of facts of `rel` matching the bound arguments, used
   /// for greedy join ordering. Bound constants use their exact posting
   /// length; positions bound to a yet-unknown value contribute the average
@@ -85,6 +91,7 @@ class DatabaseIndex {
   size_t total_facts_ = 0;
   std::vector<std::vector<FactId>> by_relation_;      // [rel] -> fact ids
   std::vector<std::vector<ColumnIndex>> inverted_;    // [rel][pos]
+  std::vector<std::vector<size_t>> mcv_freq_;         // [rel][pos] -> max |postings|
   std::vector<Value> active_domain_;                  // first-seen order
   std::unordered_set<Value> domain_seen_;
 };

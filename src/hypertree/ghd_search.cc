@@ -52,6 +52,18 @@ class Searcher {
 
   /// Attempts the full search; nullptr on failure.
   std::unique_ptr<SearchNode> Run() {
+    std::vector<std::unique_ptr<SearchNode>> all = RunAll(1);
+    return all.empty() ? nullptr : std::move(all[0]);
+  }
+
+  /// Up to `max_candidates` decompositions, one per root lambda that admits
+  /// a complete decomposition, in lambda enumeration order. The first
+  /// element is exactly what Run() finds: both walk lambdas_ in order and
+  /// take the first success, and subtree memoization below the root is
+  /// shared, so candidate 0 preserves the legacy FindGhdOfWidth output.
+  std::vector<std::unique_ptr<SearchNode>> RunAll(size_t max_candidates) {
+    std::vector<std::unique_ptr<SearchNode>> out;
+    if (max_candidates == 0) return out;
     Mask all_atoms = 0;
     for (size_t i = 0; i < query_.atom_count(); ++i) {
       if (atom_vars_[i] != 0) all_atoms |= Mask{1} << i;
@@ -59,15 +71,25 @@ class Searcher {
     if (all_atoms == 0) {
       // No atom has variables: a single node with empty bag covering one
       // atom (lambda must be non-empty only if there are atoms; take atom 0
-      // if it exists).
+      // if it exists). There is only this one shape.
       auto node = std::make_unique<SearchNode>();
       if (query_.atom_count() > 0) node->lambda = 1;
-      return node;
+      out.push_back(std::move(node));
+      return out;
     }
-    auto root = Decompose(all_atoms, 0);
-    if (root == nullptr) return nullptr;
-    AttachVarFreeAtoms(root.get());
-    return root;
+    // Root level is enumerated un-memoized with a pinned lambda: the memo's
+    // in-progress/failure marker for (all_atoms, 0) would otherwise poison
+    // the search for alternative roots. Recursion into the root key cannot
+    // occur (child components are strictly smaller than their parent).
+    Mask comp_vars = VarsOf(all_atoms);
+    for (size_t li = 0; li < lambdas_.size() && out.size() < max_candidates;
+         ++li) {
+      auto root = TryLambda(all_atoms, /*connector=*/0, comp_vars, li);
+      if (root == nullptr) continue;
+      AttachVarFreeAtoms(root.get());
+      out.push_back(std::move(root));
+    }
+    return out;
   }
 
   /// Converts the search tree into a HypertreeDecomposition.
@@ -142,6 +164,40 @@ class Searcher {
     return v;
   }
 
+  /// One step of the separator search: tries lambdas_[lambda_idx] as the
+  /// bag covering `comp` under `connector`; nullptr if it does not admit a
+  /// complete decomposition. `comp_vars` must equal VarsOf(comp).
+  std::unique_ptr<SearchNode> TryLambda(Mask comp, Mask connector,
+                                        Mask comp_vars, size_t lambda_idx) {
+    const auto& [lambda, lambda_vars] = lambdas_[lambda_idx];
+    if ((connector & ~lambda_vars) != 0) return nullptr;  // must cover it
+    Mask chi = lambda_vars & (connector | comp_vars);
+    // Atoms of the component fully covered by this bag.
+    Mask covered = 0;
+    for (Mask m = comp; m != 0; m &= m - 1) {
+      size_t i = static_cast<size_t>(__builtin_ctzll(m));
+      if ((atom_vars_[i] & ~chi) == 0) covered |= Mask{1} << i;
+    }
+    Mask rest = comp & ~covered;
+    std::vector<Mask> comps = Components(rest, chi);
+    // Progress requirement: every child component must be strictly
+    // smaller than comp (prevents unbounded recursion).
+    for (Mask c : comps) {
+      if (c == comp) return nullptr;
+    }
+    std::vector<std::unique_ptr<SearchNode>> children;
+    for (Mask c : comps) {
+      auto child = Decompose(c, VarsOf(c) & chi);
+      if (child == nullptr) return nullptr;
+      children.push_back(std::move(child));
+    }
+    auto node = std::make_unique<SearchNode>();
+    node->chi = chi;
+    node->lambda = lambda;
+    node->children = std::move(children);
+    return node;
+  }
+
   /// Recursive separator search: decomposes `comp` (atoms) whose interface
   /// to the parent bag is `connector` (variables). Memoized.
   std::unique_ptr<SearchNode> Decompose(Mask comp, Mask connector) {
@@ -153,41 +209,9 @@ class Searcher {
     }
     memo_[key] = nullptr;  // mark in progress / failure by default
     Mask comp_vars = VarsOf(comp);
-    for (const auto& [lambda, lambda_vars] : lambdas_) {
-      if ((connector & ~lambda_vars) != 0) continue;  // must cover connector
-      Mask chi = lambda_vars & (connector | comp_vars);
-      // Atoms of the component fully covered by this bag.
-      Mask covered = 0;
-      for (Mask m = comp; m != 0; m &= m - 1) {
-        size_t i = static_cast<size_t>(__builtin_ctzll(m));
-        if ((atom_vars_[i] & ~chi) == 0) covered |= Mask{1} << i;
-      }
-      Mask rest = comp & ~covered;
-      std::vector<Mask> comps = Components(rest, chi);
-      // Progress requirement: every child component must be strictly
-      // smaller than comp (prevents unbounded recursion).
-      bool ok = true;
-      for (Mask c : comps) {
-        if (c == comp) {
-          ok = false;
-          break;
-        }
-      }
-      if (!ok) continue;
-      std::vector<std::unique_ptr<SearchNode>> children;
-      for (Mask c : comps) {
-        auto child = Decompose(c, VarsOf(c) & chi);
-        if (child == nullptr) {
-          ok = false;
-          break;
-        }
-        children.push_back(std::move(child));
-      }
-      if (!ok) continue;
-      auto node = std::make_unique<SearchNode>();
-      node->chi = chi;
-      node->lambda = lambda;
-      node->children = std::move(children);
+    for (size_t li = 0; li < lambdas_.size(); ++li) {
+      auto node = TryLambda(comp, connector, comp_vars, li);
+      if (node == nullptr) continue;
       memo_[key] = CloneTree(node.get());
       return node;
     }
@@ -224,8 +248,8 @@ class Searcher {
 
 }  // namespace
 
-Result<HypertreeDecomposition> FindGhdOfWidth(const ConjunctiveQuery& query,
-                                              size_t k) {
+Result<std::vector<HypertreeDecomposition>> FindGhdsOfWidth(
+    const ConjunctiveQuery& query, size_t k, size_t max_candidates) {
   if (query.atom_count() == 0) {
     return Status::FailedPrecondition("query has no atoms");
   }
@@ -233,19 +257,35 @@ Result<HypertreeDecomposition> FindGhdOfWidth(const ConjunctiveQuery& query,
     return Status::InvalidArgument("too many atoms for mask-based search");
   }
   if (k == 0) return Status::InvalidArgument("width must be positive");
+  if (max_candidates == 0) {
+    return Status::InvalidArgument("max_candidates must be positive");
+  }
   Searcher searcher(query, k);
   if (searcher.TooManyVars()) {
     return Status::InvalidArgument("more than 64 non-answer variables");
   }
-  std::unique_ptr<SearchNode> tree = searcher.Run();
-  if (tree == nullptr) {
+  std::vector<std::unique_ptr<SearchNode>> trees =
+      searcher.RunAll(max_candidates);
+  if (trees.empty()) {
     return Status::NotFound("no GHD of width " + std::to_string(k) +
                             " found");
   }
-  HypertreeDecomposition h;
-  searcher.Materialize(tree.get(), kInvalidVertex, &h);
-  UOCQA_RETURN_IF_ERROR(h.Validate(query));
-  return h;
+  std::vector<HypertreeDecomposition> out;
+  out.reserve(trees.size());
+  for (const auto& tree : trees) {
+    HypertreeDecomposition h;
+    searcher.Materialize(tree.get(), kInvalidVertex, &h);
+    UOCQA_RETURN_IF_ERROR(h.Validate(query));
+    out.push_back(std::move(h));
+  }
+  return out;
+}
+
+Result<HypertreeDecomposition> FindGhdOfWidth(const ConjunctiveQuery& query,
+                                              size_t k) {
+  UOCQA_ASSIGN_OR_RETURN(std::vector<HypertreeDecomposition> all,
+                         FindGhdsOfWidth(query, k, 1));
+  return std::move(all[0]);
 }
 
 Result<GhwResult> ComputeGhw(const ConjunctiveQuery& query, size_t max_k) {

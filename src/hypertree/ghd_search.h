@@ -13,6 +13,7 @@
 #define UOCQA_HYPERTREE_GHD_SEARCH_H_
 
 #include <cstddef>
+#include <vector>
 
 #include "base/status.h"
 #include "hypertree/decomposition.h"
@@ -24,6 +25,14 @@ namespace uocqa {
 /// one. Supports up to 64 distinct non-answer variables.
 Result<HypertreeDecomposition> FindGhdOfWidth(const ConjunctiveQuery& query,
                                               size_t k);
+
+/// Up to `max_candidates` (>= 1) width-<=k GHDs, one per root bag that
+/// admits a complete decomposition, in search order. The first element is
+/// exactly the decomposition FindGhdOfWidth returns, so ranking layers that
+/// prefer candidate 0 under cost ties preserve legacy behavior. NotFound
+/// when no decomposition of width <= k exists.
+Result<std::vector<HypertreeDecomposition>> FindGhdsOfWidth(
+    const ConjunctiveQuery& query, size_t k, size_t max_candidates);
 
 /// Smallest k <= max_k for which FindGhdOfWidth succeeds, together with the
 /// witnessing decomposition.

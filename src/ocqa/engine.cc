@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <optional>
 
 #include "automata/exact_count.h"
 #include "db/blocks.h"
-#include "hypertree/ghd_search.h"
+#include "planner/cost.h"
+#include "planner/join_order.h"
 #include "query/eval.h"
 #include "repairs/sampling.h"
 
@@ -17,6 +19,17 @@ namespace {
 /// 0 = hardware concurrency, anything else verbatim.
 size_t ResolveThreads(size_t threads) {
   return threads == 0 ? HardwareThreads() : threads;
+}
+
+/// Plans an atom order once against the full database for the exact and
+/// Monte-Carlo paths, which evaluate the query over many repair subsets:
+/// an order planned on the full statistics stays a valid permutation for
+/// every subset, and entailment is order-independent, so counts and
+/// estimates are unchanged — only search effort is.
+std::vector<size_t> PlanOrderForTrials(const Database& db,
+                                       const ConjunctiveQuery& query) {
+  CostModel model(db, query);
+  return PlanJoinOrder(db, query, model).order;
 }
 
 }  // namespace
@@ -82,10 +95,21 @@ Result<CompiledQuery> OcqaEngine::Compile(const ConjunctiveQuery& query,
         "combined-complexity pipeline requires a self-join-free query");
   }
   if (!query.IsSafe()) return Status::InvalidArgument("unsafe query");
-  UOCQA_ASSIGN_OR_RETURN(HypertreeDecomposition h,
-                         DecomposeQuery(query, options.max_width));
+  // Cost-based planning replaces the legacy "first decomposition found":
+  // the planner ranks candidate GHDs by estimated bag cost (ties keep the
+  // legacy choice) and fixes the backtracking atom order. Planning runs
+  // once here so the service plan cache amortizes it across requests.
+  auto planning_start = std::chrono::steady_clock::now();
+  UOCQA_ASSIGN_OR_RETURN(
+      QueryPlan plan,
+      PlanQuery(db_, query, options.max_width, options.planner));
+  plan.planning_micros =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - planning_start)
+          .count();
   CompiledQuery out;
-  UOCQA_ASSIGN_OR_RETURN(out.nf_, ToNormalForm(db_, query, h));
+  UOCQA_ASSIGN_OR_RETURN(out.nf_, ToNormalForm(db_, query, plan.decomposition));
+  out.plan_ = std::move(plan);
   // Remap the key set onto the normal-form schema by relation name. Fresh
   // pad relations stay keyless (their facts are singleton blocks).
   for (const auto& [rel, positions] : keys_.Entries()) {
@@ -126,12 +150,14 @@ const BigInt& OcqaEngine::CrsCount(ThreadPool* pool) const {
 
 ExactRF OcqaEngine::ExactUr(const ConjunctiveQuery& query,
                             const std::vector<Value>& answer_tuple) const {
-  return ExactRepairFrequency(db_, keys_, query, answer_tuple);
+  std::vector<size_t> order = PlanOrderForTrials(db_, query);
+  return ExactRepairFrequency(db_, keys_, query, answer_tuple, &order);
 }
 
 ExactRF OcqaEngine::ExactUs(const ConjunctiveQuery& query,
                             const std::vector<Value>& answer_tuple) const {
-  return ExactSequenceFrequency(db_, keys_, query, answer_tuple);
+  std::vector<size_t> order = PlanOrderForTrials(db_, query);
+  return ExactSequenceFrequency(db_, keys_, query, answer_tuple, &order);
 }
 
 Result<ApproxRF> OcqaEngine::ApproxUr(const ConjunctiveQuery& query,
@@ -241,6 +267,7 @@ BigInt OcqaEngine::ClassicalRepairsEntailingBruteForce(
     const ConjunctiveQuery& query,
     const std::vector<Value>& answer_tuple) const {
   BlockPartition blocks = BlockPartition::Compute(db_, keys_);
+  std::vector<size_t> order = PlanOrderForTrials(db_, query);
   BigInt count;
   ForEachRepair(blocks, [&](const std::vector<BlockOutcome>& outcomes,
                             const std::vector<FactId>& kept) {
@@ -248,7 +275,7 @@ BigInt OcqaEngine::ClassicalRepairsEntailingBruteForce(
       if (!o.has_value()) return true;  // not a classical subset repair
     }
     Database repair = db_.Subset(kept);
-    QueryEvaluator eval(repair, query);
+    QueryEvaluator eval(repair, query, order);
     if (eval.Entails(answer_tuple)) count += uint64_t{1};
     return true;
   });
@@ -334,10 +361,14 @@ double OcqaEngine::MonteCarloUr(const ConjunctiveQuery& query,
                                 size_t samples, uint64_t seed,
                                 size_t threads) const {
   UniformRepairSampler sampler(db_, keys_);
+  // Plan once, before any sampling draw: the order never changes a trial's
+  // entailment outcome and the sampler RNG is untouched, so the estimate
+  // stays bit-identical to the greedy-order implementation.
+  std::vector<size_t> order = PlanOrderForTrials(db_, query);
   return MonteCarloEstimate(
       samples, seed, PoolFor(threads), [&](Rng& rng) {
         Database repair = db_.Subset(sampler.Sample(rng));
-        QueryEvaluator eval(repair, query);
+        QueryEvaluator eval(repair, query, order);
         return eval.Entails(answer_tuple);
       });
 }
@@ -347,11 +378,12 @@ double OcqaEngine::MonteCarloUs(const ConjunctiveQuery& query,
                                 size_t samples, uint64_t seed,
                                 size_t threads) const {
   UniformSequenceSampler sampler(db_, keys_);
+  std::vector<size_t> order = PlanOrderForTrials(db_, query);
   return MonteCarloEstimate(
       samples, seed, PoolFor(threads), [&](Rng& rng) {
         RepairingSequence seq = sampler.Sample(rng);
         Database result = db_.Subset(ApplySequence(db_, seq));
-        QueryEvaluator eval(result, query);
+        QueryEvaluator eval(result, query, order);
         return eval.Entails(answer_tuple);
       });
 }

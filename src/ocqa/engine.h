@@ -33,6 +33,7 @@
 #include "db/database.h"
 #include "db/keys.h"
 #include "hypertree/normal_form.h"
+#include "planner/planner.h"
 #include "ocqa/rep_builder.h"
 #include "ocqa/seq_builder.h"
 #include "query/cq.h"
@@ -47,6 +48,10 @@ struct OcqaOptions {
   FprasConfig fpras;
   /// Maximum decomposition width to search for cyclic queries.
   size_t max_width = 6;
+  /// Cost-based planning knobs (join-order search, GHD candidate ranking).
+  /// Planning is a search-effort optimization only: at any setting, results
+  /// are identical and sampling estimates bit-identical at the same seed.
+  PlannerOptions planner;
   /// Execution lanes for the parallel paths (FPRAS trials, Monte-Carlo
   /// sampling, block partitioning): 0 = hardware concurrency, 1 = strictly
   /// serial. Results are bit-identical at every value — parallel work is
@@ -91,6 +96,13 @@ class CompiledQuery {
   /// The key set over the normal-form schema.
   const KeySet& keys() const { return keys_; }
 
+  /// The query plan this artifact was compiled from: the cost-ranked
+  /// decomposition (whose normal form is nf()), the planned atom order for
+  /// backtracking evaluation, cost estimates, and the planning wall-clock
+  /// time. Cached with the CompiledQuery, so the service's explain flag and
+  /// stats verb read it back without replanning.
+  const QueryPlan& plan() const { return plan_; }
+
   /// The Rep[k] automaton for `answer_tuple`, compiled on first use and
   /// memoized. The pointer stays valid for the CompiledQuery's lifetime.
   Result<const RepAutomaton*> Rep(const std::vector<Value>& answer_tuple,
@@ -108,6 +120,7 @@ class CompiledQuery {
 
   NormalFormInstance nf_;
   KeySet keys_;  // over nf_.db's schema
+  QueryPlan plan_;
 
   // Guards the memos below (shared by concurrent serving requests).
   std::unique_ptr<std::mutex> mu_;

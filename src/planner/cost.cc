@@ -1,0 +1,114 @@
+#include "planner/cost.h"
+
+#include <algorithm>
+
+#include "db/index.h"
+#include "query/eval.h"
+
+namespace uocqa {
+
+namespace {
+
+/// Effective distinct count of column `pos` of `rel`: cardinality divided
+/// by the effective fanout (the average of the uniform fanout
+/// card/distinct and the most-common-value frequency). Always in
+/// [1, cardinality] for non-empty relations; 1 for empty/unknown columns so
+/// a degenerate column never inflates an estimate.
+double EffectiveDistinct(const DatabaseIndex& index, RelationId rel,
+                         uint32_t pos) {
+  double card = static_cast<double>(index.RelationCardinality(rel));
+  double distinct = static_cast<double>(index.DistinctValues(rel, pos));
+  double mcv = static_cast<double>(index.MostCommonFrequency(rel, pos));
+  if (card <= 0 || distinct <= 0) return 1;
+  double fanout = (card / distinct + mcv) / 2;
+  return std::max(1.0, card / fanout);
+}
+
+}  // namespace
+
+CostModel::CostModel(const Database& db, const ConjunctiveQuery& query) {
+  supported_ = query.atom_count() <= 64;
+  if (!supported_) return;
+  variable_count_ = query.variable_count();
+  is_answer_var_.assign(variable_count_, false);
+  for (VarId v : query.answer_vars()) is_answer_var_[v] = true;
+
+  const DatabaseIndex& index = db.index();
+  std::vector<RelationId> atom_rels = ResolveAtomRelations(db, query);
+  atoms_.resize(query.atom_count());
+  for (size_t i = 0; i < query.atom_count(); ++i) {
+    const QueryAtom& atom = query.atoms()[i];
+    RelationId rel = atom_rels[i];
+    AtomStats& stats = atoms_[i];
+    size_t card = rel == kInvalidRelation ? 0 : index.RelationCardinality(rel);
+    if (card == 0) continue;  // base stays 0: unsatisfiable atom
+    stats.base = static_cast<double>(card);
+    for (size_t j = 0; j < atom.terms.size(); ++j) {
+      const Term& t = atom.terms[j];
+      uint32_t pos = static_cast<uint32_t>(j);
+      if (t.is_const()) {
+        // Exact selectivity from the posting list of the constant.
+        size_t matches = index.FactsWith(rel, pos, t.id).size();
+        stats.base *= static_cast<double>(matches) / static_cast<double>(card);
+      } else {
+        stats.occurrences.push_back({t.id, EffectiveDistinct(index, rel, pos)});
+      }
+    }
+  }
+}
+
+double CostModel::EstimateSubsetCardinality(uint64_t atom_mask) const {
+  if (!supported_ || atom_mask == 0) return 0;
+  double card = 1;
+  // Per variable touched by the subset: the product of the effective
+  // distinct counts over its occurrences, and their minimum.
+  std::vector<double> prod(variable_count_, 1);
+  std::vector<double> min(variable_count_, 0);  // 0 = untouched
+  for (uint64_t m = atom_mask; m != 0; m &= m - 1) {
+    size_t i = static_cast<size_t>(__builtin_ctzll(m));
+    if (i >= atoms_.size() || atoms_[i].base <= 0) return 0;
+    card *= atoms_[i].base;
+    for (const VarOccurrence& occ : atoms_[i].occurrences) {
+      prod[occ.var] *= occ.effective_distinct;
+      min[occ.var] = min[occ.var] == 0
+                         ? occ.effective_distinct
+                         : std::min(min[occ.var], occ.effective_distinct);
+    }
+  }
+  for (size_t v = 0; v < variable_count_; ++v) {
+    if (min[v] == 0) continue;  // variable not in the subset
+    // Containment of values: an existential join variable ranges over the
+    // smallest occurrence's value set, so divide by every occurrence's
+    // distinct count except the smallest. Answer variables are bound to
+    // given constants, so every occurrence filters: divide by all of them.
+    card /= is_answer_var_[v] ? prod[v] : prod[v] / min[v];
+  }
+  return card;
+}
+
+double CostModel::EstimateOrderCost(const std::vector<size_t>& order) const {
+  double cost = 0;
+  uint64_t prefix = 0;
+  for (size_t atom : order) {
+    prefix |= uint64_t{1} << atom;
+    cost += EstimateSubsetCardinality(prefix);
+  }
+  return cost;
+}
+
+double CostModel::EstimateBagCost(const std::vector<size_t>& lambda) const {
+  uint64_t mask = 0;
+  for (size_t atom : lambda) mask |= uint64_t{1} << atom;
+  return EstimateSubsetCardinality(mask);
+}
+
+double CostModel::EstimateDecompositionCost(
+    const HypertreeDecomposition& h) const {
+  double cost = 0;
+  for (const DecompositionNode& node : h.nodes()) {
+    cost += EstimateBagCost(node.lambda);
+  }
+  return cost;
+}
+
+}  // namespace uocqa

@@ -1,0 +1,82 @@
+// Cardinality-based cost model for query planning.
+//
+// Estimates the size of partial joins (subsets of query atoms) from the
+// DatabaseIndex statistics: per-relation cardinality |R|, per-column
+// distinct counts, exact posting lengths for constants, and the per-column
+// most-common-value frequency. Columns are assumed independent; a join
+// variable's occurrences are combined under the containment-of-values
+// assumption (divide by every occurrence's distinct count except the
+// smallest). Skew is folded in by replacing the raw distinct count with an
+// *effective* distinct count card/fanout, where the effective fanout
+// averages the uniform fanout card/distinct with the most-common-value
+// frequency — a hot value that the uniform model would hide roughly
+// doubles into the estimate.
+//
+// Costs are search-effort proxies, not result sizes: the cost of an atom
+// order is the sum of estimated prefix-join cardinalities (~ backtracking
+// nodes of QueryEvaluator::Search), and the cost of a decomposition is the
+// sum of estimated bag-join sizes (~ Yannakakis/normal-form bag
+// materialization). Planning never changes results, only these costs.
+
+#ifndef UOCQA_PLANNER_COST_H_
+#define UOCQA_PLANNER_COST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "db/database.h"
+#include "hypertree/decomposition.h"
+#include "query/cq.h"
+
+namespace uocqa {
+
+class CostModel {
+ public:
+  /// Snapshots the statistics of `db` relevant to `query`. Both must
+  /// outlive the model only for the duration of construction; the model
+  /// itself holds plain numbers.
+  CostModel(const Database& db, const ConjunctiveQuery& query);
+
+  /// False when the query exceeds the mask-based representation (more than
+  /// 64 atoms); estimates are then unavailable and planners must fall back
+  /// to the greedy order.
+  bool supported() const { return supported_; }
+
+  /// Estimated number of tuples in the join of the atoms of `atom_mask`
+  /// (bit i = query atom i), with answer variables treated as bound to
+  /// constants. 0 when some atom's relation is absent or empty. The
+  /// estimate depends only on the *set*, not on any order, which makes the
+  /// subset DP in join_order.cc exact for EstimateOrderCost.
+  double EstimateSubsetCardinality(uint64_t atom_mask) const;
+
+  /// Sum of EstimateSubsetCardinality over the prefixes of `order` — the
+  /// backtracking-node proxy minimized by join ordering.
+  double EstimateOrderCost(const std::vector<size_t>& order) const;
+
+  /// Estimated materialized size of a bag covering `lambda` (atom indices).
+  double EstimateBagCost(const std::vector<size_t>& lambda) const;
+
+  /// Sum of bag costs over all vertices of `h`.
+  double EstimateDecompositionCost(const HypertreeDecomposition& h) const;
+
+ private:
+  // One variable occurrence inside an atom: the effective distinct count of
+  // the column it sits in.
+  struct VarOccurrence {
+    VarId var;
+    double effective_distinct;
+  };
+  struct AtomStats {
+    double base = 0;  // |R| x exact constant selectivities (0 if empty)
+    std::vector<VarOccurrence> occurrences;
+  };
+
+  bool supported_ = false;
+  size_t variable_count_ = 0;
+  std::vector<AtomStats> atoms_;
+  std::vector<bool> is_answer_var_;  // [VarId]
+};
+
+}  // namespace uocqa
+
+#endif  // UOCQA_PLANNER_COST_H_

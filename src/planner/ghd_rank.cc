@@ -1,0 +1,78 @@
+#include "planner/ghd_rank.h"
+
+#include <utility>
+#include <vector>
+
+#include "hypertree/ghd_search.h"
+#include "hypertree/gyo.h"
+
+namespace uocqa {
+
+Result<DecompositionChoice> RankDecompositions(const Database& db,
+                                               const ConjunctiveQuery& query,
+                                               const CostModel& model,
+                                               size_t max_width,
+                                               size_t max_candidates) {
+  (void)db;
+  if (max_candidates == 0) max_candidates = 1;
+  std::vector<HypertreeDecomposition> candidates;
+
+  // Candidate 0 must reproduce DecomposeQuery exactly: GYO join tree for
+  // acyclic queries, else the first GHD at the smallest feasible width.
+  if (IsAcyclic(query)) {
+    Result<HypertreeDecomposition> jt = BuildJoinTree(query);
+    if (jt.ok()) {
+      candidates.push_back(std::move(jt).value());
+      // Alternatives at width 1, best effort (the join tree stays first;
+      // enumeration failures for queries the mask-based search cannot
+      // represent are not errors here).
+      Result<std::vector<HypertreeDecomposition>> extra =
+          FindGhdsOfWidth(query, 1, max_candidates);
+      if (extra.ok()) {
+        for (HypertreeDecomposition& h : *extra) {
+          candidates.push_back(std::move(h));
+        }
+      }
+    }
+  }
+  if (candidates.empty()) {
+    // Mirror ComputeGhw: smallest k that yields any decomposition wins;
+    // NotFound means "try wider", anything else is a real error.
+    for (size_t k = 1; k <= max_width; ++k) {
+      Result<std::vector<HypertreeDecomposition>> found =
+          FindGhdsOfWidth(query, k, max_candidates);
+      if (found.ok()) {
+        candidates = std::move(found).value();
+        break;
+      }
+      if (found.status().code() != StatusCode::kNotFound) {
+        return found.status();
+      }
+    }
+    if (candidates.empty()) {
+      return Status::NotFound("no GHD of width <= " +
+                              std::to_string(max_width));
+    }
+  }
+
+  size_t best = 0;
+  double best_cost =
+      model.supported() ? model.EstimateDecompositionCost(candidates[0]) : 0;
+  if (model.supported()) {
+    for (size_t i = 1; i < candidates.size(); ++i) {
+      double cost = model.EstimateDecompositionCost(candidates[i]);
+      if (cost < best_cost) {  // strictly cheaper only: ties keep legacy
+        best = i;
+        best_cost = cost;
+      }
+    }
+  }
+  DecompositionChoice choice;
+  choice.decomposition = std::move(candidates[best]);
+  choice.cost = best_cost;
+  choice.width = choice.decomposition.Width();
+  choice.candidates_considered = candidates.size();
+  return choice;
+}
+
+}  // namespace uocqa

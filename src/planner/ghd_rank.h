@@ -1,0 +1,44 @@
+// Cost-ranked decomposition choice.
+//
+// Replaces "first decomposition found" with "cheapest of up to N
+// candidates": candidate 0 is always exactly what the legacy DecomposeQuery
+// would have returned (the GYO join tree for acyclic queries, the first
+// width-k GHD otherwise), further candidates come from the generalized
+// FindGhdsOfWidth enumeration, and ranking switches away from candidate 0
+// only on a *strictly* cheaper estimated bag-materialization cost. Ties —
+// including the everything-is-zero estimates of empty databases — keep the
+// legacy choice, so pinned FPRAS outputs are reproduced bit-identically
+// wherever the cost model sees no difference.
+
+#ifndef UOCQA_PLANNER_GHD_RANK_H_
+#define UOCQA_PLANNER_GHD_RANK_H_
+
+#include <cstddef>
+
+#include "base/status.h"
+#include "db/database.h"
+#include "hypertree/decomposition.h"
+#include "planner/cost.h"
+#include "query/cq.h"
+
+namespace uocqa {
+
+struct DecompositionChoice {
+  HypertreeDecomposition decomposition;
+  double cost = 0;   ///< EstimateDecompositionCost of the winner
+  size_t width = 0;  ///< Width() of the winner
+  size_t candidates_considered = 0;
+};
+
+/// Chooses a decomposition of `query` of width <= max_width by estimated
+/// bag cost over `db` statistics. Error statuses mirror DecomposeQuery
+/// (NotFound when no decomposition of width <= max_width exists).
+Result<DecompositionChoice> RankDecompositions(const Database& db,
+                                               const ConjunctiveQuery& query,
+                                               const CostModel& model,
+                                               size_t max_width,
+                                               size_t max_candidates = 8);
+
+}  // namespace uocqa
+
+#endif  // UOCQA_PLANNER_GHD_RANK_H_

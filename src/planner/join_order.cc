@@ -1,0 +1,107 @@
+#include "planner/join_order.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "base/rng.h"
+#include "query/eval.h"
+
+namespace uocqa {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Exact subset DP: dp[S] = card(S) + min over last-placed atom a of
+/// dp[S \ {a}]. Reconstructed front-to-back from the full mask. Ties keep
+/// the smallest atom index, so the result is deterministic.
+std::vector<size_t> DpOrder(const CostModel& model, size_t n) {
+  size_t full = (size_t{1} << n) - 1;
+  std::vector<double> dp(full + 1, kInf);
+  std::vector<int> last(full + 1, -1);
+  dp[0] = 0;
+  for (size_t s = 1; s <= full; ++s) {
+    double card = model.EstimateSubsetCardinality(s);
+    for (size_t a = 0; a < n; ++a) {
+      if ((s & (size_t{1} << a)) == 0) continue;
+      double c = dp[s ^ (size_t{1} << a)];
+      if (c + card < dp[s]) {
+        dp[s] = c + card;
+        last[s] = static_cast<int>(a);
+      }
+    }
+  }
+  std::vector<size_t> order;
+  for (size_t s = full; s != 0; s ^= size_t{1} << last[s]) {
+    order.push_back(static_cast<size_t>(last[s]));
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+/// One randomized-greedy construction: at each step rank the unplaced atoms
+/// by the cardinality of the extended prefix and pick uniformly among the
+/// best three — enough perturbation to escape the deterministic greedy's
+/// estimation errors, close enough to it to stay sane.
+std::vector<size_t> RandomizedGreedyOrder(const CostModel& model, size_t n,
+                                          Rng& rng) {
+  std::vector<size_t> order;
+  uint64_t prefix = 0;
+  std::vector<bool> placed(n, false);
+  while (order.size() < n) {
+    std::vector<std::pair<double, size_t>> ranked;
+    for (size_t a = 0; a < n; ++a) {
+      if (placed[a]) continue;
+      ranked.emplace_back(
+          model.EstimateSubsetCardinality(prefix | (uint64_t{1} << a)), a);
+    }
+    std::sort(ranked.begin(), ranked.end());
+    size_t pick = ranked[rng.UniformIndex(std::min<size_t>(3, ranked.size()))]
+                      .second;
+    placed[pick] = true;
+    prefix |= uint64_t{1} << pick;
+    order.push_back(pick);
+  }
+  return order;
+}
+
+}  // namespace
+
+JoinOrderPlan PlanJoinOrder(const Database& db, const ConjunctiveQuery& query,
+                            const CostModel& model,
+                            const JoinOrderOptions& options) {
+  JoinOrderPlan plan;
+  plan.order = GreedyAtomOrder(db, query);
+  size_t n = query.atom_count();
+  if (!model.supported() || n == 0) return plan;
+  plan.greedy_cost = model.EstimateOrderCost(plan.order);
+  plan.cost = plan.greedy_cost;
+
+  if (n <= options.dp_max_atoms) {
+    std::vector<size_t> dp_order = DpOrder(model, n);
+    double dp_cost = model.EstimateOrderCost(dp_order);
+    plan.exact = true;
+    // The greedy order is itself a candidate of the DP, so dp_cost <=
+    // greedy_cost up to floating-point noise; keep greedy on ties so
+    // planning never churns behavior without a modeled win.
+    if (dp_cost < plan.cost) {
+      plan.order = std::move(dp_order);
+      plan.cost = dp_cost;
+    }
+    return plan;
+  }
+
+  for (size_t r = 0; r < options.restarts; ++r) {
+    Rng rng = Rng::Stream(options.seed, r);
+    std::vector<size_t> candidate = RandomizedGreedyOrder(model, n, rng);
+    double cost = model.EstimateOrderCost(candidate);
+    if (cost < plan.cost) {
+      plan.order = std::move(candidate);
+      plan.cost = cost;
+    }
+  }
+  return plan;
+}
+
+}  // namespace uocqa

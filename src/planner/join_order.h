@@ -1,0 +1,53 @@
+// Join-order search over the cost model of cost.h.
+//
+// Small queries (<= dp_max_atoms atoms) get a Selinger-style dynamic
+// program over atom subsets. Because the cost metric — the sum of
+// estimated prefix-join cardinalities — assigns every prefix *set* a cost
+// independent of the order within the prefix, the subset DP is exact:
+// dp[S] = card(S) + min over a in S of dp[S \ {a}]. Larger queries fall
+// back to iterated randomized greedy under a seeded Rng (deterministic
+// restarts via Rng::Stream). The greedy order of query/eval.h is always
+// evaluated as the incumbent, and wins ties, so planning can only keep or
+// strictly improve the modeled cost — and never changes results, only
+// search effort.
+
+#ifndef UOCQA_PLANNER_JOIN_ORDER_H_
+#define UOCQA_PLANNER_JOIN_ORDER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "db/database.h"
+#include "planner/cost.h"
+#include "query/cq.h"
+
+namespace uocqa {
+
+struct JoinOrderOptions {
+  /// Largest atom count for the exact subset DP (2^n subsets).
+  size_t dp_max_atoms = 12;
+  /// Randomized-greedy restarts for larger queries.
+  size_t restarts = 16;
+  /// Seed for the restart Rng streams. Planning consumes no draws from any
+  /// sampler RNG; this seed only perturbs restart tie-breaking.
+  uint64_t seed = 1;
+};
+
+struct JoinOrderPlan {
+  std::vector<size_t> order;  ///< permutation of 0..atom_count-1
+  double cost = 0;            ///< EstimateOrderCost(order)
+  double greedy_cost = 0;     ///< EstimateOrderCost(GreedyAtomOrder(...))
+  bool exact = false;         ///< true when the subset DP proved optimality
+};
+
+/// Plans an atom evaluation order for `query` over `db`. Always returns a
+/// valid permutation: the greedy order when the cost model is unsupported
+/// or never beaten, the DP/restart winner otherwise.
+JoinOrderPlan PlanJoinOrder(const Database& db, const ConjunctiveQuery& query,
+                            const CostModel& model,
+                            const JoinOrderOptions& options = {});
+
+}  // namespace uocqa
+
+#endif  // UOCQA_PLANNER_JOIN_ORDER_H_

@@ -8,35 +8,40 @@
 
 namespace uocqa {
 
-QueryEvaluator::QueryEvaluator(const Database& db,
-                               const ConjunctiveQuery& query)
-    : db_(db), query_(query) {
-  // Reconcile relations by name: for each query atom, the relation holding
-  // its candidate facts in the database (kInvalidRelation when absent, which
-  // makes the atom unsatisfiable).
-  const DatabaseIndex& index = db.index();
-  atom_rels_.resize(query.atom_count(), kInvalidRelation);
+std::vector<RelationId> ResolveAtomRelations(const Database& db,
+                                             const ConjunctiveQuery& query) {
+  std::vector<RelationId> atom_rels(query.atom_count(), kInvalidRelation);
   for (size_t i = 0; i < query.atom_count(); ++i) {
     const QueryAtom& atom = query.atoms()[i];
     const std::string& name = query.schema().name(atom.relation);
     RelationId db_rel = db.schema().Find(name);
     if (db_rel == kInvalidRelation) continue;
     assert(db.schema().arity(db_rel) == atom.terms.size());
-    atom_rels_[i] = db_rel;
+    atom_rels[i] = db_rel;
   }
+  return atom_rels;
+}
 
+std::vector<size_t> GreedyAtomOrder(const Database& db,
+                                    const ConjunctiveQuery& query) {
   // Statistics-driven greedy atom order: repeatedly pick the atom with the
   // smallest estimated result size given the variables bound so far
   // (constant terms use exact posting lengths, bound variables the average
   // column selectivity), preferring atoms connected to already-placed ones.
   // Order only affects search cost, never the set of homomorphisms.
+  const DatabaseIndex& index = db.index();
+  std::vector<RelationId> atom_rels = ResolveAtomRelations(db, query);
+  std::vector<size_t> order;
   std::vector<bool> placed(query.atom_count(), false);
   std::unordered_set<VarId> bound;
   for (VarId v : query.answer_vars()) bound.insert(v);
-  while (order_.size() < query.atom_count()) {
+  while (order.size() < query.atom_count()) {
     size_t best = query.atom_count();
     bool best_connected = false;
     double best_est = 0;
+    // Scanning atoms in index order with strict `est < best_est` makes the
+    // tie-break deterministic: equal estimates keep the smallest atom index,
+    // independent of platform or hash order.
     for (size_t i = 0; i < query.atom_count(); ++i) {
       if (placed[i]) continue;
       const QueryAtom& atom = query.atoms()[i];
@@ -51,9 +56,9 @@ QueryEvaluator::QueryEvaluator(const Database& db,
         }
       }
       bool connected = !consts.empty() || !bound_positions.empty();
-      double est = atom_rels_[i] == kInvalidRelation
+      double est = atom_rels[i] == kInvalidRelation
                        ? 0
-                       : index.EstimateMatches(atom_rels_[i], consts,
+                       : index.EstimateMatches(atom_rels[i], consts,
                                                bound_positions);
       if (best == query.atom_count() ||
           (connected && !best_connected) ||
@@ -64,11 +69,33 @@ QueryEvaluator::QueryEvaluator(const Database& db,
       }
     }
     placed[best] = true;
-    order_.push_back(best);
+    order.push_back(best);
     for (const Term& t : query.atoms()[best].terms) {
       if (t.is_var()) bound.insert(t.id);
     }
   }
+  return order;
+}
+
+QueryEvaluator::QueryEvaluator(const Database& db,
+                               const ConjunctiveQuery& query)
+    : QueryEvaluator(db, query, GreedyAtomOrder(db, query)) {}
+
+QueryEvaluator::QueryEvaluator(const Database& db,
+                               const ConjunctiveQuery& query,
+                               std::vector<size_t> order)
+    : db_(db),
+      query_(query),
+      atom_rels_(ResolveAtomRelations(db, query)),
+      order_(std::move(order)) {
+  assert(order_.size() == query.atom_count());
+#ifndef NDEBUG
+  std::vector<bool> seen(query.atom_count(), false);
+  for (size_t i : order_) {
+    assert(i < query.atom_count() && !seen[i]);
+    seen[i] = true;
+  }
+#endif
 }
 
 bool QueryEvaluator::SeedAssignment(const std::vector<Value>& answer_tuple,
@@ -109,6 +136,7 @@ bool QueryEvaluator::Search(
   const std::vector<FactId>& candidates =
       db_.index().Candidates(atom_rels_[atom_idx], *bound_scratch);
   for (FactId fid : candidates) {
+    ++nodes_visited_;
     const Fact& fact = db_.fact(fid);
     // Try to unify atom terms with the fact, recording newly bound vars.
     std::vector<VarId> newly_bound;

@@ -27,12 +27,33 @@ constexpr Value kUnassignedValue = static_cast<Value>(-1);
 /// A total or partial assignment from VarId to constants.
 using Assignment = std::vector<Value>;
 
+/// Per query atom, the database relation holding its candidate facts,
+/// reconciled by name (kInvalidRelation when the database lacks the
+/// relation, which makes the atom unsatisfiable).
+std::vector<RelationId> ResolveAtomRelations(const Database& db,
+                                             const ConjunctiveQuery& query);
+
+/// The statistics-driven greedy atom order QueryEvaluator uses by default:
+/// repeatedly pick the unplaced atom with the smallest estimated result size
+/// given the variables bound so far, preferring atoms connected to already
+/// placed ones. Ties break on the smallest atom index, so the order is
+/// deterministic across platforms and hash orders. Exposed so the planner
+/// can use it as a baseline and a fallback.
+std::vector<size_t> GreedyAtomOrder(const Database& db,
+                                    const ConjunctiveQuery& query);
+
 class QueryEvaluator {
  public:
-  /// Resolves atom relations against the database and fixes the atom order.
-  /// The database must outlive the evaluator; the query is kept by
-  /// reference as well.
+  /// Resolves atom relations against the database and fixes the atom order
+  /// to GreedyAtomOrder. The database must outlive the evaluator; the query
+  /// is kept by reference as well.
   QueryEvaluator(const Database& db, const ConjunctiveQuery& query);
+
+  /// Same, but evaluates atoms in the given order (a permutation of
+  /// 0..atom_count-1, e.g. from the planner). Order only affects search
+  /// cost, never the set of homomorphisms.
+  QueryEvaluator(const Database& db, const ConjunctiveQuery& query,
+                 std::vector<size_t> order);
 
   /// c̄ ∈ Q(D)? `answer_tuple` must have one constant per answer variable
   /// (empty for Boolean queries).
@@ -56,6 +77,15 @@ class QueryEvaluator {
   /// Distinct answer tuples Q(D) (small-instance utility).
   std::vector<std::vector<Value>> Answers() const;
 
+  /// The atom visit order in use.
+  const std::vector<size_t>& order() const { return order_; }
+
+  /// Candidate facts tried across all Search calls since construction — the
+  /// backtracking-node count the planner's cost metric estimates. Cumulative
+  /// over Entails/Count/ForEach calls; for per-call counts, difference two
+  /// reads.
+  uint64_t nodes_visited() const { return nodes_visited_; }
+
  private:
   /// Seeds a partial assignment with the answer tuple; false on clash
   /// (repeated answer variable bound to two constants).
@@ -75,6 +105,7 @@ class QueryEvaluator {
   const ConjunctiveQuery& query_;
   std::vector<RelationId> atom_rels_;  // per atom, db relation (by name)
   std::vector<size_t> order_;          // atom visit order
+  mutable uint64_t nodes_visited_ = 0;
 };
 
 /// One-shot convenience: c̄ ∈ Q(D)?

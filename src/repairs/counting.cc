@@ -143,13 +143,16 @@ void ForEachRepair(
 
 BigInt CountRepairsEntailing(const Database& db, const KeySet& keys,
                              const ConjunctiveQuery& query,
-                             const std::vector<Value>& answer_tuple) {
+                             const std::vector<Value>& answer_tuple,
+                             const std::vector<size_t>* atom_order) {
   BlockPartition blocks = BlockPartition::Compute(db, keys);
   BigInt count;
   ForEachRepair(blocks, [&](const std::vector<BlockOutcome>&,
                             const std::vector<FactId>& kept) {
     Database repair = db.Subset(kept);
-    QueryEvaluator eval(repair, query);
+    QueryEvaluator eval = atom_order
+                              ? QueryEvaluator(repair, query, *atom_order)
+                              : QueryEvaluator(repair, query);
     if (eval.Entails(answer_tuple)) count += uint64_t{1};
     return true;
   });
@@ -158,13 +161,16 @@ BigInt CountRepairsEntailing(const Database& db, const KeySet& keys,
 
 BigInt CountSequencesEntailing(const Database& db, const KeySet& keys,
                                const ConjunctiveQuery& query,
-                               const std::vector<Value>& answer_tuple) {
+                               const std::vector<Value>& answer_tuple,
+                               const std::vector<size_t>* atom_order) {
   BlockPartition blocks = BlockPartition::Compute(db, keys);
   BigInt count;
   ForEachRepair(blocks, [&](const std::vector<BlockOutcome>& outcomes,
                             const std::vector<FactId>& kept) {
     Database repair = db.Subset(kept);
-    QueryEvaluator eval(repair, query);
+    QueryEvaluator eval = atom_order
+                              ? QueryEvaluator(repair, query, *atom_order)
+                              : QueryEvaluator(repair, query);
     if (eval.Entails(answer_tuple)) {
       count += CountSequencesForOutcome(blocks, outcomes);
     }
@@ -175,20 +181,24 @@ BigInt CountSequencesEntailing(const Database& db, const KeySet& keys,
 
 ExactRF ExactRepairFrequency(const Database& db, const KeySet& keys,
                              const ConjunctiveQuery& query,
-                             const std::vector<Value>& answer_tuple) {
+                             const std::vector<Value>& answer_tuple,
+                             const std::vector<size_t>* atom_order) {
   BlockPartition blocks = BlockPartition::Compute(db, keys);
   ExactRF out;
-  out.numerator = CountRepairsEntailing(db, keys, query, answer_tuple);
+  out.numerator =
+      CountRepairsEntailing(db, keys, query, answer_tuple, atom_order);
   out.denominator = CountOperationalRepairs(blocks);
   return out;
 }
 
 ExactRF ExactSequenceFrequency(const Database& db, const KeySet& keys,
                                const ConjunctiveQuery& query,
-                               const std::vector<Value>& answer_tuple) {
+                               const std::vector<Value>& answer_tuple,
+                               const std::vector<size_t>* atom_order) {
   BlockPartition blocks = BlockPartition::Compute(db, keys);
   ExactRF out;
-  out.numerator = CountSequencesEntailing(db, keys, query, answer_tuple);
+  out.numerator =
+      CountSequencesEntailing(db, keys, query, answer_tuple, atom_order);
   out.denominator = CountCompleteSequencesExact(blocks);
   return out;
 }

@@ -83,15 +83,21 @@ void ForEachRepair(
                              const std::vector<FactId>&)>& fn);
 
 /// Exact numerator |{D' ∈ ORep(D,Sigma) : c̄ ∈ Q(D')}| by enumeration.
+/// `atom_order` optionally fixes the per-repair evaluator's atom order (a
+/// permutation of 0..atom_count-1, e.g. planned once against the full
+/// database); order affects enumeration cost only, never the count.
 BigInt CountRepairsEntailing(const Database& db, const KeySet& keys,
                              const ConjunctiveQuery& query,
-                             const std::vector<Value>& answer_tuple);
+                             const std::vector<Value>& answer_tuple,
+                             const std::vector<size_t>* atom_order = nullptr);
 
 /// Exact numerator |{s ∈ CRS(D,Sigma) : c̄ ∈ Q(s(D))}| by enumeration over
 /// outcomes with per-outcome sequence counting.
 BigInt CountSequencesEntailing(const Database& db, const KeySet& keys,
                                const ConjunctiveQuery& query,
-                               const std::vector<Value>& answer_tuple);
+                               const std::vector<Value>& answer_tuple,
+                               const std::vector<size_t>* atom_order =
+                                   nullptr);
 
 /// An exact relative frequency as a ratio of BigInt counts.
 struct ExactRF {
@@ -111,12 +117,15 @@ struct ExactRF {
 /// RF_ur(D, Sigma, Q, c̄), exact (exponential-time numerator).
 ExactRF ExactRepairFrequency(const Database& db, const KeySet& keys,
                              const ConjunctiveQuery& query,
-                             const std::vector<Value>& answer_tuple);
+                             const std::vector<Value>& answer_tuple,
+                             const std::vector<size_t>* atom_order = nullptr);
 
 /// RF_us(D, Sigma, Q, c̄), exact (exponential-time numerator).
 ExactRF ExactSequenceFrequency(const Database& db, const KeySet& keys,
                                const ConjunctiveQuery& query,
-                               const std::vector<Value>& answer_tuple);
+                               const std::vector<Value>& answer_tuple,
+                               const std::vector<size_t>* atom_order =
+                                   nullptr);
 
 }  // namespace uocqa
 

@@ -73,6 +73,14 @@ class LruCache {
     return index_.find(key) != index_.end();
   }
 
+  /// Visits every entry from most to least recently used without touching
+  /// recency or the counters (the stats verb's per-plan report). `fn` must
+  /// not mutate the cache.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& entry : order_) fn(entry.first, entry.second);
+  }
+
   void Clear() {
     order_.clear();
     index_.clear();

@@ -86,18 +86,6 @@ Result<std::vector<std::string>> Tokenize(std::string_view line) {
   return out;
 }
 
-/// Wraps `value` in single quotes, doubling interior quotes (the inverse of
-/// Tokenize's quoting rule).
-std::string QuoteValue(const std::string& value) {
-  std::string out = "'";
-  for (char c : value) {
-    out += c;
-    if (c == '\'') out += '\'';
-  }
-  out += "'";
-  return out;
-}
-
 Status ParseDouble(const std::string& field, const std::string& text,
                    double* out) {
   char* end = nullptr;
@@ -110,6 +98,18 @@ Status ParseDouble(const std::string& field, const std::string& text,
 }
 
 }  // namespace
+
+std::string QuoteProtocolValue(const std::string& value) {
+  // The inverse of Tokenize's quoting rule: delimiting quotes, interior
+  // quotes doubled.
+  std::string out = "'";
+  for (char c : value) {
+    out += c;
+    if (c == '\'') out += '\'';
+  }
+  out += "'";
+  return out;
+}
 
 Status ParseSizeField(const std::string& field, const std::string& text,
                       size_t* out) {
@@ -141,6 +141,10 @@ Result<Request> ParseRequestLine(std::string_view line) {
   UOCQA_ASSIGN_OR_RETURN(std::vector<std::string> tokens, Tokenize(line));
   if (tokens.empty()) return Status::InvalidArgument("empty request");
   Request out;
+  if (tokens.size() == 1 && tokens[0] == "stats") {
+    out.stats = true;
+    return out;
+  }
   for (const std::string& token : tokens) {
     size_t eq = token.find('=');
     if (eq == std::string::npos) {
@@ -169,6 +173,14 @@ Result<Request> ParseRequestLine(std::string_view line) {
       size_t seed = 0;
       UOCQA_RETURN_IF_ERROR(ParseSizeField(key, value, &seed));
       out.seed = static_cast<uint64_t>(seed);
+    } else if (key == "explain") {
+      if (value == "0") {
+        out.explain = false;
+      } else if (value == "1") {
+        out.explain = true;
+      } else {
+        return Status::InvalidArgument("explain expects 0 or 1");
+      }
     } else {
       return Status::InvalidArgument("unknown request field: " + key);
     }
@@ -182,10 +194,11 @@ Result<Request> ParseRequestLine(std::string_view line) {
 }
 
 std::string FormatRequestLine(const Request& request) {
+  if (request.stats) return "stats";
   char buf[64];
-  std::string out = "query=" + QuoteValue(request.query_text);
+  std::string out = "query=" + QuoteProtocolValue(request.query_text);
   if (!request.answer_text.empty()) {
-    out += " answer=" + QuoteValue(request.answer_text);
+    out += " answer=" + QuoteProtocolValue(request.answer_text);
   }
   out += " mode=";
   out += RequestModeName(request.mode);
@@ -194,6 +207,7 @@ std::string FormatRequestLine(const Request& request) {
   out += buf;
   out += " samples=" + std::to_string(request.samples);
   out += " seed=" + std::to_string(request.seed);
+  if (request.explain) out += " explain=1";
   return out;
 }
 

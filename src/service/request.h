@@ -47,6 +47,14 @@ struct Request {
   double delta = 0.1;
   size_t samples = 20000;
   uint64_t seed = 1;
+  /// `explain=1` extends the payload with the compiled plan's deterministic
+  /// `plan_*` fields (join order, cost estimates, decomposition choice).
+  /// Part of the result-cache key: explain and plain payloads differ.
+  bool explain = false;
+  /// A bare `stats` line (no other fields): the service answers with its
+  /// cache counters and per-plan planning times instead of running a query.
+  /// Stats responses are never cached and don't count as query requests.
+  bool stats = false;
 };
 
 /// Accuracy/budget validation shared by the CLI front ends and the request
@@ -71,6 +79,11 @@ Result<Request> ParseRequestLine(std::string_view line);
 /// Renders a request back into a protocol line (round-trips through
 /// ParseRequestLine).
 std::string FormatRequestLine(const Request& request);
+
+/// Wraps `value` in single quotes with interior quotes doubled — the
+/// protocol's quoting rule, shared with payload fields that embed free text
+/// (the stats verb's per-plan query strings).
+std::string QuoteProtocolValue(const std::string& value);
 
 /// The outcome of serving one request.
 struct ServiceResponse {

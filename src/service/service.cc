@@ -49,7 +49,8 @@ bool QueryService::ResultKey::operator==(const ResultKey& o) const {
   return fingerprint == o.fingerprint &&
          canonical_query == o.canonical_query && answer == o.answer &&
          mode == o.mode && epsilon == o.epsilon && delta == o.delta &&
-         samples == o.samples && seed == o.seed && max_width == o.max_width;
+         samples == o.samples && seed == o.seed && max_width == o.max_width &&
+         explain == o.explain;
 }
 
 size_t QueryService::ResultKeyHash::operator()(const ResultKey& k) const {
@@ -62,6 +63,7 @@ size_t QueryService::ResultKeyHash::operator()(const ResultKey& k) const {
   HashCombine(&seed, k.samples);
   HashCombine(&seed, static_cast<size_t>(k.seed));
   HashCombine(&seed, k.max_width);
+  HashCombine(&seed, static_cast<size_t>(k.explain));
   return seed;
 }
 
@@ -144,6 +146,12 @@ Result<std::shared_ptr<CompiledQuery>> QueryService::PlanFor(
 
 ServiceResponse QueryService::Run(const Request& request) {
   ServiceResponse out;
+  if (request.stats) {
+    // Introspection, not a query: skip the request counter and both caches
+    // (timings change between runs, so the payload must never replay).
+    out.payload = StatsPayload();
+    return out;
+  }
   {
     std::lock_guard<std::mutex> lock(requests_mu_);
     ++requests_served_;
@@ -179,6 +187,7 @@ ServiceResponse QueryService::Run(const Request& request) {
   key.samples = request.samples;
   key.seed = request.seed;
   key.max_width = options_.max_width;
+  key.explain = request.explain;
   {
     std::lock_guard<std::mutex> lock(result_mu_);
     std::optional<std::string> hit = result_cache_.Get(key);
@@ -229,12 +238,36 @@ ServiceResponse QueryService::Run(const Request& request) {
                           *query, answer, request.samples, request.seed,
                           /*threads=*/1)));
   }
+  if (request.explain) {
+    // The plan's Fields() are deterministic (no timing), so explain
+    // payloads replay byte-identically like every other cached result.
+    // Compiling through PlanFor shares the plan cache even in exact/mc
+    // modes, where the solvers themselves don't need the artifact.
+    Result<std::shared_ptr<CompiledQuery>> plan = PlanFor(canonical, *query);
+    if (plan.ok()) {
+      append((*plan)->plan().Fields());
+    } else {
+      append("explain_error='" + plan.status().ToString() + "'");
+    }
+  }
 
   {
     std::lock_guard<std::mutex> lock(result_mu_);
     result_cache_.Put(key, payload);
   }
   out.payload = std::move(payload);
+  return out;
+}
+
+std::string QueryService::StatsPayload() const {
+  std::string out = stats().ToString();
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  out += " plans_cached=" + std::to_string(plan_cache_.size());
+  plan_cache_.ForEach([&out](const std::string& canonical,
+                             const std::shared_ptr<CompiledQuery>& plan) {
+    out += " plan=" + QuoteProtocolValue(canonical) + " planning_us=" +
+           std::to_string(plan->plan().planning_micros);
+  });
   return out;
 }
 

@@ -16,6 +16,11 @@
 //    so the engine's non-re-entrant pool is never touched concurrently, and
 //    every estimate is a pure function of the request parameters — the
 //    response vector is bit-identical at any lane count, in request order.
+//
+// Two introspection hooks ride on the protocol: `explain=1` appends the
+// compiled plan's deterministic `plan_*` fields to the payload (cache-key'd
+// separately, still byte-identical on replay), and a bare `stats` line
+// reports the cache counters plus per-plan planning times (never cached).
 
 #ifndef UOCQA_SERVICE_SERVICE_H_
 #define UOCQA_SERVICE_SERVICE_H_
@@ -105,6 +110,7 @@ class QueryService {
     size_t samples = 0;
     uint64_t seed = 0;
     size_t max_width = 0;
+    bool explain = false;
 
     bool operator==(const ResultKey& o) const;
   };
@@ -115,6 +121,11 @@ class QueryService {
   /// The full (uncached) execution of one request; `response.payload` is
   /// what the result cache stores.
   ServiceResponse Run(const Request& request);
+
+  /// The stats-verb payload: the ServiceStats counters plus, per cached
+  /// plan (most recently used first), the canonical query and its planning
+  /// wall-clock time. Never cached — timings change between runs.
+  std::string StatsPayload() const;
 
   /// The plan cache entry for `canonical`, compiling on miss. Never null on
   /// ok(); the shared_ptr keeps evicted plans alive for in-flight requests.

@@ -108,6 +108,48 @@ GeneratedInstance GenerateSkewedDatabaseForQuery(
   return out;
 }
 
+GeneratedInstance GenerateHotspotDatabaseForQuery(
+    Rng& rng, const ConjunctiveQuery& query,
+    const HotspotDbOptions& options) {
+  GeneratedInstance out;
+  out.db = Database(query.schema());
+  const std::string hot = "hot";
+  std::unordered_set<RelationId> done;
+  size_t atom_index = 0;
+  size_t filter_index = 0;
+  for (const QueryAtom& atom : query.atoms()) {
+    size_t i = atom_index++;
+    if (!done.insert(atom.relation).second) continue;
+    RelationId rel = atom.relation;
+    assert(query.schema().arity(rel) == 2);
+    const std::string& name = query.schema().name(rel);
+    out.keys.SetKeyOrDie(rel, {0});
+    if (i == 0) {
+      // The seed: small, every fact on the hot join value.
+      for (size_t f = 0; f < options.seed_facts; ++f) {
+        out.db.Add(name, {hot, "s" + std::to_string(f)});
+      }
+    } else if (i == 1) {
+      // The skewed relation: a hot spike plus a long tail of unique cold
+      // values that drags the column's average fanout toward 1.
+      for (size_t f = 0; f < options.hot_facts; ++f) {
+        std::string key = rng.Bernoulli(options.hot_fraction)
+                              ? hot
+                              : "z" + std::to_string(f);
+        out.db.Add(name, {key, "v" + std::to_string(f)});
+      }
+    } else {
+      // Filters: few distinct join values, none of them hot.
+      std::string prefix = "c" + std::to_string(filter_index++) + "_";
+      for (size_t f = 0; f < options.filter_facts; ++f) {
+        out.db.Add(name, {prefix + std::to_string(f % options.filter_distinct),
+                          "w" + std::to_string(f)});
+      }
+    }
+  }
+  return out;
+}
+
 namespace {
 
 ConjunctiveQuery BinaryRelationQuery(

@@ -78,6 +78,37 @@ GeneratedInstance GenerateSkewedDatabaseForQuery(
     Rng& rng, const ConjunctiveQuery& query,
     const SkewedDbGenOptions& options);
 
+// --- adversarial join-column skew, for the planner benchmarks --------------
+
+struct HotspotDbOptions {
+  /// Facts in the first atom's relation (all carry the hot join value).
+  size_t seed_facts = 64;
+  /// Facts in the second atom's relation (the skewed one).
+  size_t hot_facts = 4096;
+  /// Expected fraction of the skewed relation's facts whose join column is
+  /// the hot value; the rest get unique cold values, so the *average*
+  /// fanout of the join column looks tiny while the hot value explodes.
+  double hot_fraction = 0.9;
+  /// Facts in each remaining (filter) relation.
+  size_t filter_facts = 512;
+  /// Distinct join-column values per filter relation; all of them cold, so
+  /// joining a filter relation right after the seed empties the search.
+  size_t filter_distinct = 16;
+};
+
+/// An instance whose uniform per-column statistics mislead the greedy atom
+/// order while the most-common-value statistics do not, for queries whose
+/// atoms all join on their first column (stars; binary atoms required).
+/// Atom 0's relation is a small seed concentrated on one hot value, atom
+/// 1's is large with `hot_fraction` of its join column on that value (a
+/// hot fanout the uniform distinct-count model hides behind the cold
+/// tail), every later atom's is a selective filter that excludes it. An
+/// evaluator that joins the skewed relation before a filter visits
+/// ~seed_facts x hot_fraction x hot_facts candidates; one that filters
+/// first terminates after ~seed_facts. Keys on column 0, as elsewhere.
+GeneratedInstance GenerateHotspotDatabaseForQuery(
+    Rng& rng, const ConjunctiveQuery& query, const HotspotDbOptions& options);
+
 /// Ans() :- R1(x0,x1), R2(x1,x2), ..., Rn(x_{n-1},x_n). Acyclic, ghw 1.
 ConjunctiveQuery ChainQuery(size_t length);
 

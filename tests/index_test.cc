@@ -141,6 +141,37 @@ TEST(DatabaseIndexTest, IncrementalMaintenanceUnderAddFact) {
   EXPECT_EQ(with_b.size(), 2u);
 }
 
+TEST(DatabaseIndexTest, MostCommonFrequencyTracksSkewIncrementally) {
+  Schema s;
+  s.AddRelationOrDie("R", 2);
+  Database db(s);
+  RelationId r = s.Find("R");
+  EXPECT_EQ(db.index().MostCommonFrequency(r, 0), 0u);
+
+  db.Add("R", {"hot", "a"});
+  EXPECT_EQ(db.index().MostCommonFrequency(r, 0), 1u);
+  EXPECT_EQ(db.index().MostCommonFrequency(r, 1), 1u);
+
+  db.Add("R", {"hot", "b"});
+  db.Add("R", {"hot", "c"});
+  db.Add("R", {"cold", "c"});
+  // Column 0: "hot" appears 3 times; column 1: "c" appears twice.
+  EXPECT_EQ(db.index().MostCommonFrequency(r, 0), 3u);
+  EXPECT_EQ(db.index().MostCommonFrequency(r, 1), 2u);
+
+  // Duplicate fact: ignored by the database, stats unchanged.
+  db.Add("R", {"hot", "b"});
+  EXPECT_EQ(db.index().MostCommonFrequency(r, 0), 3u);
+
+  // Out-of-range lookups are 0, mirroring the other accessors.
+  EXPECT_EQ(db.index().MostCommonFrequency(r, 7), 0u);
+  EXPECT_EQ(db.index().MostCommonFrequency(kInvalidRelation, 0), 0u);
+
+  // Subset rebuilds consistent MCV stats through OnFactAdded.
+  Database sub = db.Subset({0, 3});  // R(hot,a), R(cold,c)
+  EXPECT_EQ(sub.index().MostCommonFrequency(s.Find("R"), 0), 1u);
+}
+
 TEST(DatabaseIndexTest, MissingRelationAndValueLookupsAreEmpty) {
   Schema s;
   s.AddRelationOrDie("R", 2);

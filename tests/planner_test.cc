@@ -1,0 +1,291 @@
+// The planner's core contract: planning changes search effort, never
+// results. The property tests here run every query shape the workload
+// generators produce under the planned order, its reversal, and the greedy
+// baseline, and require identical homomorphism sets, homomorphism counts,
+// and exact repair counts. The remaining tests pin the deterministic
+// greedy tie-break, the exactness/never-worse guarantees of the join-order
+// search, and the legacy-first contract of decomposition ranking.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "db/database.h"
+#include "db/keys.h"
+#include "hypertree/ghd_search.h"
+#include "planner/cost.h"
+#include "planner/ghd_rank.h"
+#include "planner/join_order.h"
+#include "planner/planner.h"
+#include "query/eval.h"
+#include "query/parser.h"
+#include "repairs/counting.h"
+#include "workload/generators.h"
+
+namespace uocqa {
+namespace {
+
+bool IsPermutation(const std::vector<size_t>& order, size_t n) {
+  if (order.size() != n) return false;
+  std::vector<size_t> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < n; ++i) {
+    if (sorted[i] != i) return false;
+  }
+  return true;
+}
+
+/// All homomorphisms of `eval` for the Boolean answer, sorted — the
+/// order-independent result set two evaluators must agree on.
+std::vector<Assignment> SortedHomomorphisms(const QueryEvaluator& eval) {
+  std::vector<Assignment> out;
+  eval.ForEachHomomorphism({}, [&out](const Assignment& a) {
+    out.push_back(a);
+    return true;
+  });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// (bag, lambda) per node — the shape equality used to compare a ranked
+/// candidate against the legacy first-found decomposition.
+std::vector<std::pair<std::vector<VarId>, std::vector<size_t>>>
+DecompositionShape(const HypertreeDecomposition& h) {
+  std::vector<std::pair<std::vector<VarId>, std::vector<size_t>>> out;
+  for (const DecompositionNode& node : h.nodes()) {
+    out.emplace_back(node.bag, node.lambda);
+  }
+  return out;
+}
+
+// --- greedy tie-break (deterministic baseline) -----------------------------
+
+TEST(GreedyOrderTest, TiesBreakOnSmallestAtomIndex) {
+  // Two indistinguishable unary atoms: identical cardinalities and no
+  // shared variables, so every step is a tie. The order must be the atom
+  // index order, on every platform and hash order.
+  auto query = ParseQuery("Ans() :- R(x), S(y), T(z)");
+  ASSERT_TRUE(query.ok());
+  Database db;
+  for (const char* rel : {"R", "S", "T"}) {
+    db.mutable_schema().AddRelationOrDie(rel, 1);
+  }
+  for (const char* v : {"a", "b"}) {
+    db.Add("R", {v});
+    db.Add("S", {v});
+    db.Add("T", {v});
+  }
+  EXPECT_EQ(GreedyAtomOrder(db, *query), (std::vector<size_t>{0, 1, 2}));
+
+  // Break the tie by cardinality: the smallest relation goes first, and
+  // the remaining tie still resolves to the smaller index.
+  db.Add("S", {"c"});
+  EXPECT_EQ(GreedyAtomOrder(db, *query), (std::vector<size_t>{0, 2, 1}));
+}
+
+// --- join-order search -----------------------------------------------------
+
+TEST(JoinOrderTest, DpIsExactAndNeverWorseThanGreedy) {
+  Rng rng(11);
+  for (size_t arms : {2u, 3u, 4u}) {
+    ConjunctiveQuery query = StarQuery(arms);
+    GeneratedInstance inst =
+        GenerateDatabaseForQuery(rng, query, DbGenOptions{});
+    CostModel model(inst.db, query);
+    ASSERT_TRUE(model.supported());
+    JoinOrderPlan plan = PlanJoinOrder(inst.db, query, model);
+    EXPECT_TRUE(IsPermutation(plan.order, query.atom_count()));
+    EXPECT_TRUE(plan.exact);  // within dp_max_atoms
+    EXPECT_LE(plan.cost, plan.greedy_cost);
+    EXPECT_EQ(plan.cost, model.EstimateOrderCost(plan.order));
+    // DP optimality: no permutation is cheaper (small n, brute force).
+    std::vector<size_t> perm(query.atom_count());
+    std::iota(perm.begin(), perm.end(), 0);
+    do {
+      EXPECT_LE(plan.cost, model.EstimateOrderCost(perm));
+    } while (std::next_permutation(perm.begin(), perm.end()));
+  }
+}
+
+TEST(JoinOrderTest, RestartFallbackStillPlansLargeQueries) {
+  // Above dp_max_atoms the planner switches to seeded randomized-greedy
+  // restarts; the result must still be a permutation, never worse than
+  // greedy, and deterministic in the seed.
+  Rng rng(12);
+  ConjunctiveQuery query = ChainQuery(6);
+  GeneratedInstance inst = GenerateDatabaseForQuery(rng, query, DbGenOptions{});
+  CostModel model(inst.db, query);
+  JoinOrderOptions options;
+  options.dp_max_atoms = 3;  // force the restart path
+  JoinOrderPlan plan = PlanJoinOrder(inst.db, query, model, options);
+  EXPECT_TRUE(IsPermutation(plan.order, query.atom_count()));
+  EXPECT_FALSE(plan.exact);
+  EXPECT_LE(plan.cost, plan.greedy_cost);
+  JoinOrderPlan again = PlanJoinOrder(inst.db, query, model, options);
+  EXPECT_EQ(plan.order, again.order);
+}
+
+// --- the core property: planning never changes results ---------------------
+
+TEST(PlannerPropertyTest, OrdersNeverChangeHomomorphismsOrCounts) {
+  Rng rng(21);
+  std::vector<ConjunctiveQuery> shapes;
+  shapes.push_back(ChainQuery(3));
+  shapes.push_back(StarQuery(3));
+  shapes.push_back(CycleQuery(3));
+  shapes.push_back(CliqueQuery(3));
+  for (const ConjunctiveQuery& query : shapes) {
+    DbGenOptions options;
+    options.blocks_per_relation = 3;
+    options.max_block_size = 2;
+    options.domain_size = 4;
+    GeneratedInstance inst = GenerateDatabaseForQuery(rng, query, options);
+    CostModel model(inst.db, query);
+    JoinOrderPlan plan = PlanJoinOrder(inst.db, query, model);
+    ASSERT_TRUE(IsPermutation(plan.order, query.atom_count()))
+        << query.ToString();
+
+    std::vector<size_t> reversed = plan.order;
+    std::reverse(reversed.begin(), reversed.end());
+    QueryEvaluator greedy(inst.db, query);
+    QueryEvaluator planned(inst.db, query, plan.order);
+    QueryEvaluator backwards(inst.db, query, reversed);
+
+    std::vector<Assignment> expected = SortedHomomorphisms(greedy);
+    EXPECT_EQ(SortedHomomorphisms(planned), expected) << query.ToString();
+    EXPECT_EQ(SortedHomomorphisms(backwards), expected) << query.ToString();
+    EXPECT_EQ(planned.CountHomomorphisms({}), greedy.CountHomomorphisms({}));
+    EXPECT_EQ(backwards.CountHomomorphisms({}),
+              greedy.CountHomomorphisms({}));
+    EXPECT_EQ(planned.Entails({}), greedy.Entails({}));
+  }
+}
+
+TEST(PlannerPropertyTest, OrdersNeverChangeExactRepairCounts) {
+  Rng rng(22);
+  std::vector<ConjunctiveQuery> shapes;
+  shapes.push_back(ChainQuery(2));
+  shapes.push_back(CycleQuery(3));
+  for (const ConjunctiveQuery& query : shapes) {
+    DbGenOptions options;
+    options.blocks_per_relation = 2;
+    options.max_block_size = 2;
+    options.domain_size = 3;
+    GeneratedInstance inst = GenerateDatabaseForQuery(rng, query, options);
+    CostModel model(inst.db, query);
+    JoinOrderPlan plan = PlanJoinOrder(inst.db, query, model);
+    std::vector<size_t> reversed = plan.order;
+    std::reverse(reversed.begin(), reversed.end());
+
+    ExactRF base = ExactRepairFrequency(inst.db, inst.keys, query, {});
+    ExactRF planned =
+        ExactRepairFrequency(inst.db, inst.keys, query, {}, &plan.order);
+    ExactRF backwards =
+        ExactRepairFrequency(inst.db, inst.keys, query, {}, &reversed);
+    EXPECT_EQ(planned, base) << query.ToString();
+    EXPECT_EQ(backwards, base) << query.ToString();
+    EXPECT_EQ(planned.numerator.ToString(), base.numerator.ToString());
+
+    ExactRF seq_base = ExactSequenceFrequency(inst.db, inst.keys, query, {});
+    ExactRF seq_planned =
+        ExactSequenceFrequency(inst.db, inst.keys, query, {}, &plan.order);
+    EXPECT_EQ(seq_planned, seq_base) << query.ToString();
+  }
+}
+
+TEST(PlannerPropertyTest, AnswerVariablesSurvivePlanning) {
+  // Non-Boolean query: planned and greedy evaluators agree on the full
+  // answer set, not just entailment.
+  Rng rng(23);
+  ConjunctiveQuery shape = ChainQuery(3);
+  GeneratedInstance inst = GenerateDatabaseForQuery(rng, shape, DbGenOptions{});
+  auto query = ParseQuery("Ans(a) :- R1(a, b), R2(b, c), R3(c, d)");
+  ASSERT_TRUE(query.ok());
+  CostModel model(inst.db, *query);
+  JoinOrderPlan plan = PlanJoinOrder(inst.db, *query, model);
+  QueryEvaluator greedy(inst.db, *query);
+  QueryEvaluator planned(inst.db, *query, plan.order);
+  std::vector<std::vector<Value>> expected = greedy.Answers();
+  std::vector<std::vector<Value>> got = planned.Answers();
+  std::sort(expected.begin(), expected.end());
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expected);
+  for (const std::vector<Value>& answer : expected) {
+    EXPECT_EQ(planned.CountHomomorphisms(answer),
+              greedy.CountHomomorphisms(answer));
+  }
+}
+
+// --- decomposition enumeration and ranking ---------------------------------
+
+TEST(GhdRankTest, FirstEnumeratedCandidateMatchesLegacySearch) {
+  for (size_t cycle : {3u, 4u, 5u}) {
+    ConjunctiveQuery query = CycleQuery(cycle);
+    auto legacy = FindGhdOfWidth(query, 2);
+    ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+    auto candidates = FindGhdsOfWidth(query, 2, 8);
+    ASSERT_TRUE(candidates.ok()) << candidates.status().ToString();
+    ASSERT_FALSE(candidates->empty());
+    // Candidate 0 is exactly the legacy first-found decomposition — the
+    // ranked pipeline degrades to the old behavior when nothing is cheaper.
+    EXPECT_EQ(DecompositionShape((*candidates)[0]),
+              DecompositionShape(*legacy));
+    for (const HypertreeDecomposition& h : *candidates) {
+      EXPECT_TRUE(h.Validate(query).ok());
+      EXPECT_LE(h.Width(), 2u);
+    }
+  }
+}
+
+TEST(GhdRankTest, RankedChoiceIsValidAndNeverCostlierThanLegacy) {
+  Rng rng(31);
+  ConjunctiveQuery query = CycleQuery(4);
+  GeneratedInstance inst = GenerateDatabaseForQuery(rng, query, DbGenOptions{});
+  CostModel model(inst.db, query);
+  auto choice = RankDecompositions(inst.db, query, model, /*max_width=*/2);
+  ASSERT_TRUE(choice.ok()) << choice.status().ToString();
+  EXPECT_TRUE(choice->decomposition.Validate(query).ok());
+  EXPECT_LE(choice->width, 2u);
+  EXPECT_GE(choice->candidates_considered, 1u);
+  auto legacy = FindGhdOfWidth(query, 2);
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_LE(choice->cost, model.EstimateDecompositionCost(*legacy));
+
+  // Width beyond reach stays the legacy NotFound contract.
+  ConjunctiveQuery clique = CliqueQuery(4);
+  CostModel clique_model(inst.db, clique);
+  auto none = RankDecompositions(inst.db, clique, clique_model,
+                                 /*max_width=*/1);
+  EXPECT_FALSE(none.ok());
+}
+
+// --- the facade ------------------------------------------------------------
+
+TEST(PlanQueryTest, ProducesExplainableValidPlans) {
+  Rng rng(41);
+  ConjunctiveQuery query = ChainQuery(3);
+  GeneratedInstance inst = GenerateDatabaseForQuery(rng, query, DbGenOptions{});
+  auto plan = PlanQuery(inst.db, query, /*max_width=*/2);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_TRUE(IsPermutation(plan->join_order, query.atom_count()));
+  EXPECT_TRUE(plan->decomposition.Validate(query).ok());
+  EXPECT_EQ(plan->atom_names.size(), query.atom_count());
+
+  std::string fields = plan->Fields();
+  for (const char* field : {"plan_order=", "plan_cost=", "plan_greedy_cost=",
+                            "plan_exact=", "plan_width=", "plan_bags=",
+                            "plan_decomp_cost=", "plan_candidates="}) {
+    EXPECT_NE(fields.find(field), std::string::npos) << field;
+  }
+  std::string text = plan->ToString();
+  EXPECT_NE(text.find("join order:"), std::string::npos);
+  EXPECT_NE(text.find("planning time:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace uocqa

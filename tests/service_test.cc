@@ -146,6 +146,41 @@ TEST(RequestTest, RejectsInvalidAccuracyAndShape) {
   EXPECT_TRUE(ParseRequestLine("query='Ans() :- R(x)'").ok());
 }
 
+TEST(RequestTest, StatsVerbAndExplainFlagParse) {
+  auto stats = ParseRequestLine("stats");
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_TRUE(stats->stats);
+  EXPECT_EQ(FormatRequestLine(*stats), "stats");
+
+  // stats takes no other fields; a stray bare token is still an error.
+  EXPECT_FALSE(ParseRequestLine("stats mode=exact").ok());
+
+  auto on = ParseRequestLine("query='Ans() :- R(x)' explain=1");
+  ASSERT_TRUE(on.ok()) << on.status().ToString();
+  EXPECT_TRUE(on->explain);
+  auto off = ParseRequestLine("query='Ans() :- R(x)' explain=0");
+  ASSERT_TRUE(off.ok());
+  EXPECT_FALSE(off->explain);
+  EXPECT_FALSE(ParseRequestLine("query='Ans() :- R(x)' explain=yes").ok());
+
+  // explain survives the round trip; off is the default and stays implicit.
+  auto round = ParseRequestLine(FormatRequestLine(*on));
+  ASSERT_TRUE(round.ok());
+  EXPECT_TRUE(round->explain);
+  EXPECT_EQ(FormatRequestLine(*off).find("explain"), std::string::npos);
+}
+
+TEST(LruCacheTest, ForEachVisitsMostRecentFirst) {
+  LruCache<int, std::string> cache(3);
+  cache.Put(1, "a");
+  cache.Put(2, "b");
+  cache.Put(3, "c");
+  EXPECT_TRUE(cache.Get(1).has_value());  // 1 becomes most recent
+  std::vector<int> keys;
+  cache.ForEach([&keys](int k, const std::string&) { keys.push_back(k); });
+  EXPECT_EQ(keys, (std::vector<int>{1, 3, 2}));
+}
+
 // --- cached vs. uncached bit-identity --------------------------------------
 
 class ServiceTest : public ::testing::Test {
@@ -280,6 +315,67 @@ TEST_F(ServiceTest, ExecuteBatchLinesReportsPerLineErrors) {
   EXPECT_TRUE(responses[3].status.ok());
   EXPECT_EQ(FormatResponseLine(1, responses[0]).substr(0, 9), "1 ok miss");
   EXPECT_EQ(FormatResponseLine(3, responses[2]).substr(0, 7), "3 error");
+}
+
+TEST_F(ServiceTest, ExplainAppendsDeterministicPlanFields) {
+  QueryService cached(inst_.db, inst_.keys);
+  QueryService uncached(inst_.db, inst_.keys, CachesOff());
+  Request plain = MakeRequest("Ans(x) :- Emp(x, y), Dept(y, z)", "e1",
+                              RequestMode::kExact);
+  Request explained = plain;
+  explained.explain = true;
+
+  ServiceResponse base = cached.Execute(plain);
+  ServiceResponse first = cached.Execute(explained);
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+  // The explain payload is the plain payload plus the plan_* fields.
+  EXPECT_EQ(first.payload.substr(0, base.payload.size()), base.payload);
+  for (const char* field : {"plan_order=", "plan_cost=", "plan_exact=",
+                            "plan_width=", "plan_bags=", "plan_candidates="}) {
+    EXPECT_NE(first.payload.find(field), std::string::npos) << field;
+  }
+  // No timing in the payload: explain results replay byte-identically and
+  // match the cache-free pipeline, like every other mode.
+  EXPECT_EQ(first.payload.find("planning_us"), std::string::npos);
+  ServiceResponse replay = cached.Execute(explained);
+  EXPECT_TRUE(replay.cache_hit);
+  EXPECT_EQ(first.payload, replay.payload);
+  EXPECT_EQ(first.payload, uncached.Execute(explained).payload);
+  // Explain and plain responses live under distinct result-cache keys.
+  EXPECT_TRUE(cached.Execute(plain).cache_hit);
+  EXPECT_NE(base.payload, first.payload);
+}
+
+TEST_F(ServiceTest, StatsVerbReportsCountersAndCachedPlans) {
+  QueryService service(inst_.db, inst_.keys);
+  Request query = MakeRequest("Ans(x) :- Emp(x, y), Dept(y, z)", "e1",
+                              RequestMode::kFpras);
+  ASSERT_TRUE(service.Execute(query).status.ok());
+
+  Request stats;
+  stats.stats = true;
+  ServiceResponse response = service.Execute(stats);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_FALSE(response.cache_hit);
+  EXPECT_NE(response.payload.find("requests=1"), std::string::npos)
+      << response.payload;
+  EXPECT_NE(response.payload.find("plan_misses=1"), std::string::npos);
+  EXPECT_NE(response.payload.find("plans_cached=1"), std::string::npos);
+  EXPECT_NE(response.payload.find("plan='Ans(?0):-Emp(?0,?1),Dept(?1,?2)'"),
+            std::string::npos)
+      << response.payload;
+  EXPECT_NE(response.payload.find("planning_us="), std::string::npos);
+
+  // Stats requests are introspection: not counted, not cached — the verb
+  // round-trips through the line protocol and always recomputes.
+  std::vector<ServiceResponse> again =
+      service.ExecuteBatchLines({"stats"}, 1);
+  ASSERT_EQ(again.size(), 1u);
+  ASSERT_TRUE(again[0].status.ok());
+  EXPECT_FALSE(again[0].cache_hit);
+  EXPECT_NE(again[0].payload.find("requests=1"), std::string::npos)
+      << again[0].payload;
+  EXPECT_EQ(service.stats().requests, 1u);
 }
 
 TEST_F(ServiceTest, SelfJoinFailsFprasButServesExactAndMc) {

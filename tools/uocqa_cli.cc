@@ -12,7 +12,9 @@
 //   Emp(1, Tom)
 //
 // Prints RF_ur and RF_us for the given candidate answer under the chosen
-// solver(s). With --batch, runs every request line of the file through the
+// solver(s). With --explain, first prints the compiled query plan (join
+// order, cost estimates, chosen decomposition, planning time). With
+// --batch, runs every request line of the file through the
 // query service layer (plan & result caches, lanes = --threads) and prints
 // one result line each. Formats, flags, and the request line protocol are
 // specified in docs/FORMATS.md.
@@ -47,6 +49,7 @@ struct CliOptions {
   size_t samples = 20000;
   uint64_t seed = 1;
   size_t threads = 0;  // 0 = hardware concurrency
+  bool explain = false;
 };
 
 void Usage(const char* argv0) {
@@ -54,7 +57,7 @@ void Usage(const char* argv0) {
       stderr,
       "usage: %s --db FILE --query 'Ans(..) :- ...' [--answer v1,v2]\n"
       "          [--mode exact|fpras|mc|all] [--epsilon E] [--delta D]\n"
-      "          [--samples N] [--seed S] [--threads N]\n"
+      "          [--samples N] [--seed S] [--threads N] [--explain]\n"
       "       %s --db FILE --batch FILE [--threads N]\n",
       argv0, argv0);
 }
@@ -107,6 +110,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       const char* v = need_value("--threads");
       if (!v || !SizeFlag("--threads", v, &out->threads)) return false;
+    } else if (std::strcmp(argv[i], "--explain") == 0) {
+      out->explain = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return false;
@@ -186,6 +191,15 @@ int main(int argc, char** argv) {
               opts.threads == 0 ? " (hardware)" : "");
 
   OcqaEngine engine(inst->db, inst->keys);
+  if (opts.explain) {
+    auto compiled = engine.Compile(*query);
+    if (compiled.ok()) {
+      std::printf("%s\n", compiled->plan().ToString().c_str());
+    } else {
+      std::printf("explain unavailable: %s\n\n",
+                  compiled.status().ToString().c_str());
+    }
+  }
   bool all = opts.mode == "all";
   if (all || opts.mode == "exact") {
     ExactRF ur = engine.ExactUr(*query, answer);

@@ -16,6 +16,11 @@
 // repeated identical requests hit the result cache and replay the answer
 // byte-identically. Per-request failures become `N error '...'` lines, not
 // process failures.
+//
+// A request with `explain=1` gets the compiled plan's `plan_*` fields
+// appended to its payload; a bare `stats` line reports the cache counters
+// and per-plan planning times at the moment it is served (put it last, or
+// run with --threads 1, for counters that reflect the whole batch).
 
 #include <cstdio>
 #include <cstring>
