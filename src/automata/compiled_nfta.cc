@@ -6,7 +6,7 @@
 
 namespace uocqa {
 
-CompiledNfta::CompiledNfta(const Nfta& nfta) {
+CompiledNfta::CompiledNfta(const Nfta& nfta) : k_(&simd::Active()) {
   state_count_ = nfta.state_count();
   initial_ = nfta.initial();
   max_rank_ = nfta.MaxRank();
@@ -75,27 +75,52 @@ CompiledNfta::CompiledNfta(const Nfta& nfta) {
       symbol_rank_groups_.back().ids_end = i + 1;
     }
   }
+
+  // Pass 3: structure-of-arrays probe arenas. Each group's from-states and
+  // per-position children become contiguous lanes so the kernel probe can
+  // test whole strides of transitions without the per-transition id/child
+  // indirection of the CSR view.
+  //
+  // combine_group's output is a set (plus an order-insensitive count), so
+  // the probe lanes may be stored in any order. Sort them by the bitset
+  // word their first child (then their from-state) lands in: automata born
+  // from real queries have strongly clustered state numbering, so after
+  // sorting most vector-width blocks touch a single child word and a
+  // single out word — the vector backends detect that and replace their
+  // gathers/scatters with broadcasts and OR-reduces.
+  probe_from_.reserve(from_.size());
+  probe_child_.reserve(children_arena_.size());
+  std::vector<TransitionId> lane_order;
+  for (SymbolRankGroup& g : symbol_rank_groups_) {
+    g.probe_from_begin = static_cast<uint32_t>(probe_from_.size());
+    g.probe_child_begin = static_cast<uint32_t>(probe_child_.size());
+    lane_order.assign(group_ids_.begin() + g.ids_begin,
+                      group_ids_.begin() + g.ids_end);
+    std::stable_sort(lane_order.begin(), lane_order.end(),
+                     [this, &g](TransitionId a, TransitionId b) {
+                       if (g.rank > 0) {
+                         uint32_t wa = children(a)[0] >> 6;
+                         uint32_t wb = children(b)[0] >> 6;
+                         if (wa != wb) return wa < wb;
+                       }
+                       return (from_[a] >> 6) < (from_[b] >> 6);
+                     });
+    for (TransitionId id : lane_order) probe_from_.push_back(from_[id]);
+    for (uint32_t c = 0; c < g.rank; ++c) {
+      for (TransitionId id : lane_order) {
+        probe_child_.push_back(children(id)[c]);
+      }
+    }
+  }
 }
 
 void CompiledNfta::CombineBehaviors(NftaSymbol sym,
                                     const uint64_t* const* child_sets,
                                     uint32_t rank, uint64_t* out) const {
-  std::memset(out, 0, words_per_set_ * sizeof(uint64_t));
+  k_->clear_words(out, words_per_set_);
   int32_t gi = GroupIndex(sym, rank);
   if (gi < 0) return;
-  const SymbolRankGroup& g = symbol_rank_groups_[static_cast<size_t>(gi)];
-  for (uint32_t i = g.ids_begin; i < g.ids_end; ++i) {
-    TransitionId id = group_ids_[i];
-    const NftaState* kids = children(id);
-    bool ok = true;
-    for (uint32_t c = 0; c < rank; ++c) {
-      if (!TestBit(child_sets[c], kids[c])) {
-        ok = false;
-        break;
-      }
-    }
-    if (ok) SetBit(out, from_[id]);
-  }
+  k_->combine_group(ProbeForGroup(gi), child_sets, out);
 }
 
 void CompiledNfta::EvalInto(const LabeledTree& tree, Workspace* ws,
@@ -116,14 +141,10 @@ void CompiledNfta::EvalInto(const LabeledTree& tree, Workspace* ws,
     CombineBehaviors(tree.symbol, nullptr, 0, slot);
     return;
   }
-  // Collect child-set pointers on the stack (max_rank is tiny in practice).
-  const uint64_t* child_ptrs_static[8];
-  std::vector<const uint64_t*> child_ptrs_dyn;
-  const uint64_t** child_ptrs = child_ptrs_static;
-  if (rank > 8) {
-    child_ptrs_dyn.resize(rank);
-    child_ptrs = child_ptrs_dyn.data();
-  }
+  // Collect child-set pointers in the workspace scratch (allocation-free
+  // once warm; safe to share across the recursion — see Workspace).
+  if (ws->child_ptrs.size() < rank) ws->child_ptrs.resize(rank);
+  const uint64_t** child_ptrs = ws->child_ptrs.data();
   for (size_t i = 0; i < rank; ++i) {
     child_ptrs[i] = ws->slots.data() + (base + 1 + i) * wps;
   }
@@ -160,14 +181,7 @@ std::vector<NftaState> CompiledNfta::AcceptingStates(const LabeledTree& tree,
 
 void CompiledNfta::AppendSetBits(const uint64_t* words,
                                  std::vector<NftaState>* out) const {
-  for (size_t w = 0; w < words_per_set_; ++w) {
-    uint64_t bits = words[w];
-    while (bits != 0) {
-      unsigned tz = static_cast<unsigned>(__builtin_ctzll(bits));
-      out->push_back(static_cast<NftaState>(w * 64 + tz));
-      bits &= bits - 1;
-    }
-  }
+  k_->append_set_bits(words, words_per_set_, out);
 }
 
 }  // namespace uocqa

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "base/hashing.h"
+#include "base/simd_kernels.h"
 #include "automata/nfta.h"
 
 namespace uocqa {
@@ -54,6 +55,10 @@ class CompiledNfta {
     uint32_t rank = 0;
     uint32_t ids_begin = 0;
     uint32_t ids_end = 0;
+    // Offsets into the structure-of-arrays probe arenas (probe_from_ /
+    // probe_child_) that mirror this group for the batched kernel probe.
+    uint32_t probe_from_begin = 0;
+    uint32_t probe_child_begin = 0;
   };
 
   explicit CompiledNfta(const Nfta& nfta);
@@ -103,6 +108,24 @@ class CompiledNfta {
   /// id at position i of the by-symbol (and by-(symbol, rank)) ordering.
   TransitionId group_id(uint32_t i) const { return group_ids_[i]; }
 
+  /// The structure-of-arrays view of group `gi` (an index into
+  /// symbol_rank_groups()) for the batched kernel probe: from-states
+  /// contiguous, children grouped by position.
+  simd::GroupProbe ProbeForGroup(int32_t gi) const {
+    const SymbolRankGroup& g = symbol_rank_groups_[static_cast<size_t>(gi)];
+    simd::GroupProbe p;
+    p.count = g.ids_end - g.ids_begin;
+    p.rank = g.rank;
+    p.from = probe_from_.data() + g.probe_from_begin;
+    p.child = probe_child_.data() + g.probe_child_begin;
+    return p;
+  }
+
+  /// The kernel backend this automaton was compiled against (snapshotted
+  /// from simd::Active() at construction, so one evaluation never mixes
+  /// backends).
+  const simd::Kernels& kernels() const { return *k_; }
+
   // -- bitset behaviours -----------------------------------------------------
   /// uint64 words per state set (fixed width: ceil(state_count / 64)).
   size_t words_per_set() const { return words_per_set_; }
@@ -112,6 +135,10 @@ class CompiledNfta {
   /// threads.
   struct Workspace {
     std::vector<uint64_t> slots;  // stack of behaviour sets, wps words each
+    // Child-set pointer scratch for the combine step. Safe to share across
+    // the whole recursion: a node only fills it after all child subtrees
+    // have finished evaluating, and the combine consumes it immediately.
+    std::vector<const uint64_t*> child_ptrs;
     void EnsureSlots(size_t n, size_t wps) {
       if (slots.size() < n * wps) slots.resize(n * wps);
     }
@@ -171,6 +198,15 @@ class CompiledNfta {
   std::vector<TransitionId> group_ids_;
   std::vector<uint32_t> symbol_offsets_;  // per symbol, +1 sentinel
   std::vector<SymbolRankGroup> symbol_rank_groups_;
+
+  // Structure-of-arrays mirror of the groups for the batched kernel probe:
+  // per group, `count` from-states then rank*count children grouped by
+  // child position (child c of the group's transition i sits at
+  // probe_child_begin + c*count + i).
+  std::vector<NftaState> probe_from_;
+  std::vector<NftaState> probe_child_;
+
+  const simd::Kernels* k_ = nullptr;  // backend snapshot (never null)
   std::unordered_map<std::pair<uint32_t, uint32_t>, int32_t,
                      PairHash<uint32_t, uint32_t>>
       group_index_;

@@ -7,18 +7,14 @@
 namespace uocqa {
 
 size_t ExactTreeCounter::ArenaRowHash::operator()(BehaviorId id) const {
-  const uint64_t* w = c->BehaviorWords(id);
-  size_t seed = c->words_;
-  for (size_t i = 0; i < c->words_; ++i) {
-    HashCombine(&seed, static_cast<size_t>(w[i]));
-  }
-  return seed;
+  return static_cast<size_t>(
+      c->c_.kernels().hash_words(c->BehaviorWords(id), c->words_));
 }
 
 bool ExactTreeCounter::ArenaRowEq::operator()(BehaviorId a,
                                               BehaviorId b) const {
-  return std::memcmp(c->BehaviorWords(a), c->BehaviorWords(b),
-                     c->words_ * sizeof(uint64_t)) == 0;
+  return c->c_.kernels().equal_words(c->BehaviorWords(a), c->BehaviorWords(b),
+                                     c->words_);
 }
 
 ExactTreeCounter::ExactTreeCounter(const Nfta& nfta)
@@ -52,30 +48,20 @@ int32_t ExactTreeCounter::CombineMemo(
   auto it = combine_memo_.find(combine_key_);
   if (it != combine_memo_.end()) return it->second;
 
-  // Compute the behaviour into a scratch row appended to the arena; the
-  // bitset representation dedups states for free (no sort/unique pass).
-  const CompiledNfta::SymbolRankGroup& g =
-      c_.symbol_rank_groups()[static_cast<size_t>(group)];
-  assert(g.rank == children.size());
+  // Compute the behaviour into a scratch row appended to the arena via the
+  // batched kernel probe; the bitset representation dedups states for free
+  // (no sort/unique pass). The resize happens BEFORE collecting child row
+  // pointers: both point into the arena and a regrow would invalidate them.
+  assert(c_.symbol_rank_groups()[static_cast<size_t>(group)].rank ==
+         children.size());
   size_t old_size = behavior_arena_.size();
   behavior_arena_.resize(old_size + words_, 0);
   uint64_t* out = behavior_arena_.data() + old_size;
-  bool nonempty = false;
-  for (uint32_t i = g.ids_begin; i < g.ids_end; ++i) {
-    CompiledNfta::TransitionId id = c_.group_id(i);
-    const NftaState* kids = c_.children(id);
-    bool ok = true;
-    for (size_t ci = 0; ci < children.size(); ++ci) {
-      if (!CompiledNfta::TestBit(BehaviorWords(children[ci]), kids[ci])) {
-        ok = false;
-        break;
-      }
-    }
-    if (ok) {
-      CompiledNfta::SetBit(out, c_.from(id));
-      nonempty = true;
-    }
-  }
+  child_set_ptrs_.clear();
+  for (BehaviorId cid : children) child_set_ptrs_.push_back(BehaviorWords(cid));
+  bool nonempty =
+      c_.kernels().combine_group(c_.ProbeForGroup(group),
+                                 child_set_ptrs_.data(), out) > 0;
   int32_t result;
   if (nonempty) {
     result = static_cast<int32_t>(InternScratchRow());

@@ -103,6 +103,7 @@ class ExactTreeCounter {
   std::unordered_map<std::vector<uint32_t>, int32_t, VectorHash<uint32_t>>
       combine_memo_;
   std::vector<uint32_t> combine_key_;  // scratch key (reused)
+  std::vector<const uint64_t*> child_set_ptrs_;  // scratch (reused)
 
   // levels_[s]: behaviour id -> number of distinct trees of size s with
   // exactly that behaviour (behaviour-∅ trees are dropped), flattened to

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <functional>
 
 namespace uocqa {
@@ -142,13 +143,11 @@ void NftaFpras::EvalNodeBehavior(const TreePool& pool, uint32_t node,
        ch = pool.nodes[ch].next_sibling) {
     EvalNodeBehavior(pool, ch, ws, base + 1 + (i++));
   }
-  const uint64_t* child_ptrs_static[8];
-  std::vector<const uint64_t*> child_ptrs_dyn;
-  const uint64_t** child_ptrs = child_ptrs_static;
-  if (rank > 8) {
-    child_ptrs_dyn.resize(rank);
-    child_ptrs = child_ptrs_dyn.data();
-  }
+  // Child-set pointers live in the workspace scratch (allocation-free once
+  // warm; safe to share across the recursion — a node only fills it after
+  // its child subtrees are done, and the combine consumes it immediately).
+  if (ws->child_ptrs.size() < rank) ws->child_ptrs.resize(rank);
+  const uint64_t** child_ptrs = ws->child_ptrs.data();
   for (size_t j = 0; j < rank; ++j) {
     child_ptrs[j] = ws->slots.data() + (base + 1 + j) * wps;
   }
@@ -246,18 +245,30 @@ uint32_t NftaFpras::SampleFlat(Rng& rng, NftaState q, size_t size,
     if (csum <= 0) continue;
     double rc = rng.UniformDouble() * csum;
     size_t j = PickIndex(g.prefix, rc);
+    // Reclaim rejected attempts by truncating back to the pre-attempt mark:
+    // result-neutral (the nodes are garbage either way — RNG consumption
+    // and the returned structure are untouched) and it keeps surviving
+    // subtrees contiguous in preorder, which the schema-2 batch sweep
+    // relies on.
+    size_t mark = ctx->pool.nodes.size();
     uint32_t t = SampleComponentFlat(rng, g.components[j], ctx);
-    if (t == TreePool::kNil) continue;
+    if (t == TreePool::kNil) {
+      ctx->pool.Truncate(mark);
+      continue;
+    }
     int min_idx = MinIndexFlat(g, t, ctx);
     if (min_idx >= 0 && static_cast<size_t>(min_idx) == j) return t;
     // Rejected: t belongs to an earlier component; retry.
+    ctx->pool.Truncate(mark);
   }
   // Rejection budget exhausted: return any sample (slight bias) so callers
   // always make progress on non-empty languages.
   for (const Group& g : cell->groups) {
     for (const Component& comp : g.components) {
+      size_t mark = ctx->pool.nodes.size();
       uint32_t t = SampleComponentFlat(rng, comp, ctx);
       if (t != TreePool::kNil) return t;
+      ctx->pool.Truncate(mark);
     }
   }
   return TreePool::kNil;
@@ -278,13 +289,37 @@ double NftaFpras::EstimateGroup(Group* group) {
                 std::log(4.0 / config_.delta) / (eps * eps)));
   samples = std::clamp(samples, config_.min_samples, config_.max_samples);
 
-  // Trials are independent, so they run chunked: chunk c always covers the
-  // same trials with Rng stream c of a per-union root seed, whatever the
-  // thread count. Every cell a trial samples from was computed while this
-  // group's components were built, so the loop body only reads `cells_`.
+  // Trials are independent, so they run chunked; whatever the thread
+  // count, chunk c always covers the same trials with the same RNG
+  // streams, so estimates depend only on (automaton, config). Every cell a
+  // trial samples from was computed while this group's components were
+  // built, so the parallel section only reads `cells_`.
   uint64_t union_seed = rng_.NextU64();
   size_t chunks = (samples + kTrialChunk - 1) / kTrialChunk;
   std::vector<std::pair<size_t, size_t>> counts(chunks);  // hits, performed
+  if (config_.seed_schema == 1) {
+    RunTrialsLegacy(group, sum, samples, union_seed, &counts);
+  } else {
+    RunTrialsBatched(group, sum, samples, union_seed, &counts);
+  }
+
+  size_t hits = 0;
+  size_t performed = 0;
+  for (const auto& [h, p] : counts) {
+    hits += h;
+    performed += p;
+  }
+  if (performed == 0) return 0;
+  return sum * static_cast<double>(hits) / static_cast<double>(performed);
+}
+
+void NftaFpras::RunTrialsLegacy(
+    Group* group, double sum, size_t samples, uint64_t union_seed,
+    std::vector<std::pair<size_t, size_t>>* counts) {
+  // Schema 1: one Rng stream per chunk, trials sequential within it. This
+  // code path is frozen — it reproduces the historical pinned estimates
+  // byte-for-byte (tests/compiled_nfta_test.cc, FprasBitIdentityTest).
+  std::vector<Component>& comps = group->components;
   auto run_chunk = [&](size_t c) {
     Rng rng = Rng::Stream(union_seed, c);
     SampleCtx ctx;  // pool + bitset scratch, reused across this chunk
@@ -305,18 +340,221 @@ double NftaFpras::EstimateGroup(Group* group) {
       assert(min_idx >= 0);
       if (static_cast<size_t>(min_idx) == j) ++hits;
     }
-    counts[c] = {hits, performed};
+    (*counts)[c] = {hits, performed};
   };
-  ParallelForOn(pool(), chunks, run_chunk, /*grain=*/1);
+  ParallelForOn(pool(), counts->size(), run_chunk, /*grain=*/1);
+}
 
-  size_t hits = 0;
-  size_t performed = 0;
-  for (const auto& [h, p] : counts) {
-    hits += h;
-    performed += p;
+void NftaFpras::EnsureLeafRows() {
+  if (leaf_rows_ready_) return;
+  size_t wps = c_.words_per_set();
+  size_t n_symbols = c_.symbol_count();
+  leaf_rows_.assign(n_symbols * wps, 0);
+  for (size_t s = 0; s < n_symbols; ++s) {
+    c_.CombineBehaviors(static_cast<NftaSymbol>(s), nullptr, 0,
+                        leaf_rows_.data() + s * wps);
   }
-  if (performed == 0) return 0;
-  return sum * static_cast<double>(hits) / static_cast<double>(performed);
+  leaf_rows_ready_ = true;
+}
+
+int NftaFpras::MinIndexBatched(const Group& group, uint32_t root,
+                               const BatchCtx& ctx) const {
+  const TreePool& pool = ctx.pool;
+  const TreePool::Node& root_node = pool.nodes[root];
+  size_t wps = c_.words_per_set();
+  size_t n_children = 0;
+  for (uint32_t ch = root_node.first_child; ch != TreePool::kNil;
+       ch = pool.nodes[ch].next_sibling) {
+    ++n_children;
+  }
+  for (size_t j = 0; j < group.components.size(); ++j) {
+    const Component& comp = group.components[j];
+    CompiledNfta::TransitionId tid = comp.transition;
+    if (c_.symbol(tid) != root_node.symbol || c_.rank(tid) != n_children ||
+        comp.child_sizes.size() != n_children) {
+      continue;
+    }
+    const NftaState* kids = c_.children(tid);
+    bool ok = true;
+    size_t i = 0;
+    for (uint32_t ch = root_node.first_child; ch != TreePool::kNil;
+         ch = pool.nodes[ch].next_sibling, ++i) {
+      if (pool.nodes[ch].size != comp.child_sizes[i] ||
+          !CompiledNfta::TestBit(ctx.rows.data() + ch * wps, kids[i])) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return static_cast<int>(j);
+  }
+  return -1;
+}
+
+void NftaFpras::ComputeRow(BatchCtx* ctx, uint32_t node) const {
+  size_t wps = c_.words_per_set();
+  if (ctx->rows.size() < (static_cast<size_t>(node) + 1) * wps) {
+    // Geometric growth: the rows array tracks the pool and truncation
+    // never shrinks it, so regrows amortize out.
+    ctx->rows.resize(
+        std::max((static_cast<size_t>(node) + 1) * wps, ctx->rows.size() * 2));
+  }
+  const TreePool::Node& nd = ctx->pool.nodes[node];
+  uint64_t* row = ctx->rows.data() + static_cast<size_t>(node) * wps;
+  if (nd.first_child == TreePool::kNil) {
+    std::memcpy(row, leaf_rows_.data() + nd.symbol * wps,
+                wps * sizeof(uint64_t));
+    return;
+  }
+  size_t rank = 0;
+  for (uint32_t ch = nd.first_child; ch != TreePool::kNil;
+       ch = ctx->pool.nodes[ch].next_sibling) {
+    ++rank;
+  }
+  if (ctx->child_ptrs.size() < rank) ctx->child_ptrs.resize(rank);
+  size_t ci = 0;
+  for (uint32_t ch = nd.first_child; ch != TreePool::kNil;
+       ch = ctx->pool.nodes[ch].next_sibling) {
+    ctx->child_ptrs[ci++] = ctx->rows.data() + static_cast<size_t>(ch) * wps;
+  }
+  const simd::Kernels& k = c_.kernels();
+  k.clear_words(row, wps);
+  int32_t gi = c_.GroupIndex(nd.symbol, static_cast<uint32_t>(rank));
+  if (gi >= 0) {
+    k.combine_group(c_.ProbeForGroup(gi), ctx->child_ptrs.data(), row);
+  }
+}
+
+uint32_t NftaFpras::SampleComponentFlatBatched(Rng& rng,
+                                               const Component& comp,
+                                               BatchCtx* ctx) {
+  CompiledNfta::TransitionId tid = comp.transition;
+  uint32_t total = 1;
+  for (size_t s : comp.child_sizes) total += static_cast<uint32_t>(s);
+  uint32_t node = ctx->pool.New(c_.symbol(tid), total);
+  const NftaState* kids = c_.children(tid);
+  for (size_t i = 0; i < comp.child_sizes.size(); ++i) {
+    uint32_t child = SampleFlatBatched(rng, kids[i], comp.child_sizes[i], ctx);
+    if (child == TreePool::kNil) return TreePool::kNil;
+    ctx->pool.AddChild(node, child);
+  }
+  return node;
+}
+
+uint32_t NftaFpras::SampleFlatBatched(Rng& rng, NftaState q, size_t size,
+                                      BatchCtx* ctx) {
+  // Mirrors SampleFlat pick-for-pick (same uniforms, same accept/reject
+  // decisions — the cached rows are bit-identical to the recursive
+  // evaluation), so schema-2 estimates don't depend on which of the two
+  // builders produced them. The difference is purely cost: each pooled
+  // node's behaviour row is computed once (ComputeRow, on subtree
+  // completion) and the min-index checks read the rows, instead of
+  // re-running the recursive bitset evaluation per nesting level.
+  const Cell* cell = FindCell(q, size);
+  assert(cell != nullptr && cell->computed);
+  if (cell == nullptr || cell->estimate <= 0 || cell->groups.empty()) {
+    return TreePool::kNil;
+  }
+  for (size_t attempt = 0; attempt < config_.max_rejection_attempts;
+       ++attempt) {
+    double r = rng.UniformDouble() * cell->estimate;
+    size_t gi = PickIndex(cell->group_prefix, r);
+    const Group& g = cell->groups[gi];
+    if (g.components.empty()) continue;
+    double csum = g.prefix.back();
+    if (csum <= 0) continue;
+    double rc = rng.UniformDouble() * csum;
+    size_t j = PickIndex(g.prefix, rc);
+    size_t mark = ctx->pool.nodes.size();
+    uint32_t t = SampleComponentFlatBatched(rng, g.components[j], ctx);
+    if (t == TreePool::kNil) {
+      ctx->pool.Truncate(mark);
+      continue;
+    }
+    // Min-index over the cached child rows (consumes no randomness; for a
+    // single-component group it is trivially 0 == j).
+    int min_idx = g.components.size() == 1
+                      ? 0
+                      : MinIndexBatched(g, t, *ctx);
+    if (min_idx >= 0 && static_cast<size_t>(min_idx) == j) {
+      ComputeRow(ctx, t);  // subtree complete: cache the winner's row
+      return t;
+    }
+    ctx->pool.Truncate(mark);
+  }
+  // Rejection budget exhausted: return any sample (slight bias), same
+  // fallback order as SampleFlat.
+  for (const Group& g : cell->groups) {
+    for (const Component& comp : g.components) {
+      size_t mark = ctx->pool.nodes.size();
+      uint32_t t = SampleComponentFlatBatched(rng, comp, ctx);
+      if (t != TreePool::kNil) {
+        ComputeRow(ctx, t);
+        return t;
+      }
+      ctx->pool.Truncate(mark);
+    }
+  }
+  return TreePool::kNil;
+}
+
+void NftaFpras::RunTrialsBatched(
+    Group* group, double sum, size_t samples, uint64_t union_seed,
+    std::vector<std::pair<size_t, size_t>>* counts) {
+  // Schema 2: one Rng stream per trial, chunks evaluated in lockstep
+  // phases. The builds cache one behaviour row per pooled node (computed
+  // in post-order as subtrees complete; truncation reclaims rejected
+  // attempts), so the min-index checks — nested and top-level — read rows
+  // instead of re-evaluating subtrees like the legacy path.
+  std::vector<Component>& comps = group->components;
+  EnsureLeafRows();  // serial: the parallel section below only reads it
+  auto run_chunk = [&](size_t c) {
+    BatchCtx ctx;
+    size_t begin = c * kTrialChunk;
+    size_t end = std::min(samples, begin + kTrialChunk);
+    size_t n = end - begin;
+
+    // Phase 1: per-trial streams + batched component picks (one uniform
+    // each, binary search over the prefix sums).
+    ctx.rngs.reserve(n);
+    ctx.picks.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      ctx.rngs.push_back(Rng::Stream(union_seed, begin + i));
+      double r = ctx.rngs.back().UniformDouble() * sum;
+      ctx.picks[i] = static_cast<uint32_t>(PickIndex(group->prefix, r));
+    }
+
+    // Phase 2: batched row-caching tree builds into the shared pool, each
+    // trial resuming its own stream. Roots keep no row (the min-index
+    // check only reads their children's rows).
+    ctx.pool.Clear();
+    ctx.roots.resize(n);
+    size_t performed = 0;
+    for (size_t i = 0; i < n; ++i) {
+      size_t mark = ctx.pool.nodes.size();
+      uint32_t t = SampleComponentFlatBatched(ctx.rngs[i],
+                                              comps[ctx.picks[i]], &ctx);
+      if (t == TreePool::kNil) {
+        ctx.pool.Truncate(mark);
+        ctx.roots[i] = TreePool::kNil;
+        continue;
+      }
+      ctx.roots[i] = t;
+      ++performed;
+    }
+
+    // Phase 3: batched min-index checks against the cached rows.
+    size_t hits = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (ctx.roots[i] == TreePool::kNil) continue;
+      int min_idx = MinIndexBatched(*group, ctx.roots[i], ctx);
+      assert(min_idx >= 0);
+      if (min_idx >= 0 && static_cast<uint32_t>(min_idx) == ctx.picks[i]) {
+        ++hits;
+      }
+    }
+    (*counts)[c] = {hits, performed};
+  };
+  ParallelForOn(pool(), counts->size(), run_chunk, /*grain=*/1);
 }
 
 std::optional<LabeledTree> NftaFpras::Sample(Rng& rng, NftaState q,

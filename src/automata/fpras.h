@@ -63,6 +63,15 @@ struct FprasConfig {
   size_t max_rejection_attempts = 64;
   /// RNG seed (estimates are deterministic given the seed).
   uint64_t seed = 1;
+  /// Versioned RNG-consumption schema (see docs/ARCHITECTURE.md):
+  ///  * 1 — legacy: trials run sequentially per chunk, one Rng::Stream per
+  ///    chunk. Byte-identical to the pre-batching implementation at the
+  ///    same seed (the historical pinned estimates).
+  ///  * 2 — batched (default): one Rng::Stream per *trial* (keyed by the
+  ///    global trial index), enabling the lockstep batch evaluation of
+  ///    trial chunks. Estimates differ from schema 1 at the same seed but
+  ///    are equally accurate and equally deterministic.
+  int seed_schema = 2;
   /// Split each union into provably-disjoint groups keyed by
   /// (symbol, child sizes) and only sample within groups (on by default;
   /// the ablation benchmark bench_e11 quantifies the win). When false, the
@@ -127,6 +136,10 @@ class NftaFpras {
       nodes[parent].last_child = child;
     }
     void Clear() { nodes.clear(); }
+    /// Drops nodes [n, size()) — used to reclaim rejected sampling attempts
+    /// so surviving subtrees stay contiguous (node n's subtree is exactly
+    /// [n, n + size_n) in preorder).
+    void Truncate(size_t n) { nodes.resize(n); }
   };
 
   /// Per-thread sampling context (pool + bitset scratch), owned by each
@@ -134,6 +147,21 @@ class NftaFpras {
   struct SampleCtx {
     TreePool pool;
     CompiledNfta::Workspace ws;
+  };
+
+  /// Per-chunk context for the schema-2 lockstep trial batches: one shared
+  /// pool holds every trial's winning tree (rejected attempts are reclaimed
+  /// by truncation), with a behaviour row maintained per pooled node —
+  /// computed once in post-order as each subtree completes, so min-index
+  /// checks at every nesting level read cached rows instead of
+  /// re-evaluating subtrees.
+  struct BatchCtx {
+    TreePool pool;                // shared across the chunk's trials
+    std::vector<Rng> rngs;        // per-trial streams (phase-resumable)
+    std::vector<uint32_t> picks;  // per-trial picked component index
+    std::vector<uint32_t> roots;  // per-trial winner root, kNil if none
+    std::vector<uint64_t> rows;   // per pooled node: wps behaviour words
+    std::vector<const uint64_t*> child_ptrs;  // combine scratch
   };
 
   struct Component {
@@ -166,8 +194,49 @@ class NftaFpras {
   /// KLM union estimate within one group (components share symbol+sizes).
   /// Trials are chunked (kTrialChunk) and may run on the pool; every cell
   /// the trials sample from is already computed, so the parallel section
-  /// only ever reads `cells_`.
+  /// only ever reads `cells_`. Dispatches on config_.seed_schema to the
+  /// legacy sequential path (1) or the lockstep batched path (2).
   double EstimateGroup(Group* group);
+
+  /// Schema-1 trials: chunk c runs its trials sequentially on
+  /// Rng::Stream(union_seed, c). Kept verbatim from the pre-batching
+  /// implementation — byte-identical estimates at the same seed.
+  void RunTrialsLegacy(Group* group, double sum, size_t samples,
+                       uint64_t union_seed,
+                       std::vector<std::pair<size_t, size_t>>* counts);
+
+  /// Schema-2 trials: each chunk runs its kTrialChunk trials in lockstep
+  /// phases (batched picks -> batched row-caching tree builds -> batched
+  /// min-index checks over the cached rows), with one Rng::Stream per
+  /// trial keyed by the global trial index.
+  void RunTrialsBatched(Group* group, double sum, size_t samples,
+                        uint64_t union_seed,
+                        std::vector<std::pair<size_t, size_t>>* counts);
+
+  /// Min-index of a batch trial: like MinIndexFlat, but child behaviours
+  /// are read from the batch's cached rows instead of re-evaluated.
+  int MinIndexBatched(const Group& group, uint32_t root,
+                      const BatchCtx& ctx) const;
+
+  /// Row-caching mirrors of SampleFlat / SampleComponentFlat for the
+  /// batched path: identical RNG consumption and identical accept/reject
+  /// decisions (rows are bit-identical to the recursive evaluation), but
+  /// every pooled node's behaviour row is computed exactly once — in
+  /// post-order, as its subtree completes — so the nested min-index
+  /// rejection reads cached rows instead of re-running the bitset
+  /// evaluation at every nesting level.
+  uint32_t SampleFlatBatched(Rng& rng, NftaState q, size_t size,
+                             BatchCtx* ctx);
+  uint32_t SampleComponentFlatBatched(Rng& rng, const Component& c,
+                                      BatchCtx* ctx);
+
+  /// Computes `node`'s behaviour row into ctx->rows (children's rows must
+  /// already be cached; leaves copy the per-symbol leaf row).
+  void ComputeRow(BatchCtx* ctx, uint32_t node) const;
+
+  /// Lazily builds the per-symbol rank-0 behaviour rows the batched build
+  /// copies for leaf nodes. Must be called before the parallel section.
+  void EnsureLeafRows();
 
   /// Uniform-ish flat sample from L(q, size) into ctx->pool; TreePool::kNil
   /// if empty / rejected to exhaustion. Mirrors the legacy recursive
@@ -207,6 +276,12 @@ class NftaFpras {
       cells_;
   size_t union_estimations_ = 0;
   SampleCtx sample_ctx_;  // for the serial public Sample()
+
+  // Per-symbol rank-0 behaviour rows (words_per_set() words each), built
+  // once on first batched estimation; leaves are the common case in trial
+  // trees and their combine is a plain row copy.
+  bool leaf_rows_ready_ = false;
+  std::vector<uint64_t> leaf_rows_;
 };
 
 }  // namespace uocqa

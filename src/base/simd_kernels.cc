@@ -1,0 +1,197 @@
+#include "base/simd_kernels.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "base/simd_kernels_detail.h"
+
+namespace uocqa {
+namespace simd {
+
+namespace detail {
+
+void ClearWordsScalar(uint64_t* dst, size_t n) {
+  std::memset(dst, 0, n * sizeof(uint64_t));
+}
+
+void AndWordsScalar(uint64_t* dst, const uint64_t* a, const uint64_t* b,
+                    size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] = a[i] & b[i];
+}
+
+void OrWordsScalar(uint64_t* dst, const uint64_t* a, const uint64_t* b,
+                   size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] = a[i] | b[i];
+}
+
+void AccumulateMaskedScalar(uint64_t* dst, const uint64_t* src,
+                            const uint64_t* mask, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] |= src[i] & mask[i];
+}
+
+bool EqualWordsScalar(const uint64_t* a, const uint64_t* b, size_t n) {
+  return std::memcmp(a, b, n * sizeof(uint64_t)) == 0;
+}
+
+size_t PopcountWordsScalar(const uint64_t* a, size_t n) {
+  size_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    total += static_cast<size_t>(__builtin_popcountll(a[i]));
+  }
+  return total;
+}
+
+uint64_t HashWordsScalar(const uint64_t* a, size_t n) {
+  uint64_t sum = 0;
+  for (size_t i = 0; i < n; ++i) sum += MixWord(a[i], i);
+  return FinalizeHash(sum, n);
+}
+
+void AppendSetBitsScalar(const uint64_t* words, size_t n,
+                         std::vector<uint32_t>* out) {
+  for (size_t w = 0; w < n; ++w) {
+    uint64_t bits = words[w];
+    while (bits != 0) {
+      unsigned tz = static_cast<unsigned>(__builtin_ctzll(bits));
+      out->push_back(static_cast<uint32_t>(w * 64 + tz));
+      bits &= bits - 1;
+    }
+  }
+}
+
+uint32_t CombineGroupScalar(const GroupProbe& g,
+                            const uint64_t* const* child_sets,
+                            uint64_t* out) {
+  uint32_t accepted = 0;
+  for (uint32_t i = 0; i < g.count; ++i) {
+    if (ProbeOneTransition(g, child_sets, i)) {
+      uint32_t f = g.from[i];
+      out[f >> 6] |= uint64_t{1} << (f & 63);
+      ++accepted;
+    }
+  }
+  return accepted;
+}
+
+const Kernels* GetScalarKernels() {
+  static const Kernels k = {
+      Backend::kScalar,      "scalar",
+      &ClearWordsScalar,     &AndWordsScalar,
+      &OrWordsScalar,        &AccumulateMaskedScalar,
+      &EqualWordsScalar,     &PopcountWordsScalar,
+      &HashWordsScalar,      &AppendSetBitsScalar,
+      &CombineGroupScalar,
+  };
+  return &k;
+}
+
+}  // namespace detail
+
+namespace {
+
+/// True if the running CPU supports every instruction the backend's TU was
+/// compiled with. Non-GCC/Clang or non-x86 builds never compile the vector
+/// TUs, so the conservative false is unreachable there anyway.
+bool CpuSupports(Backend b) {
+#if (defined(__GNUC__) || defined(__clang__)) && \
+    (defined(__x86_64__) || defined(__i386__))
+  switch (b) {
+    case Backend::kScalar:
+      return true;
+    case Backend::kAvx2:
+      return __builtin_cpu_supports("avx2");
+    case Backend::kAvx512:
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512bw") &&
+             __builtin_cpu_supports("avx512vl") &&
+             __builtin_cpu_supports("avx512dq");
+  }
+  return false;
+#else
+  return b == Backend::kScalar;
+#endif
+}
+
+const Kernels* CompiledBackend(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return detail::GetScalarKernels();
+    case Backend::kAvx2:
+#if defined(UOCQA_SIMD_AVX2)
+      return detail::GetAvx2Kernels();
+#else
+      return nullptr;
+#endif
+    case Backend::kAvx512:
+#if defined(UOCQA_SIMD_AVX512)
+      return detail::GetAvx512Kernels();
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+/// The widest backend allowed by the UOCQA_SIMD environment variable
+/// (scalar|avx2|avx512; anything else — including unset — means no cap).
+Backend EnvCap() {
+  const char* env = std::getenv("UOCQA_SIMD");
+  if (env == nullptr) return Backend::kAvx512;
+  std::string v(env);
+  if (v == "scalar") return Backend::kScalar;
+  if (v == "avx2") return Backend::kAvx2;
+  return Backend::kAvx512;
+}
+
+const Kernels* SelectStartupBackend() {
+  Backend cap = EnvCap();
+  const Kernels* best = detail::GetScalarKernels();
+  for (Backend b : {Backend::kAvx2, Backend::kAvx512}) {
+    if (static_cast<uint8_t>(b) > static_cast<uint8_t>(cap)) continue;
+    const Kernels* k = CompiledBackend(b);
+    if (k != nullptr && CpuSupports(b)) best = k;
+  }
+  return best;
+}
+
+const Kernels* g_test_override = nullptr;
+
+}  // namespace
+
+const Kernels& Active() {
+  if (g_test_override != nullptr) return *g_test_override;
+  static const Kernels* selected = SelectStartupBackend();
+  return *selected;
+}
+
+const Kernels* ForBackend(Backend b) {
+  const Kernels* k = CompiledBackend(b);
+  return (k != nullptr && CpuSupports(b)) ? k : nullptr;
+}
+
+std::vector<const Kernels*> AvailableBackends() {
+  std::vector<const Kernels*> out;
+  for (Backend b : {Backend::kScalar, Backend::kAvx2, Backend::kAvx512}) {
+    const Kernels* k = ForBackend(b);
+    if (k != nullptr) out.push_back(k);
+  }
+  return out;
+}
+
+void SetActiveForTest(const Kernels* k) { g_test_override = k; }
+
+const char* BackendName(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kAvx2:
+      return "avx2";
+    case Backend::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+}  // namespace simd
+}  // namespace uocqa

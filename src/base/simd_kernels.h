@@ -1,0 +1,111 @@
+// Runtime-dispatched SIMD kernels for the word-wise bitset operations the
+// automaton hot paths bottom out in.
+//
+// Every answer the engine produces — exact repair counts, FPRAS estimates,
+// membership probes — reduces to millions of operations over fixed-width
+// uint64 bitsets (CompiledNfta behaviour sets, the exact-count behaviour
+// arena). This module provides those primitives behind one table of
+// function pointers (`Kernels`), with three backends:
+//
+//  * scalar  — plain C++, always compiled, the semantic reference;
+//  * AVX2    — 4 words per vector, gathers for the batched group probe;
+//  * AVX-512 — 8 words per vector (F/BW/VL/DQ), mask-register probes.
+//
+// The backends are *bit-identical by contract*: every kernel, on every
+// input, returns exactly the scalar result (tests/simd_kernels_test.cc
+// enforces this differentially). Vector backends live in separate
+// translation units compiled with per-file -mavx2 / -mavx512* flags
+// (CMake option UOCQA_SIMD), so the rest of the binary stays portable;
+// the running CPU picks the widest supported backend once at startup via
+// CPUID. The UOCQA_SIMD environment variable (scalar|avx2|avx512) caps the
+// selection for debugging and A/B runs.
+//
+// Consumers snapshot `Active()` once per compiled artifact (CompiledNfta
+// stores the pointer), so a whole automaton evaluation runs on one
+// backend even if the test-only override changes mid-process.
+
+#ifndef UOCQA_BASE_SIMD_KERNELS_H_
+#define UOCQA_BASE_SIMD_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace uocqa {
+namespace simd {
+
+enum class Backend : uint8_t { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// One (symbol, rank) transition group in structure-of-arrays layout — the
+/// unit of the batched "all children accepted" probe. `child` holds the
+/// children grouped by position: child position c of transition i is
+/// child[c * count + i], so the probe walks contiguous lanes of
+/// transitions instead of per-transition child tuples.
+struct GroupProbe {
+  uint32_t count = 0;               ///< transitions in the group
+  uint32_t rank = 0;                ///< children per transition
+  const uint32_t* from = nullptr;   ///< [count] from-states
+  const uint32_t* child = nullptr;  ///< [rank * count], position-major
+};
+
+/// The kernel table. All word counts `n` are in uint64 units; ranges never
+/// alias unless a kernel documents otherwise.
+struct Kernels {
+  Backend backend = Backend::kScalar;
+  const char* name = "scalar";
+
+  /// dst[0..n) = 0.
+  void (*clear_words)(uint64_t* dst, size_t n);
+  /// dst = a & b.
+  void (*and_words)(uint64_t* dst, const uint64_t* a, const uint64_t* b,
+                    size_t n);
+  /// dst = a | b.
+  void (*or_words)(uint64_t* dst, const uint64_t* a, const uint64_t* b,
+                   size_t n);
+  /// Masked accumulate: dst |= src & mask.
+  void (*accumulate_masked)(uint64_t* dst, const uint64_t* src,
+                            const uint64_t* mask, size_t n);
+  /// a == b word-wise.
+  bool (*equal_words)(const uint64_t* a, const uint64_t* b, size_t n);
+  /// Total set bits in a[0..n).
+  size_t (*popcount_words)(const uint64_t* a, size_t n);
+  /// Word-wise hash of a[0..n). The formula is an order-insensitive sum of
+  /// per-word mixes, so lanes can be reduced in any width — every backend
+  /// returns the same 64 bits for the same input.
+  uint64_t (*hash_words)(const uint64_t* a, size_t n);
+  /// Appends the indices of set bits (word w, bit b -> 64*w + b),
+  /// ascending.
+  void (*append_set_bits)(const uint64_t* words, size_t n,
+                          std::vector<uint32_t>* out);
+  /// The batched probe: for each transition i of `g`, if
+  /// child_sets[c] contains bit g.child[c*count + i] for every c < rank,
+  /// set bit g.from[i] in `out`. Returns the number of accepting
+  /// transitions. `out` must be pre-cleared (or hold a partial union) and
+  /// must not alias any child set. Rank-0 groups accept unconditionally.
+  uint32_t (*combine_group)(const GroupProbe& g,
+                            const uint64_t* const* child_sets, uint64_t* out);
+};
+
+/// The backend selected at startup: the widest one both compiled in and
+/// supported by the running CPU, optionally capped by the UOCQA_SIMD
+/// environment variable. Never nullptr-able; always valid for the process
+/// lifetime.
+const Kernels& Active();
+
+/// The kernel table of one backend, or nullptr if it was not compiled in
+/// or the CPU lacks the features.
+const Kernels* ForBackend(Backend b);
+
+/// Every backend usable on this host, scalar first.
+std::vector<const Kernels*> AvailableBackends();
+
+/// Test hook: force Active() to return `k` (nullptr restores the startup
+/// selection). Not thread-safe; call only from single-threaded test setup.
+void SetActiveForTest(const Kernels* k);
+
+const char* BackendName(Backend b);
+
+}  // namespace simd
+}  // namespace uocqa
+
+#endif  // UOCQA_BASE_SIMD_KERNELS_H_

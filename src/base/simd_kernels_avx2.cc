@@ -1,0 +1,238 @@
+// AVX2 backend: 4 uint64 words per vector. Compiled in its own TU with
+// -mavx2 (see src/base/CMakeLists.txt); only ever invoked after the
+// runtime CPUID check in simd_kernels.cc, so the rest of the binary stays
+// portable. Every kernel is bit-identical to the scalar reference.
+
+#include "base/simd_kernels_detail.h"
+
+#if defined(UOCQA_SIMD_AVX2)
+
+#include <immintrin.h>
+
+namespace uocqa {
+namespace simd {
+namespace detail {
+namespace {
+
+void ClearWordsAvx2(uint64_t* dst, size_t n) {
+  size_t i = 0;
+  __m256i zero = _mm256_setzero_si256();
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), zero);
+  }
+  for (; i < n; ++i) dst[i] = 0;
+}
+
+void AndWordsAvx2(uint64_t* dst, const uint64_t* a, const uint64_t* b,
+                  size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_and_si256(va, vb));
+  }
+  for (; i < n; ++i) dst[i] = a[i] & b[i];
+}
+
+void OrWordsAvx2(uint64_t* dst, const uint64_t* a, const uint64_t* b,
+                 size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_or_si256(va, vb));
+  }
+  for (; i < n; ++i) dst[i] = a[i] | b[i];
+}
+
+void AccumulateMaskedAvx2(uint64_t* dst, const uint64_t* src,
+                          const uint64_t* mask, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i vd = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    __m256i vs = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    __m256i vm =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mask + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_or_si256(vd, _mm256_and_si256(vs, vm)));
+  }
+  for (; i < n; ++i) dst[i] |= src[i] & mask[i];
+}
+
+bool EqualWordsAvx2(const uint64_t* a, const uint64_t* b, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    __m256i diff = _mm256_xor_si256(va, vb);
+    if (!_mm256_testz_si256(diff, diff)) return false;
+  }
+  for (; i < n; ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+/// 64-bit lane-wise multiply (AVX2 has no mullo_epi64): standard
+/// three-product composition of 32-bit halves.
+inline __m256i Mullo64(__m256i a, __m256i b) {
+  __m256i lo = _mm256_mul_epu32(a, b);
+  __m256i a_hi = _mm256_srli_epi64(a, 32);
+  __m256i b_hi = _mm256_srli_epi64(b, 32);
+  __m256i cross = _mm256_add_epi64(_mm256_mul_epu32(a_hi, b),
+                                   _mm256_mul_epu32(a, b_hi));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+/// Lane-wise MixWord (same math as detail::MixWord; `idx1` holds i+1).
+inline __m256i MixWord4(__m256i w, __m256i idx1) {
+  const __m256i golden = _mm256_set1_epi64x(
+      static_cast<long long>(kHashGolden));
+  __m256i z = _mm256_add_epi64(w, Mullo64(idx1, golden));
+  z = Mullo64(_mm256_xor_si256(z, _mm256_srli_epi64(z, 30)),
+              _mm256_set1_epi64x(static_cast<long long>(kHashMul1)));
+  z = Mullo64(_mm256_xor_si256(z, _mm256_srli_epi64(z, 27)),
+              _mm256_set1_epi64x(static_cast<long long>(kHashMul2)));
+  return _mm256_xor_si256(z, _mm256_srli_epi64(z, 31));
+}
+
+uint64_t HashWordsAvx2(const uint64_t* a, size_t n) {
+  size_t i = 0;
+  __m256i acc = _mm256_setzero_si256();
+  __m256i idx1 = _mm256_set_epi64x(4, 3, 2, 1);
+  const __m256i four = _mm256_set1_epi64x(4);
+  for (; i + 4 <= n; i += 4) {
+    __m256i w = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    acc = _mm256_add_epi64(acc, MixWord4(w, idx1));
+    idx1 = _mm256_add_epi64(idx1, four);
+  }
+  alignas(32) uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  uint64_t sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; i < n; ++i) sum += MixWord(a[i], i);
+  return FinalizeHash(sum, n);
+}
+
+void AppendSetBitsAvx2(const uint64_t* words, size_t n,
+                       std::vector<uint32_t>* out) {
+  size_t w = 0;
+  for (; w + 4 <= n; w += 4) {
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + w));
+    if (_mm256_testz_si256(v, v)) continue;  // common sparse case: skip 4
+    for (size_t k = w; k < w + 4; ++k) {
+      uint64_t bits = words[k];
+      while (bits != 0) {
+        unsigned tz = static_cast<unsigned>(__builtin_ctzll(bits));
+        out->push_back(static_cast<uint32_t>(k * 64 + tz));
+        bits &= bits - 1;
+      }
+    }
+  }
+  for (; w < n; ++w) {
+    uint64_t bits = words[w];
+    while (bits != 0) {
+      unsigned tz = static_cast<unsigned>(__builtin_ctzll(bits));
+      out->push_back(static_cast<uint32_t>(w * 64 + tz));
+      bits &= bits - 1;
+    }
+  }
+}
+
+uint32_t CombineGroupAvx2(const GroupProbe& g,
+                          const uint64_t* const* child_sets, uint64_t* out) {
+  // Small groups and rank-0 (unconditional accept) aren't worth the gather
+  // setup; the scalar path is bit-identical by contract.
+  if (g.rank == 0 || g.count < 8) {
+    return CombineGroupScalar(g, child_sets, out);
+  }
+  uint32_t accepted = 0;
+  uint32_t i = 0;
+  const __m128i k63 = _mm_set1_epi32(63);
+  const __m256i one = _mm256_set1_epi64x(1);
+  for (; i + 4 <= g.count; i += 4) {
+    // acc lane j accumulates the AND of the probed child bits (in the LSB)
+    // of transition i+j across child positions.
+    __m256i acc = _mm256_set1_epi64x(-1);
+    for (uint32_t c = 0; c < g.rank; ++c) {
+      const uint32_t* lanes = g.child + c * g.count + i;
+      __m128i st = _mm_loadu_si128(reinterpret_cast<const __m128i*>(lanes));
+      __m128i widx = _mm_srli_epi32(st, 6);
+      // CompiledNfta sorts each group's probe lanes by child word, so a
+      // whole block usually probes one word of child_sets[c]: broadcast
+      // that word instead of issuing a (much slower) gather.
+      __m128i wfirst = _mm_set1_epi32(static_cast<int>(lanes[0] >> 6));
+      __m256i word;
+      if (_mm_movemask_epi8(_mm_cmpeq_epi32(widx, wfirst)) == 0xffff) {
+        word = _mm256_set1_epi64x(
+            static_cast<long long>(child_sets[c][lanes[0] >> 6]));
+      } else {
+        word = _mm256_i32gather_epi64(
+            reinterpret_cast<const long long*>(child_sets[c]), widx, 8);
+      }
+      __m256i sh = _mm256_cvtepu32_epi64(_mm_and_si128(st, k63));
+      acc = _mm256_and_si256(acc, _mm256_srlv_epi64(word, sh));
+      if (_mm256_testz_si256(acc, one)) break;  // every lane already failed
+    }
+    int mask = _mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_slli_epi64(acc, 63)));
+    if (mask == 0) continue;
+    // Accepted-lane scatter. Lanes are secondarily sorted by from word, so
+    // most blocks set bits in a single out word: build the bits with a
+    // variable shift (dead lanes zeroed via acc's LSB) and OR the lanes.
+    __m128i fv =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(g.from + i));
+    __m128i fw = _mm_srli_epi32(fv, 6);
+    __m128i fw0 = _mm_set1_epi32(static_cast<int>(g.from[i] >> 6));
+    if (_mm_movemask_epi8(_mm_cmpeq_epi32(fw, fw0)) == 0xffff) {
+      __m256i live = _mm256_and_si256(acc, one);
+      __m256i bits =
+          _mm256_sllv_epi64(live, _mm256_cvtepu32_epi64(_mm_and_si128(fv, k63)));
+      __m128i halves = _mm_or_si128(_mm256_castsi256_si128(bits),
+                                    _mm256_extracti128_si256(bits, 1));
+      out[g.from[i] >> 6] |=
+          static_cast<uint64_t>(_mm_extract_epi64(halves, 0)) |
+          static_cast<uint64_t>(_mm_extract_epi64(halves, 1));
+      accepted += static_cast<uint32_t>(
+          __builtin_popcount(static_cast<unsigned>(mask)));
+    } else {
+      while (mask != 0) {
+        int lane = __builtin_ctz(static_cast<unsigned>(mask));
+        mask &= mask - 1;
+        uint32_t f = g.from[i + static_cast<uint32_t>(lane)];
+        out[f >> 6] |= uint64_t{1} << (f & 63);
+        ++accepted;
+      }
+    }
+  }
+  for (; i < g.count; ++i) {
+    if (ProbeOneTransition(g, child_sets, i)) {
+      uint32_t f = g.from[i];
+      out[f >> 6] |= uint64_t{1} << (f & 63);
+      ++accepted;
+    }
+  }
+  return accepted;
+}
+
+}  // namespace
+
+const Kernels* GetAvx2Kernels() {
+  static const Kernels k = {
+      Backend::kAvx2,       "avx2",
+      &ClearWordsAvx2,      &AndWordsAvx2,
+      &OrWordsAvx2,         &AccumulateMaskedAvx2,
+      &EqualWordsAvx2,      &PopcountWordsScalar,
+      &HashWordsAvx2,       &AppendSetBitsAvx2,
+      &CombineGroupAvx2,
+  };
+  return &k;
+}
+
+}  // namespace detail
+}  // namespace simd
+}  // namespace uocqa
+
+#endif  // UOCQA_SIMD_AVX2

@@ -1,0 +1,82 @@
+// Internal scalar reference kernels and shared hash constants, used by the
+// dispatcher (simd_kernels.cc) and by the vector backends for loop tails
+// and small inputs. Not part of the public API.
+
+#ifndef UOCQA_BASE_SIMD_KERNELS_DETAIL_H_
+#define UOCQA_BASE_SIMD_KERNELS_DETAIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "base/simd_kernels.h"
+
+namespace uocqa {
+namespace simd {
+namespace detail {
+
+// splitmix64-style mixing constants, shared by every backend so the hash
+// is bit-identical regardless of lane width.
+inline constexpr uint64_t kHashGolden = 0x9e3779b97f4a7c15ull;
+inline constexpr uint64_t kHashMul1 = 0xbf58476d1ce4e5b9ull;
+inline constexpr uint64_t kHashMul2 = 0x94d049bb133111ebull;
+
+/// Per-word mix: position-salted splitmix64 finalizer. The hash is the
+/// wrapping *sum* of these mixes — commutative and associative, so vector
+/// backends may reduce lanes in any order/width and still match scalar.
+inline uint64_t MixWord(uint64_t w, uint64_t index) {
+  uint64_t z = w + (index + 1) * kHashGolden;
+  z = (z ^ (z >> 30)) * kHashMul1;
+  z = (z ^ (z >> 27)) * kHashMul2;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t FinalizeHash(uint64_t sum, size_t n) {
+  uint64_t z = sum ^ ((static_cast<uint64_t>(n) + 1) * kHashGolden);
+  z = (z ^ (z >> 30)) * kHashMul1;
+  z = (z ^ (z >> 27)) * kHashMul2;
+  return z ^ (z >> 31);
+}
+
+// Scalar reference kernels (the semantic contract for every backend).
+void ClearWordsScalar(uint64_t* dst, size_t n);
+void AndWordsScalar(uint64_t* dst, const uint64_t* a, const uint64_t* b,
+                    size_t n);
+void OrWordsScalar(uint64_t* dst, const uint64_t* a, const uint64_t* b,
+                   size_t n);
+void AccumulateMaskedScalar(uint64_t* dst, const uint64_t* src,
+                            const uint64_t* mask, size_t n);
+bool EqualWordsScalar(const uint64_t* a, const uint64_t* b, size_t n);
+size_t PopcountWordsScalar(const uint64_t* a, size_t n);
+uint64_t HashWordsScalar(const uint64_t* a, size_t n);
+void AppendSetBitsScalar(const uint64_t* words, size_t n,
+                         std::vector<uint32_t>* out);
+uint32_t CombineGroupScalar(const GroupProbe& g,
+                            const uint64_t* const* child_sets, uint64_t* out);
+
+/// One transition of a group probe, used by the vector backends' tails.
+inline bool ProbeOneTransition(const GroupProbe& g,
+                               const uint64_t* const* child_sets,
+                               uint32_t i) {
+  for (uint32_t c = 0; c < g.rank; ++c) {
+    uint32_t kid = g.child[c * g.count + i];
+    if (((child_sets[c][kid >> 6] >> (kid & 63)) & 1u) == 0) return false;
+  }
+  return true;
+}
+
+// Backend factories; the vector ones exist only when their TU is compiled
+// in (CMake option UOCQA_SIMD + compiler flag support).
+const Kernels* GetScalarKernels();
+#if defined(UOCQA_SIMD_AVX2)
+const Kernels* GetAvx2Kernels();
+#endif
+#if defined(UOCQA_SIMD_AVX512)
+const Kernels* GetAvx512Kernels();
+#endif
+
+}  // namespace detail
+}  // namespace simd
+}  // namespace uocqa
+
+#endif  // UOCQA_BASE_SIMD_KERNELS_DETAIL_H_

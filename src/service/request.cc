@@ -173,6 +173,14 @@ Result<Request> ParseRequestLine(std::string_view line) {
       size_t seed = 0;
       UOCQA_RETURN_IF_ERROR(ParseSizeField(key, value, &seed));
       out.seed = static_cast<uint64_t>(seed);
+    } else if (key == "seed_schema") {
+      if (value == "1") {
+        out.seed_schema = 1;
+      } else if (value == "2") {
+        out.seed_schema = 2;
+      } else {
+        return Status::InvalidArgument("seed_schema expects 1 or 2");
+      }
     } else if (key == "explain") {
       if (value == "0") {
         out.explain = false;
@@ -207,6 +215,9 @@ std::string FormatRequestLine(const Request& request) {
   out += buf;
   out += " samples=" + std::to_string(request.samples);
   out += " seed=" + std::to_string(request.seed);
+  if (request.seed_schema != 2) {
+    out += " seed_schema=" + std::to_string(request.seed_schema);
+  }
   if (request.explain) out += " explain=1";
   return out;
 }

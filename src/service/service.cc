@@ -49,7 +49,8 @@ bool QueryService::ResultKey::operator==(const ResultKey& o) const {
   return fingerprint == o.fingerprint &&
          canonical_query == o.canonical_query && answer == o.answer &&
          mode == o.mode && epsilon == o.epsilon && delta == o.delta &&
-         samples == o.samples && seed == o.seed && max_width == o.max_width &&
+         samples == o.samples && seed == o.seed &&
+         seed_schema == o.seed_schema && max_width == o.max_width &&
          explain == o.explain;
 }
 
@@ -62,6 +63,7 @@ size_t QueryService::ResultKeyHash::operator()(const ResultKey& k) const {
   HashCombine(&seed, std::hash<double>{}(k.delta));
   HashCombine(&seed, k.samples);
   HashCombine(&seed, static_cast<size_t>(k.seed));
+  HashCombine(&seed, static_cast<size_t>(k.seed_schema));
   HashCombine(&seed, k.max_width);
   HashCombine(&seed, static_cast<size_t>(k.explain));
   return seed;
@@ -186,6 +188,7 @@ ServiceResponse QueryService::Run(const Request& request) {
   key.delta = request.delta;
   key.samples = request.samples;
   key.seed = request.seed;
+  key.seed_schema = request.seed_schema;
   key.max_width = options_.max_width;
   key.explain = request.explain;
   {
@@ -222,6 +225,7 @@ ServiceResponse QueryService::Run(const Request& request) {
       options.fpras.epsilon = request.epsilon;
       options.fpras.delta = request.delta;
       options.fpras.seed = request.seed;
+      options.fpras.seed_schema = request.seed_schema;
       options.max_width = options_.max_width;
       options.threads = 1;  // batch lanes are the parallelism
       Result<ApproxRF> ur = engine_.ApproxUr(**plan, answer, options);

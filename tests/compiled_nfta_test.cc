@@ -308,11 +308,91 @@ Nfta OverlapAutomaton() {
   return a;
 }
 
+// --- workspace reuse ---------------------------------------------------------
+
+// One Workspace reused across automata of very different widths: EnsureSlots
+// must regrow (and the stale contents of a previous, narrower automaton must
+// never leak into results).
+TEST(CompiledWorkspaceTest, EnsureSlotsRegrowsAcrossAutomata) {
+  CompiledNfta::Workspace ws;
+
+  // Small automaton first (1 word per set) to warm the workspace small.
+  Nfta small = RandomAutomaton(12);
+  {
+    const CompiledNfta& c = small.Compiled();
+    LabeledTree leaf(0);
+    (void)c.Accepts(leaf, &ws);
+  }
+  size_t warm = ws.slots.size();
+
+  // Wide automaton: 200 states (4 words per set), accepting chain through
+  // high states only.
+  Nfta wide;
+  for (int i = 0; i < 200; ++i) wide.AddState();
+  NftaSymbol sx = wide.InternSymbol("x");
+  wide.AddTransition(190, sx, {});            // leaf accepted at state 190
+  wide.AddTransition(199, sx, {190});         // unary on top
+  wide.SetInitial(199);
+  const CompiledNfta& c = wide.Compiled();
+  ASSERT_EQ(c.words_per_set(), 4u);
+
+  LabeledTree tree(sx, {LabeledTree(sx)});
+  EXPECT_TRUE(c.Accepts(tree, &ws));
+  EXPECT_GT(ws.slots.size(), warm);  // regrew for the wider sets
+
+  // Deep tree forces slot-stack growth beyond the initial EnsureSlots.
+  Nfta chain;
+  for (int i = 0; i < 64; ++i) chain.AddState();
+  NftaSymbol cy = chain.InternSymbol("y");
+  chain.AddTransition(0, cy, {});
+  chain.AddTransition(0, cy, {0});
+  chain.SetInitial(0);
+  const CompiledNfta& cc = chain.Compiled();
+  LabeledTree spine(cy);
+  for (int i = 0; i < 50; ++i) spine = LabeledTree(cy, {spine});
+  EXPECT_TRUE(cc.Accepts(spine, &ws));
+
+  // And the small automaton still evaluates correctly with the (now large)
+  // workspace — no stale high words bleed through.
+  std::vector<NftaState> again;
+  {
+    const CompiledNfta& cs = small.Compiled();
+    LabeledTree leaf(0);
+    again = cs.AcceptingStates(leaf, &ws);
+    for (NftaState q : again) EXPECT_LT(q, cs.state_count());
+  }
+}
+
+// AppendSetBits with bits only above word 0 (high-word-only sets): the
+// 200-state automaton above accepts only at states 190/199, so the bitset
+// run's result words 0..2 are zero and word 3 carries everything.
+TEST(CompiledWorkspaceTest, AppendSetBitsHighWordOnly) {
+  Nfta wide;
+  for (int i = 0; i < 200; ++i) wide.AddState();
+  NftaSymbol sx = wide.InternSymbol("x");
+  wide.AddTransition(190, sx, {});
+  wide.AddTransition(199, sx, {190});
+  wide.SetInitial(199);
+  const CompiledNfta& c = wide.Compiled();
+
+  CompiledNfta::Workspace ws;
+  std::vector<NftaState> leaf_states =
+      c.AcceptingStates(LabeledTree(sx), &ws);
+  EXPECT_EQ(leaf_states, std::vector<NftaState>{190});
+  std::vector<NftaState> top_states =
+      c.AcceptingStates(LabeledTree(sx, {LabeledTree(sx)}), &ws);
+  EXPECT_EQ(top_states, std::vector<NftaState>{199});
+}
+
+// The *Pinned tests freeze seed-schema 1: the legacy sequential trial path
+// must keep reproducing the historical estimates byte-for-byte. Schema 2
+// (the default batched path) has its own pins in the *PinnedV2 tests.
 TEST(FprasBitIdentityTest, AmbiguousEstimatesPinned) {
   Nfta a = AmbiguousAutomaton(4);
   FprasConfig cfg;
   cfg.epsilon = 0.1;
   cfg.seed = 99;
+  cfg.seed_schema = 1;
   NftaFpras f(a, cfg);
   const double kPinned[] = {
       0.98284552501164812, 0.99267228599262991, 0.99775509339658608,
@@ -338,6 +418,7 @@ TEST(FprasBitIdentityTest, OverlapEstimatesPinned) {
     FprasConfig cfg;
     cfg.epsilon = 0.15;
     cfg.seed = pin.seed;
+    cfg.seed_schema = 1;
     NftaFpras f(a, cfg);
     EXPECT_EQ(f.EstimateUpTo(7), pin.upto7) << "seed " << pin.seed;
     EXPECT_EQ(f.union_estimations(), 21u);
@@ -358,6 +439,7 @@ TEST(FprasBitIdentityTest, RandomAutomataEstimatesPinned) {
     FprasConfig cfg;
     cfg.epsilon = 0.2;
     cfg.seed = pin.seed;
+    cfg.seed_schema = 1;
     NftaFpras f(a, cfg);
     EXPECT_EQ(f.EstimateUpTo(7), pin.upto7) << "seed " << pin.seed;
     EXPECT_EQ(f.union_estimations(), pin.unions) << "seed " << pin.seed;
@@ -367,7 +449,9 @@ TEST(FprasBitIdentityTest, RandomAutomataEstimatesPinned) {
 TEST(FprasBitIdentityTest, SampleTracesPinned) {
   {
     Nfta a = FullBinaryTreeAutomaton();
-    NftaFpras f(a);
+    FprasConfig cfg;
+    cfg.seed_schema = 1;
+    NftaFpras f(a, cfg);
     Rng rng(5);
     const char* kTrace[] = {
         "x(x,x(x(x,x),x(x,x)))", "x(x(x,x),x(x,x(x,x)))",
@@ -386,6 +470,7 @@ TEST(FprasBitIdentityTest, SampleTracesPinned) {
     Nfta a = RandomAutomaton(3017);
     FprasConfig cfg;
     cfg.seed = 11;
+    cfg.seed_schema = 1;
     NftaFpras f(a, cfg);
     Rng rng(42);
     const char* kTrace[] = {
@@ -422,6 +507,7 @@ TEST(FprasBitIdentityTest, OverlapSampleTracesPinned) {
     FprasConfig cfg;
     cfg.epsilon = 0.15;
     cfg.seed = pin.seed;
+    cfg.seed_schema = 1;
     NftaFpras f(a, cfg);
     // Match the recording: estimates computed first, then sampling.
     (void)f.EstimateUpTo(7);
@@ -431,6 +517,95 @@ TEST(FprasBitIdentityTest, OverlapSampleTracesPinned) {
       ASSERT_TRUE(t.has_value());
       EXPECT_EQ(a.TreeToString(*t), pin.trace[i])
           << "seed " << pin.seed << " draw " << i;
+    }
+  }
+}
+
+// Schema-2 (batched, the default) pins: same automata and seeds as the
+// schema-1 tests above. Recorded once; any change to the batched path's
+// RNG consumption or trial evaluation shows up here.
+TEST(FprasBitIdentityTest, AmbiguousEstimatesPinnedV2) {
+  Nfta a = AmbiguousAutomaton(4);
+  FprasConfig cfg;
+  cfg.epsilon = 0.1;
+  cfg.seed = 99;
+  ASSERT_EQ(cfg.seed_schema, 2);  // batched is the default
+  NftaFpras f(a, cfg);
+  const double kPinned[] = {
+      0.99606082426193399, 1.0109703926468721, 1.0121563810411285,
+      0.9979245203100513,  1.0040238891947986, 0.99758566648312086,
+      1.0021601931466813};
+  for (size_t s = 2; s <= 8; ++s) {
+    EXPECT_EQ(f.EstimateExactSize(s), kPinned[s - 2]) << "size " << s;
+  }
+  EXPECT_EQ(f.EstimateUpTo(8), 7.0208818670845865);
+  EXPECT_EQ(f.union_estimations(), 7u);
+}
+
+TEST(FprasBitIdentityTest, OverlapEstimatesPinnedV2) {
+  struct Pin {
+    uint64_t seed;
+    double upto7;
+  };
+  const Pin kPins[] = {{7, 338.80674671240706},
+                       {21, 339.16180674671239},
+                       {1234567, 338.71602820659422}};
+  for (const Pin& pin : kPins) {
+    Nfta a = OverlapAutomaton();
+    FprasConfig cfg;
+    cfg.epsilon = 0.15;
+    cfg.seed = pin.seed;
+    // The estimate is a function of (automaton, config) only — any thread
+    // count must reproduce the serial bits (schema 2 keys RNG streams by
+    // global trial index, so chunk partitioning is irrelevant).
+    for (size_t threads : {size_t{1}, size_t{3}}) {
+      cfg.threads = threads;
+      NftaFpras f(a, cfg);
+      EXPECT_EQ(f.EstimateUpTo(7), pin.upto7)
+          << "seed " << pin.seed << " threads " << threads;
+      EXPECT_EQ(f.union_estimations(), 21u);
+    }
+  }
+}
+
+TEST(FprasBitIdentityTest, RandomAutomataEstimatesPinnedV2) {
+  struct Pin {
+    uint64_t seed;
+    double upto7;
+    size_t unions;
+  };
+  const Pin kPins[] = {{1, 37.549305043244701, 11}, {2, 1.0, 0},
+                       {3, 43.153455284552848, 10}, {4, 31.895191331802813, 5},
+                       {5, 0.0, 0},                 {6, 1.0, 0}};
+  for (const Pin& pin : kPins) {
+    Nfta a = RandomAutomaton(pin.seed * 1000 + 17);
+    FprasConfig cfg;
+    cfg.epsilon = 0.2;
+    cfg.seed = pin.seed;
+    NftaFpras f(a, cfg);
+    EXPECT_EQ(f.EstimateUpTo(7), pin.upto7) << "seed " << pin.seed;
+    EXPECT_EQ(f.union_estimations(), pin.unions) << "seed " << pin.seed;
+  }
+}
+
+// Both schemas must agree on which languages are (non-)empty and stay
+// within loose relative range of each other — they estimate the same
+// quantity at the same accuracy, only the RNG consumption differs.
+TEST(FprasBitIdentityTest, SchemasAgreeOnAccuracy) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Nfta a = RandomAutomaton(seed * 1000 + 17);
+    FprasConfig cfg;
+    cfg.epsilon = 0.2;
+    cfg.seed = seed;
+    cfg.seed_schema = 1;
+    NftaFpras f1(a, cfg);
+    cfg.seed_schema = 2;
+    NftaFpras f2(a, cfg);
+    double e1 = f1.EstimateUpTo(7);
+    double e2 = f2.EstimateUpTo(7);
+    EXPECT_EQ(e1 == 0.0, e2 == 0.0) << "seed " << seed;
+    if (e1 > 0) {
+      EXPECT_NEAR(e2 / e1, 1.0, 0.25) << "seed " << seed;
     }
   }
 }

@@ -1,0 +1,264 @@
+// Differential tests for the SIMD kernel layer: every backend available on
+// the host must be bit-identical to the scalar reference on every kernel,
+// across randomized inputs covering set widths 1..20 words (including
+// non-multiple-of-stride tails) and randomized group probes.
+
+#include "base/simd_kernels.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.h"
+#include "gtest/gtest.h"
+
+namespace uocqa {
+namespace {
+
+using simd::Backend;
+using simd::GroupProbe;
+using simd::Kernels;
+
+std::vector<uint64_t> RandomWords(Rng& rng, size_t n, int density_percent) {
+  std::vector<uint64_t> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t w = 0;
+    for (int b = 0; b < 64; ++b) {
+      if (rng.NextU64() % 100 < static_cast<uint64_t>(density_percent)) {
+        w |= uint64_t{1} << b;
+      }
+    }
+    out[i] = w;
+  }
+  return out;
+}
+
+TEST(SimdKernelsTest, ScalarBackendAlwaysAvailable) {
+  auto backends = simd::AvailableBackends();
+  ASSERT_FALSE(backends.empty());
+  EXPECT_EQ(backends.front()->backend, Backend::kScalar);
+  EXPECT_STREQ(backends.front()->name, "scalar");
+  // Active() is one of the available backends.
+  const Kernels& active = simd::Active();
+  bool found = false;
+  for (const Kernels* k : backends) {
+    if (k == &active) found = true;
+  }
+  EXPECT_TRUE(found) << "Active() backend " << active.name
+                     << " not in AvailableBackends()";
+}
+
+TEST(SimdKernelsTest, ForBackendMatchesAvailability) {
+  const Kernels* scalar = simd::ForBackend(Backend::kScalar);
+  ASSERT_NE(scalar, nullptr);
+  EXPECT_EQ(scalar->backend, Backend::kScalar);
+  for (Backend b : {Backend::kAvx2, Backend::kAvx512}) {
+    const Kernels* k = simd::ForBackend(b);
+    if (k != nullptr) {
+      EXPECT_EQ(k->backend, b);
+      EXPECT_STREQ(k->name, simd::BackendName(b));
+    }
+  }
+}
+
+// Word-wise kernels: run every available backend against scalar on the
+// same inputs for widths 1..20 (every stride/tail combination for both the
+// 4-word AVX2 and 8-word AVX-512 strides).
+TEST(SimdKernelsTest, WordKernelsMatchScalar) {
+  const Kernels* scalar = simd::ForBackend(Backend::kScalar);
+  ASSERT_NE(scalar, nullptr);
+  auto backends = simd::AvailableBackends();
+  for (size_t n = 1; n <= 20; ++n) {
+    for (uint64_t seed = 0; seed < 8; ++seed) {
+      Rng r(Rng::Stream(1000 * n + seed, 42));
+      int density = static_cast<int>(5 + 13 * seed);  // 5%..96%
+      std::vector<uint64_t> a = RandomWords(r, n, density);
+      std::vector<uint64_t> b = RandomWords(r, n, 100 - density);
+      std::vector<uint64_t> mask = RandomWords(r, n, 50);
+
+      std::vector<uint64_t> ref_and(n), ref_or(n);
+      scalar->and_words(ref_and.data(), a.data(), b.data(), n);
+      scalar->or_words(ref_or.data(), a.data(), b.data(), n);
+      std::vector<uint64_t> ref_acc = a;
+      scalar->accumulate_masked(ref_acc.data(), b.data(), mask.data(), n);
+      size_t ref_pop = scalar->popcount_words(a.data(), n);
+      uint64_t ref_hash = scalar->hash_words(a.data(), n);
+      std::vector<uint32_t> ref_bits;
+      scalar->append_set_bits(a.data(), n, &ref_bits);
+
+      for (const Kernels* k : backends) {
+        SCOPED_TRACE(::testing::Message()
+                     << "backend=" << k->name << " n=" << n
+                     << " seed=" << seed);
+        std::vector<uint64_t> got(n, 0xdeadbeefdeadbeefull);
+        k->clear_words(got.data(), n);
+        EXPECT_EQ(got, std::vector<uint64_t>(n, 0));
+
+        k->and_words(got.data(), a.data(), b.data(), n);
+        EXPECT_EQ(got, ref_and);
+        k->or_words(got.data(), a.data(), b.data(), n);
+        EXPECT_EQ(got, ref_or);
+
+        got = a;
+        k->accumulate_masked(got.data(), b.data(), mask.data(), n);
+        EXPECT_EQ(got, ref_acc);
+
+        EXPECT_TRUE(k->equal_words(a.data(), a.data(), n));
+        std::vector<uint64_t> tweaked = a;
+        // Flip one bit in each word position in turn; equality must detect
+        // a difference in any word, including tail words.
+        for (size_t w = 0; w < n; ++w) {
+          tweaked[w] ^= uint64_t{1} << (w % 64);
+          EXPECT_FALSE(k->equal_words(a.data(), tweaked.data(), n))
+              << "missed difference in word " << w;
+          tweaked[w] = a[w];
+        }
+
+        EXPECT_EQ(k->popcount_words(a.data(), n), ref_pop);
+        EXPECT_EQ(k->hash_words(a.data(), n), ref_hash);
+
+        std::vector<uint32_t> bits;
+        k->append_set_bits(a.data(), n, &bits);
+        EXPECT_EQ(bits, ref_bits);
+      }
+    }
+  }
+}
+
+// The hash must depend on word position (it keys behaviour rows in the
+// exact counter's interning table).
+TEST(SimdKernelsTest, HashIsPositionSensitive) {
+  const Kernels* scalar = simd::ForBackend(Backend::kScalar);
+  std::vector<uint64_t> a = {1, 2, 3, 4};
+  std::vector<uint64_t> b = {2, 1, 3, 4};
+  EXPECT_NE(scalar->hash_words(a.data(), 4), scalar->hash_words(b.data(), 4));
+  // And on length: a prefix must not collide with the full row.
+  EXPECT_NE(scalar->hash_words(a.data(), 3), scalar->hash_words(a.data(), 4));
+}
+
+TEST(SimdKernelsTest, AppendSetBitsHighWordOnly) {
+  // Bits only in the last word of a wide set — exercises the zero-block
+  // skip paths in the vector backends.
+  for (size_t n : {5u, 9u, 16u, 17u}) {
+    std::vector<uint64_t> words(n, 0);
+    words[n - 1] = (uint64_t{1} << 0) | (uint64_t{1} << 63);
+    std::vector<uint32_t> expect = {static_cast<uint32_t>((n - 1) * 64),
+                                    static_cast<uint32_t>((n - 1) * 64 + 63)};
+    for (const Kernels* k : simd::AvailableBackends()) {
+      std::vector<uint32_t> got;
+      k->append_set_bits(words.data(), n, &got);
+      EXPECT_EQ(got, expect) << "backend=" << k->name << " n=" << n;
+    }
+  }
+}
+
+// Randomized group probes: every backend must accept exactly the same
+// transitions and set exactly the same from-bits as scalar.
+TEST(SimdKernelsTest, CombineGroupMatchesScalar) {
+  const Kernels* scalar = simd::ForBackend(Backend::kScalar);
+  auto backends = simd::AvailableBackends();
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    Rng r(Rng::Stream(0xc0ffee, seed));
+    uint32_t states = static_cast<uint32_t>(1 + r.NextU64() % 400);
+    size_t wps = (states + 63) / 64;
+    uint32_t rank = static_cast<uint32_t>(r.NextU64() % 5);       // 0..4
+    uint32_t count = static_cast<uint32_t>(1 + r.NextU64() % 64);  // 1..64
+
+    std::vector<uint32_t> from(count), child(rank * count);
+    for (uint32_t i = 0; i < count; ++i) {
+      from[i] = static_cast<uint32_t>(r.NextU64() % states);
+    }
+    for (auto& c : child) c = static_cast<uint32_t>(r.NextU64() % states);
+
+    GroupProbe g;
+    g.count = count;
+    g.rank = rank;
+    g.from = from.data();
+    g.child = child.data();
+
+    // Per-position child behaviour sets with varying density so both the
+    // all-fail and mostly-accept paths are hit.
+    std::vector<std::vector<uint64_t>> sets(rank);
+    std::vector<const uint64_t*> set_ptrs(rank);
+    for (uint32_t c = 0; c < rank; ++c) {
+      sets[c] = RandomWords(r, wps, 20 + static_cast<int>(seed * 2));
+      set_ptrs[c] = sets[c].data();
+    }
+
+    std::vector<uint64_t> ref_out(wps, 0);
+    uint32_t ref_n =
+        scalar->combine_group(g, set_ptrs.data(), ref_out.data());
+
+    for (const Kernels* k : backends) {
+      std::vector<uint64_t> out(wps, 0);
+      uint32_t nacc = k->combine_group(g, set_ptrs.data(), out.data());
+      EXPECT_EQ(nacc, ref_n) << "backend=" << k->name << " seed=" << seed;
+      EXPECT_EQ(out, ref_out) << "backend=" << k->name << " seed=" << seed;
+    }
+  }
+}
+
+// Large groups force the vectorized main loops (count >= 16 covers the
+// AVX-512 stride; rank up to 8 covers wide tuples).
+TEST(SimdKernelsTest, CombineGroupLargeGroups) {
+  const Kernels* scalar = simd::ForBackend(Backend::kScalar);
+  auto backends = simd::AvailableBackends();
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Rng r(Rng::Stream(0xbeef, seed));
+    uint32_t states = 1280;
+    size_t wps = (states + 63) / 64;
+    uint32_t rank = static_cast<uint32_t>(1 + seed % 8);
+    uint32_t count = static_cast<uint32_t>(97 + r.NextU64() % 400);
+
+    std::vector<uint32_t> from(count), child(rank * count);
+    for (auto& f : from) f = static_cast<uint32_t>(r.NextU64() % states);
+    for (auto& c : child) c = static_cast<uint32_t>(r.NextU64() % states);
+    GroupProbe g{count, rank, from.data(), child.data()};
+
+    std::vector<std::vector<uint64_t>> sets(rank);
+    std::vector<const uint64_t*> set_ptrs(rank);
+    for (uint32_t c = 0; c < rank; ++c) {
+      sets[c] = RandomWords(r, wps, 70);  // dense: most transitions accept
+      set_ptrs[c] = sets[c].data();
+    }
+
+    std::vector<uint64_t> ref_out(wps, 0);
+    uint32_t ref_n =
+        scalar->combine_group(g, set_ptrs.data(), ref_out.data());
+    EXPECT_GT(ref_n, 0u);  // dense sets: something must accept
+
+    for (const Kernels* k : backends) {
+      std::vector<uint64_t> out(wps, 0);
+      uint32_t nacc = k->combine_group(g, set_ptrs.data(), out.data());
+      EXPECT_EQ(nacc, ref_n) << "backend=" << k->name << " seed=" << seed;
+      EXPECT_EQ(out, ref_out) << "backend=" << k->name << " seed=" << seed;
+    }
+  }
+}
+
+// Rank-0 groups accept unconditionally on every backend.
+TEST(SimdKernelsTest, CombineGroupRankZero) {
+  std::vector<uint32_t> from = {3, 70, 3, 129};
+  GroupProbe g{4, 0, from.data(), nullptr};
+  for (const Kernels* k : simd::AvailableBackends()) {
+    std::vector<uint64_t> out(3, 0);
+    uint32_t n = k->combine_group(g, nullptr, out.data());
+    EXPECT_EQ(n, 4u) << k->name;  // counts transitions, not distinct states
+    EXPECT_EQ(out[0], (uint64_t{1} << 3));
+    EXPECT_EQ(out[1], (uint64_t{1} << 6));
+    EXPECT_EQ(out[2], (uint64_t{1} << 1));
+  }
+}
+
+// SetActiveForTest forces the returned table and restores on nullptr.
+TEST(SimdKernelsTest, TestOverride) {
+  const Kernels* scalar = simd::ForBackend(Backend::kScalar);
+  const Kernels& startup = simd::Active();
+  simd::SetActiveForTest(scalar);
+  EXPECT_EQ(&simd::Active(), scalar);
+  simd::SetActiveForTest(nullptr);
+  EXPECT_EQ(&simd::Active(), &startup);
+}
+
+}  // namespace
+}  // namespace uocqa
