@@ -1,0 +1,297 @@
+// E18 — live MVCC serving vs reload-and-flush under mixed traffic (repo
+// experiment).
+//
+// Before live instances, ingesting a fact into a served database meant
+// rebuilding the world: reload the instance into a fresh QueryService,
+// which rehashes the fingerprint, recomputes the block partition and the
+// exact |ORep|/|CRS| denominators (the E2 cost), and starts with stone-cold
+// plan/result caches. The live subsystem replaces all of that with a
+// copy-on-write merge per snapshot: delta-maintained blocks, denominators
+// and fingerprint chains, plus epoch-scoped cache invalidation that lets
+// results over untouched relations survive the ingest.
+//
+// Workload: Zipfian-skewed Monte-Carlo answer probes (hot pool over R1/R2,
+// a minority over R3) mixed with conflict-free ingests into R3 — one write
+// every 9 ops, one visibility point (begin_snapshot / reload) every 4
+// writes. Monte-Carlo rather than exact probes: the exact solver is the
+// brute-force repair-enumeration oracle (exponential in the violating
+// blocks), while an mc request costs a sequence-sampler setup quadratic in
+// the block count plus the sample sweep — real, polynomial work that the
+// epoch-scoped result cache can legitimately save. Both benchmarks replay
+// the *same* deterministic op stream:
+//
+//   BM_ReloadMixedZipfian — every visibility point destroys the service,
+//       applies the pending writes, and constructs a new static service
+//       (the pre-live deployment model: reload and flush);
+//   BM_LiveMixedZipfian   — one LiveInstance-backed service for the whole
+//       stream; writes go through the add_fact verb, visibility through
+//       begin_snapshot.
+//
+// The two implementations are cross-checked in-run: every query op must
+// produce byte-identical payloads on both sides before either benchmark
+// runs (a divergence fails the bench, not just the gate). The live side
+// also reports bounded-staleness counters: pending facts are invisible
+// until the next snapshot by design, and `max_pending` observed at query
+// time is bounded by the write/visibility cadence (3 here).
+//
+// tools/bench_report pairs BM_Reload* with BM_Live* and --gate enforces
+// the speedup floor (the repo records >= 5x; CI uses a looser ratio for
+// noisy runners):
+//   tools/bench_report build/bench/bench_e18_live --gate 5
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "service/live.h"
+#include "service/service.h"
+#include "workload/generators.h"
+
+namespace uocqa {
+namespace {
+
+// ~150 facts over R1..R3 (ChainQuery(3)'s schema) with the Zipfian
+// hot-block histogram. Sized like E14's batch instance, not its serving
+// instance: each mc probe rebuilds the exact-uniform sequence sampler,
+// which is quadratic in the block count (cf. E13's kSeqBlocks), so ~100
+// blocks keeps a single cold probe in the milliseconds.
+const GeneratedInstance& BaseDb() {
+  static const GeneratedInstance* db = [] {
+    Rng rng(29);
+    ConjunctiveQuery q = ChainQuery(3);
+    SkewedDbGenOptions gen;
+    gen.blocks_per_relation = 32;
+    gen.max_block_size = 5;
+    gen.block_skew = 1.0;
+    gen.domain_size = 160;
+    return new GeneratedInstance(GenerateSkewedDatabaseForQuery(rng, q, gen));
+  }();
+  return *db;
+}
+
+// One op of the mixed stream. Writes land in R3 under fresh keys, so they
+// are conflict-free and outside the hot probes' {R1, R2} footprint — the
+// live service's epoch-scoped result cache keeps those entries across
+// snapshots, the reload baseline flushes them.
+struct Op {
+  enum Kind { kQuery, kWrite, kVisibility } kind = kQuery;
+  Request request;          // kQuery / kWrite (add_fact)
+};
+
+constexpr size_t kOps = 288;
+constexpr size_t kWriteEvery = 9;        // one write per 9 ops
+constexpr size_t kSnapshotEveryWrites = 4;  // => max staleness 3 writes
+constexpr size_t kHotProbes = 16;
+constexpr size_t kColdProbes = 4;
+constexpr size_t kColdProbeEvery = 48;   // one R3 probe per 48 queries
+
+Request ProbeRequest(bool hot, size_t variant) {
+  Request out;
+  out.query_text = hot ? "Ans(x) :- R1(x, y), R2(y, z)" : "Ans(x) :- R3(x, y)";
+  out.answer_text = "c" + std::to_string(variant);
+  out.mode = RequestMode::kMc;
+  out.samples = 1500;
+  out.seed = 7;
+  return out;
+}
+
+const std::vector<Op>& Traffic() {
+  static const std::vector<Op>* traffic = [] {
+    auto* out = new std::vector<Op>();
+    Rng rng(31);
+    std::vector<size_t> hot =
+        SampleZipfianIndices(rng, kHotProbes, kOps, 1.1);
+    size_t writes = 0;
+    size_t queries = 0;
+    for (size_t i = 0; i < kOps; ++i) {
+      if (i % kWriteEvery == kWriteEvery - 1) {
+        Op write;
+        write.kind = Op::kWrite;
+        write.request.verb = RequestVerb::kAddFact;
+        write.request.fact_relation = "R3";
+        write.request.fact_args = "zk" + std::to_string(writes) + ",zv";
+        out->push_back(std::move(write));
+        if (++writes % kSnapshotEveryWrites == 0) {
+          Op snap;
+          snap.kind = Op::kVisibility;
+          out->push_back(std::move(snap));
+        }
+        continue;
+      }
+      // An occasional query probes R3 — the written relation, so it
+      // misses once per epoch on both sides; the bulk replays the hot
+      // Zipfian pool over R1/R2, which only the live side keeps across
+      // visibility points.
+      Op query;
+      query.kind = Op::kQuery;
+      query.request = (queries % kColdProbeEvery == kColdProbeEvery - 1)
+                          ? ProbeRequest(false, queries % kColdProbes)
+                          : ProbeRequest(true, hot[i]);
+      ++queries;
+      out->push_back(std::move(query));
+    }
+    return out;
+  }();
+  return *traffic;
+}
+
+ServiceOptions ServeOptions() {
+  ServiceOptions out;
+  out.plan_cache_capacity = 64;
+  out.result_cache_capacity = 4096;
+  return out;
+}
+
+// The pre-live deployment model: a static service per visible version.
+// Writes queue outside the instance; each visibility point tears the
+// service down, applies the queue, and reloads from scratch.
+class ReloadServer {
+ public:
+  ReloadServer()
+      : db_(BaseDb().db),
+        service_(std::make_unique<QueryService>(db_, BaseDb().keys,
+                                                ServeOptions())) {}
+
+  ServiceResponse Run(const Op& op) {
+    switch (op.kind) {
+      case Op::kQuery:
+        return service_->Execute(op.request);
+      case Op::kWrite: {
+        pending_.emplace_back(op.request.fact_relation, op.request.fact_args);
+        return ServiceResponse{};
+      }
+      case Op::kVisibility: {
+        service_.reset();  // flush: never mutate under a live service
+        for (const auto& [rel, args] : pending_) {
+          size_t comma = args.find(',');
+          db_.Add(rel, {args.substr(0, comma), args.substr(comma + 1)});
+        }
+        pending_.clear();
+        service_ = std::make_unique<QueryService>(db_, BaseDb().keys,
+                                                  ServeOptions());
+        return ServiceResponse{};
+      }
+    }
+    return ServiceResponse{};
+  }
+
+ private:
+  Database db_;
+  std::vector<std::pair<std::string, std::string>> pending_;
+  std::unique_ptr<QueryService> service_;
+};
+
+// The live model: one service over a LiveInstance for the whole stream.
+class LiveServer {
+ public:
+  LiveServer()
+      : live_(Database(BaseDb().db), BaseDb().keys),
+        service_(live_, ServeOptions()) {}
+
+  ServiceResponse Run(const Op& op) {
+    if (op.kind == Op::kVisibility) {
+      Request snap;
+      snap.verb = RequestVerb::kBeginSnapshot;
+      return service_.Execute(snap);
+    }
+    if (op.kind == Op::kQuery) {
+      max_pending_ = std::max(max_pending_, live_.pending());
+      if (live_.pending() > 0) ++stale_queries_;
+    }
+    return service_.Execute(op.request);
+  }
+
+  size_t max_pending() const { return max_pending_; }
+  size_t stale_queries() const { return stale_queries_; }
+  const QueryService& service() const { return service_; }
+
+ private:
+  LiveInstance live_;
+  QueryService service_;
+  size_t max_pending_ = 0;
+  size_t stale_queries_ = 0;
+};
+
+// In-run differential check: both servers must produce byte-identical
+// query payloads over the whole stream. Run once before either benchmark
+// measures anything.
+void EnsureCrossChecked() {
+  static const bool checked = [] {
+    ReloadServer reload;
+    LiveServer live;
+    const std::vector<Op>& ops = Traffic();
+    for (size_t i = 0; i < ops.size(); ++i) {
+      ServiceResponse a = reload.Run(ops[i]);
+      ServiceResponse b = live.Run(ops[i]);
+      if (ops[i].kind != Op::kQuery) continue;
+      if (!a.status.ok() || !b.status.ok() || a.payload != b.payload) {
+        std::fprintf(stderr,
+                     "E18 cross-check failed at op %zu: reload='%s' "
+                     "live='%s'\n",
+                     i, a.payload.c_str(), b.payload.c_str());
+        std::abort();
+      }
+    }
+    if (live.max_pending() + 1 != kSnapshotEveryWrites) {
+      std::fprintf(stderr, "E18 staleness bound violated: max_pending=%zu\n",
+                   live.max_pending());
+      std::abort();
+    }
+    return true;
+  }();
+  (void)checked;
+}
+
+void BM_ReloadMixedZipfian(benchmark::State& state) {
+  EnsureCrossChecked();
+  const std::vector<Op>& ops = Traffic();
+  for (auto _ : state) {
+    ReloadServer server;
+    for (const Op& op : ops) {
+      ServiceResponse r = server.Run(op);
+      benchmark::DoNotOptimize(r.payload.data());
+    }
+  }
+  state.counters["facts"] = static_cast<double>(BaseDb().db.size());
+  state.counters["ops"] = static_cast<double>(kOps);
+}
+BENCHMARK(BM_ReloadMixedZipfian)->Unit(benchmark::kMillisecond);
+
+void BM_LiveMixedZipfian(benchmark::State& state) {
+  EnsureCrossChecked();
+  const std::vector<Op>& ops = Traffic();
+  size_t max_pending = 0;
+  size_t stale_queries = 0;
+  size_t result_hits = 0;
+  uint64_t epochs = 0;
+  for (auto _ : state) {
+    LiveServer server;
+    for (const Op& op : ops) {
+      ServiceResponse r = server.Run(op);
+      benchmark::DoNotOptimize(r.payload.data());
+    }
+    max_pending = std::max(max_pending, server.max_pending());
+    stale_queries = server.stale_queries();
+    result_hits = server.service().stats().result_hits;
+    epochs = server.service().epoch();
+  }
+  state.counters["facts"] = static_cast<double>(BaseDb().db.size());
+  state.counters["ops"] = static_cast<double>(kOps);
+  state.counters["epochs"] = static_cast<double>(epochs);
+  // Bounded staleness: queries served while writes were queued, and the
+  // worst queue depth any query observed (bounded by the snapshot cadence).
+  state.counters["stale_queries"] = static_cast<double>(stale_queries);
+  state.counters["max_pending"] = static_cast<double>(max_pending);
+  state.counters["result_hits"] = static_cast<double>(result_hits);
+}
+BENCHMARK(BM_LiveMixedZipfian)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace uocqa
+
+BENCHMARK_MAIN();

@@ -8,52 +8,98 @@
 
 namespace uocqa {
 
+namespace {
+
+/// Groups one relation's facts into blocks, ordered by lexicographic key
+/// value. Shared by the full Compute and the delta Update: both produce the
+/// paper's fixed (relation id, lexicographic key value) block order (§5.1)
+/// by merging per-relation results in relation-id order.
+std::vector<Block> GroupRelationBlocks(const Database& db, const KeySet& keys,
+                                       RelationId rel) {
+  using Groups = std::unordered_map<std::vector<Value>, std::vector<FactId>,
+                                    VectorHash<Value>>;
+  std::vector<Block> out;
+  const std::vector<FactId>& rel_facts = db.index().FactsOfRelation(rel);
+  if (rel_facts.empty()) return out;
+  Groups groups;
+  groups.reserve(rel_facts.size());
+  for (FactId id : rel_facts) {
+    // rel_facts is in increasing id order, so each group's fact list is
+    // already sorted by id.
+    groups[keys.KeyValueOf(db.fact(id))].push_back(id);
+  }
+  std::vector<Groups::value_type*> ordered;
+  ordered.reserve(groups.size());
+  for (auto& entry : groups) ordered.push_back(&entry);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Groups::value_type* a, const Groups::value_type* b) {
+              return a->first < b->first;
+            });
+  out.reserve(ordered.size());
+  for (Groups::value_type* entry : ordered) {
+    Block b;
+    b.relation = rel;
+    b.key_value = entry->first;
+    b.facts = std::move(entry->second);
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+}  // namespace
+
 BlockPartition BlockPartition::Compute(const Database& db, const KeySet& keys,
                                        ThreadPool* pool) {
   BlockPartition out;
   out.block_of_fact_.assign(db.size(), 0);
   size_t relation_count = db.schema().relation_count();
   out.blocks_of_relation_.assign(relation_count, {});
-  // Group each relation's facts by key value via the relation index, then
-  // sort that relation's (few) distinct key values. Relations are disjoint,
-  // so the grouping runs per relation — in parallel when a pool is given —
-  // and the serial merge below walks relations in id order, preserving the
-  // paper's fixed (relation id, lexicographic key value) block order (§5.1)
-  // without a global ordered-map regroup.
-  using Groups = std::unordered_map<std::vector<Value>, std::vector<FactId>,
-                                    VectorHash<Value>>;
+  // Relations are disjoint, so the grouping runs per relation — in parallel
+  // when a pool is given — and the serial merge below walks relations in id
+  // order, so the merged result is identical to the serial one.
   std::vector<std::vector<Block>> per_relation(relation_count);
   auto group_relation = [&](size_t r) {
-    RelationId rel = static_cast<RelationId>(r);
-    const std::vector<FactId>& rel_facts = db.index().FactsOfRelation(rel);
-    if (rel_facts.empty()) return;
-    Groups groups;
-    groups.reserve(rel_facts.size());
-    for (FactId id : rel_facts) {
-      // rel_facts is in increasing id order, so each group's fact list is
-      // already sorted by id.
-      groups[keys.KeyValueOf(db.fact(id))].push_back(id);
-    }
-    std::vector<Groups::value_type*> ordered;
-    ordered.reserve(groups.size());
-    for (auto& entry : groups) ordered.push_back(&entry);
-    std::sort(ordered.begin(), ordered.end(),
-              [](const Groups::value_type* a, const Groups::value_type* b) {
-                return a->first < b->first;
-              });
-    per_relation[r].reserve(ordered.size());
-    for (Groups::value_type* entry : ordered) {
-      Block b;
-      b.relation = rel;
-      b.key_value = entry->first;
-      b.facts = std::move(entry->second);
-      per_relation[r].push_back(std::move(b));
-    }
+    per_relation[r] =
+        GroupRelationBlocks(db, keys, static_cast<RelationId>(r));
   };
   ParallelForOn(pool, relation_count, group_relation, /*grain=*/1);
 
   for (RelationId rel = 0; rel < relation_count; ++rel) {
     for (Block& b : per_relation[rel]) {
+      size_t idx = out.blocks_.size();
+      for (FactId id : b.facts) out.block_of_fact_[id] = idx;
+      out.blocks_of_relation_[rel].push_back(idx);
+      out.blocks_.push_back(std::move(b));
+    }
+  }
+  return out;
+}
+
+BlockPartition BlockPartition::Update(const BlockPartition& prev,
+                                      const Database& db, const KeySet& keys,
+                                      FactId first_new) {
+  size_t relation_count = db.schema().relation_count();
+  std::vector<bool> touched(relation_count, false);
+  for (FactId id = first_new; id < db.size(); ++id) {
+    touched[db.fact(id).relation] = true;
+  }
+  BlockPartition out;
+  out.block_of_fact_.assign(db.size(), 0);
+  out.blocks_of_relation_.assign(relation_count, {});
+  for (RelationId rel = 0; rel < relation_count; ++rel) {
+    std::vector<Block> rel_blocks;
+    if (touched[rel]) {
+      rel_blocks = GroupRelationBlocks(db, keys, rel);
+    } else if (rel < prev.blocks_of_relation_.size()) {
+      // Untouched relation: its grouping is unchanged, copy the blocks.
+      // (Global block indices still shift when an earlier relation gained
+      // blocks, so the merge below renumbers everything.)
+      rel_blocks.reserve(prev.blocks_of_relation_[rel].size());
+      for (size_t idx : prev.blocks_of_relation_[rel]) {
+        rel_blocks.push_back(prev.blocks_[idx]);
+      }
+    }
+    for (Block& b : rel_blocks) {
       size_t idx = out.blocks_.size();
       for (FactId id : b.facts) out.block_of_fact_[id] = idx;
       out.blocks_of_relation_[rel].push_back(idx);

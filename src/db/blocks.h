@@ -39,6 +39,16 @@ class BlockPartition {
   static BlockPartition Compute(const Database& db, const KeySet& keys,
                                 ThreadPool* pool = nullptr);
 
+  /// Delta maintenance: the partition of `db` given the partition `prev` of
+  /// its prefix of `first_new` facts. Relations untouched by the new facts
+  /// copy their blocks from `prev`; touched relations are regrouped from the
+  /// index. The result is structurally identical to Compute(db, keys) —
+  /// same blocks, same global (relation id, lexicographic key value) order —
+  /// at cost proportional to the untouched blocks plus the touched
+  /// relations' facts, with no hashing or sorting of untouched relations.
+  static BlockPartition Update(const BlockPartition& prev, const Database& db,
+                               const KeySet& keys, FactId first_new);
+
   size_t block_count() const { return blocks_.size(); }
   const Block& block(size_t i) const { return blocks_[i]; }
   const std::vector<Block>& blocks() const { return blocks_; }

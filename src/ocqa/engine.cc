@@ -120,6 +120,13 @@ Result<CompiledQuery> OcqaEngine::Compile(const ConjunctiveQuery& query,
   return out;
 }
 
+void OcqaEngine::SeedDenominators(BigInt orep, BigInt crs) const {
+  std::lock_guard<std::mutex> lock(denom_mu_);
+  denom_facts_ = db_.size();
+  orep_count_ = std::move(orep);
+  crs_count_ = std::move(crs);
+}
+
 const BigInt& OcqaEngine::OrepCount(ThreadPool* pool) const {
   std::lock_guard<std::mutex> lock(denom_mu_);
   if (denom_facts_ != db_.size()) {

@@ -225,6 +225,13 @@ class OcqaEngine {
   const Database& db() const { return db_; }
   const KeySet& keys() const { return keys_; }
 
+  /// Seeds the |ORep| / |CRS| denominator memo with externally computed
+  /// exact values, pinned to the database's current fact count. The
+  /// live-instance snapshots delta-maintain both denominators across epochs
+  /// (repairs/denominators.h) and hand them to each epoch's engine here, so
+  /// a fresh engine never recomputes the block partition just to divide.
+  void SeedDenominators(BigInt orep, BigInt crs) const;
+
   /// Monte-Carlo samples per RNG stream chunk (the unit of parallel work).
   static constexpr size_t kMcChunk = 64;
 

@@ -1,0 +1,88 @@
+// Delta-maintainable denominators |ORep(D,Sigma)| and |CRS(D,Sigma)|.
+//
+// Both denominators factor over relations:
+//   |ORep| is a plain product of per-block factors, so grouping the factors
+//   by relation changes nothing;
+//   |CRS| is the coefficient sum of an interleaving-convolution of per-block
+//   length polynomials, and InterleavePolys is the product of exponential
+//   generating functions — associative and commutative — so the per-block
+//   chain can be regrouped into per-relation polynomials and combined in any
+//   order without changing a single coefficient.
+//
+// RelationDenominators caches one entry per relation (its fact count, its
+// |ORep| factor, its CRS length polynomial). On ingest, Update recomputes
+// entries only for the relations the delta touched and reports which entries
+// actually changed — a conflict-free insertion (a fact forming a new
+// singleton block) contributes factor 1 and polynomial {1}, leaving its
+// relation's entry and both totals bit-for-bit unchanged. That "changed"
+// signal is what drives the service layer's conflict-epoch invalidation.
+
+#ifndef UOCQA_REPAIRS_DENOMINATORS_H_
+#define UOCQA_REPAIRS_DENOMINATORS_H_
+
+#include <vector>
+
+#include "base/bigint.h"
+#include "db/blocks.h"
+#include "db/database.h"
+#include "repairs/counting.h"
+
+namespace uocqa {
+
+/// The denominator contribution of one relation's blocks.
+struct RelationDenominatorEntry {
+  size_t fact_count = 0;          ///< facts of this relation
+  BigInt orep_factor = BigInt(1); ///< prod over its blocks of (|B|==1?1:|B|+1)
+  LenPoly crs_poly = {BigInt(1)}; ///< interleave of its blocks' total polys
+
+  /// Equality of the *denominator-relevant* state: the conflict structure.
+  /// fact_count is deliberately excluded — adding conflict-free facts grows
+  /// the relation without changing either denominator.
+  bool SameCounts(const RelationDenominatorEntry& o) const;
+};
+
+/// Per-relation denominator entries plus the combined |ORep| and |CRS|
+/// totals. Immutable once built; the live-instance snapshots share one per
+/// epoch.
+class RelationDenominators {
+ public:
+  /// Full computation from a block partition of `db`.
+  static RelationDenominators Compute(const Database& db,
+                                      const BlockPartition& blocks);
+
+  /// Delta maintenance: entries of relations untouched since `first_new`
+  /// are copied from `prev`; touched relations are recomputed from `blocks`.
+  /// If `changed` is non-null it receives the ids of touched relations whose
+  /// entry's conflict structure actually changed. When no entry changed, the
+  /// totals are copied from `prev` (bit-identical, no recombination); else
+  /// they are recombined across all relations.
+  static RelationDenominators Update(const RelationDenominators& prev,
+                                     const Database& db,
+                                     const BlockPartition& blocks,
+                                     FactId first_new,
+                                     std::vector<RelationId>* changed);
+
+  /// |ORep(D, Sigma)|, equal to CountOperationalRepairs(blocks).
+  const BigInt& orep() const { return orep_; }
+  /// |CRS(D, Sigma)|, equal to CountCompleteSequencesExact(blocks).
+  const BigInt& crs() const { return crs_; }
+
+  size_t relation_count() const { return entries_.size(); }
+  const RelationDenominatorEntry& entry(RelationId rel) const {
+    return entries_[rel];
+  }
+
+ private:
+  static RelationDenominatorEntry ComputeEntry(const Database& db,
+                                               const BlockPartition& blocks,
+                                               RelationId rel);
+  void CombineTotals();
+
+  std::vector<RelationDenominatorEntry> entries_;
+  BigInt orep_ = BigInt(1);
+  BigInt crs_ = BigInt(1);
+};
+
+}  // namespace uocqa
+
+#endif  // UOCQA_REPAIRS_DENOMINATORS_H_

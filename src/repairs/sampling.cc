@@ -23,6 +23,20 @@ BigInt UniformBigInt(Rng& rng, const BigInt& bound) {
 }
 
 size_t SampleIndexByWeight(Rng& rng, const std::vector<BigInt>& weights) {
+  // Forced choices are RNG-silent: with exactly one nonzero weight the draw
+  // is determined, so no randomness is consumed. The live-instance
+  // differential guarantee leans on this — a conflict-free (singleton-block)
+  // fact only ever contributes forced choices to the sequence sampler, so
+  // inserting one leaves every other draw's bitstream untouched.
+  size_t nonzero_count = 0;
+  size_t last_nonzero = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (!weights[i].IsZero()) {
+      ++nonzero_count;
+      last_nonzero = i;
+    }
+  }
+  if (nonzero_count == 1) return last_nonzero;
   BigInt total;
   for (const BigInt& w : weights) total += w;
   assert(!total.IsZero());

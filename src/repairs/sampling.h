@@ -36,6 +36,9 @@ namespace uocqa {
 BigInt UniformBigInt(Rng& rng, const BigInt& bound);
 
 /// Samples an index proportionally to BigInt weights (sum must be > 0).
+/// A forced choice — exactly one nonzero weight — consumes no randomness,
+/// so the bitstream of a sampling run only ever depends on blocks that have
+/// a real choice to make (the live-instance invariance contract).
 size_t SampleIndexByWeight(Rng& rng, const std::vector<BigInt>& weights);
 
 /// Uniform sampler over ORep(D, Sigma).

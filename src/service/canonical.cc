@@ -46,19 +46,33 @@ std::string CanonicalQueryText(const ConjunctiveQuery& query) {
   return out;
 }
 
-uint64_t InstanceFingerprint(const Database& db, const KeySet& keys) {
+uint64_t ExtendFactChain(uint64_t chain, const Database& db,
+                         FactId first_new) {
   std::hash<std::string> hs;
-  size_t seed = db.size();
-  for (const Fact& fact : db.facts()) {
+  size_t seed = static_cast<size_t>(chain);
+  for (FactId id = first_new; id < db.size(); ++id) {
+    const Fact& fact = db.fact(id);
     HashCombine(&seed, hs(db.schema().name(fact.relation)));
     HashCombine(&seed, fact.args.size());
     for (Value v : fact.args) HashCombine(&seed, hs(ValuePool::Name(v)));
   }
+  return static_cast<uint64_t>(seed);
+}
+
+uint64_t FingerprintFromChain(uint64_t chain, const Database& db,
+                              const KeySet& keys) {
+  std::hash<std::string> hs;
+  size_t seed = static_cast<size_t>(chain);
+  HashCombine(&seed, db.size());
   for (const auto& [rel, positions] : keys.Entries()) {
     HashCombine(&seed, hs(db.schema().name(rel)));
     for (uint32_t p : positions) HashCombine(&seed, p);
   }
   return static_cast<uint64_t>(seed);
+}
+
+uint64_t InstanceFingerprint(const Database& db, const KeySet& keys) {
+  return FingerprintFromChain(ExtendFactChain(0, db, 0), db, keys);
 }
 
 }  // namespace uocqa

@@ -32,7 +32,20 @@ std::string CanonicalQueryText(const ConjunctiveQuery& query);
 /// spellings) plus the key declarations. Result-cache entries are scoped to
 /// this fingerprint so a differently loaded instance can never replay
 /// another instance's answers.
+///
+/// Equals FingerprintFromChain(ExtendFactChain(0, db, 0), db, keys) — the
+/// live-instance snapshots memoize the fact chain per epoch and extend it by
+/// the delta only, instead of rehashing the whole fact set on every ingest.
 uint64_t InstanceFingerprint(const Database& db, const KeySet& keys);
+
+/// Extends the running per-fact hash chain over facts [first_new, db.size()).
+/// Pass chain = 0 and first_new = 0 to hash a whole database from scratch.
+uint64_t ExtendFactChain(uint64_t chain, const Database& db, FactId first_new);
+
+/// Finalizes a fact chain into an instance fingerprint by mixing in the
+/// fact count and the key declarations.
+uint64_t FingerprintFromChain(uint64_t chain, const Database& db,
+                              const KeySet& keys);
 
 }  // namespace uocqa
 

@@ -1,0 +1,97 @@
+#include "service/live.h"
+
+#include <utility>
+
+#include "service/canonical.h"
+
+namespace uocqa {
+
+LiveInstance::LiveInstance(Database db, KeySet keys)
+    : keys_(std::move(keys)) {
+  auto snapshot = std::make_shared<InstanceSnapshot>();
+  snapshot->epoch = 0;
+  snapshot->db = std::make_shared<const Database>(std::move(db));
+  snapshot->fact_chain = ExtendFactChain(0, *snapshot->db, 0);
+  snapshot->fingerprint =
+      FingerprintFromChain(snapshot->fact_chain, *snapshot->db, keys_);
+  snapshot->relation_epochs.assign(snapshot->db->schema().relation_count(),
+                                   0);
+  snapshot->blocks = std::make_shared<const BlockPartition>(
+      BlockPartition::Compute(*snapshot->db, keys_));
+  snapshot->denominators = std::make_shared<const RelationDenominators>(
+      RelationDenominators::Compute(*snapshot->db, *snapshot->blocks));
+  current_ = std::move(snapshot);
+}
+
+Status LiveInstance::Add(std::string_view relation,
+                         const std::vector<std::string>& constants) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Schema& schema = current_->db->schema();
+  RelationId rel = schema.Find(relation);
+  if (rel == kInvalidRelation) {
+    return Status::InvalidArgument("add_fact: unknown relation '" +
+                                   std::string(relation) + "'");
+  }
+  if (schema.arity(rel) != constants.size()) {
+    return Status::InvalidArgument(
+        "add_fact: relation '" + std::string(relation) + "' has arity " +
+        std::to_string(schema.arity(rel)) + ", got " +
+        std::to_string(constants.size()) + " constants");
+  }
+  std::vector<Value> args;
+  args.reserve(constants.size());
+  for (const std::string& c : constants) args.push_back(ValuePool::Intern(c));
+  pending_.emplace_back(rel, std::move(args));
+  return Status::OK();
+}
+
+std::shared_ptr<const InstanceSnapshot> LiveInstance::Snapshot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pending_.empty()) return current_;
+  const InstanceSnapshot& prev = *current_;
+  // Copy-on-write merge: duplicate the previous version (facts, dedup map,
+  // index) and append the delta. AddFact's dedup makes re-inserted facts
+  // no-ops, so the merged database is structurally identical — fact ids,
+  // index, everything — to a fresh load of the concatenated fact stream.
+  auto merged = std::make_shared<Database>(*prev.db);
+  for (Fact& fact : pending_) merged->AddFact(std::move(fact));
+  pending_.clear();
+  FactId first_new = static_cast<FactId>(prev.db->size());
+  if (merged->size() == prev.db->size()) {
+    // Every queued fact was a duplicate: the fact set did not change, so
+    // the current snapshot stays the published version (no epoch bump —
+    // cached results remain valid by construction).
+    return current_;
+  }
+  auto next = std::make_shared<InstanceSnapshot>();
+  next->epoch = prev.epoch + 1;
+  next->fact_chain = ExtendFactChain(prev.fact_chain, *merged, first_new);
+  next->fingerprint = FingerprintFromChain(next->fact_chain, *merged, keys_);
+  next->relation_epochs = prev.relation_epochs;
+  for (FactId id = first_new; id < merged->size(); ++id) {
+    next->relation_epochs[merged->fact(id).relation] = next->epoch;
+  }
+  next->blocks = std::make_shared<const BlockPartition>(
+      BlockPartition::Update(*prev.blocks, *merged, keys_, first_new));
+  std::vector<RelationId> changed;
+  next->denominators = std::make_shared<const RelationDenominators>(
+      RelationDenominators::Update(*prev.denominators, *merged, *next->blocks,
+                                   first_new, &changed));
+  next->conflict_epoch =
+      changed.empty() ? prev.conflict_epoch : next->epoch;
+  next->db = std::move(merged);
+  current_ = next;
+  return current_;
+}
+
+std::shared_ptr<const InstanceSnapshot> LiveInstance::Current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+size_t LiveInstance::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+}  // namespace uocqa

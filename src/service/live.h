@@ -1,0 +1,127 @@
+// Live instances: copy-on-write MVCC snapshot versions of a Database.
+//
+// QueryService historically assumed one immutable loaded instance; any fact
+// arrival meant a full reload and a global cache flush. A LiveInstance
+// instead accepts writes while queries run:
+//
+//  * writers append facts to a pending delta (Add/AddFact, cheap, no
+//    rebuild);
+//  * Snapshot() merges the pending delta into a *new* immutable
+//    InstanceSnapshot — a copy-on-write Database version with the next
+//    epoch id — and publishes it. In-flight queries keep the shared_ptr of
+//    the snapshot they pinned, so they never observe a torn instance, and a
+//    stale snapshot keeps answering exactly as it did before the ingest
+//    (same facts, same fingerprint, same cached denominators) until the
+//    last reference drops. This is the shared_ptr-snapshot pattern of
+//    Nfta::CompiledShared() generalized to whole database versions.
+//
+// Each snapshot delta-maintains the expensive derived state instead of
+// recomputing it: the block partition (BlockPartition::Update regroups only
+// touched relations), the per-relation |ORep|/|CRS| denominator entries
+// (repairs/denominators.h), and the instance fingerprint (the per-fact hash
+// chain is extended by the delta only). Snapshots also carry the epoch
+// bookkeeping the service layer's cache invalidation reads:
+//
+//  * relation_epochs[rel] — the epoch that last added a fact to rel;
+//  * conflict_epoch — the epoch that last changed any relation's conflict-
+//    block structure (i.e. any denominator entry). A conflict-free insert
+//    (new singleton block) bumps only its relation's epoch, and the exact
+//    counts, Monte-Carlo bitstreams, and denominators of queries not
+//    touching that relation are provably unchanged — so their cached
+//    results survive.
+//
+// The merge produces a database structurally identical to a fresh
+// from-scratch load of the same fact stream (same fact ids, same block
+// order, same fingerprint) — the differential guarantee tests/mvcc_test.cc
+// pins.
+
+#ifndef UOCQA_SERVICE_LIVE_H_
+#define UOCQA_SERVICE_LIVE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "db/blocks.h"
+#include "db/database.h"
+#include "db/keys.h"
+#include "repairs/denominators.h"
+
+namespace uocqa {
+
+/// One immutable database version. Everything in here is fixed at merge
+/// time; concurrent readers share it freely.
+struct InstanceSnapshot {
+  /// Version id: 0 for the initially loaded instance, +1 per non-empty
+  /// merge. Strictly monotone per LiveInstance.
+  uint64_t epoch = 0;
+  /// The facts of this version. For epoch > 0 this is an owned copy-on-
+  /// write merge; the epoch-0 snapshot may alias an externally owned
+  /// database (static services).
+  std::shared_ptr<const Database> db;
+  /// Memoized InstanceFingerprint(*db, keys): live queries never rehash the
+  /// fact set (the cache-key gap this subsystem closes).
+  uint64_t fingerprint = 0;
+  /// The running per-fact hash chain behind `fingerprint`, extended by each
+  /// delta (canonical.h ExtendFactChain).
+  uint64_t fact_chain = 0;
+  /// Per relation: the epoch that last added a fact to it (0 = unchanged
+  /// since load).
+  std::vector<uint64_t> relation_epochs;
+  /// The epoch that last changed any relation's conflict-block structure.
+  uint64_t conflict_epoch = 0;
+  /// The conflict blocks of this version (delta-maintained).
+  std::shared_ptr<const BlockPartition> blocks;
+  /// Per-relation |ORep|/|CRS| denominator state (delta-maintained).
+  std::shared_ptr<const RelationDenominators> denominators;
+};
+
+/// A mutable instance accepting writes between immutable snapshots. The
+/// schema and key set are fixed at construction (facts arrive, relations
+/// and constraints do not).
+///
+/// Thread safety: all members are safe to call concurrently; writers and
+/// snapshot takers serialize on an internal mutex, readers of Current()
+/// just copy a shared_ptr.
+class LiveInstance {
+ public:
+  /// Takes ownership of the loaded instance and publishes it as epoch 0
+  /// (blocks and denominators computed once, eagerly).
+  LiveInstance(Database db, KeySet keys);
+
+  /// Queues one fact for the next snapshot. The relation must exist in the
+  /// schema with matching arity; constants are interned. Queuing a fact
+  /// already present (in the current version or earlier in the pending
+  /// delta) is accepted and becomes a no-op at merge time.
+  Status Add(std::string_view relation,
+             const std::vector<std::string>& constants);
+
+  /// Merges the pending delta into a new snapshot and publishes it. With an
+  /// empty (or fully duplicate) delta the current snapshot is returned
+  /// unchanged — the epoch only ever advances when the fact set actually
+  /// grew.
+  std::shared_ptr<const InstanceSnapshot> Snapshot();
+
+  /// The currently published snapshot (never null).
+  std::shared_ptr<const InstanceSnapshot> Current() const;
+
+  /// Number of facts queued and not yet merged (duplicates included).
+  size_t pending() const;
+
+  /// The key set, fixed for the instance's lifetime.
+  const KeySet& keys() const { return keys_; }
+
+ private:
+  KeySet keys_;
+  mutable std::mutex mu_;
+  std::shared_ptr<const InstanceSnapshot> current_;
+  std::vector<Fact> pending_;
+};
+
+}  // namespace uocqa
+
+#endif  // UOCQA_SERVICE_LIVE_H_

@@ -141,8 +141,43 @@ Result<Request> ParseRequestLine(std::string_view line) {
   UOCQA_ASSIGN_OR_RETURN(std::vector<std::string> tokens, Tokenize(line));
   if (tokens.empty()) return Status::InvalidArgument("empty request");
   Request out;
-  if (tokens.size() == 1 && tokens[0] == "stats") {
-    out.stats = true;
+  if (tokens[0] == "stats" || tokens[0] == "begin_snapshot" ||
+      tokens[0] == "epoch") {
+    if (tokens.size() != 1) {
+      return Status::InvalidArgument("'" + tokens[0] +
+                                     "' takes no further fields");
+    }
+    out.verb = tokens[0] == "stats" ? RequestVerb::kStats
+               : tokens[0] == "begin_snapshot" ? RequestVerb::kBeginSnapshot
+                                               : RequestVerb::kEpoch;
+    return out;
+  }
+  if (tokens[0] == "add_fact") {
+    out.verb = RequestVerb::kAddFact;
+    bool have_rel = false;
+    bool have_args = false;
+    for (size_t t = 1; t < tokens.size(); ++t) {
+      size_t eq = tokens[t].find('=');
+      if (eq == std::string::npos) {
+        return Status::InvalidArgument("expected key=value, got '" +
+                                       tokens[t] + "'");
+      }
+      std::string key = tokens[t].substr(0, eq);
+      std::string value = tokens[t].substr(eq + 1);
+      if (key == "rel") {
+        out.fact_relation = value;
+        have_rel = true;
+      } else if (key == "args") {
+        out.fact_args = value;
+        have_args = true;
+      } else {
+        return Status::InvalidArgument("unknown add_fact field: " + key);
+      }
+    }
+    if (!have_rel || !have_args) {
+      return Status::InvalidArgument(
+          "add_fact requires rel=R and args='c1,c2,...'");
+    }
     return out;
   }
   for (const std::string& token : tokens) {
@@ -202,7 +237,19 @@ Result<Request> ParseRequestLine(std::string_view line) {
 }
 
 std::string FormatRequestLine(const Request& request) {
-  if (request.stats) return "stats";
+  switch (request.verb) {
+    case RequestVerb::kStats:
+      return "stats";
+    case RequestVerb::kBeginSnapshot:
+      return "begin_snapshot";
+    case RequestVerb::kEpoch:
+      return "epoch";
+    case RequestVerb::kAddFact:
+      return "add_fact rel=" + QuoteProtocolValue(request.fact_relation) +
+             " args=" + QuoteProtocolValue(request.fact_args);
+    case RequestVerb::kQuery:
+      break;
+  }
   char buf[64];
   std::string out = "query=" + QuoteProtocolValue(request.query_text);
   if (!request.answer_text.empty()) {
@@ -227,6 +274,9 @@ std::string FormatResponseLine(size_t id, const ServiceResponse& response) {
   if (response.status.ok()) {
     out += " ok ";
     out += response.cache_hit ? "hit" : "miss";
+    if (response.has_epoch) {
+      out += " epoch=" + std::to_string(response.epoch);
+    }
     if (!response.payload.empty()) {
       out += " ";
       out += response.payload;

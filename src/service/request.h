@@ -8,9 +8,13 @@
 //
 //   query='Ans(x) :- Emp(x, y)' answer=e1 mode=fpras epsilon=0.3 seed=7
 //
+// Besides query lines there are verb lines — `stats`, and the live-instance
+// verbs `add_fact rel=R args='a,b'`, `begin_snapshot`, `epoch` (see
+// RequestVerb below and docs/FORMATS.md).
+//
 // One response line per request, in request order:
 //
-//   <id> ok <hit|miss> <payload>
+//   <id> ok <hit|miss> [epoch=<E>] <payload>
 //   <id> error '<message>'
 //
 // where <payload> is a sequence of `key=value` result fields (see
@@ -37,6 +41,23 @@ enum class RequestMode : uint8_t { kExact, kFpras, kMc, kAll };
 const char* RequestModeName(RequestMode mode);
 std::optional<RequestMode> ParseRequestMode(std::string_view text);
 
+/// What a protocol line asks for. Most lines are queries (`query='...'`
+/// plus option fields); the rest are verbs, recognized by their first bare
+/// token:
+///   stats                      — cache counters and per-plan timings
+///   add_fact rel=R args='a,b'  — queue one fact for the next snapshot
+///   begin_snapshot             — merge queued facts into a new epoch
+///   epoch                      — report the currently served epoch
+/// The write verbs require a live service (uocqa_serve); a static service
+/// answers them with an error.
+enum class RequestVerb : uint8_t {
+  kQuery,
+  kStats,
+  kAddFact,
+  kBeginSnapshot,
+  kEpoch,
+};
+
 /// One OCQA request. Field names and defaults mirror the CLI flags; the
 /// database is fixed per service, not per request.
 struct Request {
@@ -56,10 +77,16 @@ struct Request {
   /// `plan_*` fields (join order, cost estimates, decomposition choice).
   /// Part of the result-cache key: explain and plain payloads differ.
   bool explain = false;
-  /// A bare `stats` line (no other fields): the service answers with its
-  /// cache counters and per-plan planning times instead of running a query.
-  /// Stats responses are never cached and don't count as query requests.
-  bool stats = false;
+  /// What this line asks for. kQuery uses the fields above; kStats answers
+  /// with cache counters (never cached, doesn't count as a query request);
+  /// kAddFact uses fact_relation/fact_args; kBeginSnapshot and kEpoch take
+  /// no fields.
+  RequestVerb verb = RequestVerb::kQuery;
+  /// add_fact only: the relation name (`rel=R`).
+  std::string fact_relation;
+  /// add_fact only: comma-separated constants (`args='a,b'`), the same
+  /// tuple grammar as a query's `answer=` field.
+  std::string fact_args;
 };
 
 /// Accuracy/budget validation shared by the CLI front ends and the request
@@ -102,9 +129,17 @@ struct ServiceResponse {
   std::string payload;
   /// True if the payload was replayed from the result cache.
   bool cache_hit = false;
+  /// Live services stamp every response with the epoch it was served
+  /// against. Deliberately *outside* `payload`: a cached entry surviving an
+  /// ingest replays its payload bytes unchanged while reporting the epoch
+  /// it is served at, and FormatResponseLine renders the field between the
+  /// hit/miss marker and the payload. Static services leave it unset and
+  /// their response lines are unchanged.
+  bool has_epoch = false;
+  uint64_t epoch = 0;
 };
 
-/// "<id> ok <hit|miss> <payload>" or "<id> error '<message>'".
+/// "<id> ok <hit|miss> [epoch=<E>] <payload>" or "<id> error '<message>'".
 std::string FormatResponseLine(size_t id, const ServiceResponse& response);
 
 }  // namespace uocqa

@@ -1,5 +1,6 @@
 #include "service/service.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <optional>
 
@@ -27,6 +28,17 @@ std::vector<Value> ParseAnswerTuple(const std::string& text) {
   if (text.empty()) return out;
   for (const std::string& piece : StrSplit(text, ',')) {
     out.push_back(ValuePool::Intern(std::string(StrTrim(piece))));
+  }
+  return out;
+}
+
+/// The add_fact `args=` grammar is the answer-tuple grammar: comma-separated
+/// constants, whitespace-trimmed.
+std::vector<std::string> ParseFactArgs(const std::string& text) {
+  std::vector<std::string> out;
+  if (text.empty()) return out;
+  for (const std::string& piece : StrSplit(text, ',')) {
+    out.emplace_back(StrTrim(piece));
   }
   return out;
 }
@@ -71,13 +83,77 @@ size_t QueryService::ResultKeyHash::operator()(const ResultKey& k) const {
 
 QueryService::QueryService(const Database& db, const KeySet& keys,
                            const ServiceOptions& options)
-    : db_(db),
-      keys_(keys),
-      options_(options),
-      fingerprint_(InstanceFingerprint(db, keys)),
-      engine_(db, keys),
+    : options_(options),
+      keys_(&keys),
       plan_cache_(options.plan_cache_capacity),
-      result_cache_(options.result_cache_capacity) {}
+      result_cache_(options.result_cache_capacity) {
+  // Static mode: wrap the externally owned instance in a non-owning epoch-0
+  // snapshot. Blocks and denominators stay unset — the engine computes its
+  // own denominators lazily, exactly as before live instances existed.
+  auto snapshot = std::make_shared<InstanceSnapshot>();
+  snapshot->db = std::shared_ptr<const Database>(&db, [](const Database*) {});
+  snapshot->fact_chain = ExtendFactChain(0, db, 0);
+  snapshot->fingerprint =
+      FingerprintFromChain(snapshot->fact_chain, db, keys);
+  snapshot->relation_epochs.assign(db.schema().relation_count(), 0);
+  base_fingerprint_ = snapshot->fingerprint;
+  InstallContext(std::move(snapshot));
+}
+
+QueryService::QueryService(LiveInstance& live, const ServiceOptions& options)
+    : options_(options),
+      live_(&live),
+      keys_(&live.keys()),
+      plan_cache_(options.plan_cache_capacity),
+      result_cache_(options.result_cache_capacity) {
+  std::shared_ptr<const InstanceSnapshot> snapshot = live.Current();
+  base_fingerprint_ = snapshot->fingerprint;
+  InstallContext(std::move(snapshot));
+}
+
+std::shared_ptr<const QueryService::EpochContext> QueryService::InstallContext(
+    std::shared_ptr<const InstanceSnapshot> snapshot) {
+  {
+    std::lock_guard<std::mutex> lock(context_mu_);
+    if (context_ && context_->snapshot == snapshot) return context_;
+  }
+  auto ctx = std::make_shared<EpochContext>();
+  ctx->snapshot = std::move(snapshot);
+  ctx->engine = std::make_unique<OcqaEngine>(*ctx->snapshot->db, *keys_);
+  if (ctx->snapshot->denominators != nullptr) {
+    // Hand the snapshot's delta-maintained denominators to the fresh
+    // engine: no request ever recomputes the block partition just to
+    // divide by |ORep| or |CRS|.
+    ctx->engine->SeedDenominators(ctx->snapshot->denominators->orep(),
+                                  ctx->snapshot->denominators->crs());
+  }
+  std::lock_guard<std::mutex> lock(context_mu_);
+  // A racing begin_snapshot may have published a newer epoch; never roll
+  // the served context backwards.
+  if (context_ == nullptr ||
+      context_->snapshot->epoch <= ctx->snapshot->epoch) {
+    context_ = ctx;
+  }
+  return context_;
+}
+
+std::shared_ptr<const QueryService::EpochContext> QueryService::CurrentContext()
+    const {
+  std::lock_guard<std::mutex> lock(context_mu_);
+  return context_;
+}
+
+const Database& QueryService::db() const {
+  return *CurrentContext()->snapshot->db;
+}
+
+uint64_t QueryService::instance_fingerprint() const {
+  return CurrentContext()->snapshot->fingerprint;
+}
+
+uint64_t QueryService::epoch() const {
+  return CurrentContext()->snapshot->epoch;
+}
 
 ServiceResponse QueryService::Execute(const Request& request) {
   return Run(request);
@@ -86,8 +162,9 @@ ServiceResponse QueryService::Execute(const Request& request) {
 std::vector<ServiceResponse> QueryService::ExecuteBatch(
     const std::vector<Request>& requests, size_t threads) {
   std::vector<ServiceResponse> out(requests.size());
-  ParallelForOn(BatchPool(threads), requests.size(),
-                [&](size_t i) { out[i] = Run(requests[i]); }, /*grain=*/1);
+  auto verb_of = [&](size_t i) { return requests[i].verb; };
+  auto run_one = [&](size_t i) { out[i] = Run(requests[i]); };
+  RunSegmented(requests.size(), verb_of, run_one, threads);
   return out;
 }
 
@@ -103,12 +180,42 @@ std::vector<ServiceResponse> QueryService::ExecuteBatchLines(
       out[i].status = r.status();
     }
   }
-  ParallelForOn(BatchPool(threads), lines.size(),
-                [&](size_t i) {
-                  if (parsed[i].has_value()) out[i] = Run(*parsed[i]);
-                },
-                /*grain=*/1);
+  // Parse failures are inert (their slot already holds the error), so they
+  // never act as barriers.
+  auto verb_of = [&](size_t i) {
+    return parsed[i].has_value() ? parsed[i]->verb : RequestVerb::kQuery;
+  };
+  auto run_one = [&](size_t i) {
+    if (parsed[i].has_value()) out[i] = Run(*parsed[i]);
+  };
+  RunSegmented(lines.size(), verb_of, run_one, threads);
   return out;
+}
+
+template <typename VerbOf, typename RunOne>
+void QueryService::RunSegmented(size_t count, const VerbOf& verb_of,
+                                const RunOne& run_one, size_t threads) {
+  // Write/epoch verbs are serial barriers: every request before one sees
+  // the pre-verb state, every request after it the post-verb state, at any
+  // lane count — that is what makes mixed read/write batches deterministic.
+  auto is_barrier = [](RequestVerb v) {
+    return v == RequestVerb::kAddFact || v == RequestVerb::kBeginSnapshot ||
+           v == RequestVerb::kEpoch;
+  };
+  size_t start = 0;
+  auto run_span = [&](size_t begin, size_t end) {
+    if (begin >= end) return;
+    ParallelForOn(BatchPool(threads), end - begin,
+                  [&](size_t i) { run_one(begin + i); }, /*grain=*/1);
+  };
+  for (size_t i = 0; i < count; ++i) {
+    if (is_barrier(verb_of(i))) {
+      run_span(start, i);
+      run_one(i);
+      start = i + 1;
+    }
+  }
+  run_span(start, count);
 }
 
 ThreadPool* QueryService::BatchPool(size_t threads) {
@@ -120,17 +227,62 @@ ThreadPool* QueryService::BatchPool(size_t threads) {
   return pool_.get();
 }
 
+std::string QueryService::PlanKey(const EpochContext& ctx,
+                                  const std::string& canonical) const {
+  if (live_ == nullptr) return canonical;
+  // A CompiledQuery embeds its epoch's normal-form instance, so live plans
+  // are per-epoch. Canonical text always starts with "Ans(", so the prefix
+  // is unambiguous.
+  return "e" + std::to_string(ctx.snapshot->epoch) + ":" + canonical;
+}
+
+uint64_t QueryService::EffectiveFingerprint(const EpochContext& ctx,
+                                            const ConjunctiveQuery& query,
+                                            RequestMode mode,
+                                            bool explain) const {
+  const InstanceSnapshot& snap = *ctx.snapshot;
+  if (live_ == nullptr) return snap.fingerprint;
+  size_t seed = static_cast<size_t>(base_fingerprint_);
+  if (mode == RequestMode::kFpras || mode == RequestMode::kAll || explain) {
+    // Full-instance dependence: the Appendix-E normal form pads every
+    // relation into the FPRAS automata, and explain's plan cost fields read
+    // global statistics. Any ingest invalidates.
+    HashCombine(&seed, static_cast<size_t>(snap.epoch));
+    return static_cast<uint64_t>(seed);
+  }
+  // exact/mc: scoped to the query's own relations plus the global conflict
+  // structure (see the file comment in service.h for the argument).
+  HashCombine(&seed, static_cast<size_t>(snap.conflict_epoch));
+  std::vector<RelationId> footprint;
+  footprint.reserve(query.atoms().size());
+  for (const QueryAtom& atom : query.atoms()) {
+    footprint.push_back(atom.relation);
+  }
+  std::sort(footprint.begin(), footprint.end());
+  footprint.erase(std::unique(footprint.begin(), footprint.end()),
+                  footprint.end());
+  for (RelationId rel : footprint) {
+    HashCombine(&seed, static_cast<size_t>(rel));
+    uint64_t rel_epoch = rel < snap.relation_epochs.size()
+                             ? snap.relation_epochs[rel]
+                             : 0;
+    HashCombine(&seed, static_cast<size_t>(rel_epoch));
+  }
+  return static_cast<uint64_t>(seed);
+}
+
 Result<std::shared_ptr<CompiledQuery>> QueryService::PlanFor(
-    const std::string& canonical, const ConjunctiveQuery& query) {
+    const EpochContext& ctx, const std::string& canonical,
+    const ConjunctiveQuery& query) {
+  std::string key = PlanKey(ctx, canonical);
   {
     std::lock_guard<std::mutex> lock(plan_mu_);
-    std::optional<std::shared_ptr<CompiledQuery>> hit =
-        plan_cache_.Get(canonical);
+    std::optional<std::shared_ptr<CompiledQuery>> hit = plan_cache_.Get(key);
     if (hit.has_value()) return *hit;
   }
   OcqaOptions options;
   options.max_width = options_.max_width;
-  Result<CompiledQuery> compiled = engine_.Compile(query, options);
+  Result<CompiledQuery> compiled = ctx.engine->Compile(query, options);
   if (!compiled.ok()) return compiled.status();
   auto plan = std::make_shared<CompiledQuery>(std::move(compiled).value());
   {
@@ -139,18 +291,18 @@ Result<std::shared_ptr<CompiledQuery>> QueryService::PlanFor(
     // one so every request shares a single automaton memo. (Find, not Get:
     // this request's semantic miss was already counted above.)
     std::optional<std::shared_ptr<CompiledQuery>> existing =
-        plan_cache_.Find(canonical);
+        plan_cache_.Find(key);
     if (existing.has_value()) return *existing;
-    plan_cache_.Put(canonical, plan);
+    plan_cache_.Put(key, plan);
   }
   return plan;
 }
 
 ServiceResponse QueryService::Run(const Request& request) {
-  ServiceResponse out;
-  if (request.stats) {
+  if (request.verb == RequestVerb::kStats) {
     // Introspection, not a query: skip the request counter and both caches
     // (timings change between runs, so the payload must never replay).
+    ServiceResponse out;
     out.payload = StatsPayload();
     return out;
   }
@@ -158,12 +310,74 @@ ServiceResponse QueryService::Run(const Request& request) {
     std::lock_guard<std::mutex> lock(requests_mu_);
     ++requests_served_;
   }
+  if (request.verb != RequestVerb::kQuery) return RunControl(request);
+  // Pin this request's epoch: everything below — parse, cache lookups, the
+  // solvers — runs against one immutable snapshot, however many snapshots
+  // a concurrent writer publishes meanwhile.
+  std::shared_ptr<const EpochContext> ctx = CurrentContext();
+  return RunQuery(request, *ctx);
+}
+
+ServiceResponse QueryService::RunControl(const Request& request) {
+  ServiceResponse out;
+  switch (request.verb) {
+    case RequestVerb::kEpoch: {
+      std::shared_ptr<const EpochContext> ctx = CurrentContext();
+      out.payload = "facts=" + std::to_string(ctx->snapshot->db->size());
+      out.has_epoch = true;
+      out.epoch = ctx->snapshot->epoch;
+      return out;
+    }
+    case RequestVerb::kAddFact: {
+      if (live_ == nullptr) {
+        out.status = Status::InvalidArgument(
+            "add_fact requires a live service");
+        return out;
+      }
+      out.status = live_->Add(request.fact_relation,
+                              ParseFactArgs(request.fact_args));
+      if (!out.status.ok()) return out;
+      out.payload = "pending=" + std::to_string(live_->pending());
+      std::shared_ptr<const EpochContext> ctx = CurrentContext();
+      out.has_epoch = true;
+      out.epoch = ctx->snapshot->epoch;
+      return out;
+    }
+    case RequestVerb::kBeginSnapshot: {
+      if (live_ == nullptr) {
+        out.status = Status::InvalidArgument(
+            "begin_snapshot requires a live service");
+        return out;
+      }
+      std::shared_ptr<const EpochContext> ctx =
+          InstallContext(live_->Snapshot());
+      out.payload = "facts=" + std::to_string(ctx->snapshot->db->size());
+      out.has_epoch = true;
+      out.epoch = ctx->snapshot->epoch;
+      return out;
+    }
+    case RequestVerb::kQuery:
+    case RequestVerb::kStats:
+      break;
+  }
+  out.status = Status::InvalidArgument("unhandled request verb");
+  return out;
+}
+
+ServiceResponse QueryService::RunQuery(const Request& request,
+                                       const EpochContext& ctx) {
+  ServiceResponse out;
+  const Database& db = *ctx.snapshot->db;
+  const OcqaEngine& engine = *ctx.engine;
+  if (live_ != nullptr) {
+    out.has_epoch = true;
+    out.epoch = ctx.snapshot->epoch;
+  }
   out.status = ValidateAccuracy(request.epsilon, request.delta,
                                 request.samples);
   if (!out.status.ok()) return out;
 
-  Result<ConjunctiveQuery> query =
-      ParseQuery(request.query_text, db_.schema());
+  Result<ConjunctiveQuery> query = ParseQuery(request.query_text, db.schema());
   if (!query.ok()) {
     out.status = query.status();
     return out;
@@ -180,7 +394,8 @@ ServiceResponse QueryService::Run(const Request& request) {
 
   std::string canonical = CanonicalQueryText(*query);
   ResultKey key;
-  key.fingerprint = fingerprint_;
+  key.fingerprint =
+      EffectiveFingerprint(ctx, *query, request.mode, request.explain);
   key.canonical_query = canonical;
   key.answer = answer;
   key.mode = request.mode;
@@ -209,15 +424,16 @@ ServiceResponse QueryService::Run(const Request& request) {
   bool all = request.mode == RequestMode::kAll;
 
   if (all || request.mode == RequestMode::kExact) {
-    ExactRF ur = engine_.ExactUr(*query, answer);
-    ExactRF us = engine_.ExactUs(*query, answer);
+    ExactRF ur = engine.ExactUr(*query, answer);
+    ExactRF us = engine.ExactUs(*query, answer);
     append("exact_ur=" + ur.numerator.ToString() + "/" +
            ur.denominator.ToString());
     append("exact_us=" + us.numerator.ToString() + "/" +
            us.denominator.ToString());
   }
   if (all || request.mode == RequestMode::kFpras) {
-    Result<std::shared_ptr<CompiledQuery>> plan = PlanFor(canonical, *query);
+    Result<std::shared_ptr<CompiledQuery>> plan =
+        PlanFor(ctx, canonical, *query);
     if (!plan.ok()) {
       append("fpras_error='" + plan.status().ToString() + "'");
     } else {
@@ -228,17 +444,17 @@ ServiceResponse QueryService::Run(const Request& request) {
       options.fpras.seed_schema = request.seed_schema;
       options.max_width = options_.max_width;
       options.threads = 1;  // batch lanes are the parallelism
-      Result<ApproxRF> ur = engine_.ApproxUr(**plan, answer, options);
+      Result<ApproxRF> ur = engine.ApproxUr(**plan, answer, options);
       append(ur.ok() ? "fpras_ur=" + FormatDouble(ur->value) : "fpras_ur=na");
-      Result<ApproxRF> us = engine_.ApproxUs(**plan, answer, options);
+      Result<ApproxRF> us = engine.ApproxUs(**plan, answer, options);
       append(us.ok() ? "fpras_us=" + FormatDouble(us->value) : "fpras_us=na");
     }
   }
   if (all || request.mode == RequestMode::kMc) {
-    append("mc_ur=" + FormatDouble(engine_.MonteCarloUr(
+    append("mc_ur=" + FormatDouble(engine.MonteCarloUr(
                           *query, answer, request.samples, request.seed,
                           /*threads=*/1)));
-    append("mc_us=" + FormatDouble(engine_.MonteCarloUs(
+    append("mc_us=" + FormatDouble(engine.MonteCarloUs(
                           *query, answer, request.samples, request.seed,
                           /*threads=*/1)));
   }
@@ -247,7 +463,8 @@ ServiceResponse QueryService::Run(const Request& request) {
     // payloads replay byte-identically like every other cached result.
     // Compiling through PlanFor shares the plan cache even in exact/mc
     // modes, where the solvers themselves don't need the artifact.
-    Result<std::shared_ptr<CompiledQuery>> plan = PlanFor(canonical, *query);
+    Result<std::shared_ptr<CompiledQuery>> plan =
+        PlanFor(ctx, canonical, *query);
     if (plan.ok()) {
       append((*plan)->plan().Fields());
     } else {
@@ -265,11 +482,17 @@ ServiceResponse QueryService::Run(const Request& request) {
 
 std::string QueryService::StatsPayload() const {
   std::string out = stats().ToString();
+  if (live_ != nullptr) {
+    std::shared_ptr<const EpochContext> ctx = CurrentContext();
+    out += " epoch=" + std::to_string(ctx->snapshot->epoch);
+    out += " facts=" + std::to_string(ctx->snapshot->db->size());
+    out += " pending=" + std::to_string(live_->pending());
+  }
   std::lock_guard<std::mutex> lock(plan_mu_);
   out += " plans_cached=" + std::to_string(plan_cache_.size());
-  plan_cache_.ForEach([&out](const std::string& canonical,
+  plan_cache_.ForEach([&out](const std::string& key,
                              const std::shared_ptr<CompiledQuery>& plan) {
-    out += " plan=" + QuoteProtocolValue(canonical) + " planning_us=" +
+    out += " plan=" + QuoteProtocolValue(key) + " planning_us=" +
            std::to_string(plan->plan().planning_micros);
   });
   return out;

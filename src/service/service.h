@@ -1,4 +1,5 @@
-// The query service layer: one loaded instance serving many OCQA requests.
+// The query service layer: one instance — loaded statically or served live —
+// answering many OCQA requests.
 //
 // Every OcqaEngine call used to re-run the whole pipeline prefix — GHD
 // search, Appendix-E normal form, Rep[k]/Seq[k] NFTA compilation — even for
@@ -8,14 +9,40 @@
 //  * a **plan cache** (LRU over canonical query text + width config) holding
 //    CompiledQuery artifacts, so a repeated query — including any variable
 //    renaming of it — skips straight to the per-request trials;
-//  * a **result cache** (LRU over instance fingerprint + canonical query +
-//    answer tuple + mode + accuracy/seed parameters) replaying fully
+//  * a **result cache** (LRU over effective instance fingerprint + canonical
+//    query + answer tuple + mode + accuracy/seed parameters) replaying fully
 //    computed responses byte-identically;
 //  * a **batch executor** running independent requests across ThreadPool
 //    lanes. Each request is itself executed serially (inner threads = 1),
 //    so the engine's non-re-entrant pool is never touched concurrently, and
 //    every estimate is a pure function of the request parameters — the
 //    response vector is bit-identical at any lane count, in request order.
+//
+// **Live mode** (the LiveInstance constructor) adds MVCC epochs under the
+// same machinery. Each request pins the current epoch's context (snapshot +
+// engine) via shared_ptr, so writers never tear an in-flight query. The
+// result cache key's fingerprint becomes epoch-aware, scoped to what a
+// result can actually depend on:
+//
+//  * fpras/all requests (and any explain=1 request) depend on the full
+//    instance — the Appendix-E normal form pads every relation into the
+//    automaton, and plan cost fields read global statistics — so their
+//    effective fingerprint is (base, epoch): any ingest invalidates them.
+//  * exact/mc requests depend only on (a) the relations in the query's own
+//    atoms — evaluation never reads others — and (b) the global
+//    conflict-block structure, through the |ORep|/|CRS| denominators and
+//    the samplers' RNG consumption. Their effective fingerprint is
+//    (base, conflict_epoch, footprint relation epochs): a conflict-free
+//    insert into a relation outside the query's footprint provably changes
+//    neither the exact BigInt counts nor a single Monte-Carlo random draw
+//    (singleton blocks are forced, and forced choices are RNG-silent —
+//    repairs/sampling.h), so those entries keep replaying byte-identically
+//    across the ingest.
+//
+// The plan cache survives ingest untouched: live entries are keyed
+// (epoch, canonical) — a CompiledQuery embeds its epoch's normal-form
+// instance, so older epochs' plans stay valid for their epoch and simply
+// age out of the LRU.
 //
 // Two introspection hooks ride on the protocol: `explain=1` appends the
 // compiled plan's deterministic `plan_*` fields to the payload (cache-key'd
@@ -37,6 +64,7 @@
 #include "db/keys.h"
 #include "ocqa/engine.h"
 #include "query/cq.h"
+#include "service/live.h"
 #include "service/lru_cache.h"
 #include "service/request.h"
 
@@ -65,24 +93,37 @@ struct ServiceStats {
   std::string ToString() const;
 };
 
-/// Owns a loaded instance and serves OCQA requests against it. The database
-/// and key set must stay alive and unmodified for the service's lifetime
-/// (the result cache is scoped to the instance fingerprint taken at
-/// construction).
+/// Serves OCQA requests against one instance.
 ///
-/// Thread safety: Execute and ExecuteBatch may not be called concurrently
-/// by external threads; batching is the supported way to parallelize.
+/// Static mode (Database/KeySet constructor): the instance must stay alive
+/// and unmodified for the service's lifetime; the write verbs error out;
+/// response lines are exactly the pre-live format (no epoch field).
+///
+/// Live mode (LiveInstance constructor): the service serves the instance's
+/// current snapshot, applies `add_fact`/`begin_snapshot` verbs to it, and
+/// stamps every response with the epoch it was served against. The
+/// LiveInstance must outlive the service.
+///
+/// Thread safety: in static mode, Execute/ExecuteBatch may not be called
+/// concurrently by external threads (batching is the supported way to
+/// parallelize). In live mode Execute is additionally safe to call
+/// concurrently with itself and with ExecuteBatch *from other threads* —
+/// each request pins one epoch context and all shared state is internally
+/// locked — which is what lets writers ingest while readers query.
 class QueryService {
  public:
   QueryService(const Database& db, const KeySet& keys,
                const ServiceOptions& options = {});
+  QueryService(LiveInstance& live, const ServiceOptions& options = {});
 
   /// Serves one request (equivalent to a one-element batch).
   ServiceResponse Execute(const Request& request);
 
-  /// Serves independent requests concurrently on `threads` lanes
-  /// (0 = hardware concurrency, 1 = serial). Responses come back in request
-  /// order and are bit-identical at every lane count.
+  /// Serves requests on `threads` lanes (0 = hardware concurrency,
+  /// 1 = serial). Responses come back in request order and are bit-identical
+  /// at every lane count: write/epoch verbs (`add_fact`, `begin_snapshot`,
+  /// `epoch`) act as serial barriers, and the query runs between them
+  /// execute concurrently against a fixed epoch.
   std::vector<ServiceResponse> ExecuteBatch(
       const std::vector<Request>& requests, size_t threads = 1);
 
@@ -95,11 +136,27 @@ class QueryService {
   /// Snapshot of the cache counters.
   ServiceStats stats() const;
 
-  const Database& db() const { return db_; }
-  const KeySet& keys() const { return keys_; }
-  uint64_t instance_fingerprint() const { return fingerprint_; }
+  /// The currently served database version and key set. In live mode the
+  /// reference is only stable until the next begin_snapshot; pin the
+  /// snapshot through the LiveInstance for anything longer-lived.
+  const Database& db() const;
+  const KeySet& keys() const { return *keys_; }
+  /// The currently served snapshot's full-instance fingerprint (memoized
+  /// per epoch, never rehashed on the request path).
+  uint64_t instance_fingerprint() const;
+  /// The currently served epoch (always 0 in static mode).
+  uint64_t epoch() const;
 
  private:
+  /// One epoch's serving state: the pinned snapshot and an engine over it,
+  /// denominators pre-seeded from the snapshot's delta-maintained values.
+  /// Requests copy the shared_ptr once and work off it for their whole
+  /// lifetime, so a concurrent begin_snapshot never tears them.
+  struct EpochContext {
+    std::shared_ptr<const InstanceSnapshot> snapshot;
+    std::unique_ptr<OcqaEngine> engine;
+  };
+
   struct ResultKey {
     uint64_t fingerprint = 0;
     std::string canonical_query;
@@ -119,28 +176,63 @@ class QueryService {
     size_t operator()(const ResultKey& k) const;
   };
 
+  /// Builds and publishes the context for `snapshot` (no-op republish if it
+  /// is already current); returns the published context.
+  std::shared_ptr<const EpochContext> InstallContext(
+      std::shared_ptr<const InstanceSnapshot> snapshot);
+
+  /// The pinned context for one request.
+  std::shared_ptr<const EpochContext> CurrentContext() const;
+
   /// The full (uncached) execution of one request; `response.payload` is
   /// what the result cache stores.
   ServiceResponse Run(const Request& request);
+  ServiceResponse RunQuery(const Request& request, const EpochContext& ctx);
+  ServiceResponse RunControl(const Request& request);
+
+  /// The effective result-cache fingerprint of a query at `ctx` — see the
+  /// file comment for the mode-dependent epoch scoping.
+  uint64_t EffectiveFingerprint(const EpochContext& ctx,
+                                const ConjunctiveQuery& query,
+                                RequestMode mode, bool explain) const;
+
+  /// The plan cache key for `canonical` at `ctx` (epoch-prefixed in live
+  /// mode: a CompiledQuery embeds its epoch's normal-form instance).
+  std::string PlanKey(const EpochContext& ctx,
+                      const std::string& canonical) const;
 
   /// The stats-verb payload: the ServiceStats counters plus, per cached
   /// plan (most recently used first), the canonical query and its planning
   /// wall-clock time. Never cached — timings change between runs.
   std::string StatsPayload() const;
 
-  /// The plan cache entry for `canonical`, compiling on miss. Never null on
-  /// ok(); the shared_ptr keeps evicted plans alive for in-flight requests.
+  /// The plan cache entry for `canonical` at `ctx`, compiling on miss.
+  /// Never null on ok(); the shared_ptr keeps evicted plans alive for
+  /// in-flight requests.
   Result<std::shared_ptr<CompiledQuery>> PlanFor(
-      const std::string& canonical, const ConjunctiveQuery& query);
+      const EpochContext& ctx, const std::string& canonical,
+      const ConjunctiveQuery& query);
+
+  /// Runs requests [0, count): barrier verbs (add_fact, begin_snapshot,
+  /// epoch) serially in order, the query spans between them in parallel on
+  /// BatchPool(threads) — the shared core of ExecuteBatch and
+  /// ExecuteBatchLines.
+  template <typename VerbOf, typename RunOne>
+  void RunSegmented(size_t count, const VerbOf& verb_of, const RunOne& run_one,
+                    size_t threads);
 
   /// Lanes for a batch call; nullptr when `threads` resolves to 1.
   ThreadPool* BatchPool(size_t threads);
 
-  const Database& db_;
-  const KeySet& keys_;
   ServiceOptions options_;
-  uint64_t fingerprint_;
-  OcqaEngine engine_;
+  LiveInstance* live_ = nullptr;  ///< null in static mode
+  const KeySet* keys_;
+  /// Epoch-independent base of every effective fingerprint (the served
+  /// snapshot's fingerprint at construction).
+  uint64_t base_fingerprint_ = 0;
+
+  mutable std::mutex context_mu_;
+  std::shared_ptr<const EpochContext> context_;
 
   mutable std::mutex plan_mu_;
   LruCache<std::string, std::shared_ptr<CompiledQuery>> plan_cache_;

@@ -1,0 +1,347 @@
+// Service-layer tests for live instances: the add_fact / begin_snapshot /
+// epoch verbs, epoch-scoped cache invalidation, mixed read/write batch
+// determinism, and a concurrent ingest+query stress run (the TSan target
+// for the MVCC subsystem).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "db/textio.h"
+#include "service/live.h"
+#include "service/request.h"
+#include "service/service.h"
+
+namespace uocqa {
+namespace {
+
+constexpr const char* kInstance = R"(
+key Emp = 1
+Emp(e1, hw)
+Emp(e1, sw)
+Emp(e2, hw)
+key Dept = 1
+Dept(hw, alice)
+Dept(hw, bob)
+Dept(sw, carol)
+)";
+
+ParsedInstance LoadInstance() {
+  auto inst = ParseInstanceText(kInstance);
+  EXPECT_TRUE(inst.ok());
+  return *std::move(inst);
+}
+
+Request QueryRequest(const std::string& query, RequestMode mode) {
+  Request out;
+  out.query_text = query;
+  out.mode = mode;
+  out.epsilon = 0.5;
+  out.delta = 0.2;
+  out.samples = 200;
+  out.seed = 7;
+  return out;
+}
+
+Request AddFactRequest(const std::string& rel, const std::string& args) {
+  Request out;
+  out.verb = RequestVerb::kAddFact;
+  out.fact_relation = rel;
+  out.fact_args = args;
+  return out;
+}
+
+Request VerbRequest(RequestVerb verb) {
+  Request out;
+  out.verb = verb;
+  return out;
+}
+
+// --- protocol verbs --------------------------------------------------------
+
+TEST(ServiceLiveTest, VerbsDriveEpochsAndStampResponses) {
+  ParsedInstance inst = LoadInstance();
+  LiveInstance live(std::move(inst.db), inst.keys);
+  QueryService service(live);
+
+  ServiceResponse epoch0 = service.Execute(VerbRequest(RequestVerb::kEpoch));
+  ASSERT_TRUE(epoch0.status.ok());
+  EXPECT_TRUE(epoch0.has_epoch);
+  EXPECT_EQ(epoch0.epoch, 0u);
+  EXPECT_EQ(epoch0.payload, "facts=6");
+
+  ServiceResponse added = service.Execute(AddFactRequest("Dept", "ops,dave"));
+  ASSERT_TRUE(added.status.ok());
+  EXPECT_EQ(added.payload, "pending=1");
+  EXPECT_EQ(added.epoch, 0u);  // queued, not yet served
+
+  // Queries are stamped with the epoch they were served against; the
+  // pending delta is invisible until begin_snapshot.
+  ServiceResponse before =
+      service.Execute(QueryRequest("Ans() :- Dept(x, y)", RequestMode::kExact));
+  ASSERT_TRUE(before.status.ok());
+  EXPECT_TRUE(before.has_epoch);
+  EXPECT_EQ(before.epoch, 0u);
+
+  ServiceResponse merged =
+      service.Execute(VerbRequest(RequestVerb::kBeginSnapshot));
+  ASSERT_TRUE(merged.status.ok());
+  EXPECT_EQ(merged.epoch, 1u);
+  EXPECT_EQ(merged.payload, "facts=7");
+  EXPECT_EQ(service.epoch(), 1u);
+
+  ServiceResponse after =
+      service.Execute(QueryRequest("Ans() :- Dept(x, y)", RequestMode::kExact));
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_EQ(after.epoch, 1u);
+
+  // Bad writes are request errors, not process state.
+  EXPECT_FALSE(service.Execute(AddFactRequest("Nope", "a,b")).status.ok());
+  EXPECT_FALSE(service.Execute(AddFactRequest("Emp", "only_one")).status.ok());
+  EXPECT_EQ(service.epoch(), 1u);
+}
+
+TEST(ServiceLiveTest, StaticServicesRejectWritesAndStayUnstamped) {
+  ParsedInstance inst = LoadInstance();
+  QueryService service(inst.db, inst.keys);
+
+  EXPECT_FALSE(
+      service.Execute(AddFactRequest("Emp", "e9,hw")).status.ok());
+  EXPECT_FALSE(
+      service.Execute(VerbRequest(RequestVerb::kBeginSnapshot)).status.ok());
+
+  // The epoch verb answers (epoch 0 forever), and query responses carry no
+  // epoch field — static response lines are byte-identical to the pre-live
+  // format.
+  ServiceResponse epoch = service.Execute(VerbRequest(RequestVerb::kEpoch));
+  ASSERT_TRUE(epoch.status.ok());
+  EXPECT_EQ(epoch.epoch, 0u);
+  ServiceResponse query =
+      service.Execute(QueryRequest("Ans() :- Emp(x, y)", RequestMode::kExact));
+  ASSERT_TRUE(query.status.ok());
+  EXPECT_FALSE(query.has_epoch);
+  EXPECT_EQ(FormatResponseLine(0, query).rfind("0 ok miss exact_ur", 0), 0u);
+}
+
+// --- epoch-scoped cache invalidation ---------------------------------------
+
+TEST(ServiceLiveTest, UntouchedRelationExactResultsSurviveIngest) {
+  ParsedInstance inst = LoadInstance();
+  LiveInstance live(std::move(inst.db), inst.keys);
+  QueryService service(live);
+  Request exact_emp = QueryRequest("Ans() :- Emp(x, y)", RequestMode::kExact);
+
+  ServiceResponse miss = service.Execute(exact_emp);
+  ASSERT_TRUE(miss.status.ok());
+  EXPECT_FALSE(miss.cache_hit);
+  ServiceResponse hit = service.Execute(exact_emp);
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(hit.payload, miss.payload);
+
+  // Ingest a conflict-free fact into Dept: the instance fingerprint moves,
+  // but the exact result on Emp survives — served from cache, byte-equal
+  // payload, new epoch stamp.
+  uint64_t fingerprint_before = service.instance_fingerprint();
+  ASSERT_TRUE(
+      service.Execute(AddFactRequest("Dept", "ops,dave")).status.ok());
+  ASSERT_TRUE(service.Execute(VerbRequest(RequestVerb::kBeginSnapshot))
+                  .status.ok());
+  EXPECT_EQ(service.epoch(), 1u);
+  EXPECT_NE(service.instance_fingerprint(), fingerprint_before);
+
+  ServiceResponse survived = service.Execute(exact_emp);
+  ASSERT_TRUE(survived.status.ok());
+  EXPECT_TRUE(survived.cache_hit);
+  EXPECT_EQ(survived.payload, miss.payload);
+  EXPECT_EQ(survived.epoch, 1u);
+}
+
+TEST(ServiceLiveTest, ConflictingOrFootprintIngestInvalidatesExactResults) {
+  ParsedInstance inst = LoadInstance();
+  LiveInstance live(std::move(inst.db), inst.keys);
+  QueryService service(live);
+  Request exact_emp = QueryRequest("Ans() :- Emp(x, y)", RequestMode::kExact);
+
+  ServiceResponse first = service.Execute(exact_emp);
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_TRUE(service.Execute(exact_emp).cache_hit);
+
+  // A *conflicting* insert into Dept changes the global |ORep|/|CRS|
+  // denominators, which every exact payload embeds — the entry must not
+  // replay even though Dept is outside the query's footprint.
+  ASSERT_TRUE(
+      service.Execute(AddFactRequest("Dept", "sw,frank")).status.ok());
+  ASSERT_TRUE(service.Execute(VerbRequest(RequestVerb::kBeginSnapshot))
+                  .status.ok());
+  ServiceResponse after_conflict = service.Execute(exact_emp);
+  ASSERT_TRUE(after_conflict.status.ok());
+  EXPECT_FALSE(after_conflict.cache_hit);
+  EXPECT_NE(after_conflict.payload, first.payload);
+
+  // An insert into the query's own relation invalidates even when it is
+  // conflict-free.
+  EXPECT_TRUE(service.Execute(exact_emp).cache_hit);
+  ASSERT_TRUE(service.Execute(AddFactRequest("Emp", "e9,hw")).status.ok());
+  ASSERT_TRUE(service.Execute(VerbRequest(RequestVerb::kBeginSnapshot))
+                  .status.ok());
+  ServiceResponse after_touch = service.Execute(exact_emp);
+  ASSERT_TRUE(after_touch.status.ok());
+  EXPECT_FALSE(after_touch.cache_hit);
+}
+
+TEST(ServiceLiveTest, FprasResultsInvalidateOnAnyIngest) {
+  ParsedInstance inst = LoadInstance();
+  LiveInstance live(std::move(inst.db), inst.keys);
+  QueryService service(live);
+  Request fpras_emp = QueryRequest("Ans() :- Emp(x, y)", RequestMode::kFpras);
+
+  ServiceResponse first = service.Execute(fpras_emp);
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_TRUE(service.Execute(fpras_emp).cache_hit);
+
+  // Even a conflict-free insert into an unrelated relation invalidates
+  // FPRAS entries: the normal form pads every relation into the automaton.
+  ASSERT_TRUE(
+      service.Execute(AddFactRequest("Dept", "ops,dave")).status.ok());
+  ASSERT_TRUE(service.Execute(VerbRequest(RequestVerb::kBeginSnapshot))
+                  .status.ok());
+  ServiceResponse after = service.Execute(fpras_emp);
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_FALSE(after.cache_hit);
+  EXPECT_TRUE(service.Execute(fpras_emp).cache_hit);
+}
+
+// --- mixed batches ---------------------------------------------------------
+
+TEST(ServiceLiveTest, MixedBatchesAreByteIdenticalAtAnyLaneCount) {
+  const std::vector<std::string> lines = {
+      "query='Ans() :- Emp(x, y), Dept(y, z)' mode=exact",
+      "query='Ans(x) :- Emp(x, y)' answer=e1 mode=mc samples=200 seed=3",
+      "query='Ans() :- Dept(x, y)' mode=exact",
+      "add_fact rel=Dept args='ops,dave'",
+      "begin_snapshot",
+      "query='Ans() :- Dept(x, y)' mode=exact",
+      "query='Ans() :- Emp(x, y), Dept(y, z)' mode=exact",
+      "epoch",
+      "add_fact rel=Emp args='e2,ops'",
+      "begin_snapshot",
+      "query='Ans() :- Emp(x, y), Dept(y, z)' mode=exact",
+      "query='Ans(x) :- Emp(x, y)' answer=e1 mode=mc samples=200 seed=3",
+      "stats_is_not_a_verb",  // parse error: slot keeps the error, no barrier
+      "epoch",
+  };
+  auto render = [&](size_t threads) {
+    ParsedInstance inst = LoadInstance();
+    LiveInstance live(std::move(inst.db), inst.keys);
+    QueryService service(live);
+    std::vector<ServiceResponse> responses =
+        service.ExecuteBatchLines(lines, threads);
+    std::vector<std::string> out;
+    for (size_t i = 0; i < responses.size(); ++i) {
+      out.push_back(FormatResponseLine(i, responses[i]));
+    }
+    return out;
+  };
+
+  std::vector<std::string> serial = render(1);
+  EXPECT_EQ(render(4), serial);
+  EXPECT_EQ(render(8), serial);
+
+  // The barriers are real: queries before the first begin_snapshot are
+  // served at epoch 0, between the snapshots at 1, after at 2 — and the
+  // Dept count visibly grows across its ingest.
+  EXPECT_EQ(serial[0].rfind("0 ok miss epoch=0", 0), 0u);
+  EXPECT_EQ(serial[5].rfind("5 ok miss epoch=1", 0), 0u);
+  EXPECT_EQ(serial[7], "7 ok miss epoch=1 facts=7");
+  EXPECT_EQ(serial[10].rfind("10 ok miss epoch=2", 0), 0u);
+  EXPECT_EQ(serial[13], "13 ok miss epoch=2 facts=8");
+  // The repeated mc query (line 1, epoch 0) must not replay at line 11:
+  // its own relation Emp gained a fact in the second ingest.
+  EXPECT_EQ(serial[11].rfind("11 ok miss epoch=2", 0), 0u);
+  // The parse error occupies its slot without derailing the batch.
+  EXPECT_EQ(serial[12].rfind("12 error ", 0), 0u);
+}
+
+// --- concurrent ingest + query stress (the TSan target) --------------------
+
+TEST(ServiceLiveStressTest, ConcurrentIngestAndQueriesStayCoherent) {
+  ParsedInstance inst = LoadInstance();
+  LiveInstance live(std::move(inst.db), inst.keys);
+  QueryService service(live);
+
+  constexpr size_t kReaders = 4;
+  constexpr size_t kQueriesPerReader = 32;
+  constexpr size_t kEpochs = 12;
+  std::atomic<bool> done{false};
+
+  // Readers hammer one exact query and record (epoch, payload) pairs.
+  std::vector<std::vector<std::pair<uint64_t, std::string>>> seen(kReaders);
+  std::vector<std::thread> threads;
+  threads.reserve(kReaders + 1);
+  for (size_t r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      Request query =
+          QueryRequest("Ans() :- Emp(x, y), Dept(y, z)", RequestMode::kExact);
+      for (size_t i = 0; i < kQueriesPerReader; ++i) {
+        ServiceResponse response = service.Execute(query);
+        ASSERT_TRUE(response.status.ok());
+        ASSERT_TRUE(response.has_epoch);
+        seen[r].emplace_back(response.epoch, response.payload);
+      }
+    });
+  }
+  // One writer ingests a conflict-free fact per epoch and snapshots.
+  threads.emplace_back([&] {
+    for (size_t e = 0; e < kEpochs; ++e) {
+      ServiceResponse added = service.Execute(
+          AddFactRequest("Dept", "k" + std::to_string(e) + ",v"));
+      ASSERT_TRUE(added.status.ok());
+      ServiceResponse snapped =
+          service.Execute(VerbRequest(RequestVerb::kBeginSnapshot));
+      ASSERT_TRUE(snapped.status.ok());
+      EXPECT_EQ(snapped.epoch, e + 1);
+    }
+    done = true;
+  });
+  for (std::thread& t : threads) t.join();
+  ASSERT_TRUE(done.load());
+  EXPECT_EQ(service.epoch(), kEpochs);
+
+  // Per reader: epochs never go backwards. Across everything: one payload
+  // per epoch — every request pinned a coherent snapshot, and (these
+  // ingests being conflict-free and outside nothing — the query touches
+  // both relations) each epoch's answer is internally consistent.
+  std::map<uint64_t, std::string> by_epoch;
+  for (size_t r = 0; r < kReaders; ++r) {
+    uint64_t last = 0;
+    for (const auto& [epoch, payload] : seen[r]) {
+      EXPECT_GE(epoch, last);
+      last = epoch;
+      auto [it, inserted] = by_epoch.emplace(epoch, payload);
+      if (!inserted) {
+        EXPECT_EQ(it->second, payload);
+      }
+    }
+  }
+  EXPECT_FALSE(by_epoch.empty());
+
+  // The end state equals a from-scratch service over the same facts: the
+  // stress run left no torn state behind.
+  ParsedInstance oracle = LoadInstance();
+  for (size_t e = 0; e < kEpochs; ++e) {
+    oracle.db.Add("Dept", {"k" + std::to_string(e), "v"});
+  }
+  QueryService fresh(oracle.db, oracle.keys);
+  Request query =
+      QueryRequest("Ans() :- Emp(x, y), Dept(y, z)", RequestMode::kExact);
+  EXPECT_EQ(service.Execute(query).payload, fresh.Execute(query).payload);
+}
+
+}  // namespace
+}  // namespace uocqa

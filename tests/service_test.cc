@@ -149,7 +149,7 @@ TEST(RequestTest, RejectsInvalidAccuracyAndShape) {
 TEST(RequestTest, StatsVerbAndExplainFlagParse) {
   auto stats = ParseRequestLine("stats");
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();
-  EXPECT_TRUE(stats->stats);
+  EXPECT_EQ(stats->verb, RequestVerb::kStats);
   EXPECT_EQ(FormatRequestLine(*stats), "stats");
 
   // stats takes no other fields; a stray bare token is still an error.
@@ -405,7 +405,7 @@ TEST_F(ServiceTest, StatsVerbReportsCountersAndCachedPlans) {
   ASSERT_TRUE(service.Execute(query).status.ok());
 
   Request stats;
-  stats.stats = true;
+  stats.verb = RequestVerb::kStats;
   ServiceResponse response = service.Execute(stats);
   ASSERT_TRUE(response.status.ok()) << response.status.ToString();
   EXPECT_FALSE(response.cache_hit);

@@ -21,6 +21,18 @@
 // appended to its payload; a bare `stats` line reports the cache counters
 // and per-plan planning times at the moment it is served (put it last, or
 // run with --threads 1, for counters that reflect the whole batch).
+//
+// The instance is served *live*: the write verbs
+//
+//   add_fact rel=Emp args='e9,d1'
+//   begin_snapshot
+//   epoch
+//
+// queue facts, merge them into a new MVCC epoch, and report the served
+// epoch. Write verbs are serial barriers within a batch — the query runs
+// between them execute in parallel against a fixed epoch, so the response
+// lines are byte-identical at any --threads value. Every response line
+// carries an `epoch=` stamp (see docs/FORMATS.md).
 
 #include <cstdio>
 #include <cstring>
@@ -126,7 +138,8 @@ int main(int argc, char** argv) {
     lines = ReadRequestLines(file);
   }
 
-  QueryService service(inst->db, inst->keys, opts.service);
+  LiveInstance live(std::move(inst->db), std::move(inst->keys));
+  QueryService service(live, opts.service);
   PrintBatchResponses(service, service.ExecuteBatchLines(lines, opts.threads));
   return 0;
 }
