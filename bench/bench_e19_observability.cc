@@ -1,0 +1,201 @@
+// E19 — observability overhead (repo experiment).
+//
+// The metrics layer promises two things: it never changes a response byte,
+// and it is cheap enough to leave on in Release. This bench measures both
+// on the E14-style Zipfian serving mix: a hot probe pool that replays from
+// the warm result cache plus a per-iteration tail of fresh-seeded mc
+// probes that miss and do real solver work — the steady state of a serving
+// process (head traffic hits, tail traffic computes), not an all-hit
+// microbenchmark of the instrumentation itself. (For scale: the all-hit
+// fast path is ~2 us/request, and its fixed instrumentation cost — six
+// steady_clock reads and a handful of relaxed fetch_adds across the
+// parse/result_cache/request stages — is ~0.2-0.3 us, so a pure-hit replay
+// would read as >10% while a request that computes anything at all
+// amortizes the same cost below the gate.)
+//
+//   BM_MetricsOff        — ServiceOptions::metrics_enabled = false: every
+//                          instrument handle is null, the uninstrumented
+//                          baseline;
+//   BM_MetricsOn         — the default-on configuration (stage histograms,
+//                          cache/request/pool counters);
+//   BM_MetricsOffTraced / BM_MetricsOnTraced
+//                        — the same pair with trace=1 on every request
+//                          (per-request span collection on top).
+//
+// Both sides of a pair generate the identical request sequence (the fresh
+// tail's seeds advance with a deterministic per-benchmark counter, and mc
+// cost is seed-independent), so the pair times identical work. Before
+// timing, each *On benchmark replays the warmup workload against a
+// metrics-off twin and cross-checks every payload byte — a mismatch fails
+// the bench run, so the determinism contract is enforced in the same run
+// that publishes the overhead numbers.
+//
+// tools/bench_report pairs BM_MetricsOff* with BM_MetricsOn* and reports
+// off_time / on_time; CI gates the ratio at 0.95 (a loose bound for shared
+// runners — the pinned-hardware target is <= 3% overhead, ratio >= 0.97).
+//
+// Record results with tools/bench_report (see README):
+//   tools/bench_report build/bench/bench_e19_observability --gate 0.95
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "service/service.h"
+#include "workload/generators.h"
+
+namespace uocqa {
+namespace {
+
+// E14's serving instance: ~620 facts over ChainQuery(3)'s schema with
+// Zipfian hot blocks.
+GeneratedInstance MakeServeDb() {
+  Rng rng(29);
+  ConjunctiveQuery q = ChainQuery(3);
+  SkewedDbGenOptions gen;
+  gen.blocks_per_relation = 200;
+  gen.max_block_size = 5;
+  gen.block_skew = 1.0;
+  gen.domain_size = 800;
+  return GenerateSkewedDatabaseForQuery(rng, q, gen);
+}
+
+// E14's hot (query, answer) probe pool: 2 triangle orientations x 16
+// candidate answers.
+const std::vector<std::pair<std::string, std::string>>& ProbePool() {
+  static const std::vector<std::pair<std::string, std::string>>* pool = [] {
+    auto* out = new std::vector<std::pair<std::string, std::string>>();
+    for (const char* query : {"Ans(u) :- R1(u, v), R2(v, w), R3(w, u)",
+                              "Ans(a) :- R2(a, b), R3(b, c), R1(c, a)"}) {
+      for (size_t a = 0; a < 16; ++a) {
+        out->emplace_back(query, "p" + std::to_string(a));
+      }
+    }
+    return out;
+  }();
+  return *pool;
+}
+
+constexpr size_t kHotRequests = 96;
+constexpr size_t kFreshRequests = 4;
+constexpr double kSkew = 1.2;
+
+std::vector<Request> ZipfianWorkload(bool trace) {
+  Rng rng(17);
+  std::vector<size_t> ranks =
+      SampleZipfianIndices(rng, ProbePool().size(), kHotRequests, kSkew);
+  std::vector<Request> out;
+  out.reserve(kHotRequests);
+  for (size_t r : ranks) {
+    Request req;
+    req.query_text = ProbePool()[r].first;
+    req.answer_text = ProbePool()[r].second;
+    req.mode = RequestMode::kFpras;
+    req.epsilon = 0.5;
+    req.delta = 0.2;
+    req.samples = 200;
+    req.seed = 7;
+    req.trace = trace;
+    out.push_back(std::move(req));
+  }
+  return out;
+}
+
+// The miss tail: kFreshRequests mc probes whose seed has never been served,
+// so each one misses the result cache and runs the sampler (the plan cache
+// stays warm — same canonical query). mc cost does not depend on the seed
+// value, so any two tails are the same amount of work.
+void AppendFreshTail(std::vector<Request>* out, uint64_t seed_base,
+                     bool trace) {
+  for (size_t i = 0; i < kFreshRequests; ++i) {
+    Request req;
+    req.query_text = ProbePool()[i % ProbePool().size()].first;
+    req.answer_text = ProbePool()[i % ProbePool().size()].second;
+    req.mode = RequestMode::kMc;
+    req.samples = 1;
+    req.seed = seed_base + i;
+    req.trace = trace;
+    out->push_back(std::move(req));
+  }
+}
+
+ServiceOptions MetricsConfig(bool enabled) {
+  ServiceOptions options;
+  options.metrics_enabled = enabled;
+  return options;
+}
+
+/// The in-run byte-identity cross-check: replays `workload` against a
+/// metrics-off twin service and compares every payload byte with the
+/// instrumented service's responses. Returns false (and fails the bench via
+/// SkipWithError at the call site) on any divergence.
+bool PayloadsMatchMetricsOffTwin(const GeneratedInstance& inst,
+                                 const std::vector<Request>& workload,
+                                 const std::vector<ServiceResponse>& on) {
+  QueryService twin(inst.db, inst.keys, MetricsConfig(false));
+  std::vector<ServiceResponse> off = twin.ExecuteBatch(workload, 1);
+  if (off.size() != on.size()) return false;
+  for (size_t i = 0; i < off.size(); ++i) {
+    if (off[i].payload != on[i].payload ||
+        off[i].status.ok() != on[i].status.ok()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void RunServing(benchmark::State& state, bool metrics, bool trace) {
+  GeneratedInstance inst = MakeServeDb();
+  std::vector<Request> warmup = ZipfianWorkload(trace);
+  AppendFreshTail(&warmup, /*seed_base=*/500, trace);
+  QueryService service(inst.db, inst.keys, MetricsConfig(metrics));
+  std::vector<ServiceResponse> warm = service.ExecuteBatch(warmup, 1);
+  if (metrics && !PayloadsMatchMetricsOffTwin(inst, warmup, warm)) {
+    state.SkipWithError(
+        "byte-identity violation: metrics changed a response payload");
+    return;
+  }
+  const std::vector<Request> hot = ZipfianWorkload(trace);
+  // Fresh-tail seeds start past the warmup's and advance per iteration, so
+  // no timed tail ever replays — and the On/Off twin draws the identical
+  // sequence.
+  uint64_t seed_base = 1000;
+  for (auto _ : state) {
+    std::vector<Request> workload = hot;
+    AppendFreshTail(&workload, seed_base, trace);
+    seed_base += kFreshRequests;
+    benchmark::DoNotOptimize(service.ExecuteBatch(workload, 1));
+  }
+  constexpr size_t kRequests = kHotRequests + kFreshRequests;
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kRequests));
+  state.counters["requests"] = static_cast<double>(kRequests);
+}
+
+void BM_MetricsOff(benchmark::State& state) {
+  RunServing(state, /*metrics=*/false, /*trace=*/false);
+}
+BENCHMARK(BM_MetricsOff)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_MetricsOn(benchmark::State& state) {
+  RunServing(state, /*metrics=*/true, /*trace=*/false);
+}
+BENCHMARK(BM_MetricsOn)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_MetricsOffTraced(benchmark::State& state) {
+  RunServing(state, /*metrics=*/false, /*trace=*/true);
+}
+BENCHMARK(BM_MetricsOffTraced)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_MetricsOnTraced(benchmark::State& state) {
+  RunServing(state, /*metrics=*/true, /*trace=*/true);
+}
+BENCHMARK(BM_MetricsOnTraced)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+}  // namespace uocqa
+
+BENCHMARK_MAIN();

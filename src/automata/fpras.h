@@ -40,6 +40,7 @@
 
 #include "base/hashing.h"
 #include "base/rng.h"
+#include "base/version.h"
 #include "base/thread_pool.h"
 #include "automata/compiled_nfta.h"
 #include "automata/nfta.h"
@@ -71,7 +72,7 @@ struct FprasConfig {
   ///    global trial index), enabling the lockstep batch evaluation of
   ///    trial chunks. Estimates differ from schema 1 at the same seed but
   ///    are equally accurate and equally deterministic.
-  int seed_schema = 2;
+  int seed_schema = kDefaultSeedSchema;
   /// Split each union into provably-disjoint groups keyed by
   /// (symbol, child sizes) and only sample within groups (on by default;
   /// the ablation benchmark bench_e11 quantifies the win). When false, the

@@ -1,0 +1,197 @@
+#include "base/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace uocqa {
+namespace metrics {
+
+namespace {
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out->append(buf);
+}
+
+void AppendI64(std::string* out, int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out->append(buf);
+}
+
+}  // namespace
+
+uint64_t Histogram::BucketUpperBound(size_t i) {
+  if (i == 0) return 0;
+  if (i >= kBuckets - 1) return std::numeric_limits<uint64_t>::max();
+  return (uint64_t{1} << i) - 1;
+}
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  return value == 0 ? 0 : 64 - static_cast<size_t>(__builtin_clzll(value));
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::Snapshot::Percentile(double q) const {
+  if (count == 0) return 0;
+  double target = std::ceil(q * static_cast<double>(count));
+  uint64_t rank = target < 1.0 ? 1 : static_cast<uint64_t>(target);
+  if (rank > count) rank = count;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) return BucketUpperBound(i);
+  }
+  return BucketUpperBound(kBuckets - 1);
+}
+
+Histogram::Snapshot Histogram::Take() const {
+  // Relaxed per-cell reads: the snapshot may interleave with concurrent
+  // records (sum can lead or trail the captured buckets by in-flight
+  // updates), which is fine for diagnostics. count is the bucket total, so
+  // Percentile() is internally consistent with whatever was captured here.
+  Snapshot s;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    s.count += s.buckets[i];
+  }
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+Registry* Registry::Global() {
+  static Registry* global = new Registry();
+  return global;
+}
+
+std::string Registry::PrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    out += "# TYPE " + name + " counter\n";
+    out += name + " ";
+    AppendU64(&out, counter->Value());
+    out += "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " ";
+    AppendI64(&out, gauge->Value());
+    out += "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    Histogram::Snapshot s = histogram->Take();
+    out += "# TYPE " + name + " histogram\n";
+    // Render cumulative buckets up to the highest non-empty one; the +Inf
+    // bucket always closes the series, so an empty histogram is just
+    // `le="+Inf" 0`.
+    size_t highest = 0;
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (s.buckets[i] != 0) highest = i;
+    }
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i <= highest && s.count != 0; ++i) {
+      cumulative += s.buckets[i];
+      out += name + "_bucket{le=\"";
+      AppendU64(&out, Histogram::BucketUpperBound(i));
+      out += "\"} ";
+      AppendU64(&out, cumulative);
+      out += "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} ";
+    AppendU64(&out, s.count);
+    out += "\n";
+    out += name + "_sum ";
+    AppendU64(&out, s.sum);
+    out += "\n";
+    out += name + "_count ";
+    AppendU64(&out, s.count);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string Registry::OneLineText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  auto sep = [&out]() {
+    if (!out.empty()) out += " ";
+  };
+  for (const auto& [name, counter] : counters_) {
+    sep();
+    out += name + "=";
+    AppendU64(&out, counter->Value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    sep();
+    out += name + "=";
+    AppendI64(&out, gauge->Value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    Histogram::Snapshot s = histogram->Take();
+    sep();
+    out += name + "_count=";
+    AppendU64(&out, s.count);
+    out += " " + name + "_sum=";
+    AppendU64(&out, s.sum);
+    out += " " + name + "_p50=";
+    AppendU64(&out, s.Percentile(0.50));
+    out += " " + name + "_p95=";
+    AppendU64(&out, s.Percentile(0.95));
+    out += " " + name + "_p99=";
+    AppendU64(&out, s.Percentile(0.99));
+  }
+  return out;
+}
+
+std::string StageTrace::ToString() const {
+  std::string out;
+  auto sep = [&out]() {
+    if (!out.empty()) out += " ";
+  };
+  for (const auto& [key, micros] : spans) {
+    sep();
+    out += key;
+    out += "=";
+    AppendU64(&out, micros);
+  }
+  for (const auto& [key, value] : counts) {
+    sep();
+    out += key;
+    out += "=";
+    AppendU64(&out, value);
+  }
+  return out;
+}
+
+}  // namespace metrics
+}  // namespace uocqa

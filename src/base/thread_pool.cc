@@ -33,8 +33,13 @@ struct ThreadPool::LoopJob {
   std::condition_variable done_cv;
 };
 
-ThreadPool::ThreadPool(size_t threads) {
+ThreadPool::ThreadPool(size_t threads, MetricsRegistry* metrics) {
   if (threads == 0) threads = HardwareThreads();
+  if (metrics != nullptr) {
+    tasks_counter_ = metrics->GetCounter("uocqa_pool_tasks_total");
+    steals_counter_ = metrics->GetCounter("uocqa_pool_steals_total");
+    idle_wakeups_counter_ = metrics->GetCounter("uocqa_pool_idle_wakeups_total");
+  }
   worker_count_ = threads - 1;
   lanes_.reserve(worker_count_ + 1);
   for (size_t i = 0; i < worker_count_ + 1; ++i) {
@@ -95,6 +100,7 @@ bool ThreadPool::TryPop(size_t lane, Task* out) {
       *out = victim.tasks.front();
       victim.tasks.pop_front();
       queued_.fetch_sub(1, std::memory_order_relaxed);
+      metrics::Add(steals_counter_);
       return true;
     }
   }
@@ -110,6 +116,7 @@ void ThreadPool::RunTask(Task t, size_t lane) {
     Push(lane, Task{job, mid, t.hi});
     t.hi = mid;
   }
+  metrics::Add(tasks_counter_);
   if (!job->cancelled.load(std::memory_order_relaxed)) {
     try {
       for (size_t i = t.lo; i < t.hi; ++i) (*job->body)(i);
@@ -167,11 +174,14 @@ void ThreadPool::WorkerMain(size_t lane) {
       RunTask(t, lane);
       continue;
     }
-    std::unique_lock<std::mutex> lock(wake_mu_);
-    wake_cv_.wait(lock, [this] {
-      return stop_ || queued_.load(std::memory_order_acquire) > 0;
-    });
-    if (stop_) return;  // all loops have drained before ~ThreadPool
+    {
+      std::unique_lock<std::mutex> lock(wake_mu_);
+      wake_cv_.wait(lock, [this] {
+        return stop_ || queued_.load(std::memory_order_acquire) > 0;
+      });
+      if (stop_) return;  // all loops have drained before ~ThreadPool
+    }
+    metrics::Add(idle_wakeups_counter_);
   }
 }
 

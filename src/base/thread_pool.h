@@ -24,6 +24,8 @@
 #include <thread>
 #include <vector>
 
+#include "base/metrics.h"
+
 namespace uocqa {
 
 /// Number of hardware threads, never 0 (falls back to 1 when the runtime
@@ -52,7 +54,13 @@ size_t HardwareThreads();
 class ThreadPool {
  public:
   /// Creates a pool with `threads` lanes; 0 means HardwareThreads().
-  explicit ThreadPool(size_t threads = 0);
+  ///
+  /// With a registry, the pool reports `uocqa_pool_tasks_total` (leaf tasks
+  /// executed), `uocqa_pool_steals_total` (tasks taken from another lane's
+  /// deque), and `uocqa_pool_idle_wakeups_total` (worker wakeups from the
+  /// idle wait). Scheduling is unchanged either way — the counters observe
+  /// the work distribution, they never steer it.
+  explicit ThreadPool(size_t threads = 0, MetricsRegistry* metrics = nullptr);
 
   /// Joins all workers. Must not run concurrently with ParallelFor.
   ~ThreadPool();
@@ -112,6 +120,12 @@ class ThreadPool {
   std::condition_variable wake_cv_;
   std::atomic<size_t> queued_{0};  // tasks sitting in deques
   bool stop_ = false;              // guarded by wake_mu_
+
+  // Null without a registry; recording goes through the null-tolerant
+  // metrics helpers so the uninstrumented pool pays one branch per event.
+  metrics::Counter* tasks_counter_ = nullptr;
+  metrics::Counter* steals_counter_ = nullptr;
+  metrics::Counter* idle_wakeups_counter_ = nullptr;
 };
 
 /// Runs `body(i)` for i in [0, n) on `pool`, or inline (in index order)

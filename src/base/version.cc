@@ -1,0 +1,37 @@
+#include "base/version.h"
+
+#include <cstdio>
+
+#include "base/simd_kernels.h"
+
+namespace uocqa {
+
+std::string VersionString() {
+#ifdef UOCQA_VERSION
+  return UOCQA_VERSION;
+#else
+  return "unknown";
+#endif
+}
+
+std::string VersionFields() {
+  std::string out = "version=" + VersionString();
+  out += " simd=";
+  out += simd::Active().name;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), " seed_schema=%d", kDefaultSeedSchema);
+  out += buf;
+  return out;
+}
+
+std::string VersionBanner() {
+  std::string out = "uocqa " + VersionString();
+  out += " (simd=";
+  out += simd::Active().name;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), ", seed_schema=%d)", kDefaultSeedSchema);
+  out += buf;
+  return out;
+}
+
+}  // namespace uocqa

@@ -38,9 +38,20 @@ ThreadPool* OcqaEngine::PoolFor(size_t threads) const {
   threads = ResolveThreads(threads);
   if (threads == 1) return nullptr;
   if (!pool_ || pool_->thread_count() != threads) {
-    pool_ = std::make_unique<ThreadPool>(threads);
+    pool_ = std::make_unique<ThreadPool>(threads, metrics_);
   }
   return pool_.get();
+}
+
+void OcqaEngine::SetMetrics(MetricsRegistry* metrics) const {
+  metrics_ = metrics;
+  denominators_hist_ =
+      metrics == nullptr
+          ? nullptr
+          : metrics->GetHistogram("uocqa_stage_denominators_us");
+  // An already-built pool keeps its old handles; drop it so the next
+  // PoolFor rebuild binds the new registry.
+  pool_.reset();
 }
 
 Result<const RepAutomaton*> CompiledQuery::Rep(
@@ -135,6 +146,7 @@ const BigInt& OcqaEngine::OrepCount(ThreadPool* pool) const {
     denom_facts_ = db_.size();
   }
   if (!orep_count_.has_value()) {
+    metrics::ScopedTimer timer(denominators_hist_);
     orep_count_ =
         CountOperationalRepairs(BlockPartition::Compute(db_, keys_, pool));
   }
@@ -149,6 +161,7 @@ const BigInt& OcqaEngine::CrsCount(ThreadPool* pool) const {
     denom_facts_ = db_.size();
   }
   if (!crs_count_.has_value()) {
+    metrics::ScopedTimer timer(denominators_hist_);
     crs_count_ =
         CountCompleteSequencesExact(BlockPartition::Compute(db_, keys_, pool));
   }
@@ -195,6 +208,7 @@ Result<ApproxRF> OcqaEngine::ApproxUr(const CompiledQuery& compiled,
   out.value = out.denominator > 0 ? out.numerator / out.denominator : 0.0;
   out.automaton_states = rep->nfta.state_count();
   out.automaton_transitions = rep->nfta.transition_count();
+  out.union_trials = fpras.union_estimations();
   return out;
 }
 
@@ -212,6 +226,7 @@ Result<ApproxRF> OcqaEngine::ApproxUs(const CompiledQuery& compiled,
   out.value = out.denominator > 0 ? out.numerator / out.denominator : 0.0;
   out.automaton_states = seq->nfta.state_count();
   out.automaton_transitions = seq->nfta.transition_count();
+  out.union_trials = fpras.union_estimations();
   return out;
 }
 

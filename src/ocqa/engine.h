@@ -28,6 +28,7 @@
 
 #include "automata/fpras.h"
 #include "base/bigint.h"
+#include "base/metrics.h"
 #include "base/status.h"
 #include "base/thread_pool.h"
 #include "db/database.h"
@@ -67,6 +68,10 @@ struct ApproxRF {
   double value = 0;       ///< numerator / denominator (0 if denominator 0)
   size_t automaton_states = 0;
   size_t automaton_transitions = 0;
+  /// Union-estimation trials the FPRAS ran for this call (diagnostic; fully
+  /// determined by the config and automaton, so reporting it cannot perturb
+  /// the estimate).
+  size_t union_trials = 0;
 };
 
 /// The reusable output of the engine's shared pipeline prefix: the GHD of
@@ -235,6 +240,15 @@ class OcqaEngine {
   /// Monte-Carlo samples per RNG stream chunk (the unit of parallel work).
   static constexpr size_t kMcChunk = 64;
 
+  /// Points the engine's instruments at `metrics` (nullptr detaches): the
+  /// denominator-compute latency histogram (`uocqa_stage_denominators_us`,
+  /// recorded only when OrepCount/CrsCount actually compute — memo hits are
+  /// free) and the pool counters of any ThreadPool built afterwards.
+  /// Observation only: no engine result depends on the registry. Const for
+  /// the same reason the memos are mutable — the service wires an engine it
+  /// only holds const access to.
+  void SetMetrics(MetricsRegistry* metrics) const;
+
  private:
   /// Exact denominators |ORep| / |CRS| over the engine's instance, shared
   /// by every compiled plan. Memoized per instance state — the database
@@ -253,6 +267,9 @@ class OcqaEngine {
   const Database& db_;
   const KeySet& keys_;
   mutable std::unique_ptr<ThreadPool> pool_;
+
+  mutable MetricsRegistry* metrics_ = nullptr;
+  mutable metrics::Histogram* denominators_hist_ = nullptr;
 
   mutable std::mutex denom_mu_;
   mutable size_t denom_facts_ = 0;  // db_.size() the memos were taken at

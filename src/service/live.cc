@@ -42,12 +42,28 @@ Status LiveInstance::Add(std::string_view relation,
   args.reserve(constants.size());
   for (const std::string& c : constants) args.push_back(ValuePool::Intern(c));
   pending_.emplace_back(rel, std::move(args));
+  metrics::Set(pending_gauge_, static_cast<int64_t>(pending_.size()));
   return Status::OK();
+}
+
+void LiveInstance::SetMetrics(MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (metrics == nullptr) {
+    publish_hist_ = nullptr;
+    delta_hist_ = nullptr;
+    pending_gauge_ = nullptr;
+    return;
+  }
+  publish_hist_ = metrics->GetHistogram("uocqa_stage_snapshot_publish_us");
+  delta_hist_ = metrics->GetHistogram("uocqa_live_delta_facts");
+  pending_gauge_ = metrics->GetGauge("uocqa_live_pending");
+  pending_gauge_->Set(static_cast<int64_t>(pending_.size()));
 }
 
 std::shared_ptr<const InstanceSnapshot> LiveInstance::Snapshot() {
   std::lock_guard<std::mutex> lock(mu_);
   if (pending_.empty()) return current_;
+  metrics::ScopedTimer publish_timer(publish_hist_);
   const InstanceSnapshot& prev = *current_;
   // Copy-on-write merge: duplicate the previous version (facts, dedup map,
   // index) and append the delta. AddFact's dedup makes re-inserted facts
@@ -56,6 +72,7 @@ std::shared_ptr<const InstanceSnapshot> LiveInstance::Snapshot() {
   auto merged = std::make_shared<Database>(*prev.db);
   for (Fact& fact : pending_) merged->AddFact(std::move(fact));
   pending_.clear();
+  metrics::Set(pending_gauge_, 0);
   FactId first_new = static_cast<FactId>(prev.db->size());
   if (merged->size() == prev.db->size()) {
     // Every queued fact was a duplicate: the fact set did not change, so
@@ -79,6 +96,8 @@ std::shared_ptr<const InstanceSnapshot> LiveInstance::Snapshot() {
                                    first_new, &changed));
   next->conflict_epoch =
       changed.empty() ? prev.conflict_epoch : next->epoch;
+  metrics::Record(delta_hist_,
+                  static_cast<uint64_t>(merged->size()) - first_new);
   next->db = std::move(merged);
   current_ = next;
   return current_;

@@ -45,6 +45,7 @@
 #include <string_view>
 #include <vector>
 
+#include "base/metrics.h"
 #include "base/status.h"
 #include "db/blocks.h"
 #include "db/database.h"
@@ -115,11 +116,22 @@ class LiveInstance {
   /// The key set, fixed for the instance's lifetime.
   const KeySet& keys() const { return keys_; }
 
+  /// Points the instance's instruments at `metrics` (nullptr detaches):
+  /// `uocqa_stage_snapshot_publish_us` (merge latency of epoch-advancing
+  /// Snapshot calls), `uocqa_live_delta_facts` (facts merged per publish),
+  /// and the `uocqa_live_pending` gauge (queued facts not yet merged).
+  /// Observation only; merge results are unchanged.
+  void SetMetrics(MetricsRegistry* metrics);
+
  private:
   KeySet keys_;
   mutable std::mutex mu_;
   std::shared_ptr<const InstanceSnapshot> current_;
   std::vector<Fact> pending_;
+
+  metrics::Histogram* publish_hist_ = nullptr;   // guarded by mu_
+  metrics::Histogram* delta_hist_ = nullptr;     // guarded by mu_
+  metrics::Gauge* pending_gauge_ = nullptr;      // guarded by mu_
 };
 
 }  // namespace uocqa

@@ -16,6 +16,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "base/metrics.h"
+
 namespace uocqa {
 
 /// Fixed-capacity least-recently-used map. `capacity == 0` disables the
@@ -27,14 +29,28 @@ class LruCache {
  public:
   explicit LruCache(size_t capacity) : capacity_(capacity) {}
 
+  /// Mirrors future hit/miss/eviction events onto registry counters (any
+  /// may be null). The internal size_t counters keep counting either way —
+  /// they are the source of truth for hits()/misses()/evictions(); the
+  /// registry copies exist so cache traffic shows up in one exposition
+  /// alongside everything else.
+  void BindCounters(metrics::Counter* hits, metrics::Counter* misses,
+                    metrics::Counter* evictions) {
+    hits_counter_ = hits;
+    misses_counter_ = misses;
+    evictions_counter_ = evictions;
+  }
+
   /// Returns the cached value and refreshes its recency, or nullopt.
   std::optional<V> Get(const K& key) {
     auto it = index_.find(key);
     if (it == index_.end()) {
       ++misses_;
+      metrics::Add(misses_counter_);
       return std::nullopt;
     }
     ++hits_;
+    metrics::Add(hits_counter_);
     order_.splice(order_.begin(), order_, it->second);
     return it->second->second;
   }
@@ -55,6 +71,7 @@ class LruCache {
       index_.erase(order_.back().first);
       order_.pop_back();
       ++evictions_;
+      metrics::Add(evictions_counter_);
     }
   }
 
@@ -102,6 +119,9 @@ class LruCache {
   size_t hits_ = 0;
   size_t misses_ = 0;
   size_t evictions_ = 0;
+  metrics::Counter* hits_counter_ = nullptr;
+  metrics::Counter* misses_counter_ = nullptr;
+  metrics::Counter* evictions_counter_ = nullptr;
 };
 
 }  // namespace uocqa

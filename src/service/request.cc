@@ -141,13 +141,16 @@ Result<Request> ParseRequestLine(std::string_view line) {
   UOCQA_ASSIGN_OR_RETURN(std::vector<std::string> tokens, Tokenize(line));
   if (tokens.empty()) return Status::InvalidArgument("empty request");
   Request out;
-  if (tokens[0] == "stats" || tokens[0] == "begin_snapshot" ||
+  if (tokens[0] == "stats" || tokens[0] == "metrics" ||
+      tokens[0] == "version" || tokens[0] == "begin_snapshot" ||
       tokens[0] == "epoch") {
     if (tokens.size() != 1) {
       return Status::InvalidArgument("'" + tokens[0] +
                                      "' takes no further fields");
     }
-    out.verb = tokens[0] == "stats" ? RequestVerb::kStats
+    out.verb = tokens[0] == "stats"            ? RequestVerb::kStats
+               : tokens[0] == "metrics"        ? RequestVerb::kMetrics
+               : tokens[0] == "version"        ? RequestVerb::kVersion
                : tokens[0] == "begin_snapshot" ? RequestVerb::kBeginSnapshot
                                                : RequestVerb::kEpoch;
     return out;
@@ -224,6 +227,14 @@ Result<Request> ParseRequestLine(std::string_view line) {
       } else {
         return Status::InvalidArgument("explain expects 0 or 1");
       }
+    } else if (key == "trace") {
+      if (value == "0") {
+        out.trace = false;
+      } else if (value == "1") {
+        out.trace = true;
+      } else {
+        return Status::InvalidArgument("trace expects 0 or 1");
+      }
     } else {
       return Status::InvalidArgument("unknown request field: " + key);
     }
@@ -240,6 +251,10 @@ std::string FormatRequestLine(const Request& request) {
   switch (request.verb) {
     case RequestVerb::kStats:
       return "stats";
+    case RequestVerb::kMetrics:
+      return "metrics";
+    case RequestVerb::kVersion:
+      return "version";
     case RequestVerb::kBeginSnapshot:
       return "begin_snapshot";
     case RequestVerb::kEpoch:
@@ -262,10 +277,11 @@ std::string FormatRequestLine(const Request& request) {
   out += buf;
   out += " samples=" + std::to_string(request.samples);
   out += " seed=" + std::to_string(request.seed);
-  if (request.seed_schema != 2) {
+  if (request.seed_schema != kDefaultSeedSchema) {
     out += " seed_schema=" + std::to_string(request.seed_schema);
   }
   if (request.explain) out += " explain=1";
+  if (request.trace) out += " trace=1";
   return out;
 }
 
@@ -280,6 +296,9 @@ std::string FormatResponseLine(size_t id, const ServiceResponse& response) {
     if (!response.payload.empty()) {
       out += " ";
       out += response.payload;
+    }
+    if (!response.trace.empty()) {
+      out += " trace=" + QuoteProtocolValue(response.trace);
     }
   } else {
     out += " error '" + response.status.ToString() + "'";

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "base/status.h"
+#include "base/version.h"
 
 namespace uocqa {
 
@@ -45,6 +46,8 @@ std::optional<RequestMode> ParseRequestMode(std::string_view text);
 /// plus option fields); the rest are verbs, recognized by their first bare
 /// token:
 ///   stats                      — cache counters and per-plan timings
+///   metrics                    — one-line metrics registry exposition
+///   version                    — build info, SIMD backend, seed schema
 ///   add_fact rel=R args='a,b'  — queue one fact for the next snapshot
 ///   begin_snapshot             — merge queued facts into a new epoch
 ///   epoch                      — report the currently served epoch
@@ -53,6 +56,8 @@ std::optional<RequestMode> ParseRequestMode(std::string_view text);
 enum class RequestVerb : uint8_t {
   kQuery,
   kStats,
+  kMetrics,
+  kVersion,
   kAddFact,
   kBeginSnapshot,
   kEpoch,
@@ -72,11 +77,17 @@ struct Request {
   /// sequential trials, 2 = batched lockstep trials (the default). Part of
   /// the result-cache key — the schemas produce different (equally valid)
   /// estimates at the same seed.
-  int seed_schema = 2;
+  int seed_schema = kDefaultSeedSchema;
   /// `explain=1` extends the payload with the compiled plan's deterministic
   /// `plan_*` fields (join order, cost estimates, decomposition choice).
   /// Part of the result-cache key: explain and plain payloads differ.
   bool explain = false;
+  /// `trace=1` asks for a per-request stage breakdown (stage → micros,
+  /// trials run, planner nodes, cache hit/miss) in the response's trace
+  /// field. Deliberately NOT part of the result-cache key: tracing rides
+  /// outside the payload bytes (the epoch-stamp precedent), so traced and
+  /// untraced requests share cache entries and replay byte-identically.
+  bool trace = false;
   /// What this line asks for. kQuery uses the fields above; kStats answers
   /// with cache counters (never cached, doesn't count as a query request);
   /// kAddFact uses fact_relation/fact_args; kBeginSnapshot and kEpoch take
@@ -137,9 +148,15 @@ struct ServiceResponse {
   /// their response lines are unchanged.
   bool has_epoch = false;
   uint64_t epoch = 0;
+  /// `trace=1` responses carry the stage breakdown here — like the epoch
+  /// stamp, *outside* `payload`, rendered by FormatResponseLine as a
+  /// trailing ` trace='...'` field. Cached payload bytes are untouched by
+  /// tracing; timings live only in this field, which is never cached.
+  std::string trace;
 };
 
-/// "<id> ok <hit|miss> [epoch=<E>] <payload>" or "<id> error '<message>'".
+/// "<id> ok <hit|miss> [epoch=<E>] <payload> [trace='...']" or
+/// "<id> error '<message>'".
 std::string FormatResponseLine(size_t id, const ServiceResponse& response);
 
 }  // namespace uocqa

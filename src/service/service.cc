@@ -6,6 +6,7 @@
 
 #include "base/hashing.h"
 #include "base/strings.h"
+#include "base/version.h"
 #include "db/value.h"
 #include "query/parser.h"
 #include "service/canonical.h"
@@ -54,6 +55,11 @@ std::string ServiceStats::ToString() const {
   out += " result_hits=" + std::to_string(result_hits);
   out += " result_misses=" + std::to_string(result_misses);
   out += " result_evictions=" + std::to_string(result_evictions);
+  if (has_live) {
+    out += " epoch=" + std::to_string(epoch);
+    out += " facts=" + std::to_string(facts);
+    out += " pending=" + std::to_string(pending);
+  }
   return out;
 }
 
@@ -87,6 +93,7 @@ QueryService::QueryService(const Database& db, const KeySet& keys,
       keys_(&keys),
       plan_cache_(options.plan_cache_capacity),
       result_cache_(options.result_cache_capacity) {
+  InitMetrics();
   // Static mode: wrap the externally owned instance in a non-owning epoch-0
   // snapshot. Blocks and denominators stay unset — the engine computes its
   // own denominators lazily, exactly as before live instances existed.
@@ -106,9 +113,49 @@ QueryService::QueryService(LiveInstance& live, const ServiceOptions& options)
       keys_(&live.keys()),
       plan_cache_(options.plan_cache_capacity),
       result_cache_(options.result_cache_capacity) {
+  InitMetrics();
   std::shared_ptr<const InstanceSnapshot> snapshot = live.Current();
   base_fingerprint_ = snapshot->fingerprint;
   InstallContext(std::move(snapshot));
+}
+
+void QueryService::InitMetrics() {
+  if (!options_.metrics_enabled) return;  // every handle stays null
+  metrics_ = options_.metrics;
+  if (metrics_ == nullptr) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  stages_.requests = metrics_->GetCounter("uocqa_requests_total");
+  stages_.parse = metrics_->GetHistogram("uocqa_stage_parse_us");
+  stages_.plan = metrics_->GetHistogram("uocqa_stage_plan_us");
+  stages_.planner = metrics_->GetHistogram("uocqa_stage_planner_us");
+  stages_.compile = metrics_->GetHistogram("uocqa_stage_compile_us");
+  stages_.exact_dp = metrics_->GetHistogram("uocqa_stage_exact_dp_us");
+  stages_.fpras_trials =
+      metrics_->GetHistogram("uocqa_stage_fpras_trials_us");
+  stages_.mc_trials = metrics_->GetHistogram("uocqa_stage_mc_trials_us");
+  stages_.result_cache =
+      metrics_->GetHistogram("uocqa_stage_result_cache_us");
+  stages_.batch_dispatch =
+      metrics_->GetHistogram("uocqa_stage_batch_dispatch_us");
+  stages_.request = metrics_->GetHistogram("uocqa_stage_request_us");
+  // Pre-register the stages recorded by other layers (engine denominators,
+  // live snapshot publish) so the exposition always lists the full stage
+  // set, even before the first event.
+  metrics_->GetHistogram("uocqa_stage_denominators_us");
+  metrics_->GetHistogram("uocqa_stage_snapshot_publish_us");
+  plan_cache_.BindCounters(
+      metrics_->GetCounter("uocqa_plan_cache_hits_total"),
+      metrics_->GetCounter("uocqa_plan_cache_misses_total"),
+      metrics_->GetCounter("uocqa_plan_cache_evictions_total"));
+  result_cache_.BindCounters(
+      metrics_->GetCounter("uocqa_result_cache_hits_total"),
+      metrics_->GetCounter("uocqa_result_cache_misses_total"),
+      metrics_->GetCounter("uocqa_result_cache_evictions_total"));
+  // Last writer wins if several services share one LiveInstance; each
+  // service's own request-path stages stay per-service regardless.
+  if (live_ != nullptr) live_->SetMetrics(metrics_);
 }
 
 std::shared_ptr<const QueryService::EpochContext> QueryService::InstallContext(
@@ -120,6 +167,7 @@ std::shared_ptr<const QueryService::EpochContext> QueryService::InstallContext(
   auto ctx = std::make_shared<EpochContext>();
   ctx->snapshot = std::move(snapshot);
   ctx->engine = std::make_unique<OcqaEngine>(*ctx->snapshot->db, *keys_);
+  ctx->engine->SetMetrics(metrics_);
   if (ctx->snapshot->denominators != nullptr) {
     // Hand the snapshot's delta-maintained denominators to the fresh
     // engine: no request ever recomputes the block partition just to
@@ -205,6 +253,9 @@ void QueryService::RunSegmented(size_t count, const VerbOf& verb_of,
   size_t start = 0;
   auto run_span = [&](size_t begin, size_t end) {
     if (begin >= end) return;
+    // One record per parallel span: wall-clock from dispatch to the last
+    // lane finishing, the batch executor's unit of work.
+    metrics::ScopedTimer dispatch_timer(stages_.batch_dispatch);
     ParallelForOn(BatchPool(threads), end - begin,
                   [&](size_t i) { run_one(begin + i); }, /*grain=*/1);
   };
@@ -222,7 +273,7 @@ ThreadPool* QueryService::BatchPool(size_t threads) {
   size_t lanes = threads == 0 ? HardwareThreads() : threads;
   if (lanes == 1) return nullptr;
   if (!pool_ || pool_->thread_count() != lanes) {
-    pool_ = std::make_unique<ThreadPool>(lanes);
+    pool_ = std::make_unique<ThreadPool>(lanes, metrics_);
   }
   return pool_.get();
 }
@@ -273,7 +324,10 @@ uint64_t QueryService::EffectiveFingerprint(const EpochContext& ctx,
 
 Result<std::shared_ptr<CompiledQuery>> QueryService::PlanFor(
     const EpochContext& ctx, const std::string& canonical,
-    const ConjunctiveQuery& query) {
+    const ConjunctiveQuery& query, metrics::StageTrace* trace) {
+  // plan_us covers the whole lookup-or-compile; on a cache hit it is just
+  // the lock + LRU touch.
+  metrics::ScopedStage plan_stage(stages_.plan, trace, "plan_us");
   std::string key = PlanKey(ctx, canonical);
   {
     std::lock_guard<std::mutex> lock(plan_mu_);
@@ -282,8 +336,20 @@ Result<std::shared_ptr<CompiledQuery>> QueryService::PlanFor(
   }
   OcqaOptions options;
   options.max_width = options_.max_width;
-  Result<CompiledQuery> compiled = ctx.engine->Compile(query, options);
+  Result<CompiledQuery> compiled = [&]() -> Result<CompiledQuery> {
+    metrics::ScopedStage compile_stage(stages_.compile, trace, "compile_us");
+    return ctx.engine->Compile(query, options);
+  }();
   if (!compiled.ok()) return compiled.status();
+  // The planner's share of the compile is measured inside Compile itself
+  // (QueryPlan::planning_micros); mirror it as its own stage so the
+  // histogram separates plan search from normal-form conversion.
+  uint64_t planner_us =
+      static_cast<uint64_t>(compiled.value().plan().planning_micros);
+  metrics::Record(stages_.planner, planner_us);
+  if (trace != nullptr && trace->active) {
+    trace->spans.emplace_back("planner_us", planner_us);
+  }
   auto plan = std::make_shared<CompiledQuery>(std::move(compiled).value());
   {
     std::lock_guard<std::mutex> lock(plan_mu_);
@@ -306,7 +372,21 @@ ServiceResponse QueryService::Run(const Request& request) {
     out.payload = StatsPayload();
     return out;
   }
-  {
+  if (request.verb == RequestVerb::kMetrics) {
+    // Same introspection contract as stats: never counted, never cached.
+    ServiceResponse out;
+    out.payload = metrics_ == nullptr ? "metrics=off"
+                                      : metrics_->OneLineText();
+    return out;
+  }
+  if (request.verb == RequestVerb::kVersion) {
+    ServiceResponse out;
+    out.payload = VersionFields();
+    return out;
+  }
+  if (stages_.requests != nullptr) {
+    stages_.requests->Increment();
+  } else {
     std::lock_guard<std::mutex> lock(requests_mu_);
     ++requests_served_;
   }
@@ -358,6 +438,8 @@ ServiceResponse QueryService::RunControl(const Request& request) {
     }
     case RequestVerb::kQuery:
     case RequestVerb::kStats:
+    case RequestVerb::kMetrics:
+    case RequestVerb::kVersion:
       break;
   }
   out.status = Status::InvalidArgument("unhandled request verb");
@@ -366,6 +448,40 @@ ServiceResponse QueryService::RunControl(const Request& request) {
 
 ServiceResponse QueryService::RunQuery(const Request& request,
                                        const EpochContext& ctx) {
+  // The wrapper owns everything timing-related; RunQueryCore computes the
+  // payload bytes and never sees whether tracing is on, which is how the
+  // bytes-never-change contract is enforced structurally.
+  metrics::StageTrace trace;
+  trace.active = request.trace || options_.slow_query_micros > 0;
+  std::string canonical;
+  ServiceResponse out;
+  {
+    metrics::ScopedStage total(stages_.request, &trace, "total_us");
+    out = RunQueryCore(request, ctx, &trace, &canonical);
+  }
+  // total_us is the last span the scope above appended (when collecting).
+  if (request.trace) out.trace = trace.ToString();
+  if (options_.slow_query_micros > 0 && !trace.spans.empty() &&
+      trace.spans.back().second >= options_.slow_query_micros) {
+    std::string line = "slow_query query=" +
+                       QuoteProtocolValue(canonical.empty()
+                                              ? request.query_text
+                                              : canonical) +
+                       " " + trace.ToString();
+    std::lock_guard<std::mutex> lock(slow_mu_);
+    if (options_.slow_query_sink) {
+      options_.slow_query_sink(line);
+    } else {
+      std::fprintf(stderr, "%s\n", line.c_str());
+    }
+  }
+  return out;
+}
+
+ServiceResponse QueryService::RunQueryCore(const Request& request,
+                                           const EpochContext& ctx,
+                                           metrics::StageTrace* trace,
+                                           std::string* canonical_out) {
   ServiceResponse out;
   const Database& db = *ctx.snapshot->db;
   const OcqaEngine& engine = *ctx.engine;
@@ -377,7 +493,10 @@ ServiceResponse QueryService::RunQuery(const Request& request,
                                 request.samples);
   if (!out.status.ok()) return out;
 
-  Result<ConjunctiveQuery> query = ParseQuery(request.query_text, db.schema());
+  Result<ConjunctiveQuery> query = [&]() -> Result<ConjunctiveQuery> {
+    metrics::ScopedStage parse_stage(stages_.parse, trace, "parse_us");
+    return ParseQuery(request.query_text, db.schema());
+  }();
   if (!query.ok()) {
     out.status = query.status();
     return out;
@@ -392,7 +511,8 @@ ServiceResponse QueryService::RunQuery(const Request& request,
     return out;
   }
 
-  std::string canonical = CanonicalQueryText(*query);
+  std::string& canonical = *canonical_out;
+  canonical = CanonicalQueryText(*query);
   ResultKey key;
   key.fingerprint =
       EffectiveFingerprint(ctx, *query, request.mode, request.explain);
@@ -407,14 +527,18 @@ ServiceResponse QueryService::RunQuery(const Request& request,
   key.max_width = options_.max_width;
   key.explain = request.explain;
   {
+    metrics::ScopedStage cache_stage(stages_.result_cache, trace,
+                                     "result_cache_us");
     std::lock_guard<std::mutex> lock(result_mu_);
     std::optional<std::string> hit = result_cache_.Get(key);
     if (hit.has_value()) {
       out.payload = std::move(*hit);
       out.cache_hit = true;
+      trace->AddCount("cache_hit", 1);
       return out;
     }
   }
+  trace->AddCount("cache_hit", 0);
 
   std::string payload;
   auto append = [&payload](const std::string& field) {
@@ -423,7 +547,17 @@ ServiceResponse QueryService::RunQuery(const Request& request,
   };
   bool all = request.mode == RequestMode::kAll;
 
+  bool traced_planner_nodes = false;
+  auto trace_planner_nodes = [&](const CompiledQuery& plan) {
+    if (traced_planner_nodes) return;
+    traced_planner_nodes = true;
+    double cost = plan.plan().order_cost;
+    trace->AddCount("planner_nodes",
+                    cost > 0 ? static_cast<uint64_t>(cost) : 0);
+  };
+
   if (all || request.mode == RequestMode::kExact) {
+    metrics::ScopedStage exact_stage(stages_.exact_dp, trace, "exact_dp_us");
     ExactRF ur = engine.ExactUr(*query, answer);
     ExactRF us = engine.ExactUs(*query, answer);
     append("exact_ur=" + ur.numerator.ToString() + "/" +
@@ -433,10 +567,11 @@ ServiceResponse QueryService::RunQuery(const Request& request,
   }
   if (all || request.mode == RequestMode::kFpras) {
     Result<std::shared_ptr<CompiledQuery>> plan =
-        PlanFor(ctx, canonical, *query);
+        PlanFor(ctx, canonical, *query, trace);
     if (!plan.ok()) {
       append("fpras_error='" + plan.status().ToString() + "'");
     } else {
+      trace_planner_nodes(**plan);
       OcqaOptions options;
       options.fpras.epsilon = request.epsilon;
       options.fpras.delta = request.delta;
@@ -444,19 +579,26 @@ ServiceResponse QueryService::RunQuery(const Request& request,
       options.fpras.seed_schema = request.seed_schema;
       options.max_width = options_.max_width;
       options.threads = 1;  // batch lanes are the parallelism
+      metrics::ScopedStage fpras_stage(stages_.fpras_trials, trace,
+                                       "fpras_trials_us");
       Result<ApproxRF> ur = engine.ApproxUr(**plan, answer, options);
       append(ur.ok() ? "fpras_ur=" + FormatDouble(ur->value) : "fpras_ur=na");
       Result<ApproxRF> us = engine.ApproxUs(**plan, answer, options);
       append(us.ok() ? "fpras_us=" + FormatDouble(us->value) : "fpras_us=na");
+      trace->AddCount("fpras_trials",
+                      (ur.ok() ? ur->union_trials : 0) +
+                          (us.ok() ? us->union_trials : 0));
     }
   }
   if (all || request.mode == RequestMode::kMc) {
+    metrics::ScopedStage mc_stage(stages_.mc_trials, trace, "mc_trials_us");
     append("mc_ur=" + FormatDouble(engine.MonteCarloUr(
                           *query, answer, request.samples, request.seed,
                           /*threads=*/1)));
     append("mc_us=" + FormatDouble(engine.MonteCarloUs(
                           *query, answer, request.samples, request.seed,
                           /*threads=*/1)));
+    trace->AddCount("mc_samples", 2 * request.samples);
   }
   if (request.explain) {
     // The plan's Fields() are deterministic (no timing), so explain
@@ -464,8 +606,9 @@ ServiceResponse QueryService::RunQuery(const Request& request,
     // Compiling through PlanFor shares the plan cache even in exact/mc
     // modes, where the solvers themselves don't need the artifact.
     Result<std::shared_ptr<CompiledQuery>> plan =
-        PlanFor(ctx, canonical, *query);
+        PlanFor(ctx, canonical, *query, trace);
     if (plan.ok()) {
+      trace_planner_nodes(**plan);
       append((*plan)->plan().Fields());
     } else {
       append("explain_error='" + plan.status().ToString() + "'");
@@ -473,6 +616,7 @@ ServiceResponse QueryService::RunQuery(const Request& request,
   }
 
   {
+    metrics::ScopedTimer put_timer(stages_.result_cache);
     std::lock_guard<std::mutex> lock(result_mu_);
     result_cache_.Put(key, payload);
   }
@@ -481,13 +625,9 @@ ServiceResponse QueryService::RunQuery(const Request& request,
 }
 
 std::string QueryService::StatsPayload() const {
+  // The live-instance fields now ride inside ServiceStats::ToString(); the
+  // payload bytes are unchanged from when this function appended them.
   std::string out = stats().ToString();
-  if (live_ != nullptr) {
-    std::shared_ptr<const EpochContext> ctx = CurrentContext();
-    out += " epoch=" + std::to_string(ctx->snapshot->epoch);
-    out += " facts=" + std::to_string(ctx->snapshot->db->size());
-    out += " pending=" + std::to_string(live_->pending());
-  }
   std::lock_guard<std::mutex> lock(plan_mu_);
   out += " plans_cached=" + std::to_string(plan_cache_.size());
   plan_cache_.ForEach([&out](const std::string& key,
@@ -500,21 +640,49 @@ std::string QueryService::StatsPayload() const {
 
 ServiceStats QueryService::stats() const {
   ServiceStats out;
-  {
-    std::lock_guard<std::mutex> lock(requests_mu_);
-    out.requests = requests_served_;
+  if (metrics_ != nullptr) {
+    // Metrics on: the registry is the single source of truth — the request
+    // counter and both caches record there (BindCounters mirrors the LRU
+    // events), so the stats verb and the Prometheus exposition can never
+    // disagree.
+    out.requests =
+        static_cast<size_t>(stages_.requests->Value());
+    out.plan_hits = static_cast<size_t>(
+        metrics_->GetCounter("uocqa_plan_cache_hits_total")->Value());
+    out.plan_misses = static_cast<size_t>(
+        metrics_->GetCounter("uocqa_plan_cache_misses_total")->Value());
+    out.plan_evictions = static_cast<size_t>(
+        metrics_->GetCounter("uocqa_plan_cache_evictions_total")->Value());
+    out.result_hits = static_cast<size_t>(
+        metrics_->GetCounter("uocqa_result_cache_hits_total")->Value());
+    out.result_misses = static_cast<size_t>(
+        metrics_->GetCounter("uocqa_result_cache_misses_total")->Value());
+    out.result_evictions = static_cast<size_t>(
+        metrics_->GetCounter("uocqa_result_cache_evictions_total")->Value());
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(requests_mu_);
+      out.requests = requests_served_;
+    }
+    {
+      std::lock_guard<std::mutex> lock(plan_mu_);
+      out.plan_hits = plan_cache_.hits();
+      out.plan_misses = plan_cache_.misses();
+      out.plan_evictions = plan_cache_.evictions();
+    }
+    {
+      std::lock_guard<std::mutex> lock(result_mu_);
+      out.result_hits = result_cache_.hits();
+      out.result_misses = result_cache_.misses();
+      out.result_evictions = result_cache_.evictions();
+    }
   }
-  {
-    std::lock_guard<std::mutex> lock(plan_mu_);
-    out.plan_hits = plan_cache_.hits();
-    out.plan_misses = plan_cache_.misses();
-    out.plan_evictions = plan_cache_.evictions();
-  }
-  {
-    std::lock_guard<std::mutex> lock(result_mu_);
-    out.result_hits = result_cache_.hits();
-    out.result_misses = result_cache_.misses();
-    out.result_evictions = result_cache_.evictions();
+  if (live_ != nullptr) {
+    std::shared_ptr<const EpochContext> ctx = CurrentContext();
+    out.has_live = true;
+    out.epoch = ctx->snapshot->epoch;
+    out.facts = ctx->snapshot->db->size();
+    out.pending = live_->pending();
   }
   return out;
 }

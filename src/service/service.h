@@ -53,11 +53,13 @@
 #define UOCQA_SERVICE_SERVICE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "base/metrics.h"
 #include "base/status.h"
 #include "base/thread_pool.h"
 #include "db/database.h"
@@ -77,9 +79,33 @@ struct ServiceOptions {
   size_t result_cache_capacity = 4096;
   /// Maximum decomposition width for the FPRAS pipeline (OcqaOptions).
   size_t max_width = 6;
+  /// Instrument the request path (stage latency histograms, cache/request
+  /// counters, pool counters — see docs/ARCHITECTURE.md "Observability").
+  /// On by default: the cost is one relaxed atomic add per event and one
+  /// clock read per timed stage, and the hard contract is that no response
+  /// byte ever depends on this flag (pinned by tests/observability_test.cc).
+  /// When false the service holds null instrument handles and the whole
+  /// layer compiles down to skipped branches.
+  bool metrics_enabled = true;
+  /// Registry to record into; nullptr (default) makes the service own a
+  /// private one, so per-service counters stay correct when several
+  /// services share a process. Inject a shared registry (e.g.
+  /// MetricsRegistry::Global()) to aggregate across services. Ignored when
+  /// `metrics_enabled` is false.
+  MetricsRegistry* metrics = nullptr;
+  /// Log any query whose end-to-end service time reaches this many
+  /// microseconds (canonical query text + per-stage breakdown) to
+  /// `slow_query_sink`. 0 disables the slow-query log.
+  uint64_t slow_query_micros = 0;
+  /// Destination for slow-query lines; null means stderr. Called with the
+  /// formatted line (no trailing newline), serialized by the service.
+  std::function<void(const std::string&)> slow_query_sink;
 };
 
 /// Cache counters, as one readable line for logs and the serve front end.
+/// With metrics enabled these are read back from the service's registry
+/// (the counters are unified — there is one source of truth); the line
+/// format is pinned byte-for-byte by tests either way.
 struct ServiceStats {
   size_t requests = 0;
   size_t plan_hits = 0;
@@ -88,8 +114,15 @@ struct ServiceStats {
   size_t result_hits = 0;
   size_t result_misses = 0;
   size_t result_evictions = 0;
+  /// Live-instance fields (live services only; `has_live` gates rendering
+  /// so static services' stats lines are unchanged).
+  bool has_live = false;
+  uint64_t epoch = 0;
+  size_t facts = 0;
+  size_t pending = 0;
 
-  /// "requests=N plan_hits=... result_evictions=...".
+  /// "requests=N plan_hits=... result_evictions=..." plus, for live
+  /// services, " epoch=E facts=F pending=P".
   std::string ToString() const;
 };
 
@@ -136,6 +169,11 @@ class QueryService {
   /// Snapshot of the cache counters.
   ServiceStats stats() const;
 
+  /// The service's metrics registry — the injected one, the service-owned
+  /// default, or nullptr when metrics are disabled. The serve front end's
+  /// --metrics-file reads PrometheusText() from here.
+  MetricsRegistry* metrics() const { return metrics_; }
+
   /// The currently served database version and key set. In live mode the
   /// reference is only stable until the next begin_snapshot; pin the
   /// snapshot through the LiveInstance for anything longer-lived.
@@ -166,7 +204,7 @@ class QueryService {
     double delta = 0;
     size_t samples = 0;
     uint64_t seed = 0;
-    int seed_schema = 2;
+    int seed_schema = kDefaultSeedSchema;
     size_t max_width = 0;
     bool explain = false;
 
@@ -184,10 +222,21 @@ class QueryService {
   /// The pinned context for one request.
   std::shared_ptr<const EpochContext> CurrentContext() const;
 
+  /// Resolves the registry and stage handles from `options_` (constructor
+  /// helper; must run before the first InstallContext so epoch engines are
+  /// wired).
+  void InitMetrics();
+
   /// The full (uncached) execution of one request; `response.payload` is
   /// what the result cache stores.
   ServiceResponse Run(const Request& request);
+  /// Instrumentation wrapper: times the whole query, renders the trace
+  /// field, and feeds the slow-query log; the payload comes from
+  /// RunQueryCore untouched.
   ServiceResponse RunQuery(const Request& request, const EpochContext& ctx);
+  ServiceResponse RunQueryCore(const Request& request, const EpochContext& ctx,
+                               metrics::StageTrace* trace,
+                               std::string* canonical_out);
   ServiceResponse RunControl(const Request& request);
 
   /// The effective result-cache fingerprint of a query at `ctx` — see the
@@ -208,10 +257,11 @@ class QueryService {
 
   /// The plan cache entry for `canonical` at `ctx`, compiling on miss.
   /// Never null on ok(); the shared_ptr keeps evicted plans alive for
-  /// in-flight requests.
+  /// in-flight requests. Records the plan/compile/planner stages (and the
+  /// request's trace spans when `trace` is active).
   Result<std::shared_ptr<CompiledQuery>> PlanFor(
       const EpochContext& ctx, const std::string& canonical,
-      const ConjunctiveQuery& query);
+      const ConjunctiveQuery& query, metrics::StageTrace* trace = nullptr);
 
   /// Runs requests [0, count): barrier verbs (add_fact, begin_snapshot,
   /// epoch) serially in order, the query spans between them in parallel on
@@ -240,10 +290,30 @@ class QueryService {
   LruCache<ResultKey, std::string, ResultKeyHash> result_cache_;
 
   mutable std::mutex requests_mu_;
-  size_t requests_served_ = 0;
+  size_t requests_served_ = 0;  ///< metrics-off fallback for stats().requests
 
   /// Lanes for ExecuteBatch, (re)built on demand like OcqaEngine::PoolFor.
   std::unique_ptr<ThreadPool> pool_;
+
+  /// Metrics wiring (all null when metrics are disabled). Stage handles are
+  /// resolved once at construction, never per request.
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_ = nullptr;
+  struct StageHandles {
+    metrics::Counter* requests = nullptr;
+    metrics::Histogram* parse = nullptr;
+    metrics::Histogram* plan = nullptr;
+    metrics::Histogram* planner = nullptr;
+    metrics::Histogram* compile = nullptr;
+    metrics::Histogram* exact_dp = nullptr;
+    metrics::Histogram* fpras_trials = nullptr;
+    metrics::Histogram* mc_trials = nullptr;
+    metrics::Histogram* result_cache = nullptr;
+    metrics::Histogram* batch_dispatch = nullptr;
+    metrics::Histogram* request = nullptr;
+  } stages_;
+  /// Serializes slow-query sink calls across batch lanes.
+  std::mutex slow_mu_;
 };
 
 }  // namespace uocqa

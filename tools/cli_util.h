@@ -22,15 +22,29 @@ inline bool SizeFlag(const char* flag, const char* text, size_t* out) {
   return st.ok();
 }
 
+/// One result line per response on stdout, in request order, numbering from
+/// `first_id`. Split out of PrintBatchResponses so uocqa_serve's chunked
+/// --metrics-every path can keep response ids continuous across chunks.
+inline void PrintResponseLines(const std::vector<ServiceResponse>& responses,
+                               size_t first_id = 1) {
+  for (size_t i = 0; i < responses.size(); ++i) {
+    std::printf("%s\n", FormatResponseLine(first_id + i, responses[i]).c_str());
+  }
+}
+
+/// The `served=N <cache stats>` summary on stderr (what the smoke tests
+/// grep), emitted once per run after all responses have been printed.
+inline void PrintServedSummary(const QueryService& service, size_t served) {
+  std::fprintf(stderr, "served=%zu %s\n", served,
+               service.stats().ToString().c_str());
+}
+
 /// One result line per response on stdout, in request order, then the
-/// `served=N <cache stats>` summary on stderr (what the smoke tests grep).
+/// `served=N <cache stats>` summary on stderr.
 inline void PrintBatchResponses(const QueryService& service,
                                 const std::vector<ServiceResponse>& responses) {
-  for (size_t i = 0; i < responses.size(); ++i) {
-    std::printf("%s\n", FormatResponseLine(i + 1, responses[i]).c_str());
-  }
-  std::fprintf(stderr, "served=%zu %s\n", responses.size(),
-               service.stats().ToString().c_str());
+  PrintResponseLines(responses);
+  PrintServedSummary(service, responses.size());
 }
 
 }  // namespace uocqa

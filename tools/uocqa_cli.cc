@@ -4,8 +4,9 @@
 //   uocqa --db FILE --query "Ans(x) :- R(x,y), S(y,z)"
 //         [--answer v1,v2,...] [--mode exact|fpras|mc|all]
 //         [--epsilon E] [--delta D] [--samples N] [--seed S]
-//         [--seed-schema 1|2] [--threads N]
+//         [--seed-schema 1|2] [--threads N] [--profile]
 //   uocqa --db FILE --batch FILE [--threads N]
+//   uocqa --version
 //
 // The database file uses the text format of db/textio.h:
 //   key Emp = 1
@@ -15,10 +16,12 @@
 // Prints RF_ur and RF_us for the given candidate answer under the chosen
 // solver(s). With --explain, first prints the compiled query plan (join
 // order, cost estimates, chosen decomposition, planning time). With
-// --batch, runs every request line of the file through the
-// query service layer (plan & result caches, lanes = --threads) and prints
-// one result line each. Formats, flags, and the request line protocol are
-// specified in docs/FORMATS.md.
+// --profile, prints a per-stage timing breakdown (the service layer's trace
+// grammar: parse_us, compile_us, exact_dp_us, ...) to stderr after the
+// results — stdout bytes are unchanged. With --batch, runs every request
+// line of the file through the query service layer (plan & result caches,
+// lanes = --threads) and prints one result line each. Formats, flags, and
+// the request line protocol are specified in docs/FORMATS.md.
 
 #include <cstdio>
 #include <cstdlib>
@@ -27,8 +30,10 @@
 #include <string>
 #include <vector>
 
+#include "base/metrics.h"
 #include "base/strings.h"
 #include "base/thread_pool.h"
+#include "base/version.h"
 #include "db/textio.h"
 #include "ocqa/engine.h"
 #include "query/parser.h"
@@ -52,6 +57,7 @@ struct CliOptions {
   int seed_schema = 2;  // FprasConfig::seed_schema: 1 legacy, 2 batched
   size_t threads = 0;  // 0 = hardware concurrency
   bool explain = false;
+  bool profile = false;  // per-stage timing breakdown on stderr
 };
 
 void Usage(const char* argv0) {
@@ -60,9 +66,10 @@ void Usage(const char* argv0) {
       "usage: %s --db FILE --query 'Ans(..) :- ...' [--answer v1,v2]\n"
       "          [--mode exact|fpras|mc|all] [--epsilon E] [--delta D]\n"
       "          [--samples N] [--seed S] [--seed-schema 1|2] [--threads N]\n"
-      "          [--explain]\n"
-      "       %s --db FILE --batch FILE [--threads N]\n",
-      argv0, argv0);
+      "          [--explain] [--profile]\n"
+      "       %s --db FILE --batch FILE [--threads N]\n"
+      "       %s --version\n",
+      argv0, argv0, argv0);
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* out) {
@@ -126,6 +133,11 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       if (!v || !SizeFlag("--threads", v, &out->threads)) return false;
     } else if (std::strcmp(argv[i], "--explain") == 0) {
       out->explain = true;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      out->profile = true;
+    } else if (std::strcmp(argv[i], "--version") == 0) {
+      std::printf("%s\n", VersionBanner().c_str());
+      std::exit(0);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return false;
@@ -144,7 +156,15 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
     std::fprintf(stderr, "%s\n", accuracy.ToString().c_str());
     return false;
   }
-  if (!out->batch_path.empty()) return !out->db_path.empty();
+  if (!out->batch_path.empty()) {
+    if (out->profile) {
+      std::fprintf(stderr,
+                   "--profile applies to single-query mode; with --batch use "
+                   "per-request trace=1 fields instead\n");
+      return false;
+    }
+    return !out->db_path.empty();
+  }
   return !out->db_path.empty() && !out->query_text.empty();
 }
 
@@ -177,7 +197,14 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (!opts.batch_path.empty()) return RunBatch(opts, *inst);
-  auto query = ParseQuery(opts.query_text, inst->db.schema());
+  // --profile collects the service layer's trace spans (same keys, same
+  // grammar) without a service: null histograms, trace only.
+  metrics::StageTrace trace;
+  trace.active = opts.profile;
+  auto query = [&]() -> Result<ConjunctiveQuery> {
+    metrics::ScopedStage parse_stage(nullptr, &trace, "parse_us");
+    return ParseQuery(opts.query_text, inst->db.schema());
+  }();
   if (!query.ok()) {
     std::fprintf(stderr, "query error: %s\n",
                  query.status().ToString().c_str());
@@ -205,59 +232,74 @@ int main(int argc, char** argv) {
               opts.threads == 0 ? " (hardware)" : "");
 
   OcqaEngine engine(inst->db, inst->keys);
-  if (opts.explain) {
-    auto compiled = engine.Compile(*query);
-    if (compiled.ok()) {
-      std::printf("%s\n", compiled->plan().ToString().c_str());
-    } else {
-      std::printf("explain unavailable: %s\n\n",
-                  compiled.status().ToString().c_str());
+  {
+    metrics::ScopedStage total_stage(nullptr, &trace, "total_us");
+    if (opts.explain) {
+      auto compiled = [&]() -> Result<CompiledQuery> {
+        metrics::ScopedStage compile_stage(nullptr, &trace, "compile_us");
+        return engine.Compile(*query);
+      }();
+      if (compiled.ok()) {
+        std::printf("%s\n", compiled->plan().ToString().c_str());
+      } else {
+        std::printf("explain unavailable: %s\n\n",
+                    compiled.status().ToString().c_str());
+      }
+    }
+    bool all = opts.mode == "all";
+    if (all || opts.mode == "exact") {
+      metrics::ScopedStage exact_stage(nullptr, &trace, "exact_dp_us");
+      ExactRF ur = engine.ExactUr(*query, answer);
+      ExactRF us = engine.ExactUs(*query, answer);
+      std::printf("exact  RF_ur = %s / %s = %.6f\n",
+                  ur.numerator.ToString().c_str(),
+                  ur.denominator.ToString().c_str(), ur.value());
+      std::printf("exact  RF_us = %s / %s = %.6f\n",
+                  us.numerator.ToString().c_str(),
+                  us.denominator.ToString().c_str(), us.value());
+    }
+    if (all || opts.mode == "fpras") {
+      OcqaOptions options;
+      options.fpras.epsilon = opts.epsilon;
+      options.fpras.delta = opts.delta;
+      options.fpras.seed = opts.seed;
+      options.fpras.seed_schema = opts.seed_schema;
+      options.threads = opts.threads;
+      metrics::ScopedStage fpras_stage(nullptr, &trace, "fpras_trials_us");
+      auto ur = engine.ApproxUr(*query, answer, options);
+      if (ur.ok()) {
+        std::printf("fpras  RF_ur ~= %.6f  (eps=%.2f, %zu states)\n",
+                    ur->value, opts.epsilon, ur->automaton_states);
+      } else {
+        std::printf("fpras  RF_ur unavailable: %s\n",
+                    ur.status().ToString().c_str());
+      }
+      auto us = engine.ApproxUs(*query, answer, options);
+      if (us.ok()) {
+        std::printf("fpras  RF_us ~= %.6f  (eps=%.2f, %zu states)\n",
+                    us->value, opts.epsilon, us->automaton_states);
+      } else {
+        std::printf("fpras  RF_us unavailable: %s\n",
+                    us.status().ToString().c_str());
+      }
+      trace.AddCount("fpras_trials", (ur.ok() ? ur->union_trials : 0) +
+                                         (us.ok() ? us->union_trials : 0));
+    }
+    if (all || opts.mode == "mc") {
+      metrics::ScopedStage mc_stage(nullptr, &trace, "mc_trials_us");
+      std::printf("mc     RF_ur ~= %.6f  (%zu samples)\n",
+                  engine.MonteCarloUr(*query, answer, opts.samples, opts.seed,
+                                      opts.threads),
+                  opts.samples);
+      std::printf("mc     RF_us ~= %.6f  (%zu samples)\n",
+                  engine.MonteCarloUs(*query, answer, opts.samples, opts.seed,
+                                      opts.threads),
+                  opts.samples);
+      trace.AddCount("mc_samples", 2 * opts.samples);
     }
   }
-  bool all = opts.mode == "all";
-  if (all || opts.mode == "exact") {
-    ExactRF ur = engine.ExactUr(*query, answer);
-    ExactRF us = engine.ExactUs(*query, answer);
-    std::printf("exact  RF_ur = %s / %s = %.6f\n",
-                ur.numerator.ToString().c_str(),
-                ur.denominator.ToString().c_str(), ur.value());
-    std::printf("exact  RF_us = %s / %s = %.6f\n",
-                us.numerator.ToString().c_str(),
-                us.denominator.ToString().c_str(), us.value());
-  }
-  if (all || opts.mode == "fpras") {
-    OcqaOptions options;
-    options.fpras.epsilon = opts.epsilon;
-    options.fpras.delta = opts.delta;
-    options.fpras.seed = opts.seed;
-    options.fpras.seed_schema = opts.seed_schema;
-    options.threads = opts.threads;
-    auto ur = engine.ApproxUr(*query, answer, options);
-    if (ur.ok()) {
-      std::printf("fpras  RF_ur ~= %.6f  (eps=%.2f, %zu states)\n",
-                  ur->value, opts.epsilon, ur->automaton_states);
-    } else {
-      std::printf("fpras  RF_ur unavailable: %s\n",
-                  ur.status().ToString().c_str());
-    }
-    auto us = engine.ApproxUs(*query, answer, options);
-    if (us.ok()) {
-      std::printf("fpras  RF_us ~= %.6f  (eps=%.2f, %zu states)\n",
-                  us->value, opts.epsilon, us->automaton_states);
-    } else {
-      std::printf("fpras  RF_us unavailable: %s\n",
-                  us.status().ToString().c_str());
-    }
-  }
-  if (all || opts.mode == "mc") {
-    std::printf("mc     RF_ur ~= %.6f  (%zu samples)\n",
-                engine.MonteCarloUr(*query, answer, opts.samples, opts.seed,
-                                    opts.threads),
-                opts.samples);
-    std::printf("mc     RF_us ~= %.6f  (%zu samples)\n",
-                engine.MonteCarloUs(*query, answer, opts.samples, opts.seed,
-                                    opts.threads),
-                opts.samples);
+  if (opts.profile) {
+    std::fprintf(stderr, "profile %s\n", trace.ToString().c_str());
   }
   return 0;
 }

@@ -3,6 +3,8 @@
 // Usage:
 //   uocqa_serve --db FILE [--requests FILE] [--threads N]
 //               [--plan-cache N] [--result-cache N] [--max-width K]
+//               [--metrics-file PATH] [--metrics-every N]
+//               [--slow-query-micros N] [--no-metrics] [--version]
 //
 // Loads one instance and serves many OCQA requests against it, one request
 // per line (from --requests FILE, else stdin), in the line protocol of
@@ -33,7 +35,15 @@
 // between them execute in parallel against a fixed epoch, so the response
 // lines are byte-identical at any --threads value. Every response line
 // carries an `epoch=` stamp (see docs/FORMATS.md).
+//
+// Observability: --metrics-file PATH writes the Prometheus text exposition
+// of the service's metrics registry after the batch (and, with
+// --metrics-every N, re-writes it after every N requests while the batch
+// runs, with response ids continuing across chunks). --slow-query-micros N
+// logs any query at or over N microseconds of service time to stderr with
+// its per-stage breakdown. None of this changes a single response byte.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -41,6 +51,7 @@
 #include <string>
 #include <vector>
 
+#include "base/version.h"
 #include "db/textio.h"
 #include "service/service.h"
 #include "cli_util.h"
@@ -53,6 +64,9 @@ struct ServeOptions {
   std::string db_path;
   std::string requests_path;  // empty = stdin
   size_t threads = 0;         // batch lanes; 0 = hardware concurrency
+  std::string metrics_path;   // --metrics-file; empty = no exposition file
+  size_t metrics_every = 0;   // re-write the file every N requests; 0 = end only
+  bool show_version = false;  // --version: print build info and exit
   ServiceOptions service;
 };
 
@@ -61,6 +75,8 @@ void Usage(const char* argv0) {
       stderr,
       "usage: %s --db FILE [--requests FILE] [--threads N]\n"
       "          [--plan-cache N] [--result-cache N] [--max-width K]\n"
+      "          [--metrics-file PATH] [--metrics-every N]\n"
+      "          [--slow-query-micros N] [--no-metrics] [--version]\n"
       "reads one request per line (see docs/FORMATS.md), writes one result\n"
       "line per request on stdout and a stats summary on stderr\n",
       argv0);
@@ -103,12 +119,46 @@ bool ParseArgs(int argc, char** argv, ServeOptions* out) {
       if (!v || !SizeFlag("--max-width", v, &out->service.max_width)) {
         return false;
       }
+    } else if (std::strcmp(argv[i], "--metrics-file") == 0) {
+      const char* v = need_value("--metrics-file");
+      if (!v) return false;
+      out->metrics_path = v;
+    } else if (std::strcmp(argv[i], "--metrics-every") == 0) {
+      const char* v = need_value("--metrics-every");
+      if (!v || !SizeFlag("--metrics-every", v, &out->metrics_every)) {
+        return false;
+      }
+    } else if (std::strcmp(argv[i], "--slow-query-micros") == 0) {
+      const char* v = need_value("--slow-query-micros");
+      size_t micros = 0;
+      if (!v || !SizeFlag("--slow-query-micros", v, &micros)) return false;
+      out->service.slow_query_micros = static_cast<uint64_t>(micros);
+    } else if (std::strcmp(argv[i], "--no-metrics") == 0) {
+      out->service.metrics_enabled = false;
+    } else if (std::strcmp(argv[i], "--version") == 0) {
+      out->show_version = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return false;
     }
   }
+  if (out->show_version) return true;
   return !out->db_path.empty();
+}
+
+/// Rewrites the Prometheus text exposition of the service's registry to
+/// `path` (whole-file rewrite, the standard textfile-collector pattern).
+bool WriteMetricsFile(const QueryService& service, const std::string& path) {
+  MetricsRegistry* registry = service.metrics();
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    std::fprintf(stderr, "error: cannot write metrics file '%s'\n",
+                 path.c_str());
+    return false;
+  }
+  file << (registry == nullptr ? std::string("# metrics disabled\n")
+                               : registry->PrometheusText());
+  return true;
 }
 
 }  // namespace
@@ -118,6 +168,10 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &opts)) {
     Usage(argv[0]);
     return 2;
+  }
+  if (opts.show_version) {
+    std::printf("%s\n", VersionBanner().c_str());
+    return 0;
   }
   auto inst = LoadInstanceFile(opts.db_path);
   if (!inst.ok()) {
@@ -140,6 +194,33 @@ int main(int argc, char** argv) {
 
   LiveInstance live(std::move(inst->db), std::move(inst->keys));
   QueryService service(live, opts.service);
-  PrintBatchResponses(service, service.ExecuteBatchLines(lines, opts.threads));
+  // Log the build and the runtime-selected SIMD backend once on startup, on
+  // stderr so response parsing on stdout is unaffected.
+  std::fprintf(stderr, "%s\n", VersionBanner().c_str());
+
+  if (opts.metrics_every == 0 || opts.metrics_path.empty()) {
+    PrintBatchResponses(service,
+                        service.ExecuteBatchLines(lines, opts.threads));
+  } else {
+    // Chunked serving: re-write the exposition file every N requests so a
+    // scrape sees progress mid-batch. Response ids stay continuous, and the
+    // per-line bytes are identical to the unchunked run (the batch
+    // determinism contract holds at any lane count, hence at any chunking).
+    size_t served = 0;
+    while (served < lines.size()) {
+      size_t take = std::min(opts.metrics_every, lines.size() - served);
+      std::vector<std::string> chunk(lines.begin() + served,
+                                     lines.begin() + served + take);
+      PrintResponseLines(service.ExecuteBatchLines(chunk, opts.threads),
+                         served + 1);
+      served += take;
+      if (!WriteMetricsFile(service, opts.metrics_path)) return 1;
+    }
+    PrintServedSummary(service, served);
+  }
+  if (!opts.metrics_path.empty() &&
+      !WriteMetricsFile(service, opts.metrics_path)) {
+    return 1;
+  }
   return 0;
 }
