@@ -1,0 +1,225 @@
+// E20 — durability cost and recovery speed of the write-ahead log (repo
+// experiment).
+//
+// The WAL (service/wal.h) buys crash durability for live instances with
+// two knobs a deployment has to price: the per-record logging overhead on
+// the ingest path, and the startup cost of replaying a log after a crash.
+// This bench measures both over the same conflict-free ingest stream:
+//
+//   BM_WalOffIngest    — the pre-durability baseline: facts queued and
+//       snapshotted in memory only; a crash loses everything.
+//   BM_WalNoneIngest   — WAL attached, sync policy `none`: every record is
+//       written to the kernel before it is applied (survives a process
+//       crash), fdatasync left to writeback.
+//   BM_WalBatchIngest  — policy `batch`: one group-commit fdatasync per
+//       begin_snapshot barrier. The deployment default.
+//   BM_WalEveryIngest  — policy `every`: fdatasync per record — the
+//       power-loss-proof worst case, priced per fact.
+//   BM_Recover/N       — crash recovery: scan + replay of an N-record log
+//       into a fresh base instance (the `uocqa_serve --wal` startup path).
+//
+// In-run cross-check: before anything is measured, one ingest runs with
+// the WAL attached and the surviving log is recovered into a fresh base;
+// the recovered epoch, fact count, and fact-chain fingerprint must equal
+// the live writer's (a divergence aborts the bench — durability that
+// recovers the wrong instance is not worth timing).
+//
+// tools/bench_report pairs BM_WalOffIngest with BM_WalBatchIngest and
+// --gate enforces the overhead ceiling (ratio = off_time / batch_time;
+// the repo records >= 0.5, i.e. group commit costs at most 2x):
+//   tools/bench_report build/bench/bench_e20_durability --gate 0.5
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/io.h"
+#include "db/textio.h"
+#include "service/live.h"
+#include "service/wal.h"
+
+namespace uocqa {
+namespace {
+
+constexpr const char* kBase = R"(
+key Emp = 1
+Emp(e1, hw)
+Emp(e1, sw)
+Emp(e2, hw)
+key Dept = 1
+Dept(hw, alice)
+Dept(sw, carol)
+)";
+
+// Group commit amortizes one fdatasync over a barrier's worth of appends,
+// so the batch/off ratio is a function of the barrier cadence: 1024 facts
+// per begin_snapshot models steady bulk ingestion (the workload the batch
+// policy exists for; a sync-per-fact deployment is what `every` prices).
+constexpr size_t kIngestFacts = 4096;
+constexpr size_t kSnapshotEvery = 1024;  // barriers (group-commit points)
+
+LiveInstance MakeLive() {
+  auto inst = ParseInstanceText(kBase);
+  if (!inst.ok()) {
+    std::fprintf(stderr, "E20 base instance failed to parse: %s\n",
+                 inst.status().ToString().c_str());
+    std::abort();
+  }
+  return LiveInstance(std::move(inst->db), inst->keys);
+}
+
+std::string TempPath(const std::string& name) {
+  const char* dir = std::getenv("TMPDIR");
+  std::string path = (dir != nullptr && *dir != '\0') ? dir : "/tmp";
+  if (path.back() != '/') path += '/';
+  return path + "uocqa_" + name;
+}
+
+// Ingests `facts` conflict-free Emp facts (fresh keys), snapshotting every
+// kSnapshotEvery adds and once at the end. Aborts on any failure: this is
+// the measured inner loop, a Status check is not enough.
+void IngestStream(LiveInstance& live, size_t facts) {
+  for (size_t i = 0; i < facts; ++i) {
+    Status st = live.Add("Emp", {"w" + std::to_string(i), "hw"});
+    if (!st.ok()) {
+      std::fprintf(stderr, "E20 ingest failed: %s\n", st.ToString().c_str());
+      std::abort();
+    }
+    if ((i + 1) % kSnapshotEvery == 0) live.Snapshot();
+  }
+  live.Snapshot();
+}
+
+void AttachFreshWal(LiveInstance& live, const std::string& path,
+                    WalSyncPolicy policy) {
+  (void)RemoveFileIfExists(path);
+  auto recovered = RecoverAndAttachWal(path, policy, &live, nullptr);
+  if (!recovered.ok()) {
+    std::fprintf(stderr, "E20 wal open failed: %s\n",
+                 recovered.status().ToString().c_str());
+    std::abort();
+  }
+}
+
+// One WAL-attached ingest, recovered into a fresh base: epoch, fact count
+// and fingerprint must match the live writer's. Runs once per process.
+void EnsureCrossChecked() {
+  static const bool checked = [] {
+    const std::string path = TempPath("e20_crosscheck.wal");
+    LiveInstance writer = MakeLive();
+    AttachFreshWal(writer, path, WalSyncPolicy::kBatch);
+    IngestStream(writer, kIngestFacts);
+
+    LiveInstance recovered = MakeLive();
+    auto info = RecoverAndAttachWal(path, WalSyncPolicy::kBatch, &recovered,
+                                    nullptr);
+    if (!info.ok()) {
+      std::fprintf(stderr, "E20 recovery failed: %s\n",
+                   info.status().ToString().c_str());
+      std::abort();
+    }
+    auto live = writer.Current();
+    auto replay = recovered.Current();
+    if (live->epoch != replay->epoch || live->db->size() != replay->db->size()
+        || live->fingerprint != replay->fingerprint) {
+      std::fprintf(stderr,
+                   "E20 cross-check failed: live epoch=%llu facts=%zu "
+                   "fp=%016llx, recovered epoch=%llu facts=%zu fp=%016llx\n",
+                   static_cast<unsigned long long>(live->epoch),
+                   live->db->size(),
+                   static_cast<unsigned long long>(live->fingerprint),
+                   static_cast<unsigned long long>(replay->epoch),
+                   replay->db->size(),
+                   static_cast<unsigned long long>(replay->fingerprint));
+      std::abort();
+    }
+    (void)RemoveFileIfExists(path);
+    return true;
+  }();
+  (void)checked;
+}
+
+void BM_WalOffIngest(benchmark::State& state) {
+  EnsureCrossChecked();
+  for (auto _ : state) {
+    LiveInstance live = MakeLive();
+    IngestStream(live, kIngestFacts);
+    benchmark::DoNotOptimize(live.Current()->fingerprint);
+  }
+  state.counters["facts"] = static_cast<double>(kIngestFacts);
+  state.counters["facts_per_s"] = benchmark::Counter(
+      static_cast<double>(kIngestFacts) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_WalOffIngest)->Unit(benchmark::kMillisecond);
+
+void IngestWithPolicy(benchmark::State& state, WalSyncPolicy policy) {
+  EnsureCrossChecked();
+  const std::string path =
+      TempPath(std::string("e20_ingest_") + WalSyncPolicyName(policy) +
+               ".wal");
+  for (auto _ : state) {
+    LiveInstance live = MakeLive();
+    AttachFreshWal(live, path, policy);
+    IngestStream(live, kIngestFacts);
+    benchmark::DoNotOptimize(live.Current()->fingerprint);
+  }
+  (void)RemoveFileIfExists(path);
+  state.counters["facts"] = static_cast<double>(kIngestFacts);
+  state.counters["facts_per_s"] = benchmark::Counter(
+      static_cast<double>(kIngestFacts) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_WalNoneIngest(benchmark::State& state) {
+  IngestWithPolicy(state, WalSyncPolicy::kNone);
+}
+BENCHMARK(BM_WalNoneIngest)->Unit(benchmark::kMillisecond);
+
+void BM_WalBatchIngest(benchmark::State& state) {
+  IngestWithPolicy(state, WalSyncPolicy::kBatch);
+}
+BENCHMARK(BM_WalBatchIngest)->Unit(benchmark::kMillisecond);
+
+void BM_WalEveryIngest(benchmark::State& state) {
+  IngestWithPolicy(state, WalSyncPolicy::kEvery);
+}
+BENCHMARK(BM_WalEveryIngest)->Unit(benchmark::kMillisecond);
+
+// Recovery time as a function of log length: replaying an N-add log (with
+// its barriers) into a fresh base — the crash-restart startup cost.
+void BM_Recover(benchmark::State& state) {
+  EnsureCrossChecked();
+  const size_t facts = static_cast<size_t>(state.range(0));
+  const std::string path =
+      TempPath("e20_recover_" + std::to_string(facts) + ".wal");
+  {
+    LiveInstance writer = MakeLive();
+    AttachFreshWal(writer, path, WalSyncPolicy::kNone);
+    IngestStream(writer, facts);
+    if (!writer.SyncWal().ok()) std::abort();
+  }
+  uint64_t records = 0;
+  for (auto _ : state) {
+    LiveInstance live = MakeLive();
+    auto info = RecoverAndAttachWal(path, WalSyncPolicy::kNone, &live,
+                                    nullptr);
+    if (!info.ok() || info->truncated_bytes != 0) std::abort();
+    records = info->records;
+    benchmark::DoNotOptimize(live.Current()->fingerprint);
+  }
+  (void)RemoveFileIfExists(path);
+  state.counters["log_records"] = static_cast<double>(records);
+}
+BENCHMARK(BM_Recover)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace uocqa
+
+BENCHMARK_MAIN();

@@ -1,0 +1,143 @@
+#include "base/failpoint.h"
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace uocqa {
+namespace failpoint {
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  // std::map: Armed() lists names in order without re-sorting. Entries are
+  // never removed, so State pointers stay valid for the process lifetime.
+  std::map<std::string, std::unique_ptr<detail::State>> states;
+};
+
+Registry& TheRegistry() {
+  static Registry* r = new Registry();  // leaked: sites outlive everything
+  return *r;
+}
+
+detail::State* GetOrCreate(const std::string& name) {
+  Registry& r = TheRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.states.find(name);
+  if (it == r.states.end()) {
+    it = r.states.emplace(name, std::make_unique<detail::State>()).first;
+  }
+  return it->second.get();
+}
+
+void ArmState(detail::State* s, uint64_t hit) {
+  if (hit == 0) hit = 1;
+  // Order matters: a racing Triggered() must not observe armed before the
+  // countdown is in place. Tests arm before dispatching work, so this is
+  // belt-and-braces, not a synchronization contract.
+  s->countdown.store(static_cast<int64_t>(hit), std::memory_order_relaxed);
+  s->armed.store(true, std::memory_order_release);
+}
+
+/// "name=N,name2=M" (bare "name" means 1). Registry-level, so the env
+/// bootstrap below can use it without re-entering Resolve's call_once.
+bool ArmFromSpecImpl(const std::string& spec) {
+  size_t pos = 0;
+  bool ok = true;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;
+    size_t eq = entry.find('=');
+    std::string name =
+        entry.substr(0, eq == std::string::npos ? entry.size() : eq);
+    uint64_t hit = 1;
+    if (eq != std::string::npos) {
+      const std::string count = entry.substr(eq + 1);
+      bool numeric = !count.empty();
+      hit = 0;
+      for (char c : count) {
+        if (c < '0' || c > '9') {
+          numeric = false;
+          break;
+        }
+        hit = hit * 10 + static_cast<uint64_t>(c - '0');
+      }
+      if (!numeric) {
+        ok = false;
+        continue;
+      }
+    }
+    if (name.empty()) {
+      ok = false;
+      continue;
+    }
+    ArmState(GetOrCreate(name), hit);
+  }
+  return ok;
+}
+
+void ArmFromEnvOnce() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* spec = std::getenv("UOCQA_FAILPOINTS");
+    if (spec != nullptr && spec[0] != '\0') ArmFromSpecImpl(spec);
+  });
+}
+
+}  // namespace
+
+namespace detail {
+
+State* Resolve(const std::string& name) {
+  ArmFromEnvOnce();
+  return GetOrCreate(name);
+}
+
+}  // namespace detail
+
+void Arm(const std::string& name, uint64_t hit) {
+  ArmState(detail::Resolve(name), hit);
+}
+
+void Disarm(const std::string& name) {
+  detail::Resolve(name)->armed.store(false, std::memory_order_relaxed);
+}
+
+void DisarmAll() {
+  Registry& r = TheRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [name, state] : r.states) {
+    state->armed.store(false, std::memory_order_relaxed);
+  }
+}
+
+uint64_t Hits(const std::string& name) {
+  return detail::Resolve(name)->hits.load(std::memory_order_relaxed);
+}
+
+void ResetHits(const std::string& name) {
+  detail::Resolve(name)->hits.store(0, std::memory_order_relaxed);
+}
+
+std::vector<std::string> Armed() {
+  Registry& r = TheRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::string> out;
+  for (const auto& [name, state] : r.states) {
+    if (state->armed.load(std::memory_order_relaxed)) out.push_back(name);
+  }
+  return out;
+}
+
+bool ArmFromSpec(const std::string& spec) {
+  ArmFromEnvOnce();
+  return ArmFromSpecImpl(spec);
+}
+
+}  // namespace failpoint
+}  // namespace uocqa

@@ -1,0 +1,123 @@
+// Failpoints: named fault-injection sites compiled into the production
+// binary, inert until armed.
+//
+// The durability layer's correctness claim is about *crashes*: whatever
+// prefix of the write-ahead log survives, recovery must reconstruct exactly
+// the state that prefix describes. Testing that claim requires dying at
+// every interesting instant of the write path — before a record, halfway
+// through its bytes, at the sync, between the log append and the in-memory
+// publish. Failpoints make those instants addressable:
+//
+//   // At the injection site (wal.cc, live.cc, service.cc):
+//   static failpoint::Site fp("wal.append");
+//   if (fp.Triggered()) { /* simulate the fault */ }
+//
+//   // In a test:
+//   failpoint::Arm("wal.append", /*hit=*/3);  // fire on the 3rd hit
+//
+//   // Or for a whole process (the CI crash smoke):
+//   UOCQA_FAILPOINTS=wal.append=3,wal.sync=1 uocqa_serve ...
+//
+// Semantics: Arm(name, n) makes the site fire exactly once, on its n-th
+// evaluation after arming (1-based), then disarm itself — single-shot,
+// because the faults modeled here (a crash) happen once. Hits are counted
+// from process start whether or not the site is armed, so a test can run a
+// workload once, read Hits(), and then re-run it killing the path at every
+// hit index — the exhaustive crash schedule recovery_test.cc executes.
+//
+// Cost when unarmed: one lazy registry lookup on the first evaluation, then
+// one relaxed counter increment and one relaxed bool load per evaluation —
+// a no-op branch. Sites live on cold paths (WAL writes, snapshot publish,
+// cache insertion), never inside solver loops.
+//
+// Thread safety: all operations are safe from any thread. Arming while the
+// workload runs is racy by nature (the n-th hit is whichever evaluation
+// decrements the countdown to zero); tests arm before dispatching work.
+
+#ifndef UOCQA_BASE_FAILPOINT_H_
+#define UOCQA_BASE_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace uocqa {
+namespace failpoint {
+
+namespace detail {
+
+/// Registry entry for one failpoint name. Never deallocated: Site caches
+/// the pointer for the process lifetime.
+struct State {
+  std::atomic<bool> armed{false};
+  /// Evaluations remaining until the site fires (valid while armed).
+  std::atomic<int64_t> countdown{0};
+  /// Evaluations since process start, armed or not.
+  std::atomic<uint64_t> hits{0};
+};
+
+/// Get-or-create the entry for `name`. First call overall also arms from
+/// the UOCQA_FAILPOINTS environment variable.
+State* Resolve(const std::string& name);
+
+}  // namespace detail
+
+/// Arms `name` to fire on its `hit`-th evaluation from now (1-based),
+/// exactly once. Re-arming replaces any pending arming.
+void Arm(const std::string& name, uint64_t hit = 1);
+
+/// Disarms `name` (no-op if not armed).
+void Disarm(const std::string& name);
+
+/// Disarms every failpoint — test teardown.
+void DisarmAll();
+
+/// Evaluations of `name` since process start (0 if the site never ran).
+uint64_t Hits(const std::string& name);
+
+/// Resets the hit counter of `name` to zero (test isolation between
+/// workload runs).
+void ResetHits(const std::string& name);
+
+/// Names with a pending arming, in name order.
+std::vector<std::string> Armed();
+
+/// Parses and applies `spec` ("name=N,name2=M"; a bare "name" means 1).
+/// Returns false on a malformed spec (applied entries stay armed).
+bool ArmFromSpec(const std::string& spec);
+
+/// One injection site. Declare as a function-local or namespace-scope
+/// static at the point where the fault should be injectable.
+class Site {
+ public:
+  explicit Site(const char* name) : name_(name) {}
+
+  /// Counts the evaluation; true exactly when an armed countdown reaches
+  /// zero (the site then disarms itself).
+  bool Triggered() {
+    detail::State* s = state_.load(std::memory_order_acquire);
+    if (s == nullptr) {
+      s = detail::Resolve(name_);
+      state_.store(s, std::memory_order_release);
+    }
+    s->hits.fetch_add(1, std::memory_order_relaxed);
+    if (!s->armed.load(std::memory_order_relaxed)) return false;
+    if (s->countdown.fetch_sub(1, std::memory_order_acq_rel) != 1) {
+      return false;
+    }
+    s->armed.store(false, std::memory_order_relaxed);
+    return true;
+  }
+
+  const char* name() const { return name_; }
+
+ private:
+  const char* name_;
+  std::atomic<detail::State*> state_{nullptr};
+};
+
+}  // namespace failpoint
+}  // namespace uocqa
+
+#endif  // UOCQA_BASE_FAILPOINT_H_

@@ -1,0 +1,159 @@
+#include "base/io.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace uocqa {
+
+namespace {
+
+Status ErrnoStatus(const std::string& op, const std::string& path) {
+  return Status::Internal(op + " '" + path + "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
+  // Table built once, on first use (thread-safe function-local static).
+  static const uint32_t* kTable = [] {
+    static uint32_t table[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return table;
+  }();
+  uint32_t crc = seed ^ 0xFFFFFFFFu;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Result<std::unique_ptr<WritableFile>> WritableFile::Open(
+    const std::string& path, uint64_t resume_at) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd < 0) return ErrnoStatus("open", path);
+  // Discard anything past the valid prefix before the first append; with
+  // resume_at at the current size this is a no-op.
+  if (::ftruncate(fd, static_cast<off_t>(resume_at)) != 0) {
+    Status st = ErrnoStatus("ftruncate", path);
+    ::close(fd);
+    return st;
+  }
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    Status st = ErrnoStatus("lseek", path);
+    ::close(fd);
+    return st;
+  }
+  return std::unique_ptr<WritableFile>(
+      new WritableFile(fd, path, resume_at));
+}
+
+WritableFile::~WritableFile() { Close(); }
+
+Status WritableFile::Append(std::string_view data) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("append to closed file '" + path_ +
+                                      "'");
+  }
+  const char* p = data.data();
+  size_t left = data.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd_, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write", path_);
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+    size_ += static_cast<uint64_t>(n);
+  }
+  return Status::OK();
+}
+
+Status WritableFile::Sync() {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("sync of closed file '" + path_ + "'");
+  }
+#if defined(__APPLE__)
+  if (::fsync(fd_) != 0) return ErrnoStatus("fsync", path_);
+#else
+  if (::fdatasync(fd_) != 0) return ErrnoStatus("fdatasync", path_);
+#endif
+  return Status::OK();
+}
+
+Status WritableFile::Close() {
+  if (fd_ < 0) return Status::OK();
+  int fd = fd_;
+  fd_ = -1;
+  if (::close(fd) != 0) return ErrnoStatus("close", path_);
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("file not found: '" + path + "'");
+    }
+    return ErrnoStatus("open", path);
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status st = ErrnoStatus("read", path);
+      ::close(fd);
+      return st;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Result<uint64_t> FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("file not found: '" + path + "'");
+    }
+    return ErrnoStatus("stat", path);
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status TruncateFile(const std::string& path, uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return ErrnoStatus("truncate", path);
+  }
+  return Status::OK();
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return ErrnoStatus("unlink", path);
+  }
+  return Status::OK();
+}
+
+}  // namespace uocqa

@@ -1,0 +1,106 @@
+// Minimal file I/O primitives for the durability layer: an append-only
+// writable file with explicit sync, whole-file reads, and a software CRC-32.
+//
+// The write-ahead log (service/wal.h) is the consumer that forced this
+// module into existence, and its needs set the shape:
+//
+//  * **Append + Sync are separate operations.** Durability is a policy
+//    decision (sync every record / per group-commit batch / never), so the
+//    file abstraction exposes the raw POSIX pair — buffered `write(2)`
+//    appends and an explicit `fdatasync(2)` — instead of choosing for the
+//    caller. A successful Append means the bytes reached the kernel (they
+//    survive a process crash); only Sync makes them survive power loss.
+//  * **Truncate-then-append recovery.** Crash recovery keeps the longest
+//    valid record prefix of a log and discards the torn tail; OpenWritable
+//    takes the byte offset to resume at and truncates everything after it
+//    before the first append.
+//  * **CRC-32 framing.** Records are checksummed with the standard IEEE
+//    CRC-32 (the zlib/PNG/ethernet polynomial, reflected), which detects
+//    all single-bit errors and all burst errors up to 32 bits — the failure
+//    modes of torn sector writes the recovery tests inject.
+//
+// Everything returns Status/Result; nothing throws. POSIX-only (the
+// project's CI targets), with errno captured into the error message.
+
+#ifndef UOCQA_BASE_IO_H_
+#define UOCQA_BASE_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+
+namespace uocqa {
+
+/// Standard IEEE CRC-32 (reflected, polynomial 0xEDB88320) of `data`,
+/// continuing from `seed` (pass the previous return value to checksum a
+/// buffer in pieces; 0 starts a fresh checksum).
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+inline uint32_t Crc32(std::string_view data, uint32_t seed = 0) {
+  return Crc32(data.data(), data.size(), seed);
+}
+
+/// An append-only file handle. Not thread-safe; the owning subsystem
+/// serializes access (the WAL writer holds it under the live instance's
+/// mutex). Closes on destruction (without syncing — call Sync first if the
+/// tail must be durable).
+class WritableFile {
+ public:
+  /// Opens `path` for appending, creating it if absent. The file is first
+  /// truncated to `resume_at` bytes — the end of the valid prefix recovery
+  /// kept — so a corrupt tail can never be extended into a "valid" record
+  /// by later appends. Pass the current file size (or open a fresh file
+  /// with resume_at = 0) to append without discarding anything.
+  static Result<std::unique_ptr<WritableFile>> Open(const std::string& path,
+                                                    uint64_t resume_at);
+
+  ~WritableFile();
+  WritableFile(const WritableFile&) = delete;
+  WritableFile& operator=(const WritableFile&) = delete;
+
+  /// Appends `data` at the end of the file. On success the bytes are in the
+  /// kernel page cache (durable across a process crash, not across power
+  /// loss until Sync).
+  Status Append(std::string_view data);
+
+  /// fdatasync(2): blocks until every appended byte is on stable storage.
+  Status Sync();
+
+  /// Closes the descriptor; further operations fail. Idempotent.
+  Status Close();
+
+  /// Bytes in the file: resume offset plus everything appended since Open.
+  uint64_t size() const { return size_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  WritableFile(int fd, std::string path, uint64_t size)
+      : fd_(fd), path_(std::move(path)), size_(size) {}
+
+  int fd_ = -1;
+  std::string path_;
+  uint64_t size_ = 0;
+};
+
+/// Reads the whole file into a string. NotFound if it does not exist.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Size of `path` in bytes; NotFound if it does not exist.
+Result<uint64_t> FileSize(const std::string& path);
+
+/// True if `path` exists (as any file type).
+bool FileExists(const std::string& path);
+
+/// Truncates `path` to `size` bytes (the file must exist).
+Status TruncateFile(const std::string& path, uint64_t size);
+
+/// Removes `path` if it exists; missing files are not an error.
+Status RemoveFileIfExists(const std::string& path);
+
+}  // namespace uocqa
+
+#endif  // UOCQA_BASE_IO_H_

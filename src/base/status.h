@@ -22,6 +22,9 @@ enum class StatusCode {
   kOutOfRange = 4,
   kUnimplemented = 5,
   kInternal = 6,
+  kDeadlineExceeded = 7,
+  kUnavailable = 8,
+  kResourceExhausted = 9,
 };
 
 /// Returns a short human-readable name for a status code.
@@ -55,6 +58,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

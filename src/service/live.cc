@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "base/failpoint.h"
 #include "service/canonical.h"
 
 namespace uocqa {
@@ -38,6 +39,16 @@ Status LiveInstance::Add(std::string_view relation,
         std::to_string(schema.arity(rel)) + ", got " +
         std::to_string(constants.size()) + " constants");
   }
+  // Write-ahead: the fact reaches the log before it reaches the pending
+  // delta. A log failure rejects the fact entirely — any torn bytes on disk
+  // fail their frame CRC at recovery, so log and memory agree either way.
+  if (wal_ != nullptr) {
+    WalRecord record;
+    record.type = WalRecord::Type::kAddFact;
+    record.relation = std::string(relation);
+    record.constants = constants;
+    UOCQA_RETURN_IF_ERROR(wal_->Append(record));
+  }
   std::vector<Value> args;
   args.reserve(constants.size());
   for (const std::string& c : constants) args.push_back(ValuePool::Intern(c));
@@ -46,22 +57,61 @@ Status LiveInstance::Add(std::string_view relation,
   return Status::OK();
 }
 
+void LiveInstance::AttachWal(std::unique_ptr<WalWriter> wal) {
+  std::lock_guard<std::mutex> lock(mu_);
+  wal_ = std::move(wal);
+}
+
+bool LiveInstance::has_wal() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_ != nullptr;
+}
+
+WalSyncPolicy LiveInstance::wal_policy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_ != nullptr ? wal_->policy() : WalSyncPolicy::kNone;
+}
+
+Status LiveInstance::SyncWal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wal_ == nullptr) return Status::OK();
+  return wal_->Sync();
+}
+
+Status LiveInstance::AppendBarrierLocked(uint64_t epoch, uint64_t facts,
+                                         uint64_t fingerprint) {
+  if (wal_ == nullptr) return Status::OK();
+  WalRecord record;
+  record.type = WalRecord::Type::kBarrier;
+  record.epoch = epoch;
+  record.facts = facts;
+  record.fingerprint = fingerprint;
+  UOCQA_RETURN_IF_ERROR(wal_->Append(record));
+  return wal_->BarrierSync();
+}
+
 void LiveInstance::SetMetrics(MetricsRegistry* metrics) {
   std::lock_guard<std::mutex> lock(mu_);
   if (metrics == nullptr) {
     publish_hist_ = nullptr;
     delta_hist_ = nullptr;
     pending_gauge_ = nullptr;
+    if (wal_ != nullptr) wal_->SetMetrics(nullptr);
     return;
   }
   publish_hist_ = metrics->GetHistogram("uocqa_stage_snapshot_publish_us");
   delta_hist_ = metrics->GetHistogram("uocqa_live_delta_facts");
   pending_gauge_ = metrics->GetGauge("uocqa_live_pending");
   pending_gauge_->Set(static_cast<int64_t>(pending_.size()));
+  if (wal_ != nullptr) wal_->SetMetrics(metrics);
 }
 
-std::shared_ptr<const InstanceSnapshot> LiveInstance::Snapshot() {
+std::shared_ptr<const InstanceSnapshot> LiveInstance::Snapshot(
+    Status* wal_status) {
+  if (wal_status != nullptr) *wal_status = Status::OK();
   std::lock_guard<std::mutex> lock(mu_);
+  // An empty delta changes nothing, so nothing is logged either — replay
+  // equivalence holds trivially.
   if (pending_.empty()) return current_;
   metrics::ScopedTimer publish_timer(publish_hist_);
   const InstanceSnapshot& prev = *current_;
@@ -69,15 +119,25 @@ std::shared_ptr<const InstanceSnapshot> LiveInstance::Snapshot() {
   // index) and append the delta. AddFact's dedup makes re-inserted facts
   // no-ops, so the merged database is structurally identical — fact ids,
   // index, everything — to a fresh load of the concatenated fact stream.
+  // Pending facts are copied, not moved: if the barrier fails to reach the
+  // log below, the delta must stay queued untouched.
   auto merged = std::make_shared<Database>(*prev.db);
-  for (Fact& fact : pending_) merged->AddFact(std::move(fact));
-  pending_.clear();
-  metrics::Set(pending_gauge_, 0);
+  for (const Fact& fact : pending_) merged->AddFact(fact);
   FactId first_new = static_cast<FactId>(prev.db->size());
   if (merged->size() == prev.db->size()) {
     // Every queued fact was a duplicate: the fact set did not change, so
     // the current snapshot stays the published version (no epoch bump —
-    // cached results remain valid by construction).
+    // cached results remain valid by construction). The barrier is still
+    // logged — replay must clear its pending delta at this same point, and
+    // the recorded epoch/fingerprint re-verify the replayed state.
+    Status st =
+        AppendBarrierLocked(prev.epoch, prev.db->size(), prev.fingerprint);
+    if (!st.ok()) {
+      if (wal_status != nullptr) *wal_status = std::move(st);
+      return current_;
+    }
+    pending_.clear();
+    metrics::Set(pending_gauge_, 0);
     return current_;
   }
   auto next = std::make_shared<InstanceSnapshot>();
@@ -96,6 +156,32 @@ std::shared_ptr<const InstanceSnapshot> LiveInstance::Snapshot() {
                                    first_new, &changed));
   next->conflict_epoch =
       changed.empty() ? prev.conflict_epoch : next->epoch;
+  // Write-ahead: the barrier (epoch, fact count, fingerprint of the version
+  // about to publish) is logged and group-commit synced before any in-memory
+  // state changes. On failure the merge is discarded, the delta stays
+  // queued, and the caller sees the previous snapshot — exactly the state a
+  // crash at this instant would recover to.
+  Status st = AppendBarrierLocked(next->epoch, merged->size(),
+                                  next->fingerprint);
+  if (!st.ok()) {
+    if (wal_status != nullptr) *wal_status = std::move(st);
+    return current_;
+  }
+  // Crash window between log and publish: the barrier is durable but the
+  // epoch never became visible. Recovery replays the log past the barrier,
+  // so the restarted instance publishes the epoch the dying one did not —
+  // the log is the authority. The failpoint models dying in that window.
+  static failpoint::Site publish_fp("live.snapshot.publish");
+  if (publish_fp.Triggered()) {
+    if (wal_ != nullptr) wal_->Kill();
+    if (wal_status != nullptr) {
+      *wal_status =
+          Status::Unavailable("injected crash before snapshot publish");
+    }
+    return current_;
+  }
+  pending_.clear();
+  metrics::Set(pending_gauge_, 0);
   metrics::Record(delta_hist_,
                   static_cast<uint64_t>(merged->size()) - first_new);
   next->db = std::move(merged);

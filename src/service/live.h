@@ -51,6 +51,7 @@
 #include "db/database.h"
 #include "db/keys.h"
 #include "repairs/denominators.h"
+#include "service/wal.h"
 
 namespace uocqa {
 
@@ -98,6 +99,10 @@ class LiveInstance {
   /// schema with matching arity; constants are interned. Queuing a fact
   /// already present (in the current version or earlier in the pending
   /// delta) is accepted and becomes a no-op at merge time.
+  ///
+  /// With a WAL attached the fact is appended to the log *before* it is
+  /// queued (write-ahead ordering); a log failure rejects the fact, leaving
+  /// log and memory consistent.
   Status Add(std::string_view relation,
              const std::vector<std::string>& constants);
 
@@ -105,7 +110,31 @@ class LiveInstance {
   /// empty (or fully duplicate) delta the current snapshot is returned
   /// unchanged — the epoch only ever advances when the fact set actually
   /// grew.
-  std::shared_ptr<const InstanceSnapshot> Snapshot();
+  ///
+  /// With a WAL attached, every call that consumes a non-empty delta logs a
+  /// barrier record (even the all-duplicate case, so replay clears pending
+  /// at the same points) and group-commit syncs it *before* clearing the
+  /// delta or publishing. If the log fails, nothing is published, the delta
+  /// stays queued, the previous snapshot is returned, and the failure is
+  /// reported through `wal_status` (never null-dereferenced; pass nullptr
+  /// to ignore — non-WAL instances always report OK).
+  std::shared_ptr<const InstanceSnapshot> Snapshot(
+      Status* wal_status = nullptr);
+
+  /// Attaches the write-ahead log: all subsequent mutations are logged
+  /// ahead of being applied. Call once, before any concurrent use (the
+  /// recovery path: RecoverAndAttachWal).
+  void AttachWal(std::unique_ptr<WalWriter> wal);
+
+  /// True if a WAL is attached.
+  bool has_wal() const;
+
+  /// Sync policy of the attached WAL (kNone without one).
+  WalSyncPolicy wal_policy() const;
+
+  /// Unconditionally fdatasyncs the attached log (the `wal_sync` verb and
+  /// graceful shutdown). OK when no WAL is attached.
+  Status SyncWal();
 
   /// The currently published snapshot (never null).
   std::shared_ptr<const InstanceSnapshot> Current() const;
@@ -124,10 +153,16 @@ class LiveInstance {
   void SetMetrics(MetricsRegistry* metrics);
 
  private:
+  /// Appends a barrier for the given snapshot state and group-commit syncs
+  /// it. OK when no WAL is attached. Caller holds mu_.
+  Status AppendBarrierLocked(uint64_t epoch, uint64_t facts,
+                             uint64_t fingerprint);
+
   KeySet keys_;
   mutable std::mutex mu_;
   std::shared_ptr<const InstanceSnapshot> current_;
   std::vector<Fact> pending_;
+  std::unique_ptr<WalWriter> wal_;  // guarded by mu_
 
   metrics::Histogram* publish_hist_ = nullptr;   // guarded by mu_
   metrics::Histogram* delta_hist_ = nullptr;     // guarded by mu_

@@ -129,21 +129,54 @@ Status ParseSizeField(const std::string& field, const std::string& text,
 std::vector<std::string> ReadRequestLines(std::istream& in) {
   std::vector<std::string> out;
   std::string line;
-  while (std::getline(in, line)) {
+  // Hand-rolled line reader instead of std::getline: a hostile multi-MB
+  // line must not be buffered in full. At most kMaxRequestLineBytes + 1
+  // bytes are kept (one past the limit, so ParseRequestLine sees the line
+  // as oversized); the rest of the line is drained and dropped.
+  std::streambuf* sb = in.rdbuf();
+  bool eof = sb == nullptr;
+  while (!eof) {
+    line.clear();
+    bool got_any = false;
+    for (;;) {
+      int c = sb->sbumpc();
+      if (c == std::char_traits<char>::eof()) {
+        eof = true;
+        break;
+      }
+      got_any = true;
+      if (c == '\n') break;
+      if (line.size() <= kMaxRequestLineBytes) {
+        line.push_back(static_cast<char>(c));
+      }
+    }
+    if (!got_any) break;
     std::string_view trimmed = StrTrim(line);
     if (trimmed.empty() || trimmed.front() == '#') continue;
     out.emplace_back(trimmed);
   }
+  // Match std::getline's stream state for callers that inspect it.
+  in.setstate(std::ios::eofbit);
   return out;
 }
 
 Result<Request> ParseRequestLine(std::string_view line) {
+  if (line.size() > kMaxRequestLineBytes) {
+    return Status::ResourceExhausted(
+        "request line exceeds " + std::to_string(kMaxRequestLineBytes) +
+        " bytes");
+  }
   UOCQA_ASSIGN_OR_RETURN(std::vector<std::string> tokens, Tokenize(line));
   if (tokens.empty()) return Status::InvalidArgument("empty request");
+  if (tokens.size() > kMaxRequestFields) {
+    return Status::ResourceExhausted(
+        "request has more than " + std::to_string(kMaxRequestFields) +
+        " fields");
+  }
   Request out;
   if (tokens[0] == "stats" || tokens[0] == "metrics" ||
       tokens[0] == "version" || tokens[0] == "begin_snapshot" ||
-      tokens[0] == "epoch") {
+      tokens[0] == "epoch" || tokens[0] == "wal_sync") {
     if (tokens.size() != 1) {
       return Status::InvalidArgument("'" + tokens[0] +
                                      "' takes no further fields");
@@ -152,7 +185,8 @@ Result<Request> ParseRequestLine(std::string_view line) {
                : tokens[0] == "metrics"        ? RequestVerb::kMetrics
                : tokens[0] == "version"        ? RequestVerb::kVersion
                : tokens[0] == "begin_snapshot" ? RequestVerb::kBeginSnapshot
-                                               : RequestVerb::kEpoch;
+               : tokens[0] == "epoch"          ? RequestVerb::kEpoch
+                                               : RequestVerb::kWalSync;
     return out;
   }
   if (tokens[0] == "add_fact") {
@@ -235,6 +269,10 @@ Result<Request> ParseRequestLine(std::string_view line) {
       } else {
         return Status::InvalidArgument("trace expects 0 or 1");
       }
+    } else if (key == "timeout_ms") {
+      size_t timeout = 0;
+      UOCQA_RETURN_IF_ERROR(ParseSizeField(key, value, &timeout));
+      out.timeout_ms = static_cast<uint64_t>(timeout);
     } else {
       return Status::InvalidArgument("unknown request field: " + key);
     }
@@ -259,6 +297,8 @@ std::string FormatRequestLine(const Request& request) {
       return "begin_snapshot";
     case RequestVerb::kEpoch:
       return "epoch";
+    case RequestVerb::kWalSync:
+      return "wal_sync";
     case RequestVerb::kAddFact:
       return "add_fact rel=" + QuoteProtocolValue(request.fact_relation) +
              " args=" + QuoteProtocolValue(request.fact_args);
@@ -282,6 +322,9 @@ std::string FormatRequestLine(const Request& request) {
   }
   if (request.explain) out += " explain=1";
   if (request.trace) out += " trace=1";
+  if (request.timeout_ms != 0) {
+    out += " timeout_ms=" + std::to_string(request.timeout_ms);
+  }
   return out;
 }
 
@@ -301,7 +344,23 @@ std::string FormatResponseLine(size_t id, const ServiceResponse& response) {
       out += " trace=" + QuoteProtocolValue(response.trace);
     }
   } else {
-    out += " error '" + response.status.ToString() + "'";
+    // Overload-control outcomes get a structured kind so clients (and the
+    // shed/timeout tests) can switch on the response without parsing the
+    // message; everything else keeps the legacy rendering.
+    switch (response.status.code()) {
+      case StatusCode::kDeadlineExceeded:
+        out += " err timeout '" + response.status.message() + "'";
+        break;
+      case StatusCode::kUnavailable:
+        out += " err busy '" + response.status.message() + "'";
+        break;
+      case StatusCode::kResourceExhausted:
+        out += " err oversized '" + response.status.message() + "'";
+        break;
+      default:
+        out += " error '" + response.status.ToString() + "'";
+        break;
+    }
   }
   return out;
 }

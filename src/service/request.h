@@ -51,6 +51,7 @@ std::optional<RequestMode> ParseRequestMode(std::string_view text);
 ///   add_fact rel=R args='a,b'  — queue one fact for the next snapshot
 ///   begin_snapshot             — merge queued facts into a new epoch
 ///   epoch                      — report the currently served epoch
+///   wal_sync                   — force the write-ahead log to stable storage
 /// The write verbs require a live service (uocqa_serve); a static service
 /// answers them with an error.
 enum class RequestVerb : uint8_t {
@@ -61,7 +62,15 @@ enum class RequestVerb : uint8_t {
   kAddFact,
   kBeginSnapshot,
   kEpoch,
+  kWalSync,
 };
+
+/// Hostile-input bounds on one protocol line, enforced by ReadRequestLines
+/// (which stops buffering past the limit) and ParseRequestLine (which
+/// answers `err oversized`, StatusCode::kResourceExhausted). Generous for
+/// any legitimate query; a multi-megabyte line is an attack or a bug.
+inline constexpr size_t kMaxRequestLineBytes = 1 << 20;  // 1 MiB
+inline constexpr size_t kMaxRequestFields = 64;
 
 /// One OCQA request. Field names and defaults mirror the CLI flags; the
 /// database is fixed per service, not per request.
@@ -88,6 +97,13 @@ struct Request {
   /// outside the payload bytes (the epoch-stamp precedent), so traced and
   /// untraced requests share cache entries and replay byte-identically.
   bool trace = false;
+  /// `timeout_ms=N` arms a per-request deadline: the service checks it
+  /// between pipeline stages and answers `err timeout`
+  /// (StatusCode::kDeadlineExceeded) once it expires, discarding any
+  /// partial work without entering the result cache. 0 (the default)
+  /// disables the deadline. Deliberately NOT part of the result-cache key:
+  /// a deadline bounds work, it never changes a completed payload's bytes.
+  uint64_t timeout_ms = 0;
   /// What this line asks for. kQuery uses the fields above; kStats answers
   /// with cache counters (never cached, doesn't count as a query request);
   /// kAddFact uses fact_relation/fact_args; kBeginSnapshot and kEpoch take
@@ -113,7 +129,10 @@ Status ParseSizeField(const std::string& field, const std::string& text,
 
 /// Reads request lines from a stream, trimming whitespace and dropping
 /// blanks and '#' comments — the shared reader of `uocqa_serve` and
-/// `uocqa --batch`.
+/// `uocqa --batch`. Buffers at most kMaxRequestLineBytes + 1 bytes per line:
+/// a longer line is drained from the stream but kept only up to the limit,
+/// so ParseRequestLine rejects it as oversized without the process ever
+/// holding the full hostile payload.
 std::vector<std::string> ReadRequestLines(std::istream& in);
 
 /// Parses one protocol line (must be non-blank and not a comment).
@@ -155,8 +174,13 @@ struct ServiceResponse {
   std::string trace;
 };
 
-/// "<id> ok <hit|miss> [epoch=<E>] <payload> [trace='...']" or
-/// "<id> error '<message>'".
+/// "<id> ok <hit|miss> [epoch=<E>] <payload> [trace='...']" on success.
+/// Overload-control failures get a structured kind a client can switch on
+/// without parsing the message:
+///   kDeadlineExceeded   ->  "<id> err timeout '<message>'"
+///   kUnavailable        ->  "<id> err busy '<message>'"
+///   kResourceExhausted  ->  "<id> err oversized '<message>'"
+/// and every other error keeps the legacy "<id> error '<message>'".
 std::string FormatResponseLine(size_t id, const ServiceResponse& response);
 
 }  // namespace uocqa

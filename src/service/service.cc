@@ -1,9 +1,11 @@
 #include "service/service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <optional>
 
+#include "base/failpoint.h"
 #include "base/hashing.h"
 #include "base/strings.h"
 #include "base/version.h"
@@ -43,6 +45,32 @@ std::vector<std::string> ParseFactArgs(const std::string& text) {
   }
   return out;
 }
+
+/// A per-request deadline, armed iff the request carried timeout_ms > 0.
+/// Expiry is the real clock OR the "service.deadline" failpoint — the site
+/// is only evaluated while a deadline is armed, so tests can force the
+/// N-th deadline check of a deadline-carrying request to expire without
+/// depending on wall-clock timing.
+class Deadline {
+ public:
+  explicit Deadline(uint64_t timeout_ms) : armed_(timeout_ms > 0) {
+    if (armed_) {
+      expires_at_ = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeout_ms);
+    }
+  }
+
+  bool Expired() {
+    if (!armed_) return false;
+    static failpoint::Site deadline_fp("service.deadline");
+    if (deadline_fp.Triggered()) return true;
+    return std::chrono::steady_clock::now() >= expires_at_;
+  }
+
+ private:
+  bool armed_;
+  std::chrono::steady_clock::time_point expires_at_;
+};
 
 }  // namespace
 
@@ -140,6 +168,7 @@ void QueryService::InitMetrics() {
   stages_.batch_dispatch =
       metrics_->GetHistogram("uocqa_stage_batch_dispatch_us");
   stages_.request = metrics_->GetHistogram("uocqa_stage_request_us");
+  stages_.shed = metrics_->GetCounter("uocqa_requests_shed_total");
   // Pre-register the stages recorded by other layers (engine denominators,
   // live snapshot publish) so the exposition always lists the full stage
   // set, even before the first event.
@@ -212,7 +241,12 @@ std::vector<ServiceResponse> QueryService::ExecuteBatch(
   std::vector<ServiceResponse> out(requests.size());
   auto verb_of = [&](size_t i) { return requests[i].verb; };
   auto run_one = [&](size_t i) { out[i] = Run(requests[i]); };
-  RunSegmented(requests.size(), verb_of, run_one, threads);
+  auto shed_one = [&](size_t i) {
+    out[i].status = Status::Unavailable(
+        "request shed: admission queue full (max_queue=" +
+        std::to_string(options_.max_queue) + ")");
+  };
+  RunSegmented(requests.size(), verb_of, run_one, shed_one, threads);
   return out;
 }
 
@@ -236,27 +270,48 @@ std::vector<ServiceResponse> QueryService::ExecuteBatchLines(
   auto run_one = [&](size_t i) {
     if (parsed[i].has_value()) out[i] = Run(*parsed[i]);
   };
-  RunSegmented(lines.size(), verb_of, run_one, threads);
+  // A parse failure keeps its (more specific) error even when its slot
+  // falls in the shed region.
+  auto shed_one = [&](size_t i) {
+    if (!parsed[i].has_value()) return;
+    out[i].status = Status::Unavailable(
+        "request shed: admission queue full (max_queue=" +
+        std::to_string(options_.max_queue) + ")");
+  };
+  RunSegmented(lines.size(), verb_of, run_one, shed_one, threads);
   return out;
 }
 
-template <typename VerbOf, typename RunOne>
+template <typename VerbOf, typename RunOne, typename ShedOne>
 void QueryService::RunSegmented(size_t count, const VerbOf& verb_of,
-                                const RunOne& run_one, size_t threads) {
-  // Write/epoch verbs are serial barriers: every request before one sees
-  // the pre-verb state, every request after it the post-verb state, at any
-  // lane count — that is what makes mixed read/write batches deterministic.
+                                const RunOne& run_one, const ShedOne& shed_one,
+                                size_t threads) {
+  // Write/epoch/wal verbs are serial barriers: every request before one
+  // sees the pre-verb state, every request after it the post-verb state, at
+  // any lane count — that is what makes mixed read/write batches
+  // deterministic.
   auto is_barrier = [](RequestVerb v) {
     return v == RequestVerb::kAddFact || v == RequestVerb::kBeginSnapshot ||
-           v == RequestVerb::kEpoch;
+           v == RequestVerb::kEpoch || v == RequestVerb::kWalSync;
   };
   size_t start = 0;
   auto run_span = [&](size_t begin, size_t end) {
     if (begin >= end) return;
+    size_t admit_end = end;
+    if (options_.max_queue > 0 && end - begin > options_.max_queue) {
+      // Deterministic load shedding: the span models the admission queue
+      // filling in request order — exactly the first max_queue requests of
+      // the span run, the overflow answers `err busy` without running. The
+      // decision is positional (stream order), never racy runtime depth, so
+      // the same requests shed at every lane count.
+      admit_end = begin + options_.max_queue;
+      for (size_t i = admit_end; i < end; ++i) shed_one(i);
+      metrics::Add(stages_.shed, end - admit_end);
+    }
     // One record per parallel span: wall-clock from dispatch to the last
     // lane finishing, the batch executor's unit of work.
     metrics::ScopedTimer dispatch_timer(stages_.batch_dispatch);
-    ParallelForOn(BatchPool(threads), end - begin,
+    ParallelForOn(BatchPool(threads), admit_end - begin,
                   [&](size_t i) { run_one(begin + i); }, /*grain=*/1);
   };
   for (size_t i = 0; i < count; ++i) {
@@ -416,7 +471,15 @@ ServiceResponse QueryService::RunControl(const Request& request) {
       }
       out.status = live_->Add(request.fact_relation,
                               ParseFactArgs(request.fact_args));
-      if (!out.status.ok()) return out;
+      if (!out.status.ok()) {
+        // A dead WAL writer reports Unavailable; rewrap so the response
+        // renders as a hard error, not the retryable `err busy` that code
+        // means for load shedding.
+        if (out.status.code() == StatusCode::kUnavailable) {
+          out.status = Status::Internal(out.status.message());
+        }
+        return out;
+      }
       out.payload = "pending=" + std::to_string(live_->pending());
       std::shared_ptr<const EpochContext> ctx = CurrentContext();
       out.has_epoch = true;
@@ -429,9 +492,40 @@ ServiceResponse QueryService::RunControl(const Request& request) {
             "begin_snapshot requires a live service");
         return out;
       }
+      Status wal_status;
+      std::shared_ptr<const InstanceSnapshot> snapshot =
+          live_->Snapshot(&wal_status);
+      if (!wal_status.ok()) {
+        // Nothing was published (write-ahead ordering): keep serving the
+        // previous epoch and report the durability failure hard.
+        out.status = Status::Internal(wal_status.message());
+        return out;
+      }
       std::shared_ptr<const EpochContext> ctx =
-          InstallContext(live_->Snapshot());
+          InstallContext(std::move(snapshot));
       out.payload = "facts=" + std::to_string(ctx->snapshot->db->size());
+      out.has_epoch = true;
+      out.epoch = ctx->snapshot->epoch;
+      return out;
+    }
+    case RequestVerb::kWalSync: {
+      if (live_ == nullptr) {
+        out.status = Status::InvalidArgument(
+            "wal_sync requires a live service");
+        return out;
+      }
+      if (live_->has_wal()) {
+        Status st = live_->SyncWal();
+        if (!st.ok()) {
+          out.status = Status::Internal(st.message());
+          return out;
+        }
+        out.payload = std::string("synced=1 policy=") +
+                      WalSyncPolicyName(live_->wal_policy());
+      } else {
+        out.payload = "synced=0 policy=off";
+      }
+      std::shared_ptr<const EpochContext> ctx = CurrentContext();
       out.has_epoch = true;
       out.epoch = ctx->snapshot->epoch;
       return out;
@@ -489,6 +583,19 @@ ServiceResponse QueryService::RunQueryCore(const Request& request,
     out.has_epoch = true;
     out.epoch = ctx.snapshot->epoch;
   }
+  // The deadline is checked at the stage seams below; an expired request
+  // abandons its remaining stages, discards any partial payload, and never
+  // enters the result cache (a timeout must not poison later requests).
+  Deadline deadline(request.timeout_ms);
+  auto timed_out = [&](ServiceResponse* r) {
+    if (!deadline.Expired()) return false;
+    r->status = Status::DeadlineExceeded(
+        "deadline of " + std::to_string(request.timeout_ms) +
+        " ms exceeded");
+    r->payload.clear();
+    r->cache_hit = false;
+    return true;
+  };
   out.status = ValidateAccuracy(request.epsilon, request.delta,
                                 request.samples);
   if (!out.status.ok()) return out;
@@ -539,6 +646,7 @@ ServiceResponse QueryService::RunQueryCore(const Request& request,
     }
   }
   trace->AddCount("cache_hit", 0);
+  if (timed_out(&out)) return out;
 
   std::string payload;
   auto append = [&payload](const std::string& field) {
@@ -565,6 +673,7 @@ ServiceResponse QueryService::RunQueryCore(const Request& request,
     append("exact_us=" + us.numerator.ToString() + "/" +
            us.denominator.ToString());
   }
+  if (timed_out(&out)) return out;
   if (all || request.mode == RequestMode::kFpras) {
     Result<std::shared_ptr<CompiledQuery>> plan =
         PlanFor(ctx, canonical, *query, trace);
@@ -590,6 +699,7 @@ ServiceResponse QueryService::RunQueryCore(const Request& request,
                           (us.ok() ? us->union_trials : 0));
     }
   }
+  if (timed_out(&out)) return out;
   if (all || request.mode == RequestMode::kMc) {
     metrics::ScopedStage mc_stage(stages_.mc_trials, trace, "mc_trials_us");
     append("mc_ur=" + FormatDouble(engine.MonteCarloUr(
@@ -615,10 +725,20 @@ ServiceResponse QueryService::RunQueryCore(const Request& request,
     }
   }
 
+  // A request that ran out of budget after its last solver stage still
+  // reports the timeout — and, critically, its payload must not be cached:
+  // the entry would be indistinguishable from a completed one.
+  if (timed_out(&out)) return out;
   {
-    metrics::ScopedTimer put_timer(stages_.result_cache);
-    std::lock_guard<std::mutex> lock(result_mu_);
-    result_cache_.Put(key, payload);
+    // Failpoint: drop the insertion (the entry never lands in the cache).
+    // The response is computed either way — the timeout/shed tests use this
+    // to pin that payload bytes never depend on cache insertion succeeding.
+    static failpoint::Site cache_insert_fp("service.result_cache.insert");
+    if (!cache_insert_fp.Triggered()) {
+      metrics::ScopedTimer put_timer(stages_.result_cache);
+      std::lock_guard<std::mutex> lock(result_mu_);
+      result_cache_.Put(key, payload);
+    }
   }
   out.payload = std::move(payload);
   return out;

@@ -93,6 +93,13 @@ struct ServiceOptions {
   /// MetricsRegistry::Global()) to aggregate across services. Ignored when
   /// `metrics_enabled` is false.
   MetricsRegistry* metrics = nullptr;
+  /// Bounded admission for batch execution: within each barrier-delimited
+  /// span of a batch, at most this many requests are admitted; the rest are
+  /// shed deterministically (`err busy`, StatusCode::kUnavailable) without
+  /// running. Shedding is positional — the span's first `max_queue`
+  /// requests run, later ones shed — so the response vector stays
+  /// bit-identical at every lane count. 0 (the default) disables shedding.
+  size_t max_queue = 0;
   /// Log any query whose end-to-end service time reaches this many
   /// microseconds (canonical query text + per-stage breakdown) to
   /// `slow_query_sink`. 0 disables the slow-query log.
@@ -264,12 +271,13 @@ class QueryService {
       const ConjunctiveQuery& query, metrics::StageTrace* trace = nullptr);
 
   /// Runs requests [0, count): barrier verbs (add_fact, begin_snapshot,
-  /// epoch) serially in order, the query spans between them in parallel on
-  /// BatchPool(threads) — the shared core of ExecuteBatch and
-  /// ExecuteBatchLines.
-  template <typename VerbOf, typename RunOne>
+  /// epoch, wal_sync) serially in order, the query spans between them in
+  /// parallel on BatchPool(threads) — the shared core of ExecuteBatch and
+  /// ExecuteBatchLines. With options_.max_queue > 0, span positions past
+  /// the limit are handed to `shed_one` instead of running.
+  template <typename VerbOf, typename RunOne, typename ShedOne>
   void RunSegmented(size_t count, const VerbOf& verb_of, const RunOne& run_one,
-                    size_t threads);
+                    const ShedOne& shed_one, size_t threads);
 
   /// Lanes for a batch call; nullptr when `threads` resolves to 1.
   ThreadPool* BatchPool(size_t threads);
@@ -311,6 +319,7 @@ class QueryService {
     metrics::Histogram* result_cache = nullptr;
     metrics::Histogram* batch_dispatch = nullptr;
     metrics::Histogram* request = nullptr;
+    metrics::Counter* shed = nullptr;
   } stages_;
   /// Serializes slow-query sink calls across batch lanes.
   std::mutex slow_mu_;

@@ -1,0 +1,368 @@
+#include "service/wal.h"
+
+#include <cstring>
+#include <utility>
+
+#include "base/failpoint.h"
+#include "service/live.h"
+
+namespace uocqa {
+
+namespace {
+
+constexpr char kMagic[8] = {'U', 'O', 'C', 'Q', 'A', 'W', 'A', 'L'};
+constexpr uint32_t kVersion = 1;
+constexpr size_t kHeaderSize = 16;   // magic(8) + version(4) + crc(4)
+constexpr size_t kFrameSize = 9;     // payload_len(4) + crc(4) + type(1)
+// Frame-level sanity bound; real payloads are tiny (a fact's strings or
+// three u64s), this only caps what a corrupt length field can ask for.
+constexpr uint32_t kMaxPayload = 1u << 30;
+
+void PutU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+  out->push_back(static_cast<char>((v >> 16) & 0xFF));
+  out->push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v & 0xFFFFFFFFu));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+void PutString(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+uint32_t ReadU32(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+uint64_t ReadU64(const char* p) {
+  return static_cast<uint64_t>(ReadU32(p)) |
+         static_cast<uint64_t>(ReadU32(p + 4)) << 32;
+}
+
+/// Cursor over a decoded payload; every Take* checks bounds.
+struct Reader {
+  const char* p;
+  size_t left;
+
+  bool TakeU32(uint32_t* v) {
+    if (left < 4) return false;
+    *v = ReadU32(p);
+    p += 4;
+    left -= 4;
+    return true;
+  }
+  bool TakeU64(uint64_t* v) {
+    if (left < 8) return false;
+    *v = ReadU64(p);
+    p += 8;
+    left -= 8;
+    return true;
+  }
+  bool TakeString(std::string* s) {
+    uint32_t n = 0;
+    if (!TakeU32(&n) || left < n) return false;
+    s->assign(p, n);
+    p += n;
+    left -= n;
+    return true;
+  }
+};
+
+std::string EncodePayload(const WalRecord& record) {
+  std::string payload;
+  switch (record.type) {
+    case WalRecord::Type::kAddFact:
+      PutU32(&payload, static_cast<uint32_t>(record.constants.size()));
+      PutString(&payload, record.relation);
+      for (const std::string& c : record.constants) PutString(&payload, c);
+      break;
+    case WalRecord::Type::kBarrier:
+      PutU64(&payload, record.epoch);
+      PutU64(&payload, record.facts);
+      PutU64(&payload, record.fingerprint);
+      break;
+  }
+  return payload;
+}
+
+/// True iff `payload` parses completely (no trailing bytes) as `type`.
+bool DecodePayload(WalRecord::Type type, std::string_view payload,
+                   WalRecord* out) {
+  Reader r{payload.data(), payload.size()};
+  out->type = type;
+  switch (type) {
+    case WalRecord::Type::kAddFact: {
+      uint32_t nconstants = 0;
+      if (!r.TakeU32(&nconstants)) return false;
+      if (!r.TakeString(&out->relation)) return false;
+      out->constants.resize(nconstants);
+      for (uint32_t i = 0; i < nconstants; ++i) {
+        if (!r.TakeString(&out->constants[i])) return false;
+      }
+      break;
+    }
+    case WalRecord::Type::kBarrier:
+      if (!r.TakeU64(&out->epoch)) return false;
+      if (!r.TakeU64(&out->facts)) return false;
+      if (!r.TakeU64(&out->fingerprint)) return false;
+      break;
+  }
+  return r.left == 0;
+}
+
+}  // namespace
+
+Result<WalSyncPolicy> ParseWalSyncPolicy(std::string_view text) {
+  if (text == "none") return WalSyncPolicy::kNone;
+  if (text == "batch") return WalSyncPolicy::kBatch;
+  if (text == "every") return WalSyncPolicy::kEvery;
+  return Status::InvalidArgument("unknown WAL sync policy '" +
+                                 std::string(text) +
+                                 "' (expected none, batch, or every)");
+}
+
+const char* WalSyncPolicyName(WalSyncPolicy policy) {
+  switch (policy) {
+    case WalSyncPolicy::kNone:
+      return "none";
+    case WalSyncPolicy::kBatch:
+      return "batch";
+    case WalSyncPolicy::kEvery:
+      return "every";
+  }
+  return "unknown";
+}
+
+std::string EncodeWalHeader() {
+  std::string header(kMagic, sizeof(kMagic));
+  PutU32(&header, kVersion);
+  PutU32(&header, Crc32(header));
+  return header;
+}
+
+std::string EncodeWalRecord(const WalRecord& record) {
+  const std::string payload = EncodePayload(record);
+  std::string frame;
+  frame.reserve(kFrameSize + payload.size());
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  // The CRC covers payload_len + type + payload: a bit flip in the length
+  // field fails the check instead of silently misframing the scan.
+  uint32_t crc = Crc32(frame);
+  const char type = static_cast<char>(record.type);
+  crc = Crc32(&type, 1, crc);
+  crc = Crc32(payload, crc);
+  PutU32(&frame, crc);
+  frame.push_back(type);
+  frame.append(payload);
+  return frame;
+}
+
+Result<WalScan> ScanWal(const std::string& path) {
+  std::string data;
+  UOCQA_ASSIGN_OR_RETURN(data, ReadFileToString(path));
+  WalScan scan;
+  if (data.empty()) return scan;  // created-but-unwritten: a fresh log
+  if (data.size() < kHeaderSize) {
+    // Torn header write: nothing valid was ever on disk.
+    scan.truncated_bytes = data.size();
+    return scan;
+  }
+  if (std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("'" + path + "' is not a uocqa WAL file");
+  }
+  if (ReadU32(data.data() + 12) != Crc32(data.data(), 12)) {
+    return Status::InvalidArgument("'" + path + "': WAL header checksum "
+                                   "mismatch");
+  }
+  const uint32_t version = ReadU32(data.data() + 8);
+  if (version != kVersion) {
+    return Status::InvalidArgument("'" + path + "': unsupported WAL version " +
+                                   std::to_string(version));
+  }
+  size_t pos = kHeaderSize;
+  // Keep records while frames check out; the first bad frame ends the valid
+  // prefix (a torn tail is the expected shape of a crash, not an error).
+  while (data.size() - pos >= kFrameSize) {
+    const char* frame = data.data() + pos;
+    const uint32_t payload_len = ReadU32(frame);
+    if (payload_len > kMaxPayload ||
+        data.size() - pos < kFrameSize + payload_len) {
+      break;
+    }
+    const uint32_t stored_crc = ReadU32(frame + 4);
+    uint32_t crc = Crc32(frame, 4);
+    crc = Crc32(frame + 8, 1 + payload_len, crc);
+    if (crc != stored_crc) break;
+    const uint8_t type = static_cast<uint8_t>(frame[8]);
+    if (type != static_cast<uint8_t>(WalRecord::Type::kAddFact) &&
+        type != static_cast<uint8_t>(WalRecord::Type::kBarrier)) {
+      break;
+    }
+    WalRecord record;
+    if (!DecodePayload(static_cast<WalRecord::Type>(type),
+                       std::string_view(frame + kFrameSize, payload_len),
+                       &record)) {
+      break;
+    }
+    scan.records.push_back(std::move(record));
+    pos += kFrameSize + payload_len;
+  }
+  scan.valid_bytes = pos;
+  scan.truncated_bytes = data.size() - pos;
+  return scan;
+}
+
+Status ReplayWal(const std::vector<WalRecord>& records, LiveInstance* live) {
+  size_t i = 0;
+  for (const WalRecord& record : records) {
+    ++i;
+    switch (record.type) {
+      case WalRecord::Type::kAddFact: {
+        Status st = live->Add(record.relation, record.constants);
+        if (!st.ok()) {
+          return Status::InvalidArgument(
+              "WAL replay: record " + std::to_string(i) + ": " +
+              st.message());
+        }
+        break;
+      }
+      case WalRecord::Type::kBarrier: {
+        auto snapshot = live->Snapshot();
+        if (snapshot->epoch != record.epoch ||
+            snapshot->db->size() != record.facts ||
+            snapshot->fingerprint != record.fingerprint) {
+          return Status::InvalidArgument(
+              "WAL replay: barrier " + std::to_string(i) +
+              " does not match the replayed instance (logged epoch=" +
+              std::to_string(record.epoch) + " facts=" +
+              std::to_string(record.facts) + ", replayed epoch=" +
+              std::to_string(snapshot->epoch) + " facts=" +
+              std::to_string(snapshot->db->size()) +
+              "); the log was not written over this base instance");
+        }
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
+                                                   WalSyncPolicy policy,
+                                                   uint64_t resume_at) {
+  std::unique_ptr<WritableFile> file;
+  UOCQA_ASSIGN_OR_RETURN(file, WritableFile::Open(path, resume_at));
+  auto writer =
+      std::unique_ptr<WalWriter>(new WalWriter(std::move(file), policy));
+  if (resume_at == 0) {
+    UOCQA_RETURN_IF_ERROR(writer->file_->Append(EncodeWalHeader()));
+    if (policy != WalSyncPolicy::kNone) {
+      UOCQA_RETURN_IF_ERROR(writer->file_->Sync());
+    }
+  }
+  return writer;
+}
+
+void WalWriter::SetMetrics(MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    records_total_ = nullptr;
+    sync_us_ = nullptr;
+    return;
+  }
+  records_total_ = metrics->GetCounter("uocqa_wal_records_total");
+  sync_us_ = metrics->GetHistogram("uocqa_wal_sync_us");
+}
+
+Status WalWriter::Append(const WalRecord& record) {
+  if (dead_) {
+    return Status::Unavailable("WAL writer is dead (crashed earlier)");
+  }
+  static failpoint::Site drop_fp("wal.append.drop");
+  static failpoint::Site partial_fp("wal.append.partial");
+  if (drop_fp.Triggered()) {
+    dead_ = true;
+    return Status::Unavailable("WAL: injected crash before append");
+  }
+  const std::string frame = EncodeWalRecord(record);
+  if (partial_fp.Triggered()) {
+    // A torn write: half the frame reaches the file, then the "process
+    // dies". Recovery must discard this tail via the frame CRC.
+    (void)file_->Append(std::string_view(frame).substr(0, frame.size() / 2));
+    dead_ = true;
+    return Status::Unavailable("WAL: injected crash mid-append");
+  }
+  Status st = file_->Append(frame);
+  if (!st.ok()) {
+    dead_ = true;
+    return st;
+  }
+  ++appended_records_;
+  metrics::Add(records_total_);
+  if (policy_ == WalSyncPolicy::kEvery) return SyncInternal();
+  return Status::OK();
+}
+
+Status WalWriter::SyncInternal() {
+  static failpoint::Site sync_fp("wal.sync");
+  if (sync_fp.Triggered()) {
+    dead_ = true;
+    return Status::Unavailable("WAL: injected crash at sync");
+  }
+  metrics::ScopedTimer timer(sync_us_);
+  Status st = file_->Sync();
+  if (!st.ok()) dead_ = true;
+  return st;
+}
+
+Status WalWriter::BarrierSync() {
+  if (dead_) {
+    return Status::Unavailable("WAL writer is dead (crashed earlier)");
+  }
+  if (policy_ == WalSyncPolicy::kNone) return Status::OK();
+  return SyncInternal();
+}
+
+Status WalWriter::Sync() {
+  if (dead_) {
+    return Status::Unavailable("WAL writer is dead (crashed earlier)");
+  }
+  return SyncInternal();
+}
+
+Result<WalRecoveryInfo> RecoverAndAttachWal(const std::string& path,
+                                            WalSyncPolicy policy,
+                                            LiveInstance* live,
+                                            MetricsRegistry* metrics) {
+  WalRecoveryInfo info;
+  uint64_t resume_at = 0;
+  {
+    metrics::ScopedTimer timer(
+        metrics != nullptr ? metrics->GetHistogram("uocqa_recovery_us")
+                           : nullptr);
+    auto scan = ScanWal(path);
+    if (scan.ok()) {
+      info.existed = true;
+      info.records = scan->records.size();
+      info.truncated_bytes = scan->truncated_bytes;
+      UOCQA_RETURN_IF_ERROR(ReplayWal(scan->records, live));
+      resume_at = scan->valid_bytes;
+    } else if (scan.status().code() != StatusCode::kNotFound) {
+      return scan.status();
+    }
+  }
+  std::unique_ptr<WalWriter> writer;
+  UOCQA_ASSIGN_OR_RETURN(writer, WalWriter::Open(path, policy, resume_at));
+  writer->SetMetrics(metrics);
+  live->AttachWal(std::move(writer));
+  return info;
+}
+
+}  // namespace uocqa

@@ -1,0 +1,204 @@
+// Write-ahead log for live instances: durability across process crashes.
+//
+// A LiveInstance (live.h) accumulates `add_fact` deltas and publishes them
+// as immutable snapshot epochs; before this module every queued fact and
+// every published epoch lived only in memory. The WAL closes that gap with
+// the classic log-then-apply discipline:
+//
+//  * every accepted `add_fact` is appended to the log *before* it is queued
+//    in the pending delta (record type `add_fact`, carrying the relation
+//    NAME and constant STRINGS — never interned Value ids, which are
+//    process-local and ingestion-order-dependent);
+//  * every `begin_snapshot` appends a `barrier` record carrying the epoch,
+//    fact count, and fact-chain fingerprint of the snapshot it published —
+//    even when the delta was empty or all-duplicate and the epoch did not
+//    advance. Replay re-executes Snapshot() at exactly the same points, so
+//    the recovered pending set matches the pre-crash pending set, and the
+//    recorded epoch/fingerprint double as an end-to-end replay check.
+//
+// Recovery scans the log, keeps the longest prefix of CRC-valid records
+// (a torn tail — short write, zeroed sector, bit flip — fails its frame
+// CRC and cleanly ends the prefix), replays that prefix into a fresh
+// LiveInstance, and reopens the log truncated to the valid prefix. The
+// replayed instance is bit-identical to the pre-crash one: same epoch
+// chain, same fact-chain fingerprint, same block partition and delta-
+// maintained denominators — the differential guarantee
+// tests/recovery_test.cc pins against every injected crash point.
+//
+// On-disk format (all integers little-endian; see FORMATS.md):
+//
+//   header:  "UOCQAWAL" | u32 version=1 | u32 crc(magic..version)
+//   record:  u32 payload_len | u32 crc | u8 type | payload[payload_len]
+//
+// The record CRC covers payload_len, type, and payload, so a bit flip in
+// the length field is detected rather than causing a misframed read.
+//
+// Sync policy decides when appended records become power-loss durable:
+// `every` fdatasyncs after each record, `batch` group-commits one fdatasync
+// per begin_snapshot barrier, `none` leaves it to the kernel (still durable
+// across a clean process crash). The WAL writer is single-owner and
+// externally serialized (LiveInstance holds it under its mutex).
+
+#ifndef UOCQA_SERVICE_WAL_H_
+#define UOCQA_SERVICE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/io.h"
+#include "base/metrics.h"
+#include "base/status.h"
+
+namespace uocqa {
+
+class LiveInstance;
+
+/// When appended records are forced to stable storage.
+enum class WalSyncPolicy {
+  kNone,   ///< never fdatasync (kernel writeback only)
+  kBatch,  ///< one fdatasync per begin_snapshot barrier (group commit)
+  kEvery,  ///< fdatasync after every record
+};
+
+/// Parses "none" / "batch" / "every" (the `--wal-sync` flag values).
+Result<WalSyncPolicy> ParseWalSyncPolicy(std::string_view text);
+const char* WalSyncPolicyName(WalSyncPolicy policy);
+
+/// One logical log record.
+struct WalRecord {
+  enum class Type : uint8_t {
+    kAddFact = 1,
+    kBarrier = 2,
+  };
+
+  Type type = Type::kAddFact;
+
+  /// kAddFact: the fact as the client spelled it (pre-interning).
+  std::string relation;
+  std::vector<std::string> constants;
+
+  /// kBarrier: the snapshot the begin_snapshot published (possibly the
+  /// unchanged previous snapshot, when the delta was empty/duplicate).
+  uint64_t epoch = 0;
+  uint64_t facts = 0;
+  uint64_t fingerprint = 0;
+};
+
+/// The framed on-disk bytes of `record` (frame header + payload).
+std::string EncodeWalRecord(const WalRecord& record);
+
+/// The 16-byte file header.
+std::string EncodeWalHeader();
+
+/// Result of scanning a log file: every record of the longest valid prefix,
+/// in order, plus where that prefix ends.
+struct WalScan {
+  std::vector<WalRecord> records;
+  /// Bytes of the valid prefix (header included). Reopening for append must
+  /// truncate to this offset.
+  uint64_t valid_bytes = 0;
+  /// Bytes after the valid prefix that scanning discarded (torn tail).
+  uint64_t truncated_bytes = 0;
+};
+
+/// Scans `path`, keeping the longest prefix of CRC-valid records. A torn or
+/// bit-flipped tail ends the prefix silently (that is crash recovery working
+/// as designed); a missing file is NotFound; a file whose *header* is wrong
+/// (bad magic, bad header CRC) is InvalidArgument — it is not a WAL, and
+/// appending to it would destroy someone's data.
+Result<WalScan> ScanWal(const std::string& path);
+
+/// Replays scanned records into `live` (which must wrap the same base
+/// database the log was written over, with no WAL attached yet): add_fact
+/// records queue facts, barrier records take a snapshot and verify the
+/// recorded epoch, fact count, and fingerprint against the published
+/// snapshot. A verification mismatch is an error (the log does not belong
+/// to this base instance).
+Status ReplayWal(const std::vector<WalRecord>& records, LiveInstance* live);
+
+/// The append side of the log. Created by Open (fresh file or resume), then
+/// owned by a LiveInstance and called under its mutex — no internal locking.
+///
+/// Failpoint sites (base/failpoint.h), each modeling a crash of the write
+/// path: once one fires the writer enters a dead state and every further
+/// operation fails, exactly as if the process had died there.
+///
+///   wal.append.drop     record not written at all
+///   wal.append.partial  only a prefix of the record's bytes written
+///   wal.sync            fdatasync never happens
+class WalWriter {
+ public:
+  /// Opens `path` truncated to `resume_at` bytes and positions for append.
+  /// With resume_at == 0 the file is (re)started with a fresh header.
+  /// Otherwise `resume_at` must be the valid_bytes of a prior ScanWal.
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& path,
+                                                 WalSyncPolicy policy,
+                                                 uint64_t resume_at);
+
+  /// Appends one framed record, then fdatasyncs under policy `every`.
+  Status Append(const WalRecord& record);
+
+  /// The group-commit point: fdatasyncs under policy `batch` or `every`,
+  /// no-op under `none`.
+  Status BarrierSync();
+
+  /// Unconditional fdatasync regardless of policy (the `wal_sync` verb and
+  /// the graceful-shutdown path).
+  Status Sync();
+
+  /// Marks the writer crashed: every further operation fails. For fault
+  /// injection outside the writer (the snapshot-publish failpoint fires
+  /// *after* the barrier hit the log, so the log must stop moving too).
+  void Kill() { dead_ = true; }
+
+  WalSyncPolicy policy() const { return policy_; }
+  const std::string& path() const { return file_->path(); }
+  /// Records appended since Open (not counting the replayed prefix).
+  uint64_t appended_records() const { return appended_records_; }
+
+  /// Points the writer's instruments at `metrics` (nullptr detaches):
+  /// `uocqa_wal_records_total` and `uocqa_wal_sync_us`.
+  void SetMetrics(MetricsRegistry* metrics);
+
+ private:
+  WalWriter(std::unique_ptr<WritableFile> file, WalSyncPolicy policy)
+      : file_(std::move(file)), policy_(policy) {}
+
+  Status SyncInternal();
+
+  std::unique_ptr<WritableFile> file_;
+  WalSyncPolicy policy_;
+  uint64_t appended_records_ = 0;
+  /// Set when a failpoint fired or an I/O error escaped: the writer acts
+  /// crashed and refuses all further work.
+  bool dead_ = false;
+
+  metrics::Counter* records_total_ = nullptr;
+  metrics::Histogram* sync_us_ = nullptr;
+};
+
+/// What recovery found, for the operator-facing startup line and metrics.
+struct WalRecoveryInfo {
+  bool existed = false;          ///< the log file was present
+  uint64_t records = 0;          ///< records replayed
+  uint64_t truncated_bytes = 0;  ///< torn tail discarded
+};
+
+/// The full startup sequence over one log file: scan `path` (a missing file
+/// is a fresh start, not an error), replay the valid prefix into `live`,
+/// attach a writer resumed at the valid prefix (so the torn tail is
+/// truncated before the first new append), and record
+/// `uocqa_recovery_us` / `uocqa_wal_records_total` into `metrics` (which
+/// may be null). On success the instance logs all subsequent mutations to
+/// `path`.
+Result<WalRecoveryInfo> RecoverAndAttachWal(const std::string& path,
+                                            WalSyncPolicy policy,
+                                            LiveInstance* live,
+                                            MetricsRegistry* metrics);
+
+}  // namespace uocqa
+
+#endif  // UOCQA_SERVICE_WAL_H_

@@ -1,0 +1,462 @@
+// Crash-recovery differential tests and overload-control tests.
+//
+// The durability claim under test: whatever prefix of the write-ahead log
+// survives a crash, recovery reconstructs exactly the state that prefix
+// describes — same epoch chain, same fact-chain fingerprint, same pending
+// delta — no matter where the crash landed. "Where" is exhaustive: every
+// failpoint site on the write path, fired at every hit index a workload
+// produces, plus randomized byte truncations of the surviving log. The
+// oracle is direct application: scan the surviving log, apply its records
+// to a fresh WAL-less instance by hand, and demand the recovered instance
+// match it bit-for-bit (fingerprints are the paper-facing identity of an
+// instance, so fingerprint equality is fact-set equality).
+//
+// The overload half pins the serving-path guarantees: deadlines and
+// shedding answer structured errors (`err timeout`, `err busy`) and never
+// poison the result cache; oversized request lines are rejected without
+// buffering the hostile payload.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/failpoint.h"
+#include "base/io.h"
+#include "base/rng.h"
+#include "db/textio.h"
+#include "service/live.h"
+#include "service/request.h"
+#include "service/service.h"
+#include "service/wal.h"
+
+namespace uocqa {
+namespace {
+
+constexpr const char* kInstance = R"(
+key Emp = 1
+Emp(e1, hw)
+Emp(e1, sw)
+Emp(e2, hw)
+key Dept = 1
+Dept(hw, alice)
+Dept(hw, bob)
+Dept(sw, carol)
+)";
+
+LiveInstance MakeLive() {
+  auto inst = ParseInstanceText(kInstance);
+  EXPECT_TRUE(inst.ok());
+  return LiveInstance(std::move(inst->db), inst->keys);
+}
+
+std::string TempPath(const std::string& name) {
+  std::string path = ::testing::TempDir();
+  if (!path.empty() && path.back() != '/') path += '/';
+  return path + name;
+}
+
+// One ingest workload operation.
+struct Op {
+  bool snapshot = false;           // true: begin_snapshot; false: add_fact
+  std::string relation;
+  std::vector<std::string> constants;
+};
+
+// A randomized ingest stream over the fixed base: new facts, duplicate
+// facts, and snapshot points interleaved, seeded for reproducibility.
+std::vector<Op> MakeWorkload(uint64_t seed) {
+  Rng rng = Rng::Stream(/*root_seed=*/0x3a1u, seed);
+  std::vector<Op> ops;
+  size_t next_id = 10;
+  for (size_t i = 0; i < 24; ++i) {
+    uint64_t roll = rng.NextU64() % 10;
+    Op op;
+    if (roll < 2) {
+      op.snapshot = true;
+    } else if (roll < 4) {
+      // Duplicate of a base fact: exercises the duplicate-only barrier.
+      op.relation = "Emp";
+      op.constants = {"e1", "hw"};
+    } else if (roll < 7) {
+      op.relation = "Emp";
+      op.constants = {"e" + std::to_string(next_id++), "hw"};
+    } else {
+      op.relation = "Dept";
+      op.constants = {"d" + std::to_string(next_id++), "dave"};
+    }
+    ops.push_back(std::move(op));
+  }
+  Op final_snapshot;
+  final_snapshot.snapshot = true;
+  ops.push_back(std::move(final_snapshot));
+  return ops;
+}
+
+// Applies `ops` to `live`, tolerating failures (a fired failpoint kills the
+// WAL writer and later ops fail — exactly a crash mid-workload).
+void RunWorkload(LiveInstance& live, const std::vector<Op>& ops) {
+  for (const Op& op : ops) {
+    if (op.snapshot) {
+      Status wal_status;
+      live.Snapshot(&wal_status);
+    } else {
+      (void)live.Add(op.relation, op.constants);
+    }
+  }
+}
+
+// The observable identity of a live instance for the differential checks.
+struct LiveState {
+  uint64_t epoch;
+  uint64_t fingerprint;
+  size_t facts;
+  size_t pending;
+
+  bool operator==(const LiveState& other) const {
+    return epoch == other.epoch && fingerprint == other.fingerprint &&
+           facts == other.facts && pending == other.pending;
+  }
+};
+
+LiveState StateOf(const LiveInstance& live) {
+  std::shared_ptr<const InstanceSnapshot> snap = live.Current();
+  return LiveState{snap->epoch, snap->fingerprint, snap->db->size(),
+                   live.pending()};
+}
+
+std::string Describe(const LiveState& s) {
+  std::ostringstream out;
+  out << "epoch=" << s.epoch << " fingerprint=" << s.fingerprint
+      << " facts=" << s.facts << " pending=" << s.pending;
+  return out.str();
+}
+
+// The oracle: what the surviving log *says* the state should be — its
+// records applied directly (no WAL) to a fresh base instance.
+LiveState DirectApplication(const std::string& wal_path) {
+  auto scan = ScanWal(wal_path);
+  EXPECT_TRUE(scan.ok());
+  LiveInstance oracle = MakeLive();
+  for (const WalRecord& record : scan->records) {
+    if (record.type == WalRecord::Type::kAddFact) {
+      EXPECT_TRUE(oracle.Add(record.relation, record.constants).ok());
+    } else {
+      oracle.Snapshot();
+    }
+  }
+  return StateOf(oracle);
+}
+
+// Recovers the log into a fresh base and checks it against the oracle.
+// Also checks recovery is idempotent: a second recovery of the same log
+// (now truncated to its valid prefix) reproduces the same state.
+void ExpectRecoveryMatchesLog(const std::string& wal_path,
+                              const std::string& context) {
+  SCOPED_TRACE(context);
+  const LiveState expected = DirectApplication(wal_path);
+
+  LiveInstance recovered = MakeLive();
+  auto info = RecoverAndAttachWal(wal_path, WalSyncPolicy::kNone, &recovered,
+                                  nullptr);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_TRUE(StateOf(recovered) == expected)
+      << "recovered: " << Describe(StateOf(recovered))
+      << "\n  expected: " << Describe(expected);
+
+  LiveInstance again = MakeLive();
+  auto info2 =
+      RecoverAndAttachWal(wal_path, WalSyncPolicy::kNone, &again, nullptr);
+  ASSERT_TRUE(info2.ok()) << info2.status().ToString();
+  EXPECT_EQ(info2->truncated_bytes, 0u);  // first recovery truncated the tail
+  EXPECT_TRUE(StateOf(again) == StateOf(recovered))
+      << "second recovery diverged: " << Describe(StateOf(again)) << " vs "
+      << Describe(StateOf(recovered));
+}
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void TearDown() override { failpoint::DisarmAll(); }
+};
+
+// --- the differential: clean shutdown --------------------------------------
+
+TEST_F(RecoveryTest, CleanLogsRecoverToTheLiveState) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const std::string path =
+        TempPath("rec_clean_" + std::to_string(seed) + ".wal");
+    ASSERT_TRUE(RemoveFileIfExists(path).ok());
+
+    LiveInstance live = MakeLive();
+    ASSERT_TRUE(
+        RecoverAndAttachWal(path, WalSyncPolicy::kBatch, &live, nullptr)
+            .ok());
+    RunWorkload(live, MakeWorkload(seed));
+    ASSERT_TRUE(live.SyncWal().ok());
+
+    // The log must describe exactly the live state...
+    const LiveState expected = DirectApplication(path);
+    EXPECT_TRUE(StateOf(live) == expected)
+        << "live: " << Describe(StateOf(live))
+        << "\n  log: " << Describe(expected);
+    // ...and recovery must reconstruct it (twice).
+    ExpectRecoveryMatchesLog(path, "clean seed=" + std::to_string(seed));
+  }
+}
+
+// --- the differential: crash at every failpoint hit ------------------------
+
+// For each write-path failpoint: run the workload once to count how often
+// the site is evaluated, then re-run it once per hit index with the site
+// armed to fire there. Whatever log survives each injected crash must
+// recover to exactly the state it describes.
+TEST_F(RecoveryTest, EveryInjectedCrashPointRecoversToTheSurvivingPrefix) {
+  const std::vector<Op> ops = MakeWorkload(/*seed=*/3);
+  const char* kSites[] = {"wal.append.drop", "wal.append.partial", "wal.sync",
+                          "live.snapshot.publish"};
+
+  for (const char* site : kSites) {
+    // Hit census: one clean run, counting evaluations of this site.
+    failpoint::ResetHits(site);
+    {
+      const std::string path = TempPath("rec_census.wal");
+      ASSERT_TRUE(RemoveFileIfExists(path).ok());
+      LiveInstance live = MakeLive();
+      ASSERT_TRUE(
+          RecoverAndAttachWal(path, WalSyncPolicy::kEvery, &live, nullptr)
+              .ok());
+      RunWorkload(live, ops);
+    }
+    const uint64_t hits = failpoint::Hits(site);
+    ASSERT_GT(hits, 0u) << site << " was never evaluated by the workload";
+
+    for (uint64_t hit = 1; hit <= hits; ++hit) {
+      const std::string path = TempPath("rec_crash.wal");
+      ASSERT_TRUE(RemoveFileIfExists(path).ok());
+      LiveInstance live = MakeLive();
+      ASSERT_TRUE(
+          RecoverAndAttachWal(path, WalSyncPolicy::kEvery, &live, nullptr)
+              .ok());
+      failpoint::Arm(site, hit);
+      RunWorkload(live, ops);
+      failpoint::Disarm(site);
+
+      ExpectRecoveryMatchesLog(
+          path, std::string(site) + " hit=" + std::to_string(hit));
+    }
+  }
+}
+
+// --- the differential: random byte truncations -----------------------------
+
+TEST_F(RecoveryTest, RandomTruncationsRecoverToTheSurvivingPrefix) {
+  const std::string src = TempPath("rec_trunc_src.wal");
+  ASSERT_TRUE(RemoveFileIfExists(src).ok());
+  LiveInstance live = MakeLive();
+  ASSERT_TRUE(
+      RecoverAndAttachWal(src, WalSyncPolicy::kNone, &live, nullptr).ok());
+  RunWorkload(live, MakeWorkload(/*seed=*/5));
+  ASSERT_TRUE(live.SyncWal().ok());
+
+  auto bytes = ReadFileToString(src);
+  ASSERT_TRUE(bytes.ok());
+  const size_t header_size = EncodeWalHeader().size();
+  ASSERT_GT(bytes->size(), header_size + 1);
+
+  Rng rng = Rng::Stream(/*root_seed=*/0x7au, 1);
+  const std::string path = TempPath("rec_trunc.wal");
+  for (int trial = 0; trial < 40; ++trial) {
+    const size_t cut =
+        header_size + rng.NextU64() % (bytes->size() - header_size + 1);
+    ASSERT_TRUE(RemoveFileIfExists(path).ok());
+    {
+      auto file = WritableFile::Open(path, /*resume_at=*/0);
+      ASSERT_TRUE(file.ok());
+      ASSERT_TRUE(
+          (*file)->Append(std::string_view(*bytes).substr(0, cut)).ok());
+    }
+    ExpectRecoveryMatchesLog(path, "cut=" + std::to_string(cut));
+  }
+}
+
+// --- the publish failpoint: the log is the authority -----------------------
+
+// The snapshot-publish failpoint fires *after* the barrier is durable but
+// *before* the epoch is published: the crashed process never served the new
+// epoch, but recovery must still replay past the barrier — the log, not the
+// dead process's memory, is the authority.
+TEST_F(RecoveryTest, BarrierDurableButUnpublishedReplaysForward) {
+  const std::string path = TempPath("rec_publish.wal");
+  ASSERT_TRUE(RemoveFileIfExists(path).ok());
+  LiveInstance live = MakeLive();
+  ASSERT_TRUE(
+      RecoverAndAttachWal(path, WalSyncPolicy::kEvery, &live, nullptr).ok());
+
+  ASSERT_TRUE(live.Add("Emp", {"e9", "ops"}).ok());
+  failpoint::Arm("live.snapshot.publish");
+  Status wal_status;
+  std::shared_ptr<const InstanceSnapshot> snap = live.Snapshot(&wal_status);
+  EXPECT_FALSE(wal_status.ok());
+  EXPECT_EQ(snap->epoch, 0u);  // nothing was published...
+
+  LiveInstance recovered = MakeLive();
+  ASSERT_TRUE(
+      RecoverAndAttachWal(path, WalSyncPolicy::kEvery, &recovered, nullptr)
+          .ok());
+  EXPECT_EQ(recovered.Current()->epoch, 1u);  // ...but the barrier is law
+  EXPECT_EQ(recovered.Current()->db->size(), 7u);
+  EXPECT_EQ(recovered.pending(), 0u);
+}
+
+// --- overload control: deadlines -------------------------------------------
+
+Request QueryRequest(const std::string& query) {
+  Request out;
+  out.query_text = query;
+  out.mode = RequestMode::kExact;
+  return out;
+}
+
+TEST_F(RecoveryTest, TimedOutRequestsAnswerErrTimeoutAndNeverEnterTheCache) {
+  LiveInstance live = MakeLive();
+  QueryService service(live);
+
+  Request query = QueryRequest("Ans() :- Emp(x, y), Dept(y, z)");
+  query.timeout_ms = 1;
+  failpoint::Arm("service.deadline");
+  ServiceResponse timed_out = service.Execute(query);
+  EXPECT_EQ(timed_out.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(timed_out.payload.empty());
+  EXPECT_NE(FormatResponseLine(1, timed_out).find(" err timeout "),
+            std::string::npos);
+
+  // The same query without a deadline must be a cache MISS: the timed-out
+  // attempt stored nothing (a poisoned entry would replay a partial or
+  // empty payload forever).
+  query.timeout_ms = 0;
+  ServiceResponse full = service.Execute(query);
+  ASSERT_TRUE(full.status.ok());
+  EXPECT_FALSE(full.cache_hit);
+  EXPECT_FALSE(full.payload.empty());
+
+  // And a deadline that never expires changes nothing: same payload bytes,
+  // now a hit (deadlines are not part of the cache key).
+  query.timeout_ms = 60000;
+  ServiceResponse relaxed = service.Execute(query);
+  ASSERT_TRUE(relaxed.status.ok());
+  EXPECT_TRUE(relaxed.cache_hit);
+  EXPECT_EQ(relaxed.payload, full.payload);
+}
+
+TEST_F(RecoveryTest, DroppedCacheInsertsAreMissesNotCorruption) {
+  LiveInstance live = MakeLive();
+  QueryService service(live);
+  Request query = QueryRequest("Ans() :- Emp(x, y)");
+
+  failpoint::Arm("service.result_cache.insert");
+  ServiceResponse first = service.Execute(query);
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_FALSE(first.cache_hit);
+
+  ServiceResponse second = service.Execute(query);
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_FALSE(second.cache_hit);  // the insert was dropped, so: miss again
+  EXPECT_EQ(second.payload, first.payload);
+
+  ServiceResponse third = service.Execute(query);
+  EXPECT_TRUE(third.cache_hit);
+  EXPECT_EQ(third.payload, first.payload);
+}
+
+// --- overload control: load shedding ---------------------------------------
+
+TEST_F(RecoveryTest, SheddingIsPositionalDeterministicAndCacheClean) {
+  LiveInstance live = MakeLive();
+  ServiceOptions options;
+  options.max_queue = 2;
+  QueryService service(live, options);
+
+  const std::vector<Request> batch = {
+      QueryRequest("Ans() :- Emp(x, y)"),
+      QueryRequest("Ans() :- Dept(x, y)"),
+      QueryRequest("Ans() :- Emp(x, y), Dept(y, z)"),
+      QueryRequest("Ans() :- Emp(x, y), Emp(x, z)"),
+      QueryRequest("Ans() :- Dept(x, y), Emp(z, x)"),
+  };
+
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    std::vector<ServiceResponse> responses =
+        service.ExecuteBatch(batch, threads);
+    ASSERT_EQ(responses.size(), batch.size());
+    for (size_t i = 0; i < 2; ++i) {
+      EXPECT_TRUE(responses[i].status.ok()) << "i=" << i;
+    }
+    for (size_t i = 2; i < responses.size(); ++i) {
+      EXPECT_EQ(responses[i].status.code(), StatusCode::kUnavailable)
+          << "i=" << i;
+      EXPECT_TRUE(responses[i].payload.empty());
+      EXPECT_NE(FormatResponseLine(i + 1, responses[i]).find(" err busy "),
+                std::string::npos);
+    }
+  }
+
+  // A shed request never reached the cache: served alone it is a miss.
+  ServiceResponse solo = service.Execute(batch[4]);
+  ASSERT_TRUE(solo.status.ok());
+  EXPECT_FALSE(solo.cache_hit);
+
+  // Barriers reset the span: with a begin_snapshot between queries, each
+  // span stays under the limit and nothing is shed.
+  std::vector<Request> spaced;
+  Request barrier;
+  barrier.verb = RequestVerb::kBeginSnapshot;
+  spaced.push_back(batch[0]);
+  spaced.push_back(batch[1]);
+  spaced.push_back(barrier);
+  spaced.push_back(batch[2]);
+  spaced.push_back(batch[3]);
+  std::vector<ServiceResponse> responses = service.ExecuteBatch(spaced, 2);
+  for (size_t i = 0; i < responses.size(); ++i) {
+    EXPECT_TRUE(responses[i].status.ok()) << "i=" << i;
+  }
+}
+
+// --- hostile input: oversized request lines --------------------------------
+
+TEST_F(RecoveryTest, OversizedLinesAreRejectedWithoutBuffering) {
+  // A multi-megabyte line must parse to `err oversized`...
+  std::string huge = "query='Ans() :- Emp(x, y)' answer=";
+  huge.append(3u << 20, 'e');
+  auto parsed = ParseRequestLine(huge);
+  EXPECT_EQ(parsed.status().code(), StatusCode::kResourceExhausted);
+  ServiceResponse response;
+  response.status = parsed.status();
+  EXPECT_NE(FormatResponseLine(1, response).find(" err oversized "),
+            std::string::npos);
+
+  // ...and the shared line reader must not buffer it whole: it keeps just
+  // enough to prove the line oversized, drains the rest, and the following
+  // line survives intact.
+  std::istringstream in(huge + "\nepoch\n");
+  std::vector<std::string> lines = ReadRequestLines(in);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_LE(lines[0].size(), kMaxRequestLineBytes + 1);
+  EXPECT_FALSE(ParseRequestLine(lines[0]).ok());
+  EXPECT_EQ(lines[1], "epoch");
+}
+
+TEST_F(RecoveryTest, TooManyFieldsIsOversized) {
+  std::string line = "query='Ans() :- Emp(x, y)'";
+  for (size_t i = 0; i < kMaxRequestFields; ++i) line += " seed=1";
+  auto parsed = ParseRequestLine(line);
+  EXPECT_EQ(parsed.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace uocqa

@@ -1,0 +1,450 @@
+// Unit tests for the write-ahead log (service/wal.h) and the I/O
+// primitives under it (base/io.h): frame encode/scan round-trips across
+// every sync policy, CRC rejection of every single-bit flip, torn-tail
+// truncation at every byte boundary, resume-after-truncation appends, the
+// writer's fault-injection sites, and replay verification against the
+// wrong base instance. The full crash-recovery differential lives in
+// tests/recovery_test.cc; this file pins the log format itself.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/failpoint.h"
+#include "base/io.h"
+#include "base/status.h"
+#include "db/textio.h"
+#include "service/live.h"
+#include "service/wal.h"
+
+namespace uocqa {
+namespace {
+
+constexpr const char* kInstance = R"(
+key Emp = 1
+Emp(e1, hw)
+Emp(e1, sw)
+Emp(e2, hw)
+key Dept = 1
+Dept(hw, alice)
+Dept(sw, carol)
+)";
+
+LiveInstance MakeLive() {
+  auto inst = ParseInstanceText(kInstance);
+  EXPECT_TRUE(inst.ok());
+  return LiveInstance(std::move(inst->db), inst->keys);
+}
+
+std::string TempPath(const std::string& name) {
+  std::string path = ::testing::TempDir();
+  if (!path.empty() && path.back() != '/') path += '/';
+  return path + name;
+}
+
+WalRecord AddFactRecord(const std::string& rel,
+                        std::vector<std::string> constants) {
+  WalRecord record;
+  record.type = WalRecord::Type::kAddFact;
+  record.relation = rel;
+  record.constants = std::move(constants);
+  return record;
+}
+
+WalRecord BarrierRecord(uint64_t epoch, uint64_t facts, uint64_t fingerprint) {
+  WalRecord record;
+  record.type = WalRecord::Type::kBarrier;
+  record.epoch = epoch;
+  record.facts = facts;
+  record.fingerprint = fingerprint;
+  return record;
+}
+
+void ExpectSameRecord(const WalRecord& got, const WalRecord& want) {
+  ASSERT_EQ(got.type, want.type);
+  if (want.type == WalRecord::Type::kAddFact) {
+    EXPECT_EQ(got.relation, want.relation);
+    EXPECT_EQ(got.constants, want.constants);
+  } else {
+    EXPECT_EQ(got.epoch, want.epoch);
+    EXPECT_EQ(got.facts, want.facts);
+    EXPECT_EQ(got.fingerprint, want.fingerprint);
+  }
+}
+
+// Writes `records` to a fresh log at `path` under `policy` and returns the
+// raw file bytes.
+std::string WriteLog(const std::string& path,
+                     const std::vector<WalRecord>& records,
+                     WalSyncPolicy policy) {
+  EXPECT_TRUE(RemoveFileIfExists(path).ok());
+  auto writer = WalWriter::Open(path, policy, /*resume_at=*/0);
+  EXPECT_TRUE(writer.ok());
+  for (const WalRecord& record : records) {
+    EXPECT_TRUE((*writer)->Append(record).ok());
+  }
+  EXPECT_TRUE((*writer)->BarrierSync().ok());
+  writer->reset();  // close before reading back
+  auto bytes = ReadFileToString(path);
+  EXPECT_TRUE(bytes.ok());
+  return *bytes;
+}
+
+void OverwriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.good());
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+std::vector<WalRecord> SampleRecords() {
+  return {
+      AddFactRecord("Emp", {"e9", "ops"}),
+      AddFactRecord("Dept", {"ops", "dave"}),
+      BarrierRecord(/*epoch=*/1, /*facts=*/7, /*fingerprint=*/0x1234abcdu),
+      AddFactRecord("Emp", {"e10", "ops"}),
+      BarrierRecord(/*epoch=*/2, /*facts=*/8, /*fingerprint=*/0x9876fedcu),
+  };
+}
+
+class WalTest : public ::testing::Test {
+ protected:
+  void TearDown() override { failpoint::DisarmAll(); }
+};
+
+// --- CRC-32 ----------------------------------------------------------------
+
+TEST_F(WalTest, Crc32MatchesKnownVectors) {
+  // The IEEE check value: CRC-32 of "123456789".
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  // Incremental == one-shot.
+  uint32_t part = Crc32(std::string_view("12345"));
+  EXPECT_EQ(Crc32(std::string_view("6789"), part), 0xCBF43926u);
+}
+
+// --- round trips -----------------------------------------------------------
+
+TEST_F(WalTest, RoundTripsAcrossEverySyncPolicy) {
+  const std::vector<WalRecord> records = SampleRecords();
+  for (WalSyncPolicy policy :
+       {WalSyncPolicy::kNone, WalSyncPolicy::kBatch, WalSyncPolicy::kEvery}) {
+    SCOPED_TRACE(WalSyncPolicyName(policy));
+    const std::string path =
+        TempPath(std::string("wal_roundtrip_") + WalSyncPolicyName(policy));
+    WriteLog(path, records, policy);
+
+    auto scan = ScanWal(path);
+    ASSERT_TRUE(scan.ok());
+    EXPECT_EQ(scan->truncated_bytes, 0u);
+    auto size = FileSize(path);
+    ASSERT_TRUE(size.ok());
+    EXPECT_EQ(scan->valid_bytes, *size);
+    ASSERT_EQ(scan->records.size(), records.size());
+    for (size_t i = 0; i < records.size(); ++i) {
+      SCOPED_TRACE("record=" + std::to_string(i));
+      ExpectSameRecord(scan->records[i], records[i]);
+    }
+  }
+}
+
+TEST_F(WalTest, ParseWalSyncPolicyAcceptsFlagValuesOnly) {
+  ASSERT_TRUE(ParseWalSyncPolicy("none").ok());
+  EXPECT_EQ(*ParseWalSyncPolicy("none"), WalSyncPolicy::kNone);
+  EXPECT_EQ(*ParseWalSyncPolicy("batch"), WalSyncPolicy::kBatch);
+  EXPECT_EQ(*ParseWalSyncPolicy("every"), WalSyncPolicy::kEvery);
+  EXPECT_FALSE(ParseWalSyncPolicy("always").ok());
+  EXPECT_FALSE(ParseWalSyncPolicy("").ok());
+}
+
+TEST_F(WalTest, EmptyAndMissingFiles) {
+  const std::string path = TempPath("wal_missing");
+  ASSERT_TRUE(RemoveFileIfExists(path).ok());
+  auto scan = ScanWal(path);
+  EXPECT_EQ(scan.status().code(), StatusCode::kNotFound);
+
+  // A freshly opened log (header only) scans as zero records.
+  auto writer = WalWriter::Open(path, WalSyncPolicy::kNone, /*resume_at=*/0);
+  ASSERT_TRUE(writer.ok());
+  writer->reset();
+  scan = ScanWal(path);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan->records.empty());
+  EXPECT_EQ(scan->truncated_bytes, 0u);
+}
+
+TEST_F(WalTest, RejectsForeignAndCorruptHeaders) {
+  const std::string path = TempPath("wal_badheader");
+  OverwriteFile(path, "this is definitely not a uocqa WAL header....");
+  EXPECT_EQ(ScanWal(path).status().code(), StatusCode::kInvalidArgument);
+
+  // A valid header with one flipped bit fails the header CRC.
+  std::string header = EncodeWalHeader();
+  header[2] = static_cast<char>(header[2] ^ 0x10);
+  OverwriteFile(path, header);
+  EXPECT_EQ(ScanWal(path).status().code(), StatusCode::kInvalidArgument);
+
+  // A torn *header* (crash during the very first write) is recoverable as
+  // an empty log, not a foreign file.
+  OverwriteFile(path, EncodeWalHeader().substr(0, 7));
+  auto scan = ScanWal(path);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan->records.empty());
+  EXPECT_EQ(scan->valid_bytes, 0u);
+  EXPECT_EQ(scan->truncated_bytes, 7u);
+}
+
+// --- corruption ------------------------------------------------------------
+
+// Every single-bit flip in the record region must be detected: the scan
+// keeps only records before the flipped one, never a record with altered
+// content. (CRC-32 detects all single-bit errors, and each record's CRC
+// covers its length field, type, and payload.)
+TEST_F(WalTest, EverySingleBitFlipIsRejected) {
+  const std::vector<WalRecord> records = SampleRecords();
+  const std::string path = TempPath("wal_bitflip_src");
+  const std::string bytes = WriteLog(path, records, WalSyncPolicy::kNone);
+  const size_t header_size = EncodeWalHeader().size();
+  ASSERT_GT(bytes.size(), header_size);
+
+  // Offsets where each record starts, to map a flip to its victim.
+  std::vector<size_t> starts;
+  size_t offset = header_size;
+  for (const WalRecord& record : records) {
+    starts.push_back(offset);
+    offset += EncodeWalRecord(record).size();
+  }
+  ASSERT_EQ(offset, bytes.size());
+
+  const std::string flip_path = TempPath("wal_bitflip");
+  for (size_t byte = header_size; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = bytes;
+      corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1 << bit));
+      OverwriteFile(flip_path, corrupt);
+      auto scan = ScanWal(flip_path);
+      ASSERT_TRUE(scan.ok())
+          << "byte=" << byte << " bit=" << bit << ": "
+          << scan.status().ToString();
+      // The record containing the flipped byte:
+      size_t victim = 0;
+      while (victim + 1 < starts.size() && starts[victim + 1] <= byte) {
+        ++victim;
+      }
+      ASSERT_LE(scan->records.size(), victim)
+          << "byte=" << byte << " bit=" << bit
+          << ": a corrupt record survived the scan";
+      for (size_t i = 0; i < scan->records.size(); ++i) {
+        ExpectSameRecord(scan->records[i], records[i]);
+      }
+    }
+  }
+}
+
+// Truncating the log at every byte boundary keeps exactly the records that
+// are fully contained in the surviving prefix.
+TEST_F(WalTest, TornTailAtEveryByteBoundary) {
+  const std::vector<WalRecord> records = SampleRecords();
+  const std::string path = TempPath("wal_torn_src");
+  const std::string bytes = WriteLog(path, records, WalSyncPolicy::kNone);
+  const size_t header_size = EncodeWalHeader().size();
+
+  std::vector<size_t> ends;  // cumulative end offset of each record
+  size_t offset = header_size;
+  for (const WalRecord& record : records) {
+    offset += EncodeWalRecord(record).size();
+    ends.push_back(offset);
+  }
+
+  const std::string torn_path = TempPath("wal_torn");
+  for (size_t cut = header_size; cut <= bytes.size(); ++cut) {
+    OverwriteFile(torn_path, bytes.substr(0, cut));
+    auto scan = ScanWal(torn_path);
+    ASSERT_TRUE(scan.ok()) << "cut=" << cut;
+    size_t expected = 0;
+    while (expected < ends.size() && ends[expected] <= cut) ++expected;
+    ASSERT_EQ(scan->records.size(), expected) << "cut=" << cut;
+    for (size_t i = 0; i < expected; ++i) {
+      ExpectSameRecord(scan->records[i], records[i]);
+    }
+    EXPECT_EQ(scan->valid_bytes,
+              expected == 0 ? header_size : ends[expected - 1]);
+    EXPECT_EQ(scan->truncated_bytes, cut - scan->valid_bytes);
+  }
+}
+
+// Resuming after a torn tail truncates it: the next append lands where the
+// valid prefix ended, and the tail's garbage bytes can never resurface.
+TEST_F(WalTest, ResumeAfterTornTailTruncatesThenAppends) {
+  const std::vector<WalRecord> records = SampleRecords();
+  const std::string path = TempPath("wal_resume");
+  const std::string bytes = WriteLog(path, records, WalSyncPolicy::kNone);
+
+  // Chop mid-way through the last record.
+  OverwriteFile(path, bytes.substr(0, bytes.size() - 3));
+  auto scan = ScanWal(path);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->records.size(), records.size() - 1);
+  EXPECT_GT(scan->truncated_bytes, 0u);
+
+  auto writer =
+      WalWriter::Open(path, WalSyncPolicy::kBatch, scan->valid_bytes);
+  ASSERT_TRUE(writer.ok());
+  const WalRecord appended = AddFactRecord("Dept", {"ops", "erin"});
+  ASSERT_TRUE((*writer)->Append(appended).ok());
+  ASSERT_TRUE((*writer)->BarrierSync().ok());
+  EXPECT_EQ((*writer)->appended_records(), 1u);
+  writer->reset();
+
+  auto rescan = ScanWal(path);
+  ASSERT_TRUE(rescan.ok());
+  EXPECT_EQ(rescan->truncated_bytes, 0u);
+  ASSERT_EQ(rescan->records.size(), records.size());
+  for (size_t i = 0; i + 1 < records.size(); ++i) {
+    ExpectSameRecord(rescan->records[i], records[i]);
+  }
+  ExpectSameRecord(rescan->records.back(), appended);
+}
+
+// --- writer fault injection ------------------------------------------------
+
+TEST_F(WalTest, AppendDropFailpointKillsTheWriter) {
+  const std::string path = TempPath("wal_fp_drop");
+  ASSERT_TRUE(RemoveFileIfExists(path).ok());
+  auto writer = WalWriter::Open(path, WalSyncPolicy::kNone, /*resume_at=*/0);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append(AddFactRecord("Emp", {"e9", "ops"})).ok());
+
+  failpoint::Arm("wal.append.drop");
+  EXPECT_FALSE((*writer)->Append(AddFactRecord("Emp", {"e10", "ops"})).ok());
+  // Dead writer: the fault models a crash, nothing works afterwards.
+  EXPECT_FALSE((*writer)->Append(AddFactRecord("Emp", {"e11", "ops"})).ok());
+  EXPECT_FALSE((*writer)->Sync().ok());
+  writer->reset();
+
+  auto scan = ScanWal(path);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->records.size(), 1u);  // only the pre-fault record
+  EXPECT_EQ(scan->truncated_bytes, 0u);
+}
+
+TEST_F(WalTest, AppendPartialFailpointLeavesATornDetectableTail) {
+  const std::string path = TempPath("wal_fp_partial");
+  ASSERT_TRUE(RemoveFileIfExists(path).ok());
+  auto writer = WalWriter::Open(path, WalSyncPolicy::kNone, /*resume_at=*/0);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append(AddFactRecord("Emp", {"e9", "ops"})).ok());
+
+  failpoint::Arm("wal.append.partial");
+  EXPECT_FALSE((*writer)->Append(AddFactRecord("Emp", {"e10", "ops"})).ok());
+  writer->reset();
+
+  auto scan = ScanWal(path);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->records.size(), 1u);
+  EXPECT_GT(scan->truncated_bytes, 0u);  // the half-written frame
+  ExpectSameRecord(scan->records[0], AddFactRecord("Emp", {"e9", "ops"}));
+}
+
+TEST_F(WalTest, SyncFailpointFailsPolicyEveryAppends) {
+  const std::string path = TempPath("wal_fp_sync");
+  ASSERT_TRUE(RemoveFileIfExists(path).ok());
+  auto writer = WalWriter::Open(path, WalSyncPolicy::kEvery, /*resume_at=*/0);
+  ASSERT_TRUE(writer.ok());
+
+  failpoint::Arm("wal.sync");
+  EXPECT_FALSE((*writer)->Append(AddFactRecord("Emp", {"e9", "ops"})).ok());
+  EXPECT_FALSE((*writer)->BarrierSync().ok());
+}
+
+// --- replay verification ---------------------------------------------------
+
+TEST_F(WalTest, ReplayRejectsALogFromADifferentBase) {
+  // A barrier whose fingerprint can't match anything this base produces.
+  std::vector<WalRecord> records = {
+      AddFactRecord("Emp", {"e9", "ops"}),
+      BarrierRecord(/*epoch=*/1, /*facts=*/6, /*fingerprint=*/0xdeadbeefu),
+  };
+  LiveInstance live = MakeLive();
+  Status status = ReplayWal(records, &live);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("not written over this base"),
+            std::string::npos)
+      << status.ToString();
+}
+
+TEST_F(WalTest, ReplayRejectsUnknownRelations) {
+  std::vector<WalRecord> records = {AddFactRecord("NoSuchRel", {"a", "b"})};
+  LiveInstance live = MakeLive();
+  EXPECT_FALSE(ReplayWal(records, &live).ok());
+}
+
+// --- live integration: write-ahead ordering --------------------------------
+
+TEST_F(WalTest, LiveAddIsLoggedBeforeItIsQueued) {
+  const std::string path = TempPath("wal_live_order");
+  ASSERT_TRUE(RemoveFileIfExists(path).ok());
+  LiveInstance live = MakeLive();
+  auto recovered =
+      RecoverAndAttachWal(path, WalSyncPolicy::kNone, &live, nullptr);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_FALSE(recovered->existed);
+
+  // A dropped append rejects the fact: nothing queued, log and memory agree.
+  failpoint::Arm("wal.append.drop");
+  EXPECT_FALSE(live.Add("Emp", {"e9", "ops"}).ok());
+  EXPECT_EQ(live.pending(), 0u);
+
+  // The dead writer also blocks snapshots of later (hypothetical) deltas —
+  // the instance keeps serving reads but refuses to advance.
+  Status wal_status;
+  std::shared_ptr<const InstanceSnapshot> snap = live.Snapshot(&wal_status);
+  EXPECT_TRUE(wal_status.ok());  // empty delta: nothing to log
+  EXPECT_EQ(snap->epoch, 0u);
+}
+
+TEST_F(WalTest, SnapshotLogsABarrierEvenForDuplicateOnlyDeltas) {
+  const std::string path = TempPath("wal_dup_barrier");
+  ASSERT_TRUE(RemoveFileIfExists(path).ok());
+  LiveInstance live = MakeLive();
+  auto recovered =
+      RecoverAndAttachWal(path, WalSyncPolicy::kBatch, &live, nullptr);
+  ASSERT_TRUE(recovered.ok());
+
+  // Queue a fact that already exists: the delta is non-empty but fully
+  // duplicate, so the epoch must not advance — yet the barrier must be
+  // logged so replay clears pending at the same point.
+  ASSERT_TRUE(live.Add("Emp", {"e1", "hw"}).ok());
+  EXPECT_EQ(live.pending(), 1u);
+  Status wal_status;
+  std::shared_ptr<const InstanceSnapshot> snap = live.Snapshot(&wal_status);
+  ASSERT_TRUE(wal_status.ok());
+  EXPECT_EQ(snap->epoch, 0u);
+  EXPECT_EQ(live.pending(), 0u);
+  ASSERT_TRUE(live.SyncWal().ok());
+
+  auto scan = ScanWal(path);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->records.size(), 2u);
+  EXPECT_EQ(scan->records[0].type, WalRecord::Type::kAddFact);
+  EXPECT_EQ(scan->records[1].type, WalRecord::Type::kBarrier);
+  EXPECT_EQ(scan->records[1].epoch, 0u);
+
+  // And replaying that log into a fresh base reproduces the state.
+  LiveInstance fresh = MakeLive();
+  auto rerecovered =
+      RecoverAndAttachWal(path, WalSyncPolicy::kBatch, &fresh, nullptr);
+  ASSERT_TRUE(rerecovered.ok());
+  EXPECT_EQ(rerecovered->records, 2u);
+  EXPECT_EQ(fresh.Current()->epoch, 0u);
+  EXPECT_EQ(fresh.pending(), 0u);
+  EXPECT_EQ(fresh.Current()->fingerprint, snap->fingerprint);
+}
+
+}  // namespace
+}  // namespace uocqa
